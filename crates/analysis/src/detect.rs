@@ -1,0 +1,349 @@
+//! RQ1 — which requests are locally destined?
+//!
+//! Detection walks each visit's NetLog flows (grouped by source ID),
+//! drops browser-internal sources, and classifies every request URL —
+//! including redirect targets, since "websites can send a request to a
+//! local resource, even if they can never receive the response"
+//! (§3.1). A destination is *localhost* if it is the `localhost` name
+//! or a loopback address, and *LAN* if it is in the RFC 1918 /
+//! unique-local ranges.
+
+use kt_netbase::{Locality, Os, OsSet, Scheme, Url};
+use kt_netlog::FlowSet;
+use kt_store::VisitRecord;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One locally-destined request observed in telemetry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocalObservation {
+    /// Visited site.
+    pub domain: String,
+    /// Site rank (top-list crawls).
+    pub rank: Option<u32>,
+    /// Malicious category code, if from the malicious crawl.
+    pub malicious_category: Option<u8>,
+    /// OS of the crawl that observed it.
+    pub os: Os,
+    /// The local destination URL.
+    pub url: Url,
+    /// Scheme (http/https/ws/wss — the Figure 4 axis).
+    pub scheme: Scheme,
+    /// Destination port.
+    pub port: u16,
+    /// Path plus query, as the paper tabulates.
+    pub path: String,
+    /// Loopback or Private.
+    pub locality: Locality,
+    /// True if the request was a WebSocket connection.
+    pub websocket: bool,
+    /// True if the local URL was reached via a redirect.
+    pub via_redirect: bool,
+    /// When the request was first observed, ms on the visit clock.
+    pub time_ms: u64,
+    /// Delay after the landing page finished loading, ms
+    /// (the Figures 5–7 quantity).
+    pub delay_ms: u64,
+}
+
+/// Extract all local observations from one visit record.
+pub fn detect_local(record: &VisitRecord) -> Vec<LocalObservation> {
+    let flows = FlowSet::from_events(record.events.iter().cloned());
+    let mut out = Vec::new();
+    for flow in flows.page_flows() {
+        // Direct request URL.
+        let mut candidates: Vec<(String, bool)> = Vec::new();
+        if let Some(u) = flow.url() {
+            candidates.push((u.to_string(), false));
+        }
+        for loc in flow.redirect_chain() {
+            candidates.push((loc.to_string(), true));
+        }
+        for (text, via_redirect) in candidates {
+            let Ok(url) = Url::parse(&text) else {
+                continue;
+            };
+            let locality = url.locality();
+            if !locality.is_local() {
+                continue;
+            }
+            out.push(LocalObservation {
+                domain: record.domain.clone(),
+                rank: record.rank,
+                malicious_category: record.malicious_category,
+                os: record.os,
+                scheme: url.scheme(),
+                port: url.port(),
+                path: url.path_and_query(),
+                locality,
+                websocket: flow.is_websocket() || url.scheme().is_websocket(),
+                via_redirect,
+                time_ms: flow.start_time(),
+                delay_ms: flow.start_time().saturating_sub(record.loaded_at_ms),
+                url,
+            });
+        }
+    }
+    out
+}
+
+/// Per-site aggregation across OS crawls.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteLocalActivity {
+    /// The site.
+    pub domain: String,
+    /// Rank, if any.
+    pub rank: Option<u32>,
+    /// Malicious category code, if any.
+    pub malicious_category: Option<u8>,
+    /// OSes with loopback-destined traffic.
+    pub localhost_os: OsSet,
+    /// OSes with LAN-destined traffic.
+    pub lan_os: OsSet,
+    /// Every observation, all OSes.
+    pub observations: Vec<LocalObservation>,
+}
+
+impl SiteLocalActivity {
+    /// True if any loopback traffic was seen.
+    pub fn has_localhost(&self) -> bool {
+        !self.localhost_os.is_empty()
+    }
+
+    /// True if any LAN traffic was seen.
+    pub fn has_lan(&self) -> bool {
+        !self.lan_os.is_empty()
+    }
+
+    /// Distinct (scheme, port) pairs observed, sorted.
+    pub fn scheme_ports(&self) -> Vec<(Scheme, u16)> {
+        let mut v: Vec<(Scheme, u16)> = self
+            .observations
+            .iter()
+            .map(|o| (o.scheme, o.port))
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Distinct paths observed, sorted.
+    pub fn paths(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.observations.iter().map(|o| o.path.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// The earliest local-request delay on one OS, if any (the
+    /// Figure 5 sample point for this site).
+    pub fn first_delay_on(&self, os: Os, loopback: bool) -> Option<u64> {
+        self.observations
+            .iter()
+            .filter(|o| o.os == os)
+            .filter(|o| o.locality.is_loopback() == loopback)
+            .map(|o| o.delay_ms)
+            .min()
+    }
+}
+
+/// Aggregate observations from many visit records into per-site
+/// activity summaries, in first-seen order.
+pub fn aggregate_sites(records: &[VisitRecord]) -> Vec<SiteLocalActivity> {
+    let mut by_domain: BTreeMap<String, SiteLocalActivity> = BTreeMap::new();
+    for record in records {
+        for obs in detect_local(record) {
+            let entry = by_domain
+                .entry(obs.domain.clone())
+                .or_insert_with(|| SiteLocalActivity {
+                    domain: obs.domain.clone(),
+                    rank: obs.rank,
+                    malicious_category: obs.malicious_category,
+                    localhost_os: OsSet::NONE,
+                    lan_os: OsSet::NONE,
+                    observations: Vec::new(),
+                });
+            if obs.locality.is_loopback() {
+                entry.localhost_os = entry.localhost_os.with(obs.os);
+            } else if obs.locality.is_private() {
+                entry.lan_os = entry.lan_os.with(obs.os);
+            }
+            entry.observations.push(obs);
+        }
+    }
+    by_domain.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kt_netlog::{
+        EventParams, EventPhase, EventType, NetLogEvent, SourceRef, SourceType,
+    };
+    use kt_store::{CrawlId, LoadOutcome};
+
+    fn record_with_events(domain: &str, os: Os, events: Vec<NetLogEvent>) -> VisitRecord {
+        VisitRecord {
+            crawl: CrawlId::top2020(),
+            domain: domain.to_string(),
+            rank: Some(104),
+            malicious_category: None,
+            os,
+            outcome: LoadOutcome::Success,
+            loaded_at_ms: 400,
+            events,
+        }
+    }
+
+    fn url_request(id: u64, time: u64, url: &str) -> Vec<NetLogEvent> {
+        vec![NetLogEvent {
+            time,
+            event_type: EventType::UrlRequestStartJob,
+            source: SourceRef {
+                id,
+                kind: SourceType::UrlRequest,
+            },
+            phase: EventPhase::Begin,
+            params: EventParams::UrlRequestStart {
+                url: url.into(),
+                method: "GET".into(),
+                initiator: None,
+                load_flags: 0,
+            },
+        }]
+    }
+
+    fn ws_request(id: u64, time: u64, url: &str) -> Vec<NetLogEvent> {
+        vec![NetLogEvent {
+            time,
+            event_type: EventType::WebSocketSendRequestHeaders,
+            source: SourceRef {
+                id,
+                kind: SourceType::WebSocket,
+            },
+            phase: EventPhase::Begin,
+            params: EventParams::WebSocket { url: url.into() },
+        }]
+    }
+
+    #[test]
+    fn detects_loopback_and_lan_not_public() {
+        let mut events = url_request(1, 500, "https://cdn.example/lib.js");
+        events.extend(url_request(2, 5_400, "http://localhost:8888/wp-content/uploads/a.jpg"));
+        events.extend(url_request(3, 6_000, "http://10.0.0.200/b.mp4"));
+        let record = record_with_events("site.example", Os::Linux, events);
+        let obs = detect_local(&record);
+        assert_eq!(obs.len(), 2);
+        assert!(obs[0].locality.is_loopback());
+        assert_eq!(obs[0].delay_ms, 5_000);
+        assert!(obs[1].locality.is_private());
+        assert_eq!(obs[1].port, 80);
+    }
+
+    #[test]
+    fn browser_internal_traffic_is_excluded() {
+        let events = vec![NetLogEvent {
+            time: 100,
+            event_type: EventType::UrlRequestStartJob,
+            source: SourceRef {
+                id: 9,
+                kind: SourceType::BrowserInternal,
+            },
+            phase: EventPhase::Begin,
+            params: EventParams::UrlRequestStart {
+                url: "http://127.0.0.1:5000/browser-housekeeping".into(),
+                method: "GET".into(),
+                initiator: None,
+                load_flags: 0,
+            },
+        }];
+        let record = record_with_events("site.example", Os::Windows, events);
+        assert!(detect_local(&record).is_empty());
+    }
+
+    #[test]
+    fn websocket_flag_and_scheme() {
+        let events = ws_request(1, 9_000, "wss://localhost:3389/");
+        let record = record_with_events("shop.example", Os::Windows, events);
+        let obs = detect_local(&record);
+        assert_eq!(obs.len(), 1);
+        assert!(obs[0].websocket);
+        assert_eq!(obs[0].scheme, Scheme::Wss);
+        assert_eq!(obs[0].port, 3389);
+        assert_eq!(obs[0].path, "/");
+    }
+
+    #[test]
+    fn redirect_targets_count() {
+        let mut events = url_request(1, 700, "http://romadecade.example/");
+        events.push(NetLogEvent {
+            time: 800,
+            event_type: EventType::UrlRequestRedirected,
+            source: SourceRef {
+                id: 1,
+                kind: SourceType::UrlRequest,
+            },
+            phase: EventPhase::None,
+            params: EventParams::Redirect {
+                location: "http://127.0.0.1/".into(),
+            },
+        });
+        let record = record_with_events("romadecade.example", Os::MacOs, events);
+        let obs = detect_local(&record);
+        assert_eq!(obs.len(), 1);
+        assert!(obs[0].via_redirect);
+        assert!(obs[0].locality.is_loopback());
+    }
+
+    #[test]
+    fn ipv6_loopback_detected() {
+        let events = url_request(1, 1_000, "http://[::1]:9000/status");
+        let record = record_with_events("v6.example", Os::Linux, events);
+        let obs = detect_local(&record);
+        assert_eq!(obs.len(), 1);
+        assert!(obs[0].locality.is_loopback());
+    }
+
+    #[test]
+    fn aggregation_merges_oses() {
+        let win = record_with_events(
+            "multi.example",
+            Os::Windows,
+            ws_request(1, 9_000, "wss://localhost:3389/"),
+        );
+        let linux = record_with_events(
+            "multi.example",
+            Os::Linux,
+            url_request(1, 2_000, "http://10.1.2.3/x.png"),
+        );
+        let sites = aggregate_sites(&[win, linux]);
+        assert_eq!(sites.len(), 1);
+        let s = &sites[0];
+        assert_eq!(s.localhost_os, OsSet::WINDOWS_ONLY);
+        assert_eq!(s.lan_os, OsSet::LINUX_ONLY);
+        assert!(s.has_localhost() && s.has_lan());
+        assert_eq!(s.first_delay_on(Os::Windows, true), Some(8_600));
+        assert_eq!(s.first_delay_on(Os::Windows, false), None);
+    }
+
+    #[test]
+    fn malformed_urls_are_skipped_not_fatal() {
+        let events = url_request(1, 1_000, "not a url at all");
+        let record = record_with_events("weird.example", Os::Linux, events);
+        assert!(detect_local(&record).is_empty());
+    }
+
+    #[test]
+    fn scheme_ports_and_paths_dedup() {
+        let mut events = ws_request(1, 1_000, "ws://localhost:6463/?v=1");
+        events.extend(ws_request(2, 1_100, "ws://localhost:6463/?v=1"));
+        events.extend(ws_request(3, 1_200, "ws://localhost:6464/?v=1"));
+        let record = record_with_events("discordy.example", Os::MacOs, events);
+        let sites = aggregate_sites(&[record]);
+        assert_eq!(
+            sites[0].scheme_ports(),
+            vec![(Scheme::Ws, 6463), (Scheme::Ws, 6464)]
+        );
+        assert_eq!(sites[0].paths(), vec!["/?v=1".to_string()]);
+    }
+}

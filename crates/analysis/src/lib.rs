@@ -1,0 +1,47 @@
+//! # kt-analysis
+//!
+//! The measurement instrument: everything the paper computes *from*
+//! telemetry lives here, and none of it knows how the telemetry was
+//! produced — it would run unchanged over parsed captures from a real
+//! Chrome crawl.
+//!
+//! * [`detect`] — find locally-destined requests in visit records
+//!   (RQ1): flow reconstruction, browser-traffic filtering, loopback /
+//!   RFC 1918 classification, redirect-target accounting;
+//! * [`classify`] — recover *why* a site talks to local destinations
+//!   (RQ3): ThreatMetrix / BIG-IP signatures, native-app fingerprints,
+//!   developer-error heuristics, unknown cases;
+//! * [`cdf`] — empirical CDFs for ranks (Figures 3, 9) and request
+//!   timing (Figures 5–7);
+//! * [`venn`] — per-OS overlap regions (Figure 2);
+//! * [`rings`] — OS → scheme → port aggregation (Figures 4, 8);
+//! * [`report`] — renderers that regenerate every table of the paper;
+//! * [`dev_error`] — the Appendix-B sub-classification of developer
+//!   errors;
+//! * [`defense`] — replay telemetry under the WICG Private Network
+//!   Access proposal (§5.3) across adoption scenarios;
+//! * [`entropy`] — the §5.2 fingerprinting-entropy measurement over
+//!   simulated visitor machines.
+
+#![warn(missing_docs)]
+
+pub mod cdf;
+pub mod classify;
+pub mod defense;
+pub mod detect;
+pub mod dev_error;
+pub mod entropy;
+pub mod longitudinal;
+pub mod report;
+pub mod rings;
+pub mod venn;
+
+pub use cdf::Ecdf;
+pub use classify::{classify_site, ReasonClass};
+pub use defense::{AdoptionScenario, DefenseImpact};
+pub use dev_error::{classify_dev_error, DevErrorKind};
+pub use entropy::{scan_entropy, EntropyReport, PortFingerprint};
+pub use longitudinal::{transitions, Transition, TransitionMatrix};
+pub use detect::{detect_local, LocalObservation, SiteLocalActivity};
+pub use rings::PortRings;
+pub use venn::OsVenn;

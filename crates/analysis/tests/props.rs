@@ -1,0 +1,155 @@
+//! Property tests for the analysis layer: the classifier is total and
+//! deterministic, ECDFs obey CDF axioms, Venn regions partition, and
+//! port condensation round-trips.
+
+use kt_analysis::cdf::Ecdf;
+use kt_analysis::classify::classify_site;
+use kt_analysis::detect::{LocalObservation, SiteLocalActivity};
+use kt_analysis::report::condense_ports;
+use kt_analysis::venn::OsVenn;
+use kt_netbase::{Locality, Os, OsSet, Scheme, Url};
+use proptest::prelude::*;
+
+fn arb_observation() -> impl Strategy<Value = LocalObservation> {
+    (
+        0usize..3,                 // os
+        0usize..4,                 // scheme
+        1u16..,                    // port
+        prop_oneof![
+            Just("/".to_string()),
+            Just("/wp-content/uploads/a.jpg".to_string()),
+            Just("/livereload.js".to_string()),
+            Just("/?v=1".to_string()),
+            Just("/app_list.json".to_string()),
+            "[a-z/]{1,20}".prop_map(|s| format!("/{s}")),
+        ],
+        any::<bool>(),             // loopback vs private
+        any::<bool>(),             // websocket
+        any::<bool>(),             // via_redirect
+        0u64..20_000,              // time
+    )
+        .prop_map(|(os, scheme, port, path, loopback, ws, redir, time)| {
+            let scheme = Scheme::ALL[scheme];
+            let host = if loopback { "localhost".to_string() } else { "192.168.1.7".to_string() };
+            let url = Url::parse(&format!("{scheme}://{host}:{port}{path}")).unwrap();
+            LocalObservation {
+                domain: "prop.example".into(),
+                rank: Some(1),
+                malicious_category: None,
+                os: Os::ALL[os],
+                scheme,
+                port,
+                path: url.path_and_query(),
+                locality: if loopback { Locality::Loopback } else { Locality::Private },
+                websocket: ws,
+                via_redirect: redir,
+                time_ms: time,
+                delay_ms: time,
+                url,
+            }
+        })
+}
+
+fn site_of(observations: Vec<LocalObservation>) -> SiteLocalActivity {
+    let mut localhost_os = OsSet::NONE;
+    let mut lan_os = OsSet::NONE;
+    for o in &observations {
+        if o.locality.is_loopback() {
+            localhost_os = localhost_os.with(o.os);
+        } else {
+            lan_os = lan_os.with(o.os);
+        }
+    }
+    SiteLocalActivity {
+        domain: "prop.example".into(),
+        rank: Some(1),
+        malicious_category: None,
+        localhost_os,
+        lan_os,
+        observations,
+    }
+}
+
+proptest! {
+    #[test]
+    fn classifier_is_total_and_deterministic(
+        observations in proptest::collection::vec(arb_observation(), 1..40)
+    ) {
+        let site = site_of(observations);
+        let a = classify_site(&site);
+        let b = classify_site(&site);
+        prop_assert_eq!(a, b);
+        // label() must not panic for whatever class came out.
+        prop_assert!(!a.label().is_empty());
+    }
+
+    #[test]
+    fn classifier_is_permutation_invariant(
+        observations in proptest::collection::vec(arb_observation(), 2..20)
+    ) {
+        let forward = classify_site(&site_of(observations.clone()));
+        let mut reversed = observations;
+        reversed.reverse();
+        let backward = classify_site(&site_of(reversed));
+        prop_assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn ecdf_axioms(samples in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+        let ecdf = Ecdf::new(samples.clone());
+        // Bounds.
+        prop_assert_eq!(ecdf.eval(f64::NEG_INFINITY.min(-1.0)), 0.0);
+        prop_assert_eq!(ecdf.eval(1e9), 1.0);
+        // Monotone at sampled points.
+        let lo = ecdf.min().unwrap();
+        let hi = ecdf.max().unwrap();
+        let mid = (lo + hi) / 2.0;
+        prop_assert!(ecdf.eval(lo) <= ecdf.eval(mid) + 1e-12);
+        prop_assert!(ecdf.eval(mid) <= ecdf.eval(hi) + 1e-12);
+        // Quantile inverse-ish: F(quantile(q)) >= q.
+        for q in [0.1, 0.5, 0.9] {
+            let x = ecdf.quantile(q).unwrap();
+            prop_assert!(ecdf.eval(x) + 1e-12 >= q);
+        }
+        // Median is within range.
+        let med = ecdf.median().unwrap();
+        prop_assert!((lo..=hi).contains(&med));
+    }
+
+    #[test]
+    fn venn_regions_partition_the_sets(bits in proptest::collection::vec(0u8..8, 0..300)) {
+        let sets: Vec<OsSet> = bits
+            .iter()
+            .map(|b| OsSet {
+                windows: b & 1 != 0,
+                linux: b & 2 != 0,
+                macos: b & 4 != 0,
+            })
+            .collect();
+        let venn = OsVenn::from_sets(sets.clone());
+        let nonempty = sets.iter().filter(|s| !s.is_empty()).count();
+        prop_assert_eq!(venn.total(), nonempty);
+        prop_assert_eq!(venn.windows_total(), sets.iter().filter(|s| s.windows).count());
+        prop_assert_eq!(venn.linux_total(), sets.iter().filter(|s| s.linux).count());
+        prop_assert_eq!(venn.mac_total(), sets.iter().filter(|s| s.macos).count());
+    }
+
+    #[test]
+    fn condensed_ports_expand_back(mut ports in proptest::collection::vec(1u16.., 0..40)) {
+        let text = condense_ports(&ports);
+        // Expand the notation and compare to the sorted dedup input.
+        let mut expanded: Vec<u16> = Vec::new();
+        for part in text.split(", ").filter(|p| !p.is_empty()) {
+            match part.split_once('-') {
+                Some((a, b)) => {
+                    let (a, b): (u16, u16) = (a.parse().unwrap(), b.parse().unwrap());
+                    expanded.extend(a..=b);
+                }
+                None => expanded.push(part.parse().unwrap()),
+            }
+        }
+        ports.sort_unstable();
+        ports.dedup();
+        prop_assert_eq!(expanded, ports);
+    }
+}

@@ -1,0 +1,178 @@
+//! Rendering tests for the table builders, on hand-built fixtures.
+
+use kt_analysis::classify::ReasonClass;
+use kt_analysis::detect::{LocalObservation, SiteLocalActivity};
+use kt_analysis::report;
+use kt_netbase::services::THREATMETRIX_PORTS;
+use kt_netbase::{Locality, Os, OsSet, Scheme, ServiceRegistry, Url};
+
+fn obs(os: Os, scheme: Scheme, host: &str, port: u16, path: &str) -> LocalObservation {
+    let url = Url::parse(&format!("{scheme}://{host}:{port}{path}")).unwrap();
+    LocalObservation {
+        domain: String::new(),
+        rank: None,
+        malicious_category: None,
+        os,
+        scheme,
+        port,
+        path: url.path_and_query(),
+        locality: url.locality(),
+        websocket: scheme.is_websocket(),
+        via_redirect: false,
+        time_ms: 9_000,
+        delay_ms: 8_500,
+        url,
+    }
+}
+
+fn site(domain: &str, rank: u32, observations: Vec<LocalObservation>) -> SiteLocalActivity {
+    let mut localhost_os = OsSet::NONE;
+    let mut lan_os = OsSet::NONE;
+    for o in &observations {
+        if o.locality == Locality::Loopback {
+            localhost_os = localhost_os.with(o.os);
+        } else {
+            lan_os = lan_os.with(o.os);
+        }
+    }
+    SiteLocalActivity {
+        domain: domain.to_string(),
+        rank: Some(rank),
+        malicious_category: None,
+        localhost_os,
+        lan_os,
+        observations,
+    }
+}
+
+fn tm_site(domain: &str, rank: u32) -> SiteLocalActivity {
+    let observations = THREATMETRIX_PORTS
+        .iter()
+        .map(|p| obs(Os::Windows, Scheme::Wss, "localhost", *p, "/"))
+        .collect();
+    site(domain, rank, observations)
+}
+
+#[test]
+fn localhost_table_groups_by_reason_and_sorts_by_rank() {
+    let sites = vec![
+        site(
+            "dev.example",
+            900,
+            vec![obs(Os::Linux, Scheme::Http, "localhost", 8888, "/wp-content/uploads/2019/01/asset7.jpg")],
+        ),
+        tm_site("shop-b.example", 500),
+        tm_site("shop-a.example", 104),
+    ];
+    let (text, rows) = report::localhost_table(&sites);
+    assert_eq!(rows.len(), 3);
+    // Fraud rows first (class order), rank ascending inside the class.
+    assert_eq!(rows[0].domain, "shop-a.example");
+    assert_eq!(rows[0].reason, ReasonClass::FraudDetection);
+    assert_eq!(rows[1].domain, "shop-b.example");
+    assert_eq!(rows[2].reason, ReasonClass::DeveloperError);
+    // Rendering contains the condensed TM port list and OS ticks.
+    assert!(text.contains("5900-5903"));
+    assert!(text.contains("✓ · ·"));
+    assert!(text.contains("/wp-content/uploads/2019/01/*.jpg"));
+}
+
+#[test]
+fn lan_table_reports_ip_and_port() {
+    let sites = vec![site(
+        "uni.example",
+        56_325,
+        vec![obs(
+            Os::Windows,
+            Scheme::Http,
+            "192.168.64.160",
+            80,
+            "/wp-content/uploads/2019/10/photo7.jpg",
+        )],
+    )];
+    let (text, rows) = report::lan_table(&sites);
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].local_ip, "192.168.64.160");
+    assert_eq!(rows[0].port, 80);
+    assert!(text.contains("192.168.64.160"));
+    assert!(text.contains("uni.example"));
+}
+
+#[test]
+fn table3_splits_windows_and_nix_columns() {
+    let sites = vec![
+        tm_site("win-only.example", 10),
+        site(
+            "nix.example",
+            20,
+            vec![obs(Os::Linux, Scheme::Http, "localhost", 6878, "/webui/api/service")],
+        ),
+    ];
+    let text = report::table3(&sites, 10);
+    let header = text.lines().next().unwrap();
+    assert!(header.contains("Windows"));
+    assert!(header.contains("Linux and Mac"));
+    assert!(text.contains("win-only.example"));
+    assert!(text.contains("nix.example"));
+}
+
+#[test]
+fn table4_contains_all_21_anti_abuse_ports() {
+    let text = report::table4(&ServiceRegistry::standard());
+    let rows = text.lines().count() - 2; // header + rule
+    assert_eq!(rows, 21, "14 fraud + 7 bot ports");
+    assert!(text.contains("TeamViewer"));
+    assert!(text.contains("Microsoft Edge WebDriver"));
+}
+
+#[test]
+fn table11_contains_only_dev_errors() {
+    let sites = vec![
+        tm_site("shop.example", 1),
+        site(
+            "dev.example",
+            2,
+            vec![obs(Os::MacOs, Scheme::Https, "localhost", 9000, "/sockjs-node/info?t=1")],
+        ),
+    ];
+    let (text, rows) = report::table11(&sites);
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].domain, "dev.example");
+    assert!(!text.contains("shop.example"));
+}
+
+#[test]
+fn reason_counts_tally() {
+    let sites = vec![
+        tm_site("a.example", 1),
+        tm_site("b.example", 2),
+        site(
+            "c.example",
+            3,
+            vec![obs(Os::Linux, Scheme::Http, "localhost", 35729, "/livereload.js")],
+        ),
+    ];
+    let counts = report::reason_counts(&sites);
+    assert_eq!(counts[&ReasonClass::FraudDetection], 2);
+    assert_eq!(counts[&ReasonClass::DeveloperError], 1);
+}
+
+#[test]
+fn activity_diff_partitions() {
+    let y2020 = vec![tm_site("stay.example", 1), tm_site("stop.example", 2)];
+    let y2021 = vec![tm_site("stay.example", 1), tm_site("new.example", 3)];
+    let diff = report::activity_diff(&y2020, &y2021);
+    assert_eq!(diff.carried, vec!["stay.example"]);
+    assert_eq!(diff.new, vec!["new.example"]);
+    assert_eq!(diff.stopped, vec!["stop.example"]);
+}
+
+#[test]
+fn empty_inputs_render_headers_only() {
+    let (text, rows) = report::localhost_table(&[]);
+    assert!(rows.is_empty());
+    assert_eq!(text.lines().count(), 2, "header + rule");
+    let (text, rows) = report::lan_table(&[]);
+    assert!(rows.is_empty());
+    assert_eq!(text.lines().count(), 2);
+}

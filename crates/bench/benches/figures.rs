@@ -1,0 +1,62 @@
+//! One Criterion target per figure of the paper (F2–F9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kt_bench::bench_study;
+use std::hint::black_box;
+
+fn bench_figure(c: &mut Criterion, id: &'static str, name: &str) {
+    let study = bench_study();
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            let text = study.experiment(black_box(id)).expect("known id");
+            black_box(text.len())
+        })
+    });
+}
+
+fn bench_f2_os_venn(c: &mut Criterion) {
+    bench_figure(c, "F2", "bench_f2_os_venn");
+}
+
+fn bench_f3_rank_cdf_2020(c: &mut Criterion) {
+    bench_figure(c, "F3", "bench_f3_rank_cdf_2020");
+}
+
+fn bench_f4_port_rings(c: &mut Criterion) {
+    bench_figure(c, "F4", "bench_f4_port_rings");
+}
+
+fn bench_f5_timing_2020(c: &mut Criterion) {
+    bench_figure(c, "F5", "bench_f5_timing_2020");
+}
+
+fn bench_f6_timing_2021(c: &mut Criterion) {
+    bench_figure(c, "F6", "bench_f6_timing_2021");
+}
+
+fn bench_f7_timing_malicious(c: &mut Criterion) {
+    bench_figure(c, "F7", "bench_f7_timing_malicious");
+}
+
+fn bench_f8_port_rings_2021(c: &mut Criterion) {
+    bench_figure(c, "F8", "bench_f8_port_rings_2021");
+}
+
+fn bench_f9_rank_cdf_2021(c: &mut Criterion) {
+    bench_figure(c, "F9", "bench_f9_rank_cdf_2021");
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_f2_os_venn,
+        bench_f3_rank_cdf_2020,
+        bench_f4_port_rings,
+        bench_f5_timing_2020,
+        bench_f6_timing_2021,
+        bench_f7_timing_malicious,
+        bench_f8_port_rings_2021,
+        bench_f9_rank_cdf_2021
+);
+criterion_main!(figures);

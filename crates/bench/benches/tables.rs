@@ -1,0 +1,79 @@
+//! One Criterion target per table of the paper (T1–T11): each bench
+//! regenerates the artefact from stored telemetry, so the numbers
+//! measure the analysis path a real deployment would run repeatedly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kt_bench::bench_study;
+use std::hint::black_box;
+
+fn bench_table(c: &mut Criterion, id: &'static str, name: &str) {
+    let study = bench_study();
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            let text = study.experiment(black_box(id)).expect("known id");
+            black_box(text.len())
+        })
+    });
+}
+
+fn bench_t1_crawl_stats(c: &mut Criterion) {
+    bench_table(c, "T1", "bench_t1_crawl_stats");
+}
+
+fn bench_t2_malicious_summary(c: &mut Criterion) {
+    bench_table(c, "T2", "bench_t2_malicious_summary");
+}
+
+fn bench_t3_top_domains(c: &mut Criterion) {
+    bench_table(c, "T3", "bench_t3_top_domains");
+}
+
+fn bench_t4_port_registry(c: &mut Criterion) {
+    bench_table(c, "T4", "bench_t4_port_registry");
+}
+
+fn bench_t5_localhost_2020(c: &mut Criterion) {
+    bench_table(c, "T5", "bench_t5_localhost_2020");
+}
+
+fn bench_t6_lan_2020(c: &mut Criterion) {
+    bench_table(c, "T6", "bench_t6_lan_2020");
+}
+
+fn bench_t7_localhost_2021(c: &mut Criterion) {
+    bench_table(c, "T7", "bench_t7_localhost_2021");
+}
+
+fn bench_t8_malicious_localhost(c: &mut Criterion) {
+    bench_table(c, "T8", "bench_t8_malicious_localhost");
+}
+
+fn bench_t9_malicious_lan(c: &mut Criterion) {
+    bench_table(c, "T9", "bench_t9_malicious_lan");
+}
+
+fn bench_t10_lan_2021(c: &mut Criterion) {
+    bench_table(c, "T10", "bench_t10_lan_2021");
+}
+
+fn bench_t11_dev_errors(c: &mut Criterion) {
+    bench_table(c, "T11", "bench_t11_dev_errors");
+}
+
+criterion_group!(
+    name = tables;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_t1_crawl_stats,
+        bench_t2_malicious_summary,
+        bench_t3_top_domains,
+        bench_t4_port_registry,
+        bench_t5_localhost_2020,
+        bench_t6_lan_2020,
+        bench_t7_localhost_2021,
+        bench_t8_malicious_localhost,
+        bench_t9_malicious_lan,
+        bench_t10_lan_2021,
+        bench_t11_dev_errors
+);
+criterion_main!(tables);

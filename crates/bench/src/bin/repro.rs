@@ -1,0 +1,79 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run --release -p kt-bench --bin repro            # standard scale
+//! KT_SCALE=quick    cargo run --release -p kt-bench --bin repro
+//! KT_SCALE=paper    cargo run --release -p kt-bench --bin repro   # full 100K
+//! KT_SEED=123       cargo run --release -p kt-bench --bin repro
+//! ```
+//!
+//! Output: each experiment id (T1–T11, F2–F9) followed by the
+//! regenerated artefact. EXPERIMENTS.md pairs this output with the
+//! paper's published values.
+
+use std::time::Instant;
+
+use knock_talk::{Study, StudyConfig};
+
+fn main() {
+    let seed: u64 = std::env::var("KT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x00C0_FFEE);
+    let scale = std::env::var("KT_SCALE").unwrap_or_else(|_| "standard".to_string());
+    let config = match scale.as_str() {
+        "quick" => StudyConfig::quick(seed),
+        "paper" => StudyConfig::paper(seed),
+        _ => StudyConfig::standard(seed),
+    };
+    eprintln!(
+        "scale={scale} seed={seed}: top list {} sites, blocklist {} URLs",
+        config.population.top_size, config.population.malicious_size
+    );
+
+    let t0 = Instant::now();
+    let study = Study::run(config);
+    eprintln!(
+        "crawled {} visits in {:.1}s ({} bytes of telemetry)",
+        study.store.len(),
+        t0.elapsed().as_secs_f64(),
+        study.store.byte_size()
+    );
+
+    let titles: &[(&str, &str)] = &[
+        ("T1", "Table 1 — web crawl statistics"),
+        ("T2", "Table 2 — malicious crawl summary"),
+        ("T3", "Table 3 — top localhost-active domains (2020)"),
+        ("T4", "Table 4 — scanned localhost ports: services and use cases"),
+        ("T5", "Table 5 — 2020 localhost requests by reason"),
+        ("T6", "Table 6 — 2020 LAN requests"),
+        ("T7", "Table 7 — localhost requests new in 2021"),
+        ("T8", "Table 8 — malicious localhost requests"),
+        ("T9", "Table 9 — malicious LAN requests"),
+        ("T10", "Table 10 — 2021 LAN requests"),
+        ("T11", "Table 11 — 2020 developer-error localhost requests"),
+        ("F2", "Figure 2 — OS overlap of localhost-active sites"),
+        ("F3", "Figure 3 — rank CDFs of localhost-active sites (2020)"),
+        ("F4", "Figure 4 — protocols and ports of localhost requests (2020)"),
+        ("F5", "Figure 5 — time to first local request (2020)"),
+        ("F6", "Figure 6 — time to first local request (2021)"),
+        ("F7", "Figure 7 — time to first local request (malicious)"),
+        ("F8", "Figure 8 — protocols and ports of localhost requests (2021)"),
+        ("F9", "Figure 9 — rank CDFs of localhost-active sites (2021)"),
+        ("X1", "Extension X1 — Private Network Access impact (§5.3)"),
+        ("X2", "Extension X2 — developer-error breakdown (Appendix B)"),
+        ("X3", "Extension X3 — fingerprinting entropy (§5.2)"),
+        ("X4", "Extension X4 — 2020→2021 behaviour transitions (§4.1)"),
+        ("X5", "Extension X5 — deep crawl of internal pages (§3.3)"),
+    ];
+    for (id, title) in titles {
+        println!("\n=============================================================");
+        println!("[{id}] {title}");
+        println!("=============================================================");
+        match study.experiment(id) {
+            Some(text) => println!("{text}"),
+            None => println!("(unknown experiment id)"),
+        }
+    }
+    eprintln!("done in {:.1}s total", t0.elapsed().as_secs_f64());
+}

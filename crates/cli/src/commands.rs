@@ -1,0 +1,235 @@
+//! Subcommand implementations.
+
+use knock_talk::analysis::classify::{classify_site, native_app_name};
+use knock_talk::analysis::detect::aggregate_sites;
+use knock_talk::analysis::entropy::scan_entropy;
+use knock_talk::netbase::services::{BIGIP_PORTS, THREATMETRIX_PORTS};
+use knock_talk::netbase::Os;
+use knock_talk::netlog::Capture;
+use knock_talk::store::{CrawlId, LoadOutcome, VisitRecord};
+use knock_talk::{Study, StudyConfig};
+
+use crate::args::Options;
+
+/// Print usage.
+pub fn help() {
+    println!(
+        "knocktalk — reproduce 'Knock and Talk' (IMC 2021)\n\
+         \n\
+         USAGE:\n\
+           knocktalk repro    [--scale quick|standard|paper] [--seed N] [--id T5]\n\
+           knocktalk crawl    [--os windows|linux|mac] [--scale ...] [--seed N] [--save FILE]\n\
+           knocktalk analyze  <store.ktstore>\n\
+           knocktalk classify <netlog.json> [--loaded-at MS] [--domain NAME]\n\
+           knocktalk entropy  [--machines N] [--seed N]\n\
+           knocktalk help\n\
+         \n\
+         COMMANDS:\n\
+           repro     regenerate the paper's tables and figures (all, or one --id)\n\
+           crawl     run one campaign on one OS and print Table-1 statistics\n\
+           analyze   load a saved telemetry snapshot and report local activity\n\
+           classify  analyse a Chrome NetLog JSON capture for local traffic\n\
+           entropy   measure the fingerprinting entropy of the observed scans"
+    );
+}
+
+fn study_config(opts: &Options) -> Result<StudyConfig, String> {
+    let seed = opts.get_u64("seed", 0x00C0_FFEE)?;
+    Ok(match opts.get("scale").unwrap_or("quick") {
+        "quick" => StudyConfig::quick(seed),
+        "standard" => StudyConfig::standard(seed),
+        "paper" => StudyConfig::paper(seed),
+        other => return Err(format!("unknown --scale {other:?}")),
+    })
+}
+
+/// `knocktalk repro`.
+pub fn repro(opts: &Options) -> Result<(), String> {
+    let study = Study::run(study_config(opts)?);
+    match opts.get("id") {
+        Some(id) => {
+            let text = study
+                .experiment(id)
+                .ok_or_else(|| format!("unknown experiment id {id:?}"))?;
+            println!("{text}");
+        }
+        None => {
+            for (id, text) in study.all_experiments() {
+                println!("=== [{id}] ===\n{text}");
+            }
+            for id in knock_talk::experiments::EXTENDED_IDS {
+                if let Some(text) = study.experiment(id) {
+                    println!("=== [{id}] (extension) ===\n{text}");
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_os(s: &str) -> Result<Os, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "windows" | "w" => Ok(Os::Windows),
+        "linux" | "l" => Ok(Os::Linux),
+        "mac" | "macos" | "m" => Ok(Os::MacOs),
+        other => Err(format!("unknown --os {other:?}")),
+    }
+}
+
+/// `knocktalk crawl`.
+pub fn crawl(opts: &Options) -> Result<(), String> {
+    use knock_talk::crawler::{run_crawl, CrawlConfig, CrawlJob};
+    use knock_talk::store::TelemetryStore;
+    use knock_talk::webgen::WebPopulation;
+
+    let config = study_config(opts)?;
+    let os = parse_os(opts.get("os").unwrap_or("linux"))?;
+    let population = WebPopulation::generate(config.population);
+    let jobs: Vec<CrawlJob> = population
+        .sites2020
+        .iter()
+        .map(|site| CrawlJob {
+            site,
+            malicious_category: None,
+        })
+        .collect();
+    let store = TelemetryStore::new();
+    let crawl_config = CrawlConfig::paper(CrawlId::top2020(), os, config.population.seed);
+    let stats = run_crawl(&jobs, &crawl_config, &store);
+    println!(
+        "crawled {} pages on {}: {} ok ({:.1}%), {} failed",
+        stats.attempted,
+        os.name(),
+        stats.successful,
+        stats.success_rate() * 100.0,
+        stats.failed()
+    );
+    for (name, count) in stats.table1_errors() {
+        println!("  {name:<18} {count}");
+    }
+    let records = store.crawl_records(&CrawlId::top2020());
+    let sites = aggregate_sites(&records);
+    println!(
+        "locally-active sites: {} localhost, {} LAN",
+        sites.iter().filter(|s| s.has_localhost()).count(),
+        sites.iter().filter(|s| s.has_lan()).count()
+    );
+    if let Some(path) = opts.get("save") {
+        let n = knock_talk::store::save(&store, std::path::Path::new(path))
+            .map_err(|e| e.to_string())?;
+        println!("saved {n} visit records to {path}");
+    }
+    Ok(())
+}
+
+/// `knocktalk analyze <store.ktstore>`.
+pub fn analyze(opts: &Options) -> Result<(), String> {
+    let path = opts
+        .positional()
+        .first()
+        .ok_or("analyze needs a snapshot file path")?;
+    let report = knock_talk::store::load(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+    if report.truncated || report.corrupt > 0 {
+        eprintln!(
+            "note: loaded {} records ({} corrupt skipped, truncated: {})",
+            report.loaded, report.corrupt, report.truncated
+        );
+    }
+    let records = report.store.scan_all().map_err(|e| format!("{e}"))?;
+    let sites = aggregate_sites(&records);
+    let active: Vec<_> = sites
+        .iter()
+        .filter(|s| s.has_localhost() || s.has_lan())
+        .collect();
+    println!(
+        "{} visits, {} locally-active sites:",
+        records.len(),
+        active.len()
+    );
+    for site in active {
+        println!(
+            "  {:<40} {:<20} localhost on {}, LAN on {}",
+            site.domain,
+            classify_site(site).label(),
+            site.localhost_os,
+            site.lan_os
+        );
+    }
+    Ok(())
+}
+
+/// `knocktalk classify <netlog.json>`.
+pub fn classify(opts: &Options) -> Result<(), String> {
+    let path = opts
+        .positional()
+        .first()
+        .ok_or("classify needs a capture file path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let capture = Capture::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    if capture.truncated {
+        eprintln!(
+            "note: capture was truncated; recovered {} events ({} skipped)",
+            capture.len(),
+            capture.skipped
+        );
+    }
+    let record = VisitRecord {
+        crawl: CrawlId(("cli").to_string()),
+        domain: opts.get("domain").unwrap_or("capture").to_string(),
+        rank: None,
+        malicious_category: None,
+        os: parse_os(opts.get("os").unwrap_or("linux"))?,
+        outcome: LoadOutcome::Success,
+        loaded_at_ms: opts.get_u64("loaded-at", 0)?,
+        events: capture.events,
+    };
+    let sites = aggregate_sites(std::slice::from_ref(&record));
+    if sites.is_empty() {
+        println!("no locally-destined requests found");
+        return Ok(());
+    }
+    for site in &sites {
+        let app = native_app_name(site)
+            .map(|n| format!(" ({n})"))
+            .unwrap_or_default();
+        println!(
+            "{}: {} local request(s), class: {}{app}",
+            site.domain,
+            site.observations.len(),
+            classify_site(site).label()
+        );
+        for obs in &site.observations {
+            println!(
+                "  t={:>6}ms  {:<6} {:<40} [{}{}]",
+                obs.time_ms,
+                obs.scheme.to_string(),
+                obs.url.to_string(),
+                obs.locality.label(),
+                if obs.via_redirect { ", via redirect" } else { "" },
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `knocktalk entropy`.
+pub fn entropy(opts: &Options) -> Result<(), String> {
+    let machines = opts.get_u64("machines", 1_000)? as usize;
+    let seed = opts.get_u64("seed", 0xF1)?;
+    println!("fingerprinting entropy over {machines} simulated machines:");
+    for (label, ports) in [
+        ("ThreatMetrix", THREATMETRIX_PORTS.as_slice()),
+        ("BIG-IP ASM", BIGIP_PORTS.as_slice()),
+    ] {
+        for os in Os::ALL {
+            let r = scan_entropy(os, ports, machines, seed);
+            println!(
+                "  {label:<14} {:<8} {:.2} bits, {} distinct profiles",
+                os.name(),
+                r.shannon_bits,
+                r.distinct
+            );
+        }
+    }
+    Ok(())
+}

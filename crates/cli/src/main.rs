@@ -1,0 +1,56 @@
+//! `knocktalk` — the command-line interface.
+//!
+//! ```text
+//! knocktalk repro    [--scale quick|standard|paper] [--seed N] [--id T5]
+//! knocktalk crawl    [--os windows|linux|mac] [--scale ...] [--seed N] [--save FILE]
+//! knocktalk analyze  <store.ktstore>
+//! knocktalk classify <netlog.json> [--loaded-at MS]
+//! knocktalk entropy  [--machines N] [--seed N]
+//! knocktalk help
+//! ```
+//!
+//! `classify` is the downstream-facing subcommand: point it at a JSON
+//! capture from `chrome://net-export` (or from this library) and it
+//! prints every locally-destined request plus the behaviour class the
+//! site's traffic matches — the paper's §4 analysis, one file at a
+//! time. Argument parsing is hand-rolled (the workspace's dependency
+//! policy keeps the tree small).
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        commands::help();
+        return ExitCode::SUCCESS;
+    };
+    let opts = match args::Options::parse(rest) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "repro" => commands::repro(&opts),
+        "crawl" => commands::crawl(&opts),
+        "analyze" => commands::analyze(&opts),
+        "classify" => commands::classify(&opts),
+        "entropy" => commands::entropy(&opts),
+        "help" | "--help" | "-h" => {
+            commands::help();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `knocktalk help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # knock-talk
+//!
+//! A Rust reproduction of *"Knock and Talk: Investigating Local
+//! Network Communications on Websites"* (Kuchhal & Li, IMC 2021).
+//!
+//! The crate wires the workspace together behind one facade:
+//!
+//! ```no_run
+//! use knock_talk::{Study, StudyConfig};
+//!
+//! let study = Study::run(StudyConfig::quick(42));
+//! println!("{}", study.experiment("T5").unwrap());
+//! ```
+//!
+//! * [`Study`] — generate the synthetic web, run all eight crawls
+//!   (top-100K 2020 on three OSes, top-100K 2021 on two, malicious on
+//!   three), store telemetry, and expose analysis views;
+//! * [`experiments`] — one regeneration function per table and figure
+//!   of the paper (T1–T11, F2–F9), each returning rendered text.
+//!
+//! Everything below the facade is public too: `kt-netbase` (URLs, IP
+//! locality, Same-Origin Policy), `kt-netlog` (Chrome NetLog model),
+//! `kt-simnet` (simulated internet), `kt-weblists`/`kt-webgen`
+//! (populations), `kt-browser` (the instrumented browser),
+//! `kt-crawler` (orchestration), `kt-store` (telemetry store) and
+//! `kt-analysis` (detection, classification, reports).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod study;
+
+pub use study::{Study, StudyConfig};
+
+pub use kt_analysis as analysis;
+pub use kt_browser as browser;
+pub use kt_crawler as crawler;
+pub use kt_netbase as netbase;
+pub use kt_netlog as netlog;
+pub use kt_simnet as simnet;
+pub use kt_store as store;
+pub use kt_webgen as webgen;
+pub use kt_weblists as weblists;

@@ -1,0 +1,187 @@
+//! The full study: population → eight crawls → telemetry → analysis.
+
+use std::collections::BTreeMap;
+
+use kt_analysis::detect::{aggregate_sites, SiteLocalActivity};
+use kt_crawler::{run_crawl, CrawlConfig, CrawlJob, CrawlStats};
+use kt_netbase::Os;
+use kt_store::{CrawlId, TelemetryStore};
+use kt_webgen::{PopulationConfig, WebPopulation};
+
+/// Study configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudyConfig {
+    /// Population parameters (scale + seed).
+    pub population: PopulationConfig,
+    /// Crawl worker threads.
+    pub workers: usize,
+}
+
+impl StudyConfig {
+    /// Full paper scale (100K top list, ~145K malicious). Heavy:
+    /// nearly a million simulated page visits.
+    pub fn paper(seed: u64) -> StudyConfig {
+        StudyConfig {
+            population: PopulationConfig::paper_scale(seed),
+            workers: 8,
+        }
+    }
+
+    /// A fast configuration for examples and tests: every behaviour is
+    /// planted at full count, but the quiet background population is
+    /// smaller.
+    pub fn quick(seed: u64) -> StudyConfig {
+        StudyConfig {
+            population: PopulationConfig::test_scale(seed),
+            workers: 4,
+        }
+    }
+
+    /// A mid-size configuration: large enough for the rate statistics
+    /// of Tables 1–2 to stabilise, small enough to run in seconds.
+    pub fn standard(seed: u64) -> StudyConfig {
+        StudyConfig {
+            population: PopulationConfig {
+                seed,
+                top_size: 10_000,
+                malicious_size: 14_500,
+            },
+            workers: 8,
+        }
+    }
+}
+
+/// The paper's crawl campaigns: (crawl id, OSes crawled).
+pub fn campaigns() -> Vec<(CrawlId, Vec<Os>)> {
+    vec![
+        (CrawlId::top2020(), vec![Os::Windows, Os::Linux, Os::MacOs]),
+        // Logistics prevented the 2021 Mac crawl (§3.2, fn. 3).
+        (CrawlId::top2021(), vec![Os::Windows, Os::Linux]),
+        (CrawlId::malicious(), vec![Os::Windows, Os::Linux, Os::MacOs]),
+    ]
+}
+
+/// A completed study.
+pub struct Study {
+    /// Configuration used.
+    pub config: StudyConfig,
+    /// The generated populations.
+    pub population: WebPopulation,
+    /// All telemetry.
+    pub store: TelemetryStore,
+    /// Per-(crawl, OS) crawl statistics.
+    pub stats: BTreeMap<(String, Os), CrawlStats>,
+}
+
+impl Study {
+    /// Generate the population and run every campaign.
+    pub fn run(config: StudyConfig) -> Study {
+        let population = WebPopulation::generate(config.population);
+        let store = TelemetryStore::new();
+        let mut stats = BTreeMap::new();
+        let seed = config.population.seed;
+        for (crawl, oses) in campaigns() {
+            let jobs: Vec<CrawlJob<'_>> = match crawl.as_str() {
+                "top2020" => population
+                    .sites2020
+                    .iter()
+                    .map(|site| CrawlJob {
+                        site,
+                        malicious_category: None,
+                    })
+                    .collect(),
+                "top2021" => population
+                    .sites2021
+                    .iter()
+                    .map(|site| CrawlJob {
+                        site,
+                        malicious_category: None,
+                    })
+                    .collect(),
+                _ => population
+                    .malicious_sites
+                    .iter()
+                    .zip(&population.blocklist.entries)
+                    .map(|(site, entry)| CrawlJob {
+                        site,
+                        malicious_category: Some(kt_analysis::report::category_code(
+                            entry.category,
+                        )),
+                    })
+                    .collect(),
+            };
+            for os in oses {
+                let mut cfg = CrawlConfig::paper(crawl.clone(), os, seed);
+                cfg.workers = config.workers;
+                let s = run_crawl(&jobs, &cfg, &store);
+                stats.insert((crawl.as_str().to_string(), os), s);
+            }
+        }
+        Study {
+            config,
+            population,
+            store,
+            stats,
+        }
+    }
+
+    /// Per-site local activity for one crawl (all OSes merged).
+    pub fn activities(&self, crawl: &CrawlId) -> Vec<SiteLocalActivity> {
+        let records = self.store.crawl_records(crawl);
+        aggregate_sites(&records)
+    }
+
+    /// Crawl stats for one (crawl, OS).
+    pub fn stats_for(&self, crawl: &CrawlId, os: Os) -> Option<&CrawlStats> {
+        self.stats.get(&(crawl.as_str().to_string(), os))
+    }
+
+    /// Run one named experiment (`"T1"`–`"T11"`, `"F2"`–`"F9"`).
+    pub fn experiment(&self, id: &str) -> Option<String> {
+        crate::experiments::run(self, id)
+    }
+
+    /// Every experiment, in paper order: `(id, rendered text)`.
+    pub fn all_experiments(&self) -> Vec<(&'static str, String)> {
+        crate::experiments::ALL_IDS
+            .iter()
+            .map(|id| (*id, crate::experiments::run(self, id).expect("known id")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_study_runs_every_campaign() {
+        let study = Study::run(StudyConfig::quick(7));
+        // 3 + 2 + 3 campaign/OS pairs.
+        assert_eq!(study.stats.len(), 8);
+        // Telemetry for each (site, crawl, os) triple.
+        let expected = study.population.sites2020.len() * 3
+            + study.population.sites2021.len() * 2
+            + study.population.malicious_sites.len() * 3;
+        assert_eq!(study.store.len(), expected);
+    }
+
+    #[test]
+    fn activities_recover_planted_sites_2020() {
+        let study = Study::run(StudyConfig::quick(7));
+        let sites = study.activities(&CrawlId::top2020());
+        let localhost = sites.iter().filter(|s| s.has_localhost()).count();
+        let lan = sites.iter().filter(|s| s.has_lan()).count();
+        assert_eq!(localhost, 107, "the paper's 107 localhost sites");
+        assert_eq!(lan, 9, "the paper's 9 LAN sites");
+    }
+
+    #[test]
+    fn no_mac_records_for_2021() {
+        let study = Study::run(StudyConfig::quick(7));
+        let records = study.store.crawl_records(&CrawlId::top2021());
+        assert!(records.iter().all(|r| r.os != Os::MacOs));
+        assert!(study.stats_for(&CrawlId::top2021(), Os::MacOs).is_none());
+        assert!(study.stats_for(&CrawlId::top2021(), Os::Windows).is_some());
+    }
+}

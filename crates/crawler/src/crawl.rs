@@ -1,0 +1,248 @@
+//! The crawl loop: worker pool over a site population.
+//!
+//! Each worker owns its own [`World`] (its own DNS cache and latency
+//! stream, like a separate VM) built over its chunk of sites, performs
+//! the paper's connectivity pre-check before every visit, runs the
+//! browser, and appends the visit record to the shared store.
+//! Determinism holds across worker counts because every sampled value
+//! is keyed by site identity, not by visit order.
+
+use kt_netbase::Os;
+use kt_simnet::connectivity::{ConnectivityChecker, Outage};
+use kt_browser::{Browser, BrowserConfig, PageLoadOutcome, World};
+use kt_store::{CrawlId, LoadOutcome, TelemetryStore, VisitRecord};
+use kt_webgen::WebSite;
+use parking_lot::Mutex;
+
+use crate::stats::CrawlStats;
+
+/// One crawl work item.
+#[derive(Debug, Clone)]
+pub struct CrawlJob<'a> {
+    /// The site to visit.
+    pub site: &'a WebSite,
+    /// Blocklist category code for malicious crawls (0 = malware,
+    /// 1 = abuse, 2 = phishing).
+    pub malicious_category: Option<u8>,
+}
+
+/// Crawl configuration.
+#[derive(Debug, Clone)]
+pub struct CrawlConfig {
+    /// Campaign identifier (keys the store).
+    pub crawl: CrawlId,
+    /// The crawling OS.
+    pub os: Os,
+    /// Run seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub workers: usize,
+    /// Observation window per page, ms.
+    pub window_ms: u64,
+    /// Measurement-side network outages to simulate (none in the
+    /// paper's crawls; used by failure-injection tests).
+    pub outages: Vec<Outage>,
+    /// Deep-crawl mode: also visit internal pages (§3.3 extension).
+    pub crawl_internal: bool,
+}
+
+impl CrawlConfig {
+    /// The paper's configuration for one campaign and OS.
+    pub fn paper(crawl: CrawlId, os: Os, seed: u64) -> CrawlConfig {
+        CrawlConfig {
+            crawl,
+            os,
+            seed,
+            workers: 4,
+            window_ms: 20_000,
+            outages: Vec::new(),
+            crawl_internal: false,
+        }
+    }
+}
+
+/// Wall-clock cost of one visit: the 20 s window plus startup/teardown
+/// overhead for the fresh incognito instance.
+const VISIT_WALL_MS: u64 = 21_000;
+
+/// Run one crawl campaign over `jobs`, appending to `store`.
+pub fn run_crawl(jobs: &[CrawlJob<'_>], config: &CrawlConfig, store: &TelemetryStore) -> CrawlStats {
+    let workers = config.workers.max(1).min(jobs.len().max(1));
+    let chunk_size = jobs.len().div_ceil(workers);
+    let total = Mutex::new(CrawlStats::new());
+    crossbeam::thread::scope(|scope| {
+        for (w, chunk) in jobs.chunks(chunk_size.max(1)).enumerate() {
+            let total = &total;
+            let config = config.clone();
+            scope.spawn(move |_| {
+                let stats = crawl_chunk(chunk, &config, store, w as u64);
+                total.lock().merge(&stats);
+            });
+        }
+    })
+    .expect("crawl workers never panic");
+    total.into_inner()
+}
+
+/// One worker's loop.
+fn crawl_chunk(
+    jobs: &[CrawlJob<'_>],
+    config: &CrawlConfig,
+    store: &TelemetryStore,
+    worker_id: u64,
+) -> CrawlStats {
+    let sites: Vec<WebSite> = jobs.iter().map(|j| j.site.clone()).collect();
+    let mut world = World::build(&sites, config.os, config.seed);
+    let mut checker = ConnectivityChecker::with_outages(config.outages.clone());
+    let mut stats = CrawlStats::new();
+    let mut wall_ms: u64 = worker_id; // stagger workers trivially
+    for job in jobs {
+        // §3.1: ping 8.8.8.8 before each visit; wait out any outage so
+        // measurement-side network problems never masquerade as
+        // website failures.
+        while !checker.ping(wall_ms) {
+            stats.connectivity_retries += 1;
+            wall_ms = checker.next_online(wall_ms);
+        }
+        let mut browser = Browser::new(
+            &mut world,
+            BrowserConfig {
+                os: config.os,
+                window_ms: config.window_ms,
+                safe_browsing: false,
+                incognito: true,
+                pna: kt_browser::PnaMode::Off,
+                crawl_internal: config.crawl_internal,
+            },
+            config.seed,
+        );
+        let result = browser.visit(job.site);
+        let (outcome, loaded_at) = match result.outcome {
+            PageLoadOutcome::Loaded { at_ms } => (LoadOutcome::Success, at_ms),
+            PageLoadOutcome::Failed(err) => (LoadOutcome::Error(err), 0),
+        };
+        match outcome {
+            LoadOutcome::Success => stats.record_success(),
+            LoadOutcome::Error(err) => stats.record_failure(err),
+        }
+        store.append(&VisitRecord {
+            crawl: config.crawl.clone(),
+            domain: result.domain,
+            rank: job.site.rank,
+            malicious_category: job.malicious_category,
+            os: config.os,
+            outcome,
+            loaded_at_ms: loaded_at,
+            events: result.capture.events,
+        });
+        wall_ms += VISIT_WALL_MS;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kt_netbase::DomainName;
+    use kt_netlog::NetError;
+    use kt_webgen::{Availability, WebSite};
+
+    fn sites(n: usize) -> Vec<WebSite> {
+        (0..n)
+            .map(|i| {
+                let mut s = WebSite::plain(
+                    DomainName::parse(&format!("site{i}.example")).unwrap(),
+                    Some(i as u32 + 1),
+                    3,
+                );
+                if i % 10 == 9 {
+                    s.set_availability_all(Availability::NxDomain);
+                }
+                s
+            })
+            .collect()
+    }
+
+    fn jobs(sites: &[WebSite]) -> Vec<CrawlJob<'_>> {
+        sites
+            .iter()
+            .map(|site| CrawlJob {
+                site,
+                malicious_category: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn crawl_visits_every_site() {
+        let population = sites(40);
+        let store = TelemetryStore::new();
+        let config = CrawlConfig::paper(CrawlId::top2020(), Os::Linux, 5);
+        let stats = run_crawl(&jobs(&population), &config, &store);
+        assert_eq!(stats.attempted, 40);
+        assert_eq!(stats.failed(), 4, "every 10th site is NXDOMAIN");
+        assert_eq!(store.len(), 40);
+        assert_eq!(stats.failure_count(NetError::NameNotResolved), 4);
+    }
+
+    #[test]
+    fn stats_are_stable_across_worker_counts() {
+        let population = sites(30);
+        let mut baseline = None;
+        for workers in [1, 2, 4, 8] {
+            let store = TelemetryStore::new();
+            let mut config = CrawlConfig::paper(CrawlId::top2020(), Os::Windows, 5);
+            config.workers = workers;
+            let stats = run_crawl(&jobs(&population), &config, &store);
+            match &baseline {
+                None => baseline = Some(stats),
+                Some(b) => {
+                    assert_eq!(&stats.attempted, &b.attempted, "workers={workers}");
+                    assert_eq!(&stats.failures, &b.failures, "workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn records_are_keyed_by_crawl_and_os() {
+        let population = sites(5);
+        let store = TelemetryStore::new();
+        for os in [Os::Windows, Os::Linux] {
+            let config = CrawlConfig::paper(CrawlId::top2020(), os, 5);
+            run_crawl(&jobs(&population), &config, &store);
+        }
+        assert_eq!(store.len(), 10);
+        assert!(store
+            .get(&CrawlId::top2020(), "site0.example", Os::Windows)
+            .is_some());
+        assert!(store
+            .get(&CrawlId::top2020(), "site0.example", Os::MacOs)
+            .is_none());
+    }
+
+    #[test]
+    fn outages_delay_but_do_not_fail() {
+        let population = sites(10);
+        let store = TelemetryStore::new();
+        let mut config = CrawlConfig::paper(CrawlId::top2020(), Os::Linux, 5);
+        config.workers = 1;
+        config.outages = vec![Outage {
+            start: 0,
+            end: 50_000,
+        }];
+        let stats = run_crawl(&jobs(&population), &config, &store);
+        assert!(stats.connectivity_retries > 0);
+        assert_eq!(stats.attempted, 10, "every site still crawled");
+        assert_eq!(stats.failed(), 1, "only the genuine NXDOMAIN fails");
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let store = TelemetryStore::new();
+        let config = CrawlConfig::paper(CrawlId::top2020(), Os::Linux, 5);
+        let stats = run_crawl(&[], &config, &store);
+        assert_eq!(stats.attempted, 0);
+        assert!(store.is_empty());
+    }
+}

@@ -1,0 +1,22 @@
+//! # kt-crawler
+//!
+//! Crawl orchestration, mirroring §3.1's measurement procedure:
+//!
+//! * a [`vantage::CrawlVantage`] describes one (OS, network) crawl
+//!   configuration — Windows/Linux VMs at Georgia Tech, a MacBook on
+//!   residential Comcast;
+//! * [`crawl::run_crawl`] drives a worker pool (crossbeam scoped
+//!   threads) over a site population: connectivity pre-check (ping
+//!   8.8.8.8), visit, parse, store;
+//! * [`stats::CrawlStats`] accumulates the Table 1 numbers: successful
+//!   and failed loads with the error-type breakdown.
+
+#![warn(missing_docs)]
+
+pub mod crawl;
+pub mod stats;
+pub mod vantage;
+
+pub use crawl::{run_crawl, CrawlConfig, CrawlJob};
+pub use stats::CrawlStats;
+pub use vantage::{CrawlVantage, NetworkVantage};

@@ -1,0 +1,136 @@
+//! Crawl statistics: the raw material of Table 1.
+
+use std::collections::BTreeMap;
+
+use kt_netlog::NetError;
+use serde::{Deserialize, Serialize};
+
+/// Accumulated load outcomes for one crawl.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrawlStats {
+    /// Pages attempted.
+    pub attempted: usize,
+    /// Pages loaded successfully.
+    pub successful: usize,
+    /// Failed loads by net error.
+    pub failures: BTreeMap<NetError, usize>,
+    /// Connectivity-check retries performed (network outages on the
+    /// measurement side delay the crawl instead of polluting stats).
+    pub connectivity_retries: usize,
+}
+
+impl CrawlStats {
+    /// An empty tally.
+    pub fn new() -> CrawlStats {
+        CrawlStats::default()
+    }
+
+    /// Record a successful load.
+    pub fn record_success(&mut self) {
+        self.attempted += 1;
+        self.successful += 1;
+    }
+
+    /// Record a failed load.
+    pub fn record_failure(&mut self, err: NetError) {
+        self.attempted += 1;
+        *self.failures.entry(err).or_default() += 1;
+    }
+
+    /// Merge another tally into this one.
+    pub fn merge(&mut self, other: &CrawlStats) {
+        self.attempted += other.attempted;
+        self.successful += other.successful;
+        self.connectivity_retries += other.connectivity_retries;
+        for (err, n) in &other.failures {
+            *self.failures.entry(*err).or_default() += n;
+        }
+    }
+
+    /// Total failed loads.
+    pub fn failed(&self) -> usize {
+        self.attempted - self.successful
+    }
+
+    /// Success rate in [0, 1].
+    pub fn success_rate(&self) -> f64 {
+        if self.attempted == 0 {
+            0.0
+        } else {
+            self.successful as f64 / self.attempted as f64
+        }
+    }
+
+    /// Count of one failure class.
+    pub fn failure_count(&self, err: NetError) -> usize {
+        self.failures.get(&err).copied().unwrap_or(0)
+    }
+
+    /// Table 1's error columns: `NAME_NOT_RESOLVED`, `CONN_REFUSED`,
+    /// `CONN_RESET`, `CERT_CN_INVALID`, and the "Others" bucket.
+    pub fn table1_errors(&self) -> [(&'static str, usize); 5] {
+        let named = [
+            NetError::NameNotResolved,
+            NetError::ConnectionRefused,
+            NetError::ConnectionReset,
+            NetError::CertCommonNameInvalid,
+        ];
+        let others: usize = self
+            .failures
+            .iter()
+            .filter(|(err, _)| !named.contains(err))
+            .map(|(_, n)| n)
+            .sum();
+        [
+            ("NAME_NOT_RESOLVED", self.failure_count(NetError::NameNotResolved)),
+            ("CONN_REFUSED", self.failure_count(NetError::ConnectionRefused)),
+            ("CONN_RESET", self.failure_count(NetError::ConnectionReset)),
+            ("CERT_CN_INVALID", self.failure_count(NetError::CertCommonNameInvalid)),
+            ("Others", others),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tallies_and_rates() {
+        let mut s = CrawlStats::new();
+        for _ in 0..90 {
+            s.record_success();
+        }
+        for _ in 0..9 {
+            s.record_failure(NetError::NameNotResolved);
+        }
+        s.record_failure(NetError::TimedOut);
+        assert_eq!(s.attempted, 100);
+        assert_eq!(s.failed(), 10);
+        assert!((s.success_rate() - 0.9).abs() < 1e-9);
+        let errors = s.table1_errors();
+        assert_eq!(errors[0], ("NAME_NOT_RESOLVED", 9));
+        assert_eq!(errors[4], ("Others", 1));
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = CrawlStats::new();
+        a.record_success();
+        a.record_failure(NetError::ConnectionRefused);
+        let mut b = CrawlStats::new();
+        b.record_failure(NetError::ConnectionRefused);
+        b.record_failure(NetError::CertCommonNameInvalid);
+        a.merge(&b);
+        assert_eq!(a.attempted, 4);
+        assert_eq!(a.failure_count(NetError::ConnectionRefused), 2);
+        assert_eq!(a.failure_count(NetError::CertCommonNameInvalid), 1);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = CrawlStats::new();
+        assert_eq!(s.success_rate(), 0.0);
+        assert_eq!(s.failed(), 0);
+    }
+}

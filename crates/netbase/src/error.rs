@@ -1,0 +1,60 @@
+//! Parse errors for the netbase vocabulary types.
+
+use std::fmt;
+
+/// Error produced when parsing URLs, hosts, or domain names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The input was empty where a non-empty token was required.
+    Empty,
+    /// No `://` separator, or the scheme part was malformed.
+    MissingScheme,
+    /// The scheme is syntactically valid but not one we model.
+    UnknownScheme(String),
+    /// The host part is missing or malformed.
+    InvalidHost(String),
+    /// A domain label violates RFC 1035 syntax.
+    InvalidLabel(String),
+    /// The port is present but not a valid u16.
+    InvalidPort(String),
+    /// An IPv6 literal was opened with `[` but never closed.
+    UnterminatedIpv6,
+    /// The IPv4/IPv6 literal failed to parse.
+    InvalidIpLiteral(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Empty => write!(f, "empty input"),
+            ParseError::MissingScheme => write!(f, "missing or malformed scheme"),
+            ParseError::UnknownScheme(s) => write!(f, "unknown scheme: {s:?}"),
+            ParseError::InvalidHost(h) => write!(f, "invalid host: {h:?}"),
+            ParseError::InvalidLabel(l) => write!(f, "invalid domain label: {l:?}"),
+            ParseError::InvalidPort(p) => write!(f, "invalid port: {p:?}"),
+            ParseError::UnterminatedIpv6 => write!(f, "unterminated IPv6 literal"),
+            ParseError::InvalidIpLiteral(ip) => write!(f, "invalid IP literal: {ip:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ParseError::UnknownScheme("gopher".into());
+        assert!(e.to_string().contains("gopher"));
+        let e = ParseError::InvalidPort("99999".into());
+        assert!(e.to_string().contains("99999"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&ParseError::Empty);
+    }
+}

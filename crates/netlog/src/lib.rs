@@ -1,0 +1,45 @@
+//! # kt-netlog
+//!
+//! A faithful model of Chrome's NetLog — the network logging system the
+//! paper records during every page visit (§3.1, "Web Telemetry").
+//!
+//! NetLog captures are JSON documents of the shape
+//!
+//! ```json
+//! { "constants": { "logEventTypes": {"...": 1}, "logSourceType": {"...": 1},
+//!                  "logEventPhase": {"...": 0}, "netError": {"...": -105} },
+//!   "events": [ { "time": "12345", "type": 2,
+//!                 "source": {"id": 7, "type": 1},
+//!                 "phase": 1, "params": {} } ] }
+//! ```
+//!
+//! where `type`, `source.type` and `phase` are integers resolved through
+//! the `constants` tables. This crate provides:
+//!
+//! * [`event`] — typed events ([`NetLogEvent`]) with the fields the
+//!   paper enumerates: `time`, `type`, `source` (serial IDs grouping a
+//!   flow), and `phase` (`BEGIN`/`END`/`NONE`);
+//! * [`constants`] — Chrome's constant tables (event types, source
+//!   types, phases, `net_error` codes such as `ERR_NAME_NOT_RESOLVED`);
+//! * [`capture`] — reading and writing whole captures, including
+//!   recovery on truncated files (Chrome appends events incrementally,
+//!   so a crashed browser leaves a syntactically unterminated array);
+//! * [`flow`] — reconstruction of logical request flows by source ID,
+//!   which is how the analysis pipeline tells page-initiated requests
+//!   apart from browser-internal traffic;
+//! * [`logger`] — the handle a (simulated) browser uses to emit events
+//!   with serial source IDs and monotonic timestamps.
+
+#![warn(missing_docs)]
+
+pub mod capture;
+pub mod constants;
+pub mod event;
+pub mod flow;
+pub mod logger;
+
+pub use capture::{Capture, CaptureError};
+pub use constants::{EventPhase, EventType, NetError, SourceType};
+pub use event::{EventParams, NetLogEvent, SourceRef};
+pub use flow::{Flow, FlowOutcome, FlowSet};
+pub use logger::NetLogger;

@@ -1,0 +1,106 @@
+//! The pre-visit connectivity check.
+//!
+//! "Before visiting a webpage, we first check for network connectivity
+//! by pinging Google's DNS server (8.8.8.8). This ensures that we crawl
+//! a site only when the measurement infrastructure has Internet
+//! connectivity, and thus we can differentiate between website load
+//! failures and network issues on our end." (§3.1)
+//!
+//! The checker supports injected outage windows so failure-injection
+//! tests can verify that outages delay the crawl rather than polluting
+//! the error statistics.
+
+use crate::clock::SimTime;
+
+/// A closed-open outage interval on the crawl wall clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outage {
+    /// Outage start (inclusive), ms.
+    pub start: SimTime,
+    /// Outage end (exclusive), ms.
+    pub end: SimTime,
+}
+
+/// Simulated ping-based connectivity checker.
+#[derive(Debug, Clone, Default)]
+pub struct ConnectivityChecker {
+    outages: Vec<Outage>,
+    /// Pings attempted.
+    pub pings: u64,
+    /// Pings that failed (fell inside an outage).
+    pub failures: u64,
+}
+
+impl ConnectivityChecker {
+    /// A checker with no outages (the paper's crawls observed none).
+    pub fn always_online() -> ConnectivityChecker {
+        ConnectivityChecker::default()
+    }
+
+    /// A checker with the given outage schedule.
+    pub fn with_outages(mut outages: Vec<Outage>) -> ConnectivityChecker {
+        outages.sort_by_key(|o| o.start);
+        ConnectivityChecker {
+            outages,
+            pings: 0,
+            failures: 0,
+        }
+    }
+
+    /// Ping 8.8.8.8 at crawl time `now`; true means online.
+    pub fn ping(&mut self, now: SimTime) -> bool {
+        self.pings += 1;
+        let online = !self.outages.iter().any(|o| o.start <= now && now < o.end);
+        if !online {
+            self.failures += 1;
+        }
+        online
+    }
+
+    /// The earliest time ≥ `now` at which the network is back up.
+    pub fn next_online(&self, now: SimTime) -> SimTime {
+        match self.outages.iter().find(|o| o.start <= now && now < o.end) {
+            Some(o) => o.end,
+            None => now,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_online_never_fails() {
+        let mut c = ConnectivityChecker::always_online();
+        for t in [0, 1_000, 1_000_000] {
+            assert!(c.ping(t));
+        }
+        assert_eq!(c.pings, 3);
+        assert_eq!(c.failures, 0);
+    }
+
+    #[test]
+    fn outage_windows_fail_pings() {
+        let mut c = ConnectivityChecker::with_outages(vec![Outage {
+            start: 100,
+            end: 200,
+        }]);
+        assert!(c.ping(99));
+        assert!(!c.ping(100));
+        assert!(!c.ping(199));
+        assert!(c.ping(200));
+        assert_eq!(c.failures, 2);
+    }
+
+    #[test]
+    fn next_online_skips_past_outage() {
+        let c = ConnectivityChecker::with_outages(vec![
+            Outage { start: 100, end: 200 },
+            Outage { start: 500, end: 700 },
+        ]);
+        assert_eq!(c.next_online(50), 50);
+        assert_eq!(c.next_online(150), 200);
+        assert_eq!(c.next_online(600), 700);
+    }
+}

@@ -1,0 +1,122 @@
+//! Order-independent deterministic sampling.
+//!
+//! The simulation must produce identical traffic whether sites are
+//! crawled serially or across a crossbeam worker pool. Sequential RNG
+//! streams break under reordering, so all per-entity randomness is
+//! derived by *hashing* the entity's identity with the run seed:
+//! SplitMix64 over the seed and the entity's bytes. The result is a
+//! high-quality 64-bit value that is stable across runs, threads and
+//! call order.
+
+/// SplitMix64 finaliser: a fast, well-distributed 64-bit mixer.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hash a byte string with a seed into a uniform u64.
+pub fn hash_bytes(seed: u64, bytes: &[u8]) -> u64 {
+    // FNV-1a accumulate, SplitMix64 finalise per 8-byte lane.
+    let mut h = splitmix64(seed ^ 0x51ab_c0de_51ab_c0de);
+    for chunk in bytes.chunks(8) {
+        let mut lane = [0u8; 8];
+        lane[..chunk.len()].copy_from_slice(chunk);
+        h = splitmix64(h ^ u64::from_le_bytes(lane));
+    }
+    splitmix64(h ^ bytes.len() as u64)
+}
+
+/// Hash a string label with a seed.
+pub fn hash_str(seed: u64, s: &str) -> u64 {
+    hash_bytes(seed, s.as_bytes())
+}
+
+/// A uniform sample in `[0, 1)` derived from a seed and a label.
+pub fn unit(seed: u64, label: &str) -> f64 {
+    (hash_str(seed, label) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A uniform sample in `[lo, hi)` derived from a seed and a label.
+pub fn range(seed: u64, label: &str, lo: f64, hi: f64) -> f64 {
+    lo + unit(seed, label) * (hi - lo)
+}
+
+/// A Bernoulli trial with probability `p`, derived from seed + label.
+pub fn coin(seed: u64, label: &str, p: f64) -> bool {
+    unit(seed, label) < p
+}
+
+/// Pick an index in `0..n` (n > 0), derived from seed + label.
+pub fn pick(seed: u64, label: &str, n: usize) -> usize {
+    debug_assert!(n > 0);
+    (hash_str(seed, label) % n as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(hash_str(42, "ebay.com"), hash_str(42, "ebay.com"));
+        assert_eq!(unit(7, "x"), unit(7, "x"));
+    }
+
+    #[test]
+    fn sensitive_to_seed_and_label() {
+        assert_ne!(hash_str(1, "a"), hash_str(2, "a"));
+        assert_ne!(hash_str(1, "a"), hash_str(1, "b"));
+        // Length extension must matter.
+        assert_ne!(hash_bytes(1, b"ab"), hash_bytes(1, b"ab\0"));
+    }
+
+    #[test]
+    fn unit_is_in_half_open_interval() {
+        for i in 0..1000 {
+            let u = unit(99, &format!("label-{i}"));
+            assert!((0.0..1.0).contains(&u), "{u}");
+        }
+    }
+
+    #[test]
+    fn unit_is_roughly_uniform() {
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|i| unit(3, &format!("k{i}"))).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        let below_quarter = (0..n)
+            .filter(|i| unit(3, &format!("k{i}")) < 0.25)
+            .count() as f64
+            / n as f64;
+        assert!((below_quarter - 0.25).abs() < 0.02, "{below_quarter}");
+    }
+
+    #[test]
+    fn coin_respects_probability() {
+        let n = 10_000;
+        let hits = (0..n).filter(|i| coin(11, &format!("c{i}"), 0.1)).count() as f64 / n as f64;
+        assert!((hits - 0.1).abs() < 0.02, "{hits}");
+        assert!((0..100).all(|i| !coin(11, &format!("z{i}"), 0.0)));
+        assert!((0..100).all(|i| coin(11, &format!("z{i}"), 1.0)));
+    }
+
+    #[test]
+    fn pick_covers_domain() {
+        let mut seen = [false; 7];
+        for i in 0..500 {
+            seen[pick(5, &format!("p{i}"), 7)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn range_bounds() {
+        for i in 0..200 {
+            let v = range(8, &format!("r{i}"), 20.0, 200.0);
+            assert!((20.0..200.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,471 @@
+//! Compact binary codec for visit records.
+//!
+//! Layout (all integers LEB128 varints unless noted):
+//!
+//! ```text
+//! record   = magic(u16 LE = 0x4B54) version(u8 = 1)
+//!            crawl(str) domain(str) rank(opt-varint)
+//!            mal_category(opt-u8) os(u8) outcome(tag u8, err varint-i32)
+//!            loaded_at(varint) event_count(varint) event*
+//! event    = time(varint) type(u8) source_id(varint) source_type(u8)
+//!            phase(u8) params
+//! params   = tag(u8) fields…     (strings are varint-length-prefixed)
+//! str      = len(varint) utf8-bytes
+//! ```
+//!
+//! At crawl scale this matters: a JSON NetLog event averages ~180
+//! bytes; this codec stores the common events in 8–40.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use kt_netbase::Os;
+use kt_netlog::{EventParams, EventPhase, EventType, NetLogEvent, SourceRef, SourceType};
+
+use crate::record::{CrawlId, LoadOutcome, VisitRecord};
+
+/// Codec errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Unsupported version byte.
+    BadVersion(u8),
+    /// Ran out of input mid-record.
+    Truncated,
+    /// An enum tag was out of range.
+    BadTag(&'static str, u64),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "bad record magic"),
+            CodecError::BadVersion(v) => write!(f, "unsupported record version {v}"),
+            CodecError::Truncated => write!(f, "truncated record"),
+            CodecError::BadTag(what, v) => write!(f, "bad {what} tag: {v}"),
+            CodecError::BadUtf8 => write!(f, "invalid utf-8 in record string"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const MAGIC: u16 = 0x4B54; // "KT"
+const VERSION: u8 = 1;
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    let mut shift = 0;
+    loop {
+        if !buf.has_remaining() {
+            return Err(CodecError::Truncated);
+        }
+        let byte = buf.get_u8();
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(CodecError::BadTag("varint", v));
+        }
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, CodecError> {
+    let len = get_varint(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(CodecError::Truncated);
+    }
+    let bytes = buf.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8)
+}
+
+fn os_code(os: Os) -> u8 {
+    match os {
+        Os::Windows => 0,
+        Os::Linux => 1,
+        Os::MacOs => 2,
+    }
+}
+
+fn os_from(code: u8) -> Result<Os, CodecError> {
+    match code {
+        0 => Ok(Os::Windows),
+        1 => Ok(Os::Linux),
+        2 => Ok(Os::MacOs),
+        v => Err(CodecError::BadTag("os", v as u64)),
+    }
+}
+
+/// Zig-zag encoding for the signed net-error codes.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_params(buf: &mut BytesMut, params: &EventParams) {
+    match params {
+        EventParams::None => buf.put_u8(0),
+        EventParams::UrlRequestStart {
+            url,
+            method,
+            initiator,
+            load_flags,
+        } => {
+            buf.put_u8(1);
+            put_str(buf, url);
+            put_str(buf, method);
+            match initiator {
+                Some(i) => {
+                    buf.put_u8(1);
+                    put_str(buf, i);
+                }
+                None => buf.put_u8(0),
+            }
+            put_varint(buf, *load_flags as u64);
+        }
+        EventParams::Redirect { location } => {
+            buf.put_u8(2);
+            put_str(buf, location);
+        }
+        EventParams::DnsJob { host } => {
+            buf.put_u8(3);
+            put_str(buf, host);
+        }
+        EventParams::Connect { address } => {
+            buf.put_u8(4);
+            put_str(buf, address);
+        }
+        EventParams::Ssl { host } => {
+            buf.put_u8(5);
+            put_str(buf, host);
+        }
+        EventParams::ResponseHeaders { status } => {
+            buf.put_u8(6);
+            put_varint(buf, *status as u64);
+        }
+        EventParams::WebSocket { url } => {
+            buf.put_u8(7);
+            put_str(buf, url);
+        }
+        EventParams::WebSocketFrame { length } => {
+            buf.put_u8(8);
+            put_varint(buf, *length);
+        }
+        EventParams::Failed { net_error } => {
+            buf.put_u8(9);
+            put_varint(buf, zigzag(*net_error as i64));
+        }
+    }
+}
+
+fn get_params(buf: &mut Bytes) -> Result<EventParams, CodecError> {
+    if !buf.has_remaining() {
+        return Err(CodecError::Truncated);
+    }
+    match buf.get_u8() {
+        0 => Ok(EventParams::None),
+        1 => {
+            let url = get_str(buf)?;
+            let method = get_str(buf)?;
+            let initiator = if buf.has_remaining() && buf.get_u8() == 1 {
+                Some(get_str(buf)?)
+            } else {
+                None
+            };
+            let load_flags = get_varint(buf)? as u32;
+            Ok(EventParams::UrlRequestStart {
+                url,
+                method,
+                initiator,
+                load_flags,
+            })
+        }
+        2 => Ok(EventParams::Redirect {
+            location: get_str(buf)?,
+        }),
+        3 => Ok(EventParams::DnsJob {
+            host: get_str(buf)?,
+        }),
+        4 => Ok(EventParams::Connect {
+            address: get_str(buf)?,
+        }),
+        5 => Ok(EventParams::Ssl {
+            host: get_str(buf)?,
+        }),
+        6 => Ok(EventParams::ResponseHeaders {
+            status: get_varint(buf)? as u16,
+        }),
+        7 => Ok(EventParams::WebSocket {
+            url: get_str(buf)?,
+        }),
+        8 => Ok(EventParams::WebSocketFrame {
+            length: get_varint(buf)?,
+        }),
+        9 => Ok(EventParams::Failed {
+            net_error: unzigzag(get_varint(buf)?) as i32,
+        }),
+        v => Err(CodecError::BadTag("params", v as u64)),
+    }
+}
+
+/// Encode one record.
+pub fn encode(record: &VisitRecord) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + record.events.len() * 24);
+    buf.put_u16_le(MAGIC);
+    buf.put_u8(VERSION);
+    put_str(&mut buf, record.crawl.as_str());
+    put_str(&mut buf, &record.domain);
+    match record.rank {
+        Some(r) => {
+            buf.put_u8(1);
+            put_varint(&mut buf, r as u64);
+        }
+        None => buf.put_u8(0),
+    }
+    match record.malicious_category {
+        Some(c) => {
+            buf.put_u8(1);
+            buf.put_u8(c);
+        }
+        None => buf.put_u8(0),
+    }
+    buf.put_u8(os_code(record.os));
+    match record.outcome {
+        LoadOutcome::Success => buf.put_u8(0),
+        LoadOutcome::Error(err) => {
+            buf.put_u8(1);
+            put_varint(&mut buf, zigzag(err.code() as i64));
+        }
+    }
+    put_varint(&mut buf, record.loaded_at_ms);
+    put_varint(&mut buf, record.events.len() as u64);
+    for ev in &record.events {
+        put_varint(&mut buf, ev.time);
+        buf.put_u8(ev.event_type.code() as u8);
+        put_varint(&mut buf, ev.source.id);
+        buf.put_u8(ev.source.kind.code() as u8);
+        buf.put_u8(ev.phase.code() as u8);
+        put_params(&mut buf, &ev.params);
+    }
+    buf.freeze()
+}
+
+/// Decode one record.
+pub fn decode(mut buf: Bytes) -> Result<VisitRecord, CodecError> {
+    if buf.remaining() < 3 {
+        return Err(CodecError::Truncated);
+    }
+    if buf.get_u16_le() != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let crawl = CrawlId(get_str(&mut buf)?);
+    let domain = get_str(&mut buf)?;
+    let rank = if buf.has_remaining() && buf.get_u8() == 1 {
+        Some(get_varint(&mut buf)? as u32)
+    } else {
+        None
+    };
+    let malicious_category = if buf.has_remaining() && buf.get_u8() == 1 {
+        if !buf.has_remaining() {
+            return Err(CodecError::Truncated);
+        }
+        Some(buf.get_u8())
+    } else {
+        None
+    };
+    if !buf.has_remaining() {
+        return Err(CodecError::Truncated);
+    }
+    let os = os_from(buf.get_u8())?;
+    if !buf.has_remaining() {
+        return Err(CodecError::Truncated);
+    }
+    let outcome = match buf.get_u8() {
+        0 => LoadOutcome::Success,
+        1 => {
+            let code = unzigzag(get_varint(&mut buf)?) as i32;
+            let err = kt_netlog::NetError::from_code(code)
+                .ok_or(CodecError::BadTag("net_error", code as u64))?;
+            LoadOutcome::Error(err)
+        }
+        v => return Err(CodecError::BadTag("outcome", v as u64)),
+    };
+    let loaded_at_ms = get_varint(&mut buf)?;
+    let n = get_varint(&mut buf)? as usize;
+    let mut events = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let time = get_varint(&mut buf)?;
+        if buf.remaining() < 1 {
+            return Err(CodecError::Truncated);
+        }
+        let ty = buf.get_u8();
+        let event_type =
+            EventType::from_code(ty as u32).ok_or(CodecError::BadTag("event_type", ty as u64))?;
+        let id = get_varint(&mut buf)?;
+        if buf.remaining() < 2 {
+            return Err(CodecError::Truncated);
+        }
+        let st = buf.get_u8();
+        let kind =
+            SourceType::from_code(st as u32).ok_or(CodecError::BadTag("source_type", st as u64))?;
+        let ph = buf.get_u8();
+        let phase =
+            EventPhase::from_code(ph as u32).ok_or(CodecError::BadTag("phase", ph as u64))?;
+        let params = get_params(&mut buf)?;
+        events.push(NetLogEvent {
+            time,
+            event_type,
+            source: SourceRef { id, kind },
+            phase,
+            params,
+        });
+    }
+    Ok(VisitRecord {
+        crawl,
+        domain,
+        rank,
+        malicious_category,
+        os,
+        outcome,
+        loaded_at_ms,
+        events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kt_netlog::NetError;
+
+    fn sample() -> VisitRecord {
+        VisitRecord {
+            crawl: CrawlId::top2020(),
+            domain: "ebay-like.example".into(),
+            rank: Some(104),
+            malicious_category: None,
+            os: Os::Windows,
+            outcome: LoadOutcome::Success,
+            loaded_at_ms: 412,
+            events: vec![
+                NetLogEvent {
+                    time: 412,
+                    event_type: EventType::UrlRequestStartJob,
+                    source: SourceRef {
+                        id: 2,
+                        kind: SourceType::UrlRequest,
+                    },
+                    phase: EventPhase::Begin,
+                    params: EventParams::UrlRequestStart {
+                        url: "wss://localhost:3389/".into(),
+                        method: "GET".into(),
+                        initiator: Some("https://ebay-like.example".into()),
+                        load_flags: 0,
+                    },
+                },
+                NetLogEvent {
+                    time: 9_999,
+                    event_type: EventType::FailedRequest,
+                    source: SourceRef {
+                        id: 2,
+                        kind: SourceType::UrlRequest,
+                    },
+                    phase: EventPhase::None,
+                    params: EventParams::Failed { net_error: -102 },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let rec = sample();
+        let encoded = encode(&rec);
+        let decoded = decode(encoded).unwrap();
+        assert_eq!(decoded, rec);
+    }
+
+    #[test]
+    fn round_trip_error_outcome() {
+        let mut rec = sample();
+        rec.outcome = LoadOutcome::Error(NetError::NameNotResolved);
+        rec.rank = None;
+        rec.malicious_category = Some(2);
+        rec.events.clear();
+        let decoded = decode(encode(&rec)).unwrap();
+        assert_eq!(decoded, rec);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let encoded = encode(&sample());
+        for cut in [0, 1, 2, 5, 10, encoded.len() - 1] {
+            let sliced = encoded.slice(0..cut);
+            assert!(decode(sliced).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version() {
+        let mut data = encode(&sample()).to_vec();
+        data[0] = 0xFF;
+        assert_eq!(decode(Bytes::from(data.clone())), Err(CodecError::BadMagic));
+        let mut data = encode(&sample()).to_vec();
+        data[2] = 99;
+        assert_eq!(decode(Bytes::from(data)), Err(CodecError::BadVersion(99)));
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [-105i64, -1, 0, 1, 200, -200, i32::MIN as i64, i32::MAX as i64] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn varint_round_trips() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut bytes = buf.freeze();
+            assert_eq!(get_varint(&mut bytes).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_json() {
+        let rec = sample();
+        let binary = encode(&rec).len();
+        let json = serde_json::to_string(&rec).unwrap().len();
+        assert!(
+            binary * 2 < json,
+            "binary {binary} should be well under half of JSON {json}"
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! # kt-store
+//!
+//! The embedded telemetry store standing in for the paper's 11 TB
+//! crawl database (§3.2: "We parse and store the network logs in a
+//! database for efficient querying").
+//!
+//! * [`codec`] — a compact varint-based binary encoding for visit
+//!   records (a NetLog event costs a handful of bytes instead of the
+//!   ~200 bytes of its JSON form);
+//! * [`record`] — the [`VisitRecord`]: one (crawl, domain, OS) visit
+//!   with its load outcome and events;
+//! * [`store`] — [`TelemetryStore`]: append-only segments plus an
+//!   in-memory index by crawl/domain/OS, safe for concurrent append
+//!   from crawl workers, with full-scan and indexed query paths (the
+//!   ablation benches compare the two);
+//! * [`persist`] — dump/load the store to a length-prefixed snapshot
+//!   file, with truncation recovery and corrupt-record skipping.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod persist;
+pub mod record;
+pub mod store;
+
+pub use persist::{load, save, LoadReport, PersistError};
+pub use record::{CrawlId, LoadOutcome, VisitRecord};
+pub use store::TelemetryStore;

@@ -1,0 +1,229 @@
+//! On-disk persistence for the telemetry store.
+//!
+//! The paper's pipeline parsed 11 TB of NetLog into a database once and
+//! queried it for months; a store that only lives in memory would force
+//! re-crawling before every analysis. The format is deliberately dumb
+//! and robust — a magic header followed by length-prefixed encoded
+//! records — so a partially-written file (killed crawl) loads up to the
+//! last complete record, mirroring the NetLog capture parser's
+//! truncation recovery.
+//!
+//! ```text
+//! file   = magic(8B = "KTSTORE1") record*
+//! record = len(u32 LE) bytes[len]     (bytes = codec::encode output)
+//! ```
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::codec::{decode, encode};
+
+use crate::store::TelemetryStore;
+
+/// File magic for store snapshots.
+pub const MAGIC: &[u8; 8] = b"KTSTORE1";
+
+/// Result of loading a snapshot.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// The reconstructed store.
+    pub store: TelemetryStore,
+    /// Records successfully loaded.
+    pub loaded: usize,
+    /// True if the file ended mid-record (load stopped at the last
+    /// complete one).
+    pub truncated: bool,
+    /// Records whose bytes failed to decode (skipped).
+    pub corrupt: usize,
+}
+
+/// Persistence errors.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the store magic.
+    BadMagic,
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::BadMagic => write!(f, "not a knock-talk store file"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Write every record of the store to `path` (atomically enough for a
+/// research pipeline: a temp file renamed into place).
+pub fn save(store: &TelemetryStore, path: &Path) -> Result<usize, PersistError> {
+    let tmp = path.with_extension("tmp");
+    let mut written = 0usize;
+    {
+        let mut out = BufWriter::new(File::create(&tmp)?);
+        out.write_all(MAGIC)?;
+        for record in store.scan_all().map_err(|_| PersistError::BadMagic)? {
+            let bytes = encode(&record);
+            out.write_all(&(bytes.len() as u32).to_le_bytes())?;
+            out.write_all(&bytes)?;
+            written += 1;
+        }
+        out.flush()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(written)
+}
+
+/// Load a snapshot, recovering from truncation and skipping corrupt
+/// records.
+pub fn load(path: &Path) -> Result<LoadReport, PersistError> {
+    let mut input = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    input.read_exact(&mut magic).map_err(|_| PersistError::BadMagic)?;
+    if &magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let store = TelemetryStore::new();
+    let mut loaded = 0usize;
+    let mut corrupt = 0usize;
+    let mut truncated = false;
+    loop {
+        let mut len_bytes = [0u8; 4];
+        match input.read_exact(&mut len_bytes) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e.into()),
+        }
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        let mut bytes = vec![0u8; len];
+        match input.read_exact(&mut bytes) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                truncated = true;
+                break;
+            }
+            Err(e) => return Err(e.into()),
+        }
+        match decode(bytes::Bytes::from(bytes)) {
+            Ok(record) => {
+                store.append(&record);
+                loaded += 1;
+            }
+            Err(_) => corrupt += 1,
+        }
+    }
+    Ok(LoadReport {
+        store,
+        loaded,
+        truncated,
+        corrupt,
+    })
+}
+
+/// Round-trip helper used by tests and the CLI: save, load, compare.
+pub fn verify_round_trip(store: &TelemetryStore, path: &Path) -> Result<bool, PersistError> {
+    save(store, path)?;
+    let report = load(path)?;
+    let a = store.scan_all().map_err(|_| PersistError::BadMagic)?;
+    let b = report.store.scan_all().map_err(|_| PersistError::BadMagic)?;
+    Ok(a == b && !report.truncated && report.corrupt == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{CrawlId, LoadOutcome, VisitRecord};
+    use kt_netbase::Os;
+
+    fn sample_store(n: usize) -> TelemetryStore {
+        let store = TelemetryStore::new();
+        for i in 0..n {
+            store.append(&VisitRecord {
+                crawl: CrawlId::top2020(),
+                domain: format!("site{i}.example"),
+                rank: Some(i as u32 + 1),
+                malicious_category: None,
+                os: Os::ALL[i % 3],
+                outcome: LoadOutcome::Success,
+                loaded_at_ms: 100 + i as u64,
+                events: Vec::new(),
+            });
+        }
+        store
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("kt-persist-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let store = sample_store(120);
+        let path = tmp("roundtrip");
+        assert!(verify_round_trip(&store, &path).unwrap());
+        let report = load(&path).unwrap();
+        assert_eq!(report.loaded, 120);
+        assert!(!report.truncated);
+        assert_eq!(report.corrupt, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_loads_prefix() {
+        let store = sample_store(50);
+        let path = tmp("trunc");
+        save(&store, &path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() * 2 / 3]).unwrap();
+        let report = load(&path).unwrap();
+        assert!(report.truncated);
+        assert!(report.loaded > 0 && report.loaded < 50);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let path = tmp("magic");
+        std::fs::write(&path, b"NOTASTORE-file-contents").unwrap();
+        assert!(matches!(load(&path), Err(PersistError::BadMagic)));
+        std::fs::write(&path, b"KT").unwrap();
+        assert!(matches!(load(&path), Err(PersistError::BadMagic)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_record_is_skipped_not_fatal() {
+        let store = sample_store(10);
+        let path = tmp("corrupt");
+        save(&store, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a byte inside the first record body (after magic+len).
+        bytes[14] ^= 0xAA;
+        std::fs::write(&path, &bytes).unwrap();
+        let report = load(&path).unwrap();
+        assert_eq!(report.loaded + report.corrupt, 10);
+        assert!(report.corrupt >= 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let store = TelemetryStore::new();
+        let path = tmp("empty");
+        assert_eq!(save(&store, &path).unwrap(), 0);
+        let report = load(&path).unwrap();
+        assert_eq!(report.loaded, 0);
+        assert!(report.store.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,278 @@
+//! The append-only telemetry store.
+//!
+//! Records are encoded into append-only byte segments; an in-memory
+//! index maps `(crawl, domain, os)` to segment offsets. Workers on a
+//! crawl pool append concurrently through a `parking_lot` lock. Reads
+//! decode on demand — the store keeps bytes, not structs, so memory
+//! stays proportional to the (compact) encoded size.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use kt_netbase::Os;
+use parking_lot::RwLock;
+
+use crate::codec::{decode, encode, CodecError};
+use crate::record::{CrawlId, VisitRecord};
+
+/// Key of one visit.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct VisitKey {
+    crawl: String,
+    domain: String,
+    os: Os,
+}
+
+const SEGMENT_TARGET: usize = 4 << 20; // start a new segment near 4 MiB
+
+#[derive(Default, Debug)]
+struct Inner {
+    segments: Vec<Vec<u8>>,
+    /// (segment index, byte offset, byte length) per visit.
+    index: HashMap<VisitKey, (usize, usize, usize)>,
+    /// Insertion order, for stable full scans.
+    order: Vec<VisitKey>,
+}
+
+/// Concurrent append-only store of visit records.
+#[derive(Default, Debug)]
+pub struct TelemetryStore {
+    inner: RwLock<Inner>,
+}
+
+impl TelemetryStore {
+    /// An empty store.
+    pub fn new() -> TelemetryStore {
+        TelemetryStore::default()
+    }
+
+    /// Append one record (last write wins per key).
+    pub fn append(&self, record: &VisitRecord) {
+        let encoded = encode(record);
+        let key = VisitKey {
+            crawl: record.crawl.as_str().to_string(),
+            domain: record.domain.clone(),
+            os: record.os,
+        };
+        let mut inner = self.inner.write();
+        if inner
+            .segments
+            .last()
+            .map(|s| s.len() >= SEGMENT_TARGET)
+            .unwrap_or(true)
+        {
+            inner.segments.push(Vec::with_capacity(SEGMENT_TARGET));
+        }
+        let seg_idx = inner.segments.len() - 1;
+        let segment = &mut inner.segments[seg_idx];
+        let offset = segment.len();
+        segment.extend_from_slice(&encoded);
+        let len = encoded.len();
+        if inner.index.insert(key.clone(), (seg_idx, offset, len)).is_none() {
+            inner.order.push(key);
+        }
+    }
+
+    /// Number of stored visits.
+    pub fn len(&self) -> usize {
+        self.inner.read().index.len()
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total encoded bytes.
+    pub fn byte_size(&self) -> usize {
+        self.inner.read().segments.iter().map(Vec::len).sum()
+    }
+
+    /// Indexed point lookup.
+    pub fn get(&self, crawl: &CrawlId, domain: &str, os: Os) -> Option<VisitRecord> {
+        let inner = self.inner.read();
+        let key = VisitKey {
+            crawl: crawl.as_str().to_string(),
+            domain: domain.to_string(),
+            os,
+        };
+        let &(seg, off, len) = inner.index.get(&key)?;
+        let bytes = Bytes::copy_from_slice(&inner.segments[seg][off..off + len]);
+        decode(bytes).ok()
+    }
+
+    /// All records of one crawl, in insertion order (decoded lazily
+    /// into a vector — callers typically aggregate immediately).
+    pub fn crawl_records(&self, crawl: &CrawlId) -> Vec<VisitRecord> {
+        let inner = self.inner.read();
+        inner
+            .order
+            .iter()
+            .filter(|k| k.crawl == crawl.as_str())
+            .filter_map(|k| {
+                let &(seg, off, len) = inner.index.get(k)?;
+                let bytes = Bytes::copy_from_slice(&inner.segments[seg][off..off + len]);
+                decode(bytes).ok()
+            })
+            .collect()
+    }
+
+    /// All records of one crawl on one OS.
+    pub fn crawl_records_on(&self, crawl: &CrawlId, os: Os) -> Vec<VisitRecord> {
+        self.crawl_records(crawl)
+            .into_iter()
+            .filter(|r| r.os == os)
+            .collect()
+    }
+
+    /// Full scan over every stored record (the unindexed ablation
+    /// path: decode every segment sequentially).
+    pub fn scan_all(&self) -> Result<Vec<VisitRecord>, CodecError> {
+        let inner = self.inner.read();
+        let mut out = Vec::with_capacity(inner.index.len());
+        for key in &inner.order {
+            let &(seg, off, len) = inner.index.get(key).ok_or(CodecError::Truncated)?;
+            let bytes = Bytes::copy_from_slice(&inner.segments[seg][off..off + len]);
+            out.push(decode(bytes)?);
+        }
+        Ok(out)
+    }
+
+    /// Export every record of a crawl as a JSON array string.
+    pub fn export_json(&self, crawl: &CrawlId) -> String {
+        serde_json::to_string(&self.crawl_records(crawl)).expect("records serialise")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::LoadOutcome;
+
+    fn rec(crawl: CrawlId, domain: &str, os: Os) -> VisitRecord {
+        VisitRecord {
+            crawl,
+            domain: domain.to_string(),
+            rank: Some(42),
+            malicious_category: None,
+            os,
+            outcome: LoadOutcome::Success,
+            loaded_at_ms: 300,
+            events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn append_and_lookup() {
+        let store = TelemetryStore::new();
+        store.append(&rec(CrawlId::top2020(), "a.example", Os::Windows));
+        store.append(&rec(CrawlId::top2020(), "a.example", Os::Linux));
+        store.append(&rec(CrawlId::top2021(), "a.example", Os::Windows));
+        assert_eq!(store.len(), 3);
+        let got = store
+            .get(&CrawlId::top2020(), "a.example", Os::Windows)
+            .unwrap();
+        assert_eq!(got.domain, "a.example");
+        assert!(store
+            .get(&CrawlId::top2020(), "a.example", Os::MacOs)
+            .is_none());
+    }
+
+    #[test]
+    fn crawl_partitioning() {
+        let store = TelemetryStore::new();
+        for i in 0..10 {
+            store.append(&rec(CrawlId::top2020(), &format!("d{i}.example"), Os::Linux));
+        }
+        for i in 0..4 {
+            store.append(&rec(CrawlId::malicious(), &format!("m{i}.example"), Os::Linux));
+        }
+        assert_eq!(store.crawl_records(&CrawlId::top2020()).len(), 10);
+        assert_eq!(store.crawl_records(&CrawlId::malicious()).len(), 4);
+        assert_eq!(store.crawl_records(&CrawlId::top2021()).len(), 0);
+    }
+
+    #[test]
+    fn last_write_wins() {
+        let store = TelemetryStore::new();
+        let mut first = rec(CrawlId::top2020(), "dup.example", Os::Windows);
+        first.loaded_at_ms = 1;
+        store.append(&first);
+        let mut second = first.clone();
+        second.loaded_at_ms = 2;
+        store.append(&second);
+        assert_eq!(store.len(), 1);
+        assert_eq!(
+            store
+                .get(&CrawlId::top2020(), "dup.example", Os::Windows)
+                .unwrap()
+                .loaded_at_ms,
+            2
+        );
+    }
+
+    #[test]
+    fn scan_matches_indexed_reads() {
+        let store = TelemetryStore::new();
+        for i in 0..50 {
+            store.append(&rec(CrawlId::top2020(), &format!("s{i}.example"), Os::MacOs));
+        }
+        let scanned = store.scan_all().unwrap();
+        assert_eq!(scanned.len(), 50);
+        for r in &scanned {
+            let via_index = store.get(&r.crawl, &r.domain, r.os).unwrap();
+            assert_eq!(&via_index, r);
+        }
+    }
+
+    #[test]
+    fn concurrent_appends() {
+        use std::sync::Arc;
+        let store = Arc::new(TelemetryStore::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    store.append(&rec(
+                        CrawlId::top2020(),
+                        &format!("t{t}-d{i}.example"),
+                        Os::Linux,
+                    ));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 400);
+        assert!(store.byte_size() > 0);
+    }
+
+    #[test]
+    fn json_export() {
+        let store = TelemetryStore::new();
+        store.append(&rec(CrawlId::top2020(), "j.example", Os::Windows));
+        let json = store.export_json(&CrawlId::top2020());
+        assert!(json.contains("j.example"));
+        let parsed: Vec<VisitRecord> = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.len(), 1);
+    }
+
+    #[test]
+    fn segments_roll_over() {
+        let store = TelemetryStore::new();
+        // Records with big event-free bodies via long domain names.
+        let long = "x".repeat(200);
+        for i in 0..40_000 {
+            store.append(&rec(
+                CrawlId::top2020(),
+                &format!("{long}{i}.example"),
+                Os::Linux,
+            ));
+        }
+        let inner_segments = store.byte_size();
+        assert!(inner_segments > SEGMENT_TARGET, "multiple segments filled");
+        assert_eq!(store.len(), 40_000);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests: the binary codec round-trips arbitrary records.
+
+use kt_netbase::Os;
+use kt_netlog::{EventParams, EventPhase, EventType, NetError, NetLogEvent, SourceRef, SourceType};
+use kt_store::codec::{decode, encode};
+use kt_store::{CrawlId, LoadOutcome, VisitRecord};
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = (EventType, EventParams)> {
+    prop_oneof![
+        Just((EventType::RequestAlive, EventParams::None)),
+        ("[ -~]{0,40}", "[A-Z]{3,7}", proptest::option::of("[ -~]{0,30}"), any::<u32>()).prop_map(
+            |(url, method, initiator, load_flags)| (
+                EventType::UrlRequestStartJob,
+                EventParams::UrlRequestStart { url, method, initiator, load_flags }
+            )
+        ),
+        "[ -~]{0,60}".prop_map(|l| (EventType::UrlRequestRedirected, EventParams::Redirect { location: l })),
+        "[ -~]{0,40}".prop_map(|h| (EventType::HostResolverImplJob, EventParams::DnsJob { host: h })),
+        "[ -~]{0,30}".prop_map(|a| (EventType::TcpConnect, EventParams::Connect { address: a })),
+        any::<u16>().prop_map(|s| (EventType::HttpTransactionReadHeaders, EventParams::ResponseHeaders { status: s })),
+        "[ -~]{0,50}".prop_map(|u| (EventType::WebSocketSendRequestHeaders, EventParams::WebSocket { url: u })),
+        any::<u64>().prop_map(|l| (EventType::WebSocketRecvFrame, EventParams::WebSocketFrame { length: l })),
+        any::<i32>().prop_map(|e| (EventType::FailedRequest, EventParams::Failed { net_error: e })),
+    ]
+}
+
+fn arb_event() -> impl Strategy<Value = NetLogEvent> {
+    (any::<u32>(), any::<u32>(), 0u32..6, 0u32..3, arb_params()).prop_map(
+        |(time, id, src, phase, (event_type, params))| NetLogEvent {
+            time: time as u64,
+            event_type,
+            source: SourceRef {
+                id: id as u64,
+                kind: SourceType::from_code(src).unwrap(),
+            },
+            phase: EventPhase::from_code(phase).unwrap(),
+            params,
+        },
+    )
+}
+
+fn arb_record() -> impl Strategy<Value = VisitRecord> {
+    (
+        "[a-z0-9.]{1,40}",
+        proptest::option::of(any::<u32>()),
+        proptest::option::of(0u8..3),
+        0usize..3,
+        prop_oneof![
+            Just(LoadOutcome::Success),
+            (0usize..NetError::ALL.len()).prop_map(|i| LoadOutcome::Error(NetError::ALL[i])),
+        ],
+        any::<u32>(),
+        proptest::collection::vec(arb_event(), 0..30),
+        prop_oneof![Just("top2020"), Just("top2021"), Just("malicious")],
+    )
+        .prop_map(
+            |(domain, rank, cat, os, outcome, loaded, events, crawl)| VisitRecord {
+                crawl: CrawlId(crawl.to_string()),
+                domain,
+                rank,
+                malicious_category: cat,
+                os: Os::ALL[os],
+                outcome,
+                loaded_at_ms: loaded as u64,
+                events,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn codec_round_trips(record in arb_record()) {
+        let decoded = decode(encode(&record)).unwrap();
+        prop_assert_eq!(decoded, record);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_noise(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = decode(bytes::Bytes::from(data));
+    }
+
+    #[test]
+    fn truncated_records_error_not_panic(record in arb_record(), frac in 0.0f64..1.0) {
+        let encoded = encode(&record);
+        let cut = ((encoded.len() as f64) * frac) as usize;
+        if cut < encoded.len() {
+            prop_assert!(decode(encoded.slice(0..cut)).is_err());
+        }
+    }
+}

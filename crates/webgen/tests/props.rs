@@ -1,0 +1,77 @@
+//! Property tests for the website generator.
+
+use kt_netbase::Os;
+use kt_webgen::{Behavior, PopulationConfig, WebPopulation};
+use proptest::prelude::*;
+
+proptest! {
+    // Population generation is expensive; keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn population_invariants_hold_for_any_seed(seed in 0u64..1_000_000) {
+        let pop = WebPopulation::generate(PopulationConfig {
+            seed,
+            top_size: 500,
+            malicious_size: 300,
+        });
+        // Sizes.
+        prop_assert_eq!(pop.sites2020.len(), 500);
+        prop_assert_eq!(pop.sites2021.len(), 500);
+        // All 116 plantings placed.
+        let planted = pop.sites2020.iter().filter(|s| !s.behaviors.is_empty()).count();
+        prop_assert_eq!(planted, 116);
+        // Planted sites are always up.
+        for site in pop.sites2020.iter().filter(|s| !s.behaviors.is_empty()) {
+            for os in Os::ALL {
+                prop_assert!(site.availability_on(os).is_up());
+            }
+        }
+        // ThreatMetrix vendors are concrete domains.
+        for site in &pop.sites2020 {
+            for b in &site.behaviors {
+                if let Behavior::ThreatMetrix { vendor } = &b.behavior {
+                    prop_assert!(vendor.as_str() != "vendor.invalid");
+                    prop_assert!(vendor.as_str().contains('.'));
+                }
+            }
+        }
+        // Ranks of planted sites are unique.
+        let mut ranks: Vec<u32> = pop
+            .sites2020
+            .iter()
+            .filter(|s| !s.behaviors.is_empty())
+            .filter_map(|s| s.rank)
+            .collect();
+        let n = ranks.len();
+        ranks.sort_unstable();
+        ranks.dedup();
+        prop_assert_eq!(ranks.len(), n);
+    }
+
+    #[test]
+    fn planned_requests_are_time_sorted_and_local_flagged(seed in 0u64..100_000) {
+        let pop = WebPopulation::generate(PopulationConfig {
+            seed,
+            top_size: 400,
+            malicious_size: 200,
+        });
+        for site in pop.sites2020.iter().filter(|s| !s.behaviors.is_empty()).take(30) {
+            for os in Os::ALL {
+                let plan = site.planned_requests(os);
+                prop_assert!(plan.windows(2).all(|w| w[0].delay_ms <= w[1].delay_ms));
+                // Behaviour plans target local or behaviour-support
+                // (vendor/script) hosts only; never an unrelated public
+                // host.
+                for r in &plan {
+                    let local = r.url.is_local();
+                    let support = r.url.to_string().contains("regstat.")
+                        || r.url.to_string().contains("-metrics")
+                        || r.url.path().starts_with("/TSPD")
+                        || r.url.path().starts_with("/fp/");
+                    prop_assert!(local || support, "unexpected {}", r.url);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Zipf-distributed sampling over ranks.
+//!
+//! Web popularity is famously heavy-tailed; the population generator
+//! uses a Zipf law when it needs to weight activity toward higher
+//! ranks (e.g. how many third-party resources a page embeds).
+
+/// A Zipf distribution over `1..=n` with exponent `s`, sampled by
+/// inverse CDF over precomputed cumulative weights.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the distribution for `n ≥ 1` ranks with exponent `s > 0`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n >= 1, "Zipf needs at least one rank");
+        assert!(s > 0.0, "Zipf exponent must be positive");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cumulative.push(total);
+        }
+        // Normalise to [0, 1].
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Map a uniform `u ∈ [0, 1)` to a rank in `1..=n`.
+    pub fn rank_for(&self, u: f64) -> usize {
+        debug_assert!((0.0..1.0).contains(&u));
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => i + 1,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Always false: `new` requires n ≥ 1.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_one_dominates() {
+        let z = Zipf::new(1000, 1.0);
+        let hits_rank1 = (0..10_000)
+            .map(|i| i as f64 / 10_000.0)
+            .filter(|&u| z.rank_for(u) == 1)
+            .count();
+        // Rank 1 mass for n=1000, s=1 is 1/H_1000 ≈ 0.133.
+        assert!((1_200..1_500).contains(&hits_rank1), "{hits_rank1}");
+    }
+
+    #[test]
+    fn ranks_are_in_bounds() {
+        let z = Zipf::new(50, 1.2);
+        for i in 0..1000 {
+            let r = z.rank_for(i as f64 / 1000.0);
+            assert!((1..=50).contains(&r), "{r}");
+        }
+        assert_eq!(z.rank_for(0.0), 1);
+        assert!(z.rank_for(0.9999) <= 50);
+    }
+
+    #[test]
+    fn single_rank_distribution() {
+        let z = Zipf::new(1, 1.0);
+        assert_eq!(z.rank_for(0.0), 1);
+        assert_eq!(z.rank_for(0.99), 1);
+        assert_eq!(z.len(), 1);
+    }
+
+    #[test]
+    fn monotone_in_u() {
+        let z = Zipf::new(100, 1.0);
+        let mut prev = 0;
+        for i in 0..100 {
+            let r = z.rank_for(i as f64 / 100.0);
+            assert!(r >= prev);
+            prev = r;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Evaluate the WICG Private Network Access proposal (§5.3): replay
+//! the 2020 crawl's telemetry under PNA, and re-crawl a site with
+//! browser-side enforcement turned on, across adoption scenarios.
+//!
+//! ```sh
+//! cargo run --release --example pna_defense
+//! ```
+
+use knock_talk::analysis::classify::ReasonClass;
+use knock_talk::analysis::defense::{evaluate, AdoptionScenario};
+use knock_talk::browser::{Browser, BrowserConfig, PnaMode, World};
+use knock_talk::netbase::{DomainName, Os, OsSet, Url};
+use knock_talk::netlog::{FlowOutcome, FlowSet, NetError};
+use knock_talk::store::CrawlId;
+use knock_talk::webgen::{Behavior, NativeApp, PlantedBehavior, WebSite};
+use knock_talk::{Study, StudyConfig};
+
+fn main() {
+    // Part 1 — offline replay: take the 2020 telemetry as recorded
+    // (Chrome v84, no PNA) and ask what the proposal would have done.
+    println!("running the 2020 campaign, then replaying it under PNA…\n");
+    let study = Study::run(StudyConfig::quick(0x9A5));
+    let records = study.store.crawl_records(&CrawlId::top2020());
+    let impact = evaluate(&records);
+    println!("{}", impact.render());
+
+    let (fraud_ok, fraud_blocked) =
+        impact.get(ReasonClass::FraudDetection, AdoptionScenario::NativeAppsOptIn);
+    let (native_ok, native_blocked) =
+        impact.get(ReasonClass::NativeApplication, AdoptionScenario::NativeAppsOptIn);
+    println!(
+        "under the intended steady state (native apps opt in):\n\
+         - fraud-detection scanning: {fraud_ok} sites keep working, {fraud_blocked} fully blocked\n\
+         - native-app communication: {native_ok} keep working, {native_blocked} blocked\n\
+         → the proposal blocks the scans while preserving the legitimate\n\
+           use case, exactly the balance §5.3 argues for.\n"
+    );
+
+    // Part 2 — browser-side enforcement: crawl one Discord-invite-style
+    // site with each PNA mode and watch the probe's fate.
+    let mut site = WebSite::plain(DomainName::parse("invite.example").unwrap(), Some(100), 4);
+    site.behaviors.push(PlantedBehavior {
+        behavior: Behavior::NativeApp(NativeApp::Discord),
+        os_set: OsSet::ALL,
+        base_delay_ms: 2_000,
+    });
+    for (mode, label) in [
+        (PnaMode::Off, "PNA off (Chrome v84)"),
+        (PnaMode::EnforceNoOptIn, "PNA on, nothing opts in"),
+        (PnaMode::EnforceNativeOptIn, "PNA on, native apps opt in"),
+    ] {
+        let mut world = World::build(std::slice::from_ref(&site), Os::Windows, 1);
+        let mut config = BrowserConfig::paper(Os::Windows);
+        config.pna = mode;
+        let mut browser = Browser::new(&mut world, config, 1);
+        let result = browser.visit(&site);
+        let flows = FlowSet::from_events(result.capture.events);
+        let (aborted, attempted): (usize, usize) = flows
+            .page_flows()
+            .filter(|f| {
+                f.url()
+                    .and_then(|u| Url::parse(u).ok())
+                    .is_some_and(|u| u.is_local())
+            })
+            .fold((0, 0), |(a, t), f| {
+                let aborted = f.outcome() == FlowOutcome::Failed(NetError::Aborted);
+                (a + usize::from(aborted), t + 1)
+            });
+        println!("{label:<30} {attempted} local probes, {aborted} aborted by the browser");
+    }
+}

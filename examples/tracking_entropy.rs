@@ -1,0 +1,58 @@
+//! Quantify §5.2's warning: the host profiling done for anti-abuse is
+//! a fingerprinting primitive. How many bits does each observed scan
+//! harvest across a population of visitor machines, and how does that
+//! grow as scanners widen their port lists?
+//!
+//! ```sh
+//! cargo run --release --example tracking_entropy
+//! ```
+
+use knock_talk::analysis::entropy::scan_entropy;
+use knock_talk::netbase::services::{BIGIP_PORTS, THREATMETRIX_PORTS};
+use knock_talk::netbase::Os;
+
+fn main() {
+    const POPULATION: usize = 2_000;
+    const SEED: u64 = 0xF1;
+
+    println!("fingerprinting entropy over {POPULATION} simulated visitor machines\n");
+    println!(
+        "{:<34} {:<8} {:>7} {:>10} {:>12}",
+        "scan", "OS", "bits", "profiles", "modal share"
+    );
+
+    let mut combined: Vec<u16> = THREATMETRIX_PORTS.to_vec();
+    combined.extend_from_slice(&BIGIP_PORTS);
+    let mut with_apps = combined.clone();
+    with_apps.extend_from_slice(&[6463, 3000, 5900, 6039]);
+
+    let scans: [(&str, &[u16]); 4] = [
+        ("ThreatMetrix (14 RDP ports)", &THREATMETRIX_PORTS),
+        ("BIG-IP ASM (7 malware ports)", &BIGIP_PORTS),
+        ("combined anti-abuse (21)", &combined),
+        ("+ app & dev-server ports", &with_apps),
+    ];
+    for (label, ports) in scans {
+        for os in Os::ALL {
+            let r = scan_entropy(os, ports, POPULATION, SEED);
+            println!(
+                "{:<34} {:<8} {:>7.2} {:>10} {:>11.1}%",
+                label,
+                os.name(),
+                r.shannon_bits,
+                r.distinct,
+                r.modal_share * 100.0
+            );
+        }
+    }
+
+    println!(
+        "\nreading: every extra responsive port class multiplies the number of\n\
+         distinguishable machine profiles. The anti-abuse scans the paper\n\
+         observed already partition users into service-fingerprint groups;\n\
+         §5.2's concern is that the same telemetry, pointed at tracking,\n\
+         compounds with other fingerprinting surfaces. The normalised\n\
+         entropy stays well below 1.0 here because the simulated machines\n\
+         only vary in a handful of services — real machines vary far more."
+    );
+}

@@ -1,0 +1,188 @@
+//! Failure injection: the pipeline must stay correct when the network,
+//! the capture, or the input data misbehaves.
+
+use knock_talk::analysis::detect::detect_local;
+use knock_talk::browser::{Browser, BrowserConfig, World};
+use knock_talk::crawler::{run_crawl, CrawlConfig, CrawlJob};
+use knock_talk::netbase::{DomainName, Os, OsSet};
+use knock_talk::netlog::{Capture, NetError};
+use knock_talk::simnet::connectivity::Outage;
+use knock_talk::store::{CrawlId, LoadOutcome, TelemetryStore, VisitRecord};
+use knock_talk::webgen::{Availability, Behavior, NativeApp, PlantedBehavior, WebSite};
+
+fn site(domain: &str) -> WebSite {
+    WebSite::plain(DomainName::parse(domain).unwrap(), Some(1), 3)
+}
+
+#[test]
+fn every_availability_fate_maps_to_its_table1_error() {
+    let cases = [
+        (Availability::NxDomain, NetError::NameNotResolved),
+        (Availability::Refused, NetError::ConnectionRefused),
+        (Availability::Reset, NetError::ConnectionReset),
+        (Availability::CertInvalid, NetError::CertCommonNameInvalid),
+    ];
+    for (fate, expected) in cases {
+        let mut s = site("failing.example");
+        s.set_availability_all(fate);
+        let store = TelemetryStore::new();
+        let jobs = [CrawlJob {
+            site: &s,
+            malicious_category: None,
+        }];
+        let stats = run_crawl(
+            &jobs,
+            &CrawlConfig::paper(CrawlId::top2020(), Os::Windows, 1),
+            &store,
+        );
+        assert_eq!(stats.failure_count(expected), 1, "{fate:?} → {expected:?}");
+    }
+}
+
+#[test]
+fn dns_flap_differs_across_oses() {
+    // A site that is NXDOMAIN only during the Mac crawl (sites flap —
+    // the three OS crawls run at different times, §3.1).
+    let mut s = site("flappy.example");
+    s.set_availability(Os::MacOs, Availability::NxDomain);
+    let store = TelemetryStore::new();
+    let jobs = [CrawlJob {
+        site: &s,
+        malicious_category: None,
+    }];
+    for os in Os::ALL {
+        run_crawl(&jobs, &CrawlConfig::paper(CrawlId::top2020(), os, 1), &store);
+    }
+    let mac = store
+        .get(&CrawlId::top2020(), "flappy.example", Os::MacOs)
+        .unwrap();
+    assert_eq!(mac.outcome, LoadOutcome::Error(NetError::NameNotResolved));
+    let win = store
+        .get(&CrawlId::top2020(), "flappy.example", Os::Windows)
+        .unwrap();
+    assert!(win.outcome.is_success());
+}
+
+#[test]
+fn outage_mid_crawl_delays_everything_after_it() {
+    let sites: Vec<WebSite> = (0..6).map(|i| site(&format!("s{i}.example"))).collect();
+    let jobs: Vec<CrawlJob> = sites
+        .iter()
+        .map(|site| CrawlJob {
+            site,
+            malicious_category: None,
+        })
+        .collect();
+    let store = TelemetryStore::new();
+    let mut config = CrawlConfig::paper(CrawlId::top2020(), Os::Linux, 1);
+    config.workers = 1;
+    // The outage begins after ~2 visits' worth of wall time.
+    config.outages = vec![Outage {
+        start: 30_000,
+        end: 300_000,
+    }];
+    let stats = run_crawl(&jobs, &config, &store);
+    assert_eq!(stats.attempted, 6, "all sites eventually crawled");
+    assert_eq!(stats.failed(), 0, "outage never recorded as site failure");
+    assert!(stats.connectivity_retries >= 1);
+}
+
+#[test]
+fn truncated_capture_still_yields_detections() {
+    // Build a behaviour-rich visit, truncate the JSON at many points,
+    // and require: never a panic, and monotone evidence (a longer
+    // prefix never yields fewer local detections).
+    let mut s = site("arena.example");
+    s.behaviors.push(PlantedBehavior {
+        behavior: Behavior::NativeApp(NativeApp::Discord),
+        os_set: OsSet::ALL,
+        base_delay_ms: 1_000,
+    });
+    let mut world = World::build(std::slice::from_ref(&s), Os::Linux, 3);
+    let mut browser = Browser::new(&mut world, BrowserConfig::paper(Os::Linux), 3);
+    let result = browser.visit(&s);
+    let json = result.capture.to_json();
+
+    let detections_at = |cut: usize| -> Option<usize> {
+        let capture = Capture::parse(&json[..cut]).ok()?;
+        let record = VisitRecord {
+            crawl: CrawlId::top2020(),
+            domain: "arena.example".into(),
+            rank: Some(1),
+            malicious_category: None,
+            os: Os::Linux,
+            outcome: LoadOutcome::Success,
+            loaded_at_ms: 0,
+            events: capture.events,
+        };
+        Some(detect_local(&record).len())
+    };
+    let full = detections_at(json.len()).expect("full capture parses");
+    assert_eq!(full, 10, "all ten Discord probes detected");
+    let mut last = 0;
+    for pct in (10..=100).step_by(5) {
+        let cut = json.len() * pct / 100;
+        if let Some(n) = detections_at(cut) {
+            assert!(n >= last, "evidence shrank: {last} → {n} at {pct}%");
+            assert!(n <= full);
+            last = n;
+        }
+    }
+    assert_eq!(last, full);
+}
+
+#[test]
+fn store_rejects_corrupt_records_gracefully() {
+    use knock_talk::store as ktstore;
+    // Random corruption of encoded bytes must error, never panic.
+    let record = VisitRecord {
+        crawl: CrawlId::malicious(),
+        domain: "x.example".into(),
+        rank: None,
+        malicious_category: Some(2),
+        os: Os::MacOs,
+        outcome: LoadOutcome::Error(NetError::TimedOut),
+        loaded_at_ms: 0,
+        events: Vec::new(),
+    };
+    let encoded = ktstore::codec::encode(&record);
+    for i in 0..encoded.len() {
+        let mut corrupt = encoded.to_vec();
+        corrupt[i] ^= 0xFF;
+        // Either decodes to something or errors; must not panic.
+        let _ = ktstore::codec::decode(bytes_from(corrupt));
+    }
+}
+
+fn bytes_from(v: Vec<u8>) -> bytes::Bytes {
+    bytes::Bytes::from(v)
+}
+
+#[test]
+fn pages_that_never_finish_do_not_poison_the_window() {
+    // OtherError sites may be black holes: the crawl must record the
+    // failure (or in-flight state) and move on.
+    let mut s = site("tarpit.example");
+    s.set_availability_all(Availability::OtherError);
+    let store = TelemetryStore::new();
+    let jobs = [CrawlJob {
+        site: &s,
+        malicious_category: None,
+    }];
+    let stats = run_crawl(
+        &jobs,
+        &CrawlConfig::paper(CrawlId::top2020(), Os::Linux, 1),
+        &store,
+    );
+    assert_eq!(stats.attempted, 1);
+    assert_eq!(stats.failed(), 1);
+    let record = store
+        .get(&CrawlId::top2020(), "tarpit.example", Os::Linux)
+        .unwrap();
+    assert!(matches!(
+        record.outcome,
+        LoadOutcome::Error(NetError::TimedOut) | LoadOutcome::Error(NetError::EmptyResponse)
+    ));
+    // Telemetry stays inside the window.
+    assert!(record.events.iter().all(|e| e.time < 20_000));
+}

@@ -1,0 +1,307 @@
+//! The paper's findings, asserted end-to-end: everything here is
+//! computed from stored NetLog telemetry alone (never from the
+//! generator's ground truth), so each assertion certifies that the
+//! full pipeline — crawl, capture, store, detect, classify — recovers
+//! a published result.
+
+use std::sync::OnceLock;
+
+use knock_talk::analysis::classify::{classify_site, ReasonClass};
+use knock_talk::analysis::detect::SiteLocalActivity;
+use knock_talk::analysis::report;
+use knock_talk::analysis::rings::PortRings;
+use knock_talk::analysis::venn::OsVenn;
+use knock_talk::netbase::{Os, Scheme};
+use knock_talk::store::CrawlId;
+use knock_talk::weblists::MaliciousCategory;
+use knock_talk::{Study, StudyConfig};
+
+fn study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| Study::run(StudyConfig::quick(2024)))
+}
+
+fn sites2020() -> Vec<SiteLocalActivity> {
+    study().activities(&CrawlId::top2020())
+}
+
+#[test]
+fn rq1_counts_2020() {
+    // §4.1: 107 localhost sites, 9 LAN sites, no overlap.
+    let sites = sites2020();
+    let localhost = sites.iter().filter(|s| s.has_localhost()).count();
+    let lan = sites.iter().filter(|s| s.has_lan()).count();
+    let both = sites
+        .iter()
+        .filter(|s| s.has_localhost() && s.has_lan())
+        .count();
+    assert_eq!(localhost, 107);
+    assert_eq!(lan, 9);
+    assert_eq!(both, 0, "no overlap between the two sets (§4.1)");
+}
+
+#[test]
+fn rq1_windows_skew_figure2a() {
+    let sites = sites2020();
+    let venn = OsVenn::from_sets(
+        sites
+            .iter()
+            .filter(|s| s.has_localhost())
+            .map(|s| s.localhost_os),
+    );
+    assert_eq!(venn.windows_total(), 92, "92 sites on Windows");
+    assert_eq!(venn.mac_total(), 54, "54 on Mac");
+    assert_eq!(venn.linux_total(), 53, "≈54 on Linux (±1, see DESIGN.md)");
+    assert_eq!(venn.wlm, 41, "41 sites behave identically everywhere");
+    assert_eq!(venn.w_only, 48, "45% Windows-exclusive — the targeting signal");
+}
+
+#[test]
+fn rq1_counts_2021_figure9() {
+    let sites = study().activities(&CrawlId::top2021());
+    let w = sites
+        .iter()
+        .filter(|s| s.localhost_os.contains(Os::Windows))
+        .count();
+    let l = sites
+        .iter()
+        .filter(|s| s.localhost_os.contains(Os::Linux))
+        .count();
+    assert_eq!(w, 82, "82 localhost sites in 2021 (Windows)");
+    assert_eq!(l, 48, "48 on Linux");
+    let lan = sites.iter().filter(|s| s.has_lan()).count();
+    assert_eq!(lan, 8, "8 LAN sites in 2021 (Table 10)");
+}
+
+#[test]
+fn rq1_2021_churn() {
+    // §4.1: of the 82, 19 were crawled in 2020 without local traffic,
+    // 21 are newly listed, the rest carried over.
+    let diff = report::activity_diff(&sites2020(), &study().activities(&CrawlId::top2021()));
+    assert_eq!(diff.new.len(), 40, "40 localhost newcomers (19 old + 21 new domains)");
+    assert!(
+        (40..=43).contains(&diff.carried.len()),
+        "≈42 carried, got {}",
+        diff.carried.len()
+    );
+}
+
+#[test]
+fn rq2_wss_dominates_windows_figure4() {
+    // §4.2: ~60% of Windows localhost requests ride WSS; Linux and
+    // Mac are HTTP-dominated instead.
+    let records = study().store.crawl_records(&CrawlId::top2020());
+    let observations: Vec<_> = records
+        .iter()
+        .flat_map(knock_talk::analysis::detect::detect_local)
+        .collect();
+    let rings = PortRings::from_observations(&observations);
+    let (win_scheme, win_share) = rings.dominant_scheme(Os::Windows).unwrap();
+    assert_eq!(win_scheme, Scheme::Wss, "WSS dominates Windows");
+    assert!(win_share > 0.4, "share {win_share}");
+    let (linux_scheme, _) = rings.dominant_scheme(Os::Linux).unwrap();
+    assert!(
+        !linux_scheme.is_websocket() || linux_scheme == Scheme::Ws,
+        "Linux is not WSS-dominated: {linux_scheme}"
+    );
+    let win = &rings.by_os[&Os::Windows];
+    let http_like = win
+        .by_scheme
+        .get(&Scheme::Http)
+        .map(|r| r.total)
+        .unwrap_or(0);
+    let wss = win.by_scheme.get(&Scheme::Wss).map(|r| r.total).unwrap_or(0);
+    assert!(wss > http_like, "WSS ({wss}) > HTTP ({http_like}) on Windows");
+}
+
+#[test]
+fn rq2_timing_figure5() {
+    // Figure 5a: Windows median ≈10 s, Linux/Mac ≈5 s or less; max
+    // below the 20 s window everywhere. Figure 5b: LAN requests on
+    // Windows all arrive within ~5 s.
+    let sites = sites2020();
+    let median = |os: Os, loopback: bool| -> f64 {
+        let mut v: Vec<u64> = sites
+            .iter()
+            .filter_map(|s| s.first_delay_on(os, loopback))
+            .collect();
+        v.sort_unstable();
+        v[v.len() / 2] as f64 / 1000.0
+    };
+    let w = median(Os::Windows, true);
+    let l = median(Os::Linux, true);
+    let m = median(Os::MacOs, true);
+    assert!((8.0..13.0).contains(&w), "Windows median {w}");
+    assert!(l < 6.5, "Linux median {l}");
+    assert!(m < 6.5, "Mac median {m}");
+    assert!(w > l && w > m, "Windows is the slow one");
+    // LAN on Windows: max 5 s.
+    let lan_w_max = sites
+        .iter()
+        .filter_map(|s| s.first_delay_on(Os::Windows, false))
+        .max()
+        .unwrap_or(0);
+    assert!(lan_w_max <= 5_000, "LAN max on Windows {lan_w_max}ms");
+}
+
+#[test]
+fn rq3_class_sizes_2020() {
+    // §4.3: 36 fraud, 10 bot, 12 native, 44 dev-error, 5 unknown.
+    let sites = sites2020();
+    let mut counts = std::collections::BTreeMap::new();
+    for s in sites.iter().filter(|s| s.has_localhost()) {
+        *counts.entry(classify_site(s)).or_insert(0usize) += 1;
+    }
+    assert_eq!(counts[&ReasonClass::FraudDetection], 36);
+    assert_eq!(counts[&ReasonClass::BotDetection], 10);
+    assert_eq!(counts[&ReasonClass::NativeApplication], 12);
+    assert_eq!(counts[&ReasonClass::DeveloperError], 44);
+    assert_eq!(counts[&ReasonClass::Unknown], 5);
+}
+
+#[test]
+fn rq3_anti_abuse_is_windows_only() {
+    for s in sites2020().iter().filter(|s| s.has_localhost()) {
+        match classify_site(s) {
+            ReasonClass::FraudDetection | ReasonClass::BotDetection => {
+                assert_eq!(
+                    s.localhost_os,
+                    knock_talk::netbase::OsSet::WINDOWS_ONLY,
+                    "{} anti-abuse must be Windows-only",
+                    s.domain
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn rq3_no_bot_detection_in_2021() {
+    // §4.3.2: the BIG-IP script disappeared between crawls.
+    let sites = study().activities(&CrawlId::top2021());
+    let bot = sites
+        .iter()
+        .filter(|s| s.has_localhost())
+        .filter(|s| classify_site(s) == ReasonClass::BotDetection)
+        .count();
+    assert_eq!(bot, 0);
+}
+
+#[test]
+fn malicious_findings_table2() {
+    let sites = study().activities(&CrawlId::malicious());
+    let localhost = sites.iter().filter(|s| s.has_localhost()).count();
+    let lan = sites.iter().filter(|s| s.has_lan()).count();
+    assert_eq!(localhost, 151, "151 malicious localhost sites");
+    assert_eq!(lan, 9, "9 malicious LAN sites");
+    // Per-category, per-OS counts (Table 2's right side).
+    let count = |cat: MaliciousCategory, os: Os, lan: bool| {
+        sites
+            .iter()
+            .filter(|s| s.malicious_category == Some(report::category_code(cat)))
+            .filter(|s| {
+                if lan {
+                    s.lan_os.contains(os)
+                } else {
+                    s.localhost_os.contains(os)
+                }
+            })
+            .count()
+    };
+    assert_eq!(count(MaliciousCategory::Malware, Os::Windows, false), 72);
+    assert_eq!(count(MaliciousCategory::Malware, Os::Linux, false), 83);
+    assert_eq!(count(MaliciousCategory::Malware, Os::MacOs, false), 75);
+    assert_eq!(count(MaliciousCategory::Phishing, Os::Windows, false), 25);
+    assert_eq!(count(MaliciousCategory::Phishing, Os::Linux, false), 41);
+    assert_eq!(count(MaliciousCategory::Phishing, Os::MacOs, false), 9);
+    assert_eq!(count(MaliciousCategory::Abuse, Os::Windows, false), 0);
+    assert_eq!(count(MaliciousCategory::Abuse, Os::Windows, true), 1);
+    assert_eq!(count(MaliciousCategory::Malware, Os::Windows, true), 8);
+    assert_eq!(count(MaliciousCategory::Malware, Os::Linux, true), 7);
+    assert_eq!(count(MaliciousCategory::Malware, Os::MacOs, true), 7);
+}
+
+#[test]
+fn malicious_dev_errors_dominate() {
+    // §4.3.4: >90% of malicious local activity is developer errors —
+    // here measured among the non-clone sites plus clones, matching
+    // the paper's framing that none of it is an attack.
+    let sites = study().activities(&CrawlId::malicious());
+    let active: Vec<_> = sites.iter().filter(|s| s.has_localhost()).collect();
+    let dev = active
+        .iter()
+        .filter(|s| classify_site(s) == ReasonClass::DeveloperError)
+        .count();
+    assert!(
+        dev as f64 / active.len() as f64 > 0.80,
+        "dev errors {} of {}",
+        dev,
+        active.len()
+    );
+    // And the 13 phishing clones with inherited fraud detection exist.
+    let clones = active
+        .iter()
+        .filter(|s| classify_site(s) == ReasonClass::FraudDetection)
+        .count();
+    assert_eq!(clones, 13);
+}
+
+#[test]
+fn crawl_success_rates_match_table1_and_2() {
+    let s = study();
+    // Top-list crawls succeed ~90%.
+    for os in [Os::Windows, Os::Linux, Os::MacOs] {
+        let stats = s.stats_for(&CrawlId::top2020(), os).unwrap();
+        let rate = stats.success_rate();
+        assert!((0.85..0.95).contains(&rate), "{os:?} 2020 rate {rate}");
+    }
+    // Malicious crawls succeed ~61–76% per category; overall ~70%.
+    for os in [Os::Windows, Os::Linux, Os::MacOs] {
+        let stats = s.stats_for(&CrawlId::malicious(), os).unwrap();
+        let rate = stats.success_rate();
+        assert!((0.60..0.80).contains(&rate), "{os:?} malicious rate {rate}");
+    }
+    // DNS failures dominate (≈88–90% of failures).
+    let stats = s.stats_for(&CrawlId::top2020(), Os::Windows).unwrap();
+    let dns = stats.failure_count(knock_talk::netlog::NetError::NameNotResolved);
+    let share = dns as f64 / stats.failed().max(1) as f64;
+    assert!((0.80..0.95).contains(&share), "DNS share {share}");
+}
+
+#[test]
+fn rank_distribution_is_uniformish_figure3() {
+    // Figure 3: detected domains spread through the whole list — the
+    // quartiles of the rank ECDF should be roughly linear.
+    let sites = sites2020();
+    let n = study().population.sites2020.len() as f64;
+    let ranks: Vec<f64> = sites
+        .iter()
+        .filter(|s| s.has_localhost())
+        .filter_map(|s| s.rank)
+        .map(|r| r as f64 / n)
+        .collect();
+    assert!(!ranks.is_empty());
+    let ecdf = knock_talk::analysis::cdf::Ecdf::new(ranks);
+    let q25 = ecdf.quantile(0.25).unwrap();
+    let q50 = ecdf.quantile(0.50).unwrap();
+    let q75 = ecdf.quantile(0.75).unwrap();
+    assert!((0.15..0.40).contains(&q25), "q25 {q25}");
+    assert!((0.35..0.65).contains(&q50), "q50 {q50}");
+    assert!((0.60..0.90).contains(&q75), "q75 {q75}");
+}
+
+#[test]
+fn highly_ranked_sites_exhibit_behavior_table3() {
+    // Table 3: the list's head includes a fraud-detection site with a
+    // very high rank (ebay.com at 104 in the paper).
+    let sites = sites2020();
+    let best = sites
+        .iter()
+        .filter(|s| s.has_localhost())
+        .filter_map(|s| s.rank)
+        .min()
+        .unwrap();
+    let head = (study().population.sites2020.len() / 100).max(10) as u32;
+    assert!(best <= head, "top site rank {best} within the first centile");
+}
