@@ -69,15 +69,28 @@ impl ReasonClass {
 /// saw both FACEIT (ws 28337) and fsist.com.br's HTTP
 /// `/getCertificados` service on 28337.
 const NATIVE_FINGERPRINTS: &[(&str, &[u16], &str, bool)] = &[
-    ("Discord", &[6463, 6464, 6465, 6466, 6467, 6468, 6469, 6470, 6471, 6472], "v=1", true),
+    (
+        "Discord",
+        &[6463, 6464, 6465, 6466, 6467, 6468, 6469, 6470, 6471, 6472],
+        "v=1",
+        true,
+    ),
     (
         "nProtect/AnySign",
-        &[14440, 14441, 14442, 14443, 14444, 14445, 14446, 14447, 14448, 14449, 10531, 31027, 31029],
+        &[
+            14440, 14441, 14442, 14443, 14444, 14445, 14446, 14447, 14448, 14449, 10531, 31027,
+            31029,
+        ],
         "",
         false,
     ),
     ("FACEIT", &[28337], "", true),
-    ("GameHouse/Zylom", &[12071, 12072, 17021, 27021], "init.json", false),
+    (
+        "GameHouse/Zylom",
+        &[12071, 12072, 17021, 27021],
+        "init.json",
+        false,
+    ),
     ("games.lol", &[60202], "/check", true),
     ("iWin", &[2080, 2081, 2082], "/version", false),
     ("Screenleap", &[5320], "/status", false),
@@ -86,7 +99,12 @@ const NATIVE_FINGERPRINTS: &[(&str, &[u16], &str, bool)] = &[
     ("iQiyi", &[16422, 16423], "get_client_ver", false),
     ("Thunder", &[28317, 36759], "get_thunder_version", false),
     ("e-signature (cryptapi)", &[64443], "cryptapi", false),
-    ("Gnway", &[38681, 38682, 38683, 38684, 38685, 38686, 38687], "", true),
+    (
+        "Gnway",
+        &[38681, 38682, 38683, 38684, 38685, 38686, 38687],
+        "",
+        true,
+    ),
 ];
 
 /// File-ish path suffixes that mark a developer-error resource fetch.
@@ -101,9 +119,10 @@ const FILE_SUFFIXES: &[&str] = &[
 pub fn native_app_name(site: &SiteLocalActivity) -> Option<&'static str> {
     let paths = site.paths();
     for (name, fp_ports, marker, ws_required) in NATIVE_FINGERPRINTS {
-        let port_hit = site.observations.iter().any(|o| {
-            fp_ports.contains(&o.port) && (!ws_required || o.websocket)
-        });
+        let port_hit = site
+            .observations
+            .iter()
+            .any(|o| fp_ports.contains(&o.port) && (!ws_required || o.websocket));
         if !port_hit {
             continue;
         }
@@ -148,9 +167,9 @@ pub fn classify_site(site: &SiteLocalActivity) -> ReasonClass {
     // 3. Native applications.
     for (_name, fp_ports, marker, ws_required) in NATIVE_FINGERPRINTS {
         let port_hit = |require_ws: bool| {
-            site.observations.iter().any(|o| {
-                fp_ports.contains(&o.port) && (!require_ws || o.websocket)
-            })
+            site.observations
+                .iter()
+                .any(|o| fp_ports.contains(&o.port) && (!require_ws || o.websocket))
         };
         if !port_hit(*ws_required) {
             continue;
@@ -348,7 +367,13 @@ mod tests {
 
     #[test]
     fn livereload_and_sockjs_are_dev_errors() {
-        let lr = vec![obs(Scheme::Https, "localhost", 35729, "/livereload.js", false)];
+        let lr = vec![obs(
+            Scheme::Https,
+            "localhost",
+            35729,
+            "/livereload.js",
+            false,
+        )];
         assert_eq!(classify_site(&site_with(lr)), ReasonClass::DeveloperError);
         let sj = vec![obs(
             Scheme::Https,
@@ -390,7 +415,10 @@ mod tests {
         let observations = (6880u16..=6889)
             .map(|p| obs(Scheme::Http, "127.0.0.1", p, "/app_list.json", false))
             .collect();
-        assert_eq!(classify_site(&site_with(observations)), ReasonClass::Unknown);
+        assert_eq!(
+            classify_site(&site_with(observations)),
+            ReasonClass::Unknown
+        );
     }
 
     #[test]
@@ -403,13 +431,19 @@ mod tests {
             .iter()
             .map(|p| obs(Scheme::Http, "localhost", *p, "/", false))
             .collect();
-        assert_eq!(classify_site(&site_with(observations)), ReasonClass::Unknown);
+        assert_eq!(
+            classify_site(&site_with(observations)),
+            ReasonClass::Unknown
+        );
     }
 
     #[test]
     fn censorship_iframe_is_unknown() {
         let observations = vec![obs(Scheme::Http, "10.10.34.35", 80, "/", false)];
-        assert_eq!(classify_site(&site_with(observations)), ReasonClass::Unknown);
+        assert_eq!(
+            classify_site(&site_with(observations)),
+            ReasonClass::Unknown
+        );
     }
 
     #[test]
@@ -436,9 +470,21 @@ mod tests {
         let faceit = vec![obs(Scheme::Ws, "localhost", 28337, "/", true)];
         assert_eq!(native_app_name(&site_with(faceit)), Some("FACEIT"));
         // The http service on FACEIT's port is NOT the app.
-        let http_28337 = vec![obs(Scheme::Http, "localhost", 28337, "/getCertificados", false)];
+        let http_28337 = vec![obs(
+            Scheme::Http,
+            "localhost",
+            28337,
+            "/getCertificados",
+            false,
+        )];
         assert_eq!(native_app_name(&site_with(http_28337)), None);
-        let dev = vec![obs(Scheme::Http, "localhost", 35729, "/livereload.js", false)];
+        let dev = vec![obs(
+            Scheme::Http,
+            "localhost",
+            35729,
+            "/livereload.js",
+            false,
+        )];
         assert_eq!(native_app_name(&site_with(dev)), None);
     }
 

@@ -198,7 +198,9 @@ mod tests {
                         kind: SourceType::WebSocket,
                     },
                     phase: EventPhase::Begin,
-                    params: EventParams::WebSocket { url: url.to_string() },
+                    params: EventParams::WebSocket {
+                        url: url.to_string(),
+                    },
                 });
             } else {
                 events.push(NetLogEvent {
@@ -240,7 +242,11 @@ mod tests {
         for scenario in AdoptionScenario::ALL {
             let verdicts = replay_record(&rec, scenario);
             assert_eq!(verdicts.len(), 1);
-            assert_eq!(verdicts[0].0, PnaVerdict::BlockedInsecureContext, "{scenario:?}");
+            assert_eq!(
+                verdicts[0].0,
+                PnaVerdict::BlockedInsecureContext,
+                "{scenario:?}"
+            );
         }
     }
 
@@ -262,10 +268,15 @@ mod tests {
         let rec = record(
             "shop.example",
             "https://shop.example/",
-            &[("wss://localhost:3389/", true), ("wss://localhost:5939/", true)],
+            &[
+                ("wss://localhost:3389/", true),
+                ("wss://localhost:5939/", true),
+            ],
         );
         let verdicts = replay_record(&rec, AdoptionScenario::NativeAppsOptIn);
-        assert!(verdicts.iter().all(|(v, _)| *v == PnaVerdict::BlockedPreflight));
+        assert!(verdicts
+            .iter()
+            .all(|(v, _)| *v == PnaVerdict::BlockedPreflight));
         // Full opt-in (secure context only) lets it through.
         let verdicts = replay_record(&rec, AdoptionScenario::FullOptIn);
         assert!(verdicts.iter().all(|(v, _)| *v == PnaVerdict::Allowed));
@@ -289,11 +300,15 @@ mod tests {
             ),
         ];
         let impact = evaluate(&records);
-        let (works, blocked) =
-            impact.get(ReasonClass::NativeApplication, AdoptionScenario::NativeAppsOptIn);
+        let (works, blocked) = impact.get(
+            ReasonClass::NativeApplication,
+            AdoptionScenario::NativeAppsOptIn,
+        );
         assert_eq!((works, blocked), (1, 0), "native app preserved");
-        let (works, blocked) =
-            impact.get(ReasonClass::DeveloperError, AdoptionScenario::NativeAppsOptIn);
+        let (works, blocked) = impact.get(
+            ReasonClass::DeveloperError,
+            AdoptionScenario::NativeAppsOptIn,
+        );
         assert_eq!((works, blocked), (0, 1), "dev error silenced");
         let text = impact.render();
         assert!(text.contains("native apps opt in"));

@@ -177,9 +177,7 @@ pub fn aggregate_sites(records: &[VisitRecord]) -> Vec<SiteLocalActivity> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kt_netlog::{
-        EventParams, EventPhase, EventType, NetLogEvent, SourceRef, SourceType,
-    };
+    use kt_netlog::{EventParams, EventPhase, EventType, NetLogEvent, SourceRef, SourceType};
     use kt_store::{CrawlId, LoadOutcome};
 
     fn record_with_events(domain: &str, os: Os, events: Vec<NetLogEvent>) -> VisitRecord {
@@ -229,7 +227,11 @@ mod tests {
     #[test]
     fn detects_loopback_and_lan_not_public() {
         let mut events = url_request(1, 500, "https://cdn.example/lib.js");
-        events.extend(url_request(2, 5_400, "http://localhost:8888/wp-content/uploads/a.jpg"));
+        events.extend(url_request(
+            2,
+            5_400,
+            "http://localhost:8888/wp-content/uploads/a.jpg",
+        ));
         events.extend(url_request(3, 6_000, "http://10.0.0.200/b.mp4"));
         let record = record_with_events("site.example", Os::Linux, events);
         let obs = detect_local(&record);

@@ -189,7 +189,11 @@ mod tests {
             DevErrorKind::SockJsNode
         );
         assert_eq!(
-            classify_dev_error(&site(vec![obs("localhost", 5140, "/NonExistentImage5.gif")])),
+            classify_dev_error(&site(vec![obs(
+                "localhost",
+                5140,
+                "/NonExistentImage5.gif"
+            )])),
             DevErrorKind::NonExistentImage
         );
         assert_eq!(
@@ -201,7 +205,11 @@ mod tests {
             DevErrorKind::LocalFileServer
         );
         assert_eq!(
-            classify_dev_error(&site(vec![obs("10.0.0.200", 80, "/wordpress/wp-content/x.mp4")])),
+            classify_dev_error(&site(vec![obs(
+                "10.0.0.200",
+                80,
+                "/wordpress/wp-content/x.mp4"
+            )])),
             DevErrorKind::LanResource
         );
         assert_eq!(

@@ -73,7 +73,11 @@ pub fn entropy_of<I: IntoIterator<Item = PortFingerprint>>(fingerprints: I) -> E
         population: n,
         distinct: counts.len(),
         shannon_bits: shannon,
-        normalised: if max_bits > 0.0 { shannon / max_bits } else { 0.0 },
+        normalised: if max_bits > 0.0 {
+            shannon / max_bits
+        } else {
+            0.0
+        },
         modal_share: modal as f64 / n.max(1) as f64,
     }
 }

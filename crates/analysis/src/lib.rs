@@ -39,9 +39,9 @@ pub mod venn;
 pub use cdf::Ecdf;
 pub use classify::{classify_site, ReasonClass};
 pub use defense::{AdoptionScenario, DefenseImpact};
+pub use detect::{detect_local, LocalObservation, SiteLocalActivity};
 pub use dev_error::{classify_dev_error, DevErrorKind};
 pub use entropy::{scan_entropy, EntropyReport, PortFingerprint};
 pub use longitudinal::{transitions, Transition, TransitionMatrix};
-pub use detect::{detect_local, LocalObservation, SiteLocalActivity};
 pub use rings::PortRings;
 pub use venn::OsVenn;

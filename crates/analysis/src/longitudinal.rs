@@ -180,7 +180,10 @@ mod tests {
         let m = transitions(&y2020, &y2021);
         assert_eq!(m.get(ReasonClass::FraudDetection, Transition::Carried), 1);
         assert_eq!(m.get(ReasonClass::FraudDetection, Transition::Stopped), 1);
-        assert_eq!(m.get(ReasonClass::DeveloperError, Transition::Reclassified), 1);
+        assert_eq!(
+            m.get(ReasonClass::DeveloperError, Transition::Reclassified),
+            1
+        );
         assert_eq!(m.get(ReasonClass::DeveloperError, Transition::Started), 1);
         assert_eq!(m.totals[&Transition::Carried], 1);
         assert_eq!(m.totals[&Transition::Started], 1);

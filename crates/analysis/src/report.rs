@@ -120,6 +120,9 @@ pub struct Table1Row {
     pub failed: usize,
     /// Error breakdown: (name, count).
     pub errors: Vec<(String, usize)>,
+    /// Connectivity-check retries (measurement-side outages that
+    /// delayed the crawl instead of polluting the error columns).
+    pub connectivity_retries: usize,
 }
 
 /// Table 1 — web crawl statistics.
@@ -134,6 +137,7 @@ pub fn table1(rows: &[(&str, Os, &CrawlStats)]) -> (String, Vec<Table1Row>) {
         "CONN_RESET",
         "CERT_CN_INVALID",
         "Others",
+        "# conn retries",
     ]);
     let mut structured = Vec::new();
     for (label, os, stats) in rows {
@@ -156,6 +160,7 @@ pub fn table1(rows: &[(&str, Os, &CrawlStats)]) -> (String, Vec<Table1Row>) {
             pct(errors[2].1, failed),
             pct(errors[3].1, failed),
             pct(errors[4].1, failed),
+            stats.connectivity_retries.to_string(),
         ]);
         structured.push(Table1Row {
             crawl: label.to_string(),
@@ -163,7 +168,108 @@ pub fn table1(rows: &[(&str, Os, &CrawlStats)]) -> (String, Vec<Table1Row>) {
             successful: stats.successful,
             failed,
             errors: errors.iter().map(|(n, c)| (n.to_string(), *c)).collect(),
+            connectivity_retries: stats.connectivity_retries,
         });
+    }
+    (table.render(), structured)
+}
+
+/// One campaign × OS resilience summary: how hard the supervisor had
+/// to work to produce its Table 1 row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// Crawl label.
+    pub crawl: String,
+    /// OS label.
+    pub os: String,
+    /// Sites attempted.
+    pub attempted: usize,
+    /// In-place retries after transient failures.
+    pub retries: usize,
+    /// Sites sent through the end-of-campaign recrawl pass.
+    pub recrawled: usize,
+    /// Sites that failed transiently but ended as successes.
+    pub recovered: usize,
+    /// Sites still failing after the recrawl pass.
+    pub gave_up: usize,
+    /// Visits quarantined after a worker panic.
+    pub crashed: usize,
+    /// Telemetry-store appends that needed a retry.
+    pub store_retries: usize,
+    /// Connectivity-check retries (measurement-side outages).
+    pub connectivity_retries: usize,
+}
+
+impl HealthReport {
+    /// Summarise one campaign's stats.
+    pub fn from_stats(crawl: &str, os: Os, stats: &CrawlStats) -> HealthReport {
+        HealthReport {
+            crawl: crawl.to_string(),
+            os: os.name().to_string(),
+            attempted: stats.attempted,
+            retries: stats.retries,
+            recrawled: stats.recrawled,
+            recovered: stats.recovered,
+            gave_up: stats.gave_up,
+            crashed: stats.crashed,
+            store_retries: stats.store_retries,
+            connectivity_retries: stats.connectivity_retries,
+        }
+    }
+
+    /// Of the sites that ever failed transiently, the fraction the
+    /// retry/recrawl machinery saved. 0 when none failed transiently.
+    pub fn recovery_rate(&self) -> f64 {
+        let tried = self.recovered + self.gave_up;
+        if tried == 0 {
+            0.0
+        } else {
+            self.recovered as f64 / tried as f64
+        }
+    }
+
+    /// Fraction of attempted sites quarantined after a panic.
+    pub fn quarantine_rate(&self) -> f64 {
+        if self.attempted == 0 {
+            0.0
+        } else {
+            self.crashed as f64 / self.attempted as f64
+        }
+    }
+}
+
+/// The crawl health report: one row per campaign × OS.
+pub fn health_table(rows: &[(&str, Os, &CrawlStats)]) -> (String, Vec<HealthReport>) {
+    let mut table = TextTable::new([
+        "Type of Crawl",
+        "OS",
+        "# sites",
+        "retries",
+        "recrawled",
+        "recovered",
+        "gave up",
+        "quarantined",
+        "store retries",
+        "conn retries",
+        "recovery",
+    ]);
+    let mut structured = Vec::new();
+    for (label, os, stats) in rows {
+        let report = HealthReport::from_stats(label, *os, stats);
+        table.row([
+            report.crawl.clone(),
+            report.os.clone(),
+            report.attempted.to_string(),
+            report.retries.to_string(),
+            report.recrawled.to_string(),
+            report.recovered.to_string(),
+            report.gave_up.to_string(),
+            report.crashed.to_string(),
+            report.store_retries.to_string(),
+            report.connectivity_retries.to_string(),
+            format!("{:.0}%", report.recovery_rate() * 100.0),
+        ]);
+        structured.push(report);
     }
     (table.render(), structured)
 }
@@ -238,7 +344,12 @@ pub fn table2(
             category.label().to_string(),
             n_sites.to_string(),
             sources,
-            format!("{}/{}/{}", rate(Os::Windows), rate(Os::Linux), rate(Os::MacOs)),
+            format!(
+                "{}/{}/{}",
+                rate(Os::Windows),
+                rate(Os::Linux),
+                rate(Os::MacOs)
+            ),
             format!(
                 "{}/{}/{}",
                 activity(false, Os::Windows),
@@ -335,14 +446,15 @@ pub fn localhost_rows(sites: &[SiteLocalActivity]) -> Vec<LocalhostRow> {
                 .iter()
                 .filter(|o| o.locality.is_loopback())
                 .collect();
-            let mut protocols: Vec<String> = loopback_obs
-                .iter()
-                .map(|o| o.scheme.to_string())
-                .collect();
+            let mut protocols: Vec<String> =
+                loopback_obs.iter().map(|o| o.scheme.to_string()).collect();
             protocols.sort();
             protocols.dedup();
             let ports: Vec<u16> = loopback_obs.iter().map(|o| o.port).collect();
-            let mut paths: Vec<String> = loopback_obs.iter().map(|o| generalise_path(&o.path)).collect();
+            let mut paths: Vec<String> = loopback_obs
+                .iter()
+                .map(|o| generalise_path(&o.path))
+                .collect();
             paths.sort();
             paths.dedup();
             paths.truncate(3);
@@ -364,7 +476,9 @@ pub fn localhost_rows(sites: &[SiteLocalActivity]) -> Vec<LocalhostRow> {
 /// Render a localhost table (Tables 5/7/8 shape).
 pub fn localhost_table(sites: &[SiteLocalActivity]) -> (String, Vec<LocalhostRow>) {
     let rows = localhost_rows(sites);
-    let mut table = TextTable::new(["Reason", "Rank", "Domain", "Protocol", "Ports", "Paths", "W L M"]);
+    let mut table = TextTable::new([
+        "Reason", "Rank", "Domain", "Protocol", "Ports", "Paths", "W L M",
+    ]);
     for r in &rows {
         table.row([
             r.reason.label().to_string(),
@@ -445,8 +559,7 @@ pub fn lan_table(sites: &[SiteLocalActivity]) -> (String, Vec<LanRow>) {
                 .filter(|o| o.locality.is_private())
                 .collect();
             let first = lan_obs.first().expect("has_lan implies an observation");
-            let mut paths: Vec<String> =
-                lan_obs.iter().map(|o| generalise_path(&o.path)).collect();
+            let mut paths: Vec<String> = lan_obs.iter().map(|o| generalise_path(&o.path)).collect();
             paths.sort();
             paths.dedup();
             paths.truncate(3);
@@ -540,8 +653,14 @@ pub fn activity_diff(
             .intersection(&set2021)
             .map(|s| s.to_string())
             .collect(),
-        new: set2021.difference(&set2020).map(|s| s.to_string()).collect(),
-        stopped: set2020.difference(&set2021).map(|s| s.to_string()).collect(),
+        new: set2021
+            .difference(&set2020)
+            .map(|s| s.to_string())
+            .collect(),
+        stopped: set2020
+            .difference(&set2021)
+            .map(|s| s.to_string())
+            .collect(),
     }
 }
 
@@ -557,7 +676,10 @@ mod tests {
             "14440-14444"
         );
         assert_eq!(condense_ports(&[80, 81]), "80, 81");
-        assert_eq!(condense_ports(&[5900, 5901, 5902, 5903, 7070]), "5900-5903, 7070");
+        assert_eq!(
+            condense_ports(&[5900, 5901, 5902, 5903, 7070]),
+            "5900-5903, 7070"
+        );
         assert_eq!(condense_ports(&[]), "");
         assert_eq!(condense_ports(&[5, 5, 5]), "5");
     }
@@ -604,5 +726,48 @@ mod tests {
         assert!(text.contains("90 (90.0%)"));
         assert!(text.contains("9 (90.0%)"), "DNS share of failures");
         assert_eq!(rows[0].failed, 10);
+    }
+
+    #[test]
+    fn table1_surfaces_connectivity_retries() {
+        let stats = CrawlStats {
+            attempted: 10,
+            successful: 10,
+            connectivity_retries: 3,
+            ..CrawlStats::default()
+        };
+        let (text, rows) = table1(&[("Top 100K: 2021", Os::Linux, &stats)]);
+        assert!(text.contains("# conn retries"));
+        assert_eq!(rows[0].connectivity_retries, 3);
+    }
+
+    #[test]
+    fn health_table_summarises_resilience() {
+        let stats = CrawlStats {
+            attempted: 100,
+            successful: 96,
+            retries: 7,
+            recrawled: 5,
+            recovered: 3,
+            gave_up: 1,
+            crashed: 2,
+            store_retries: 4,
+            connectivity_retries: 6,
+            ..CrawlStats::default()
+        };
+        let (text, reports) = health_table(&[("Top 100K: 2020", Os::Windows, &stats)]);
+        assert!(text.contains("quarantined"));
+        let r = &reports[0];
+        assert_eq!(r.retries, 7);
+        assert_eq!(r.crashed, 2);
+        assert!((r.recovery_rate() - 0.75).abs() < 1e-9, "3 of 4 saved");
+        assert!((r.quarantine_rate() - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn health_report_rates_handle_empty_campaigns() {
+        let report = HealthReport::from_stats("empty", Os::MacOs, &CrawlStats::new());
+        assert_eq!(report.recovery_rate(), 0.0);
+        assert_eq!(report.quarantine_rate(), 0.0);
     }
 }

@@ -62,10 +62,7 @@ impl PortRings {
     /// The dominant scheme on one OS, if any traffic exists.
     pub fn dominant_scheme(&self, os: Os) -> Option<(Scheme, f64)> {
         let ring = self.by_os.get(&os)?;
-        let (scheme, counts) = ring
-            .by_scheme
-            .iter()
-            .max_by_key(|(_, r)| r.total)?;
+        let (scheme, counts) = ring.by_scheme.iter().max_by_key(|(_, r)| r.total)?;
         Some((*scheme, counts.total as f64 / ring.total.max(1) as f64))
     }
 
@@ -79,7 +76,13 @@ impl PortRings {
                 let ports: Vec<String> = sring
                     .by_port
                     .iter()
-                    .map(|(p, n)| if *n > 1 { format!("{p}×{n}") } else { p.to_string() })
+                    .map(|(p, n)| {
+                        if *n > 1 {
+                            format!("{p}×{n}")
+                        } else {
+                            p.to_string()
+                        }
+                    })
                     .collect();
                 out.push_str(&format!("    ports: {}\n", ports.join(" ")));
             }

@@ -12,9 +12,9 @@ use proptest::prelude::*;
 
 fn arb_observation() -> impl Strategy<Value = LocalObservation> {
     (
-        0usize..3,                 // os
-        0usize..4,                 // scheme
-        1u16..,                    // port
+        0usize..3, // os
+        0usize..4, // scheme
+        1u16..,    // port
         prop_oneof![
             Just("/".to_string()),
             Just("/wp-content/uploads/a.jpg".to_string()),
@@ -23,14 +23,18 @@ fn arb_observation() -> impl Strategy<Value = LocalObservation> {
             Just("/app_list.json".to_string()),
             "[a-z/]{1,20}".prop_map(|s| format!("/{s}")),
         ],
-        any::<bool>(),             // loopback vs private
-        any::<bool>(),             // websocket
-        any::<bool>(),             // via_redirect
-        0u64..20_000,              // time
+        any::<bool>(), // loopback vs private
+        any::<bool>(), // websocket
+        any::<bool>(), // via_redirect
+        0u64..20_000,  // time
     )
         .prop_map(|(os, scheme, port, path, loopback, ws, redir, time)| {
             let scheme = Scheme::ALL[scheme];
-            let host = if loopback { "localhost".to_string() } else { "192.168.1.7".to_string() };
+            let host = if loopback {
+                "localhost".to_string()
+            } else {
+                "192.168.1.7".to_string()
+            };
             let url = Url::parse(&format!("{scheme}://{host}:{port}{path}")).unwrap();
             LocalObservation {
                 domain: "prop.example".into(),
@@ -40,7 +44,11 @@ fn arb_observation() -> impl Strategy<Value = LocalObservation> {
                 scheme,
                 port,
                 path: url.path_and_query(),
-                locality: if loopback { Locality::Loopback } else { Locality::Private },
+                locality: if loopback {
+                    Locality::Loopback
+                } else {
+                    Locality::Private
+                },
                 websocket: ws,
                 via_redirect: redir,
                 time_ms: time,

@@ -59,7 +59,13 @@ fn localhost_table_groups_by_reason_and_sorts_by_rank() {
         site(
             "dev.example",
             900,
-            vec![obs(Os::Linux, Scheme::Http, "localhost", 8888, "/wp-content/uploads/2019/01/asset7.jpg")],
+            vec![obs(
+                Os::Linux,
+                Scheme::Http,
+                "localhost",
+                8888,
+                "/wp-content/uploads/2019/01/asset7.jpg",
+            )],
         ),
         tm_site("shop-b.example", 500),
         tm_site("shop-a.example", 104),
@@ -105,7 +111,13 @@ fn table3_splits_windows_and_nix_columns() {
         site(
             "nix.example",
             20,
-            vec![obs(Os::Linux, Scheme::Http, "localhost", 6878, "/webui/api/service")],
+            vec![obs(
+                Os::Linux,
+                Scheme::Http,
+                "localhost",
+                6878,
+                "/webui/api/service",
+            )],
         ),
     ];
     let text = report::table3(&sites, 10);
@@ -132,7 +144,13 @@ fn table11_contains_only_dev_errors() {
         site(
             "dev.example",
             2,
-            vec![obs(Os::MacOs, Scheme::Https, "localhost", 9000, "/sockjs-node/info?t=1")],
+            vec![obs(
+                Os::MacOs,
+                Scheme::Https,
+                "localhost",
+                9000,
+                "/sockjs-node/info?t=1",
+            )],
         ),
     ];
     let (text, rows) = report::table11(&sites);
@@ -149,7 +167,13 @@ fn reason_counts_tally() {
         site(
             "c.example",
             3,
-            vec![obs(Os::Linux, Scheme::Http, "localhost", 35729, "/livereload.js")],
+            vec![obs(
+                Os::Linux,
+                Scheme::Http,
+                "localhost",
+                35729,
+                "/livereload.js",
+            )],
         ),
     ];
     let counts = report::reason_counts(&sites);

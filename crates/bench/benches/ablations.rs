@@ -89,7 +89,10 @@ fn ablation_flow_grouping(c: &mut Criterion) {
 fn ablation_store_index(c: &mut Criterion) {
     let sites = population(256);
     let store = crawled_store(&sites, 4);
-    let domains: Vec<String> = sites.iter().map(|s| s.domain.as_str().to_string()).collect();
+    let domains: Vec<String> = sites
+        .iter()
+        .map(|s| s.domain.as_str().to_string())
+        .collect();
     let mut group = c.benchmark_group("ablation_store");
     group.bench_function("indexed_lookup_64", |b| {
         b.iter(|| {

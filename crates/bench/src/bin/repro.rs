@@ -44,7 +44,10 @@ fn main() {
         ("T1", "Table 1 — web crawl statistics"),
         ("T2", "Table 2 — malicious crawl summary"),
         ("T3", "Table 3 — top localhost-active domains (2020)"),
-        ("T4", "Table 4 — scanned localhost ports: services and use cases"),
+        (
+            "T4",
+            "Table 4 — scanned localhost ports: services and use cases",
+        ),
         ("T5", "Table 5 — 2020 localhost requests by reason"),
         ("T6", "Table 6 — 2020 LAN requests"),
         ("T7", "Table 7 — localhost requests new in 2021"),
@@ -53,17 +56,35 @@ fn main() {
         ("T10", "Table 10 — 2021 LAN requests"),
         ("T11", "Table 11 — 2020 developer-error localhost requests"),
         ("F2", "Figure 2 — OS overlap of localhost-active sites"),
-        ("F3", "Figure 3 — rank CDFs of localhost-active sites (2020)"),
-        ("F4", "Figure 4 — protocols and ports of localhost requests (2020)"),
+        (
+            "F3",
+            "Figure 3 — rank CDFs of localhost-active sites (2020)",
+        ),
+        (
+            "F4",
+            "Figure 4 — protocols and ports of localhost requests (2020)",
+        ),
         ("F5", "Figure 5 — time to first local request (2020)"),
         ("F6", "Figure 6 — time to first local request (2021)"),
         ("F7", "Figure 7 — time to first local request (malicious)"),
-        ("F8", "Figure 8 — protocols and ports of localhost requests (2021)"),
-        ("F9", "Figure 9 — rank CDFs of localhost-active sites (2021)"),
+        (
+            "F8",
+            "Figure 8 — protocols and ports of localhost requests (2021)",
+        ),
+        (
+            "F9",
+            "Figure 9 — rank CDFs of localhost-active sites (2021)",
+        ),
         ("X1", "Extension X1 — Private Network Access impact (§5.3)"),
-        ("X2", "Extension X2 — developer-error breakdown (Appendix B)"),
+        (
+            "X2",
+            "Extension X2 — developer-error breakdown (Appendix B)",
+        ),
         ("X3", "Extension X3 — fingerprinting entropy (§5.2)"),
-        ("X4", "Extension X4 — 2020→2021 behaviour transitions (§4.1)"),
+        (
+            "X4",
+            "Extension X4 — 2020→2021 behaviour transitions (§4.1)",
+        ),
         ("X5", "Extension X5 — deep crawl of internal pages (§3.3)"),
     ];
     for (id, title) in titles {

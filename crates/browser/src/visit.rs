@@ -6,6 +6,7 @@
 //! scans, native-app probes, developer-error fetches…), and hand back
 //! the NetLog capture.
 
+use kt_faults::{SalvagedVisit, VisitFaults};
 use kt_netbase::pna::{self, AddressSpace, PreflightResult};
 use kt_netbase::services::is_native_app_port;
 use kt_netbase::{Host, Url};
@@ -85,6 +86,26 @@ impl<'w> Browser<'w> {
 
     /// Visit one site's landing page.
     pub fn visit(&mut self, site: &WebSite) -> VisitResult {
+        self.visit_faulted(site, &VisitFaults::NONE)
+    }
+
+    /// Visit one site's landing page under an injected fault set.
+    ///
+    /// The hooks mirror how each fault manifests in a real crawl:
+    ///
+    /// * `dns_flap` — the resolver query times out this attempt; the
+    ///   visit fails `ERR_TIMED_OUT` (transient, unlike a genuine
+    ///   NXDOMAIN fate);
+    /// * `connection_reset` — the landing connection dies after the
+    ///   document starts arriving: the load is reported as
+    ///   `ERR_CONNECTION_RESET` and the page never runs;
+    /// * `panic` — the visit crashes mid-flight, throwing a
+    ///   [`SalvagedVisit`] carrying the capture prefix logged so far
+    ///   (the supervisor's `catch_unwind` quarantines the site);
+    /// * `truncate_capture` — the capture loses its tail after the
+    ///   visit completes; the outcome is untouched, only evidence
+    ///   shrinks (monotone: a truncated capture is a valid prefix).
+    pub fn visit_faulted(&mut self, site: &WebSite, faults: &VisitFaults) -> VisitResult {
         let mut log = NetLogger::new();
         let window = self.config.window_ms;
 
@@ -101,17 +122,124 @@ impl<'w> Browser<'w> {
         );
 
         let landing = World::landing_url(site);
+        if faults.dns_flap {
+            return self.flapped_dns_visit(log, site, &landing, window);
+        }
         let (load_end, result) = self.fetch_http(&mut log, &landing, 0, None, window);
-        let outcome = match result {
+        let mut outcome = match result {
             Ok(_status) => PageLoadOutcome::Loaded { at_ms: load_end },
             Err(err) => PageLoadOutcome::Failed(err),
         };
+        if faults.connection_reset {
+            if let PageLoadOutcome::Loaded { at_ms } = outcome {
+                // The document connection resets just after the load:
+                // the flow that carried the page dies mid-flight.
+                let source = log.new_source(SourceType::UrlRequest);
+                self.log_clamped(
+                    &mut log,
+                    at_ms,
+                    source,
+                    EventType::UrlRequestStartJob,
+                    EventPhase::Begin,
+                    EventParams::UrlRequestStart {
+                        url: landing.to_string(),
+                        method: "GET".to_string(),
+                        initiator: None,
+                        load_flags: 0,
+                    },
+                    window,
+                );
+                self.fail(
+                    &mut log,
+                    source,
+                    at_ms + 40,
+                    NetError::ConnectionReset,
+                    window,
+                );
+                outcome = PageLoadOutcome::Failed(NetError::ConnectionReset);
+            }
+        }
+        if faults.panic {
+            // Crash between the landing load and the page run: the
+            // events logged so far are the salvageable prefix.
+            std::panic::panic_any(SalvagedVisit {
+                domain: site.domain.as_str().to_string(),
+                events: log.into_capture().events,
+            });
+        }
         if let PageLoadOutcome::Loaded { at_ms } = outcome {
             self.run_page(&mut log, site, &landing, at_ms, window);
+        }
+        let mut capture = log.into_capture();
+        if faults.truncate_capture {
+            // The capture writer lost its tail: keep a prefix. Event
+            // count is deterministic, so so is the cut.
+            let keep = capture.events.len() * 2 / 3;
+            capture.events.truncate(keep);
         }
         VisitResult {
             domain: site.domain.as_str().to_string(),
             outcome,
+            capture,
+        }
+    }
+
+    /// An injected transient resolver flap: the DNS query for the
+    /// landing host never answers and the load times out.
+    fn flapped_dns_visit(
+        &mut self,
+        mut log: NetLogger,
+        site: &WebSite,
+        landing: &Url,
+        window: u64,
+    ) -> VisitResult {
+        let source = log.new_source(SourceType::UrlRequest);
+        self.log_clamped(
+            &mut log,
+            0,
+            source,
+            EventType::RequestAlive,
+            EventPhase::Begin,
+            EventParams::None,
+            window,
+        );
+        self.log_clamped(
+            &mut log,
+            0,
+            source,
+            EventType::UrlRequestStartJob,
+            EventPhase::Begin,
+            EventParams::UrlRequestStart {
+                url: landing.to_string(),
+                method: "GET".to_string(),
+                initiator: None,
+                load_flags: 0,
+            },
+            window,
+        );
+        self.log_clamped(
+            &mut log,
+            0,
+            source,
+            EventType::HostResolverImplJob,
+            EventPhase::Begin,
+            EventParams::DnsJob {
+                host: landing.host().to_string(),
+            },
+            window,
+        );
+        // Chrome's resolver gives up after its own timeout dance.
+        const DNS_FLAP_TIMEOUT_MS: u64 = 4_000;
+        self.fail(
+            &mut log,
+            source,
+            DNS_FLAP_TIMEOUT_MS.min(window.saturating_sub(1)),
+            NetError::TimedOut,
+            window,
+        );
+        VisitResult {
+            domain: site.domain.as_str().to_string(),
+            outcome: PageLoadOutcome::Failed(NetError::TimedOut),
             capture: log.into_capture(),
         }
     }
@@ -125,11 +253,7 @@ impl<'w> Browser<'w> {
         load_end: u64,
         window: u64,
     ) {
-        let initiator = format!(
-            "{}://{}",
-            landing.scheme(),
-            landing.host()
-        );
+        let initiator = format!("{}://{}", landing.scheme(), landing.host());
         // Ordinary public resources: half same-origin, half from the
         // shared CDNs, spread over the first ~12 s.
         struct Job {
@@ -415,8 +539,7 @@ impl<'w> Browser<'w> {
                 );
                 match endpoint.behavior {
                     ServerBehavior::Http(resp) => {
-                        let t_resp =
-                            t + self.world.net.latency().response_ms(&url.to_string());
+                        let t_resp = t + self.world.net.latency().response_ms(&url.to_string());
                         if let Some(location) = &resp.redirect_to {
                             self.log_clamped(
                                 log,
@@ -573,7 +696,11 @@ impl<'w> Browser<'w> {
             .net
             .connect(&self.world.host_env, ip, port, sni.as_deref());
         match outcome {
-            ConnectOutcome::Established { connect_ms, tls_ms, endpoint } => {
+            ConnectOutcome::Established {
+                connect_ms,
+                tls_ms,
+                endpoint,
+            } => {
                 let t = t_resolved + connect_ms + tls_ms;
                 match endpoint.behavior {
                     ServerBehavior::WebSocket => {
@@ -793,9 +920,12 @@ mod tests {
         );
         // And the capture records the DNS failure.
         let flows = FlowSet::from_events(result.capture.events);
-        let failed = flows
-            .iter()
-            .any(|f| matches!(f.outcome(), kt_netlog::FlowOutcome::Failed(NetError::NameNotResolved)));
+        let failed = flows.iter().any(|f| {
+            matches!(
+                f.outcome(),
+                kt_netlog::FlowOutcome::Failed(NetError::NameNotResolved)
+            )
+        });
         assert!(failed);
     }
 
@@ -1015,6 +1145,95 @@ mod tests {
         assert!(outcomes
             .iter()
             .all(|o| *o == kt_netlog::FlowOutcome::Failed(NetError::Aborted)));
+    }
+
+    fn visit_faulted(site: &WebSite, os: Os, faults: VisitFaults) -> VisitResult {
+        let mut world = World::build(std::slice::from_ref(site), os, 99);
+        let mut browser = Browser::new(&mut world, BrowserConfig::paper(os), 99);
+        browser.visit_faulted(site, &faults)
+    }
+
+    #[test]
+    fn injected_dns_flap_fails_transiently() {
+        let site = mk_site("healthy.example", true);
+        let result = visit_faulted(
+            &site,
+            Os::Linux,
+            VisitFaults {
+                dns_flap: true,
+                ..VisitFaults::NONE
+            },
+        );
+        assert_eq!(result.outcome, PageLoadOutcome::Failed(NetError::TimedOut));
+        // The failed resolution is visible in telemetry.
+        assert!(result
+            .capture
+            .events
+            .iter()
+            .any(|e| e.event_type == EventType::HostResolverImplJob));
+    }
+
+    #[test]
+    fn injected_reset_kills_a_loaded_page() {
+        let site = mk_site("healthy.example", true);
+        let result = visit_faulted(
+            &site,
+            Os::Linux,
+            VisitFaults {
+                connection_reset: true,
+                ..VisitFaults::NONE
+            },
+        );
+        assert_eq!(
+            result.outcome,
+            PageLoadOutcome::Failed(NetError::ConnectionReset)
+        );
+        // The page never ran: no public-resource fetches.
+        let clean = visit_faulted(&site, Os::Linux, VisitFaults::NONE);
+        assert!(result.capture.events.len() < clean.capture.events.len());
+    }
+
+    #[test]
+    fn injected_panic_throws_a_salvageable_prefix() {
+        let site = mk_site("crashy.example", true);
+        let payload = std::panic::catch_unwind(|| {
+            visit_faulted(
+                &site,
+                Os::Linux,
+                VisitFaults {
+                    panic: true,
+                    ..VisitFaults::NONE
+                },
+            )
+        })
+        .expect_err("the visit must panic");
+        let salvaged = payload
+            .downcast::<SalvagedVisit>()
+            .expect("payload carries the capture prefix");
+        assert_eq!(salvaged.domain, "crashy.example");
+        assert!(!salvaged.events.is_empty(), "landing-flow prefix salvaged");
+    }
+
+    #[test]
+    fn truncated_capture_keeps_outcome_but_loses_tail() {
+        let site = mk_site("healthy.example", true);
+        let clean = visit_faulted(&site, Os::Linux, VisitFaults::NONE);
+        let cut = visit_faulted(
+            &site,
+            Os::Linux,
+            VisitFaults {
+                truncate_capture: true,
+                ..VisitFaults::NONE
+            },
+        );
+        assert!(cut.outcome.is_loaded());
+        assert!(cut.capture.events.len() < clean.capture.events.len());
+        // And the prefix property holds: truncated events are a prefix
+        // of the clean capture's events.
+        assert_eq!(
+            cut.capture.events[..],
+            clean.capture.events[..cut.capture.events.len()]
+        );
     }
 
     #[test]

@@ -171,7 +171,11 @@ impl World {
 
     /// The landing-page URL for a site.
     pub fn landing_url(site: &WebSite) -> Url {
-        let scheme = if site.https { Scheme::Https } else { Scheme::Http };
+        let scheme = if site.https {
+            Scheme::Https
+        } else {
+            Scheme::Http
+        };
         Url::from_parts(
             scheme,
             kt_netbase::Host::Domain(site.domain.clone()),
@@ -195,7 +199,12 @@ mod tests {
 
     #[test]
     fn public_ips_are_public_and_deterministic() {
-        for d in ["ebay.example", "a.b.c.example", "x.ir", "localhost-like.com"] {
+        for d in [
+            "ebay.example",
+            "a.b.c.example",
+            "x.ir",
+            "localhost-like.com",
+        ] {
             let ip = public_ip_for(d, 7);
             assert_eq!(Locality::of_ipv4(ip), Locality::Public, "{d} -> {ip}");
             assert_eq!(ip, public_ip_for(d, 7));
@@ -273,7 +282,10 @@ mod tests {
     fn landing_url_respects_https_flag() {
         let mut s = site("either.example", Availability::Up);
         s.https = true;
-        assert_eq!(World::landing_url(&s).to_string(), "https://either.example/");
+        assert_eq!(
+            World::landing_url(&s).to_string(),
+            "https://either.example/"
+        );
         s.https = false;
         assert_eq!(World::landing_url(&s).to_string(), "http://either.example/");
     }

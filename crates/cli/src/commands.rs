@@ -22,6 +22,7 @@ pub fn help() {
            knocktalk analyze  <store.ktstore>\n\
            knocktalk classify <netlog.json> [--loaded-at MS] [--domain NAME]\n\
            knocktalk entropy  [--machines N] [--seed N]\n\
+           knocktalk health   [--scale quick|standard|paper] [--seed N]\n\
            knocktalk help\n\
          \n\
          COMMANDS:\n\
@@ -29,7 +30,9 @@ pub fn help() {
            crawl     run one campaign on one OS and print Table-1 statistics\n\
            analyze   load a saved telemetry snapshot and report local activity\n\
            classify  analyse a Chrome NetLog JSON capture for local traffic\n\
-           entropy   measure the fingerprinting entropy of the observed scans"
+           entropy   measure the fingerprinting entropy of the observed scans\n\
+           health    run the study and print the crawl health report\n\
+                     (retries, recrawls, recoveries, quarantines per campaign/OS)"
     );
 }
 
@@ -205,10 +208,21 @@ pub fn classify(opts: &Options) -> Result<(), String> {
                 obs.scheme.to_string(),
                 obs.url.to_string(),
                 obs.locality.label(),
-                if obs.via_redirect { ", via redirect" } else { "" },
+                if obs.via_redirect {
+                    ", via redirect"
+                } else {
+                    ""
+                },
             );
         }
     }
+    Ok(())
+}
+
+/// `knocktalk health`.
+pub fn health(opts: &Options) -> Result<(), String> {
+    let study = Study::run(study_config(opts)?);
+    println!("{}", knock_talk::experiments::health_report(&study));
     Ok(())
 }
 

@@ -6,6 +6,7 @@
 //! knocktalk analyze  <store.ktstore>
 //! knocktalk classify <netlog.json> [--loaded-at MS]
 //! knocktalk entropy  [--machines N] [--seed N]
+//! knocktalk health   [--scale quick|standard|paper] [--seed N]
 //! knocktalk help
 //! ```
 //!
@@ -40,6 +41,7 @@ fn main() -> ExitCode {
         "analyze" => commands::analyze(&opts),
         "classify" => commands::classify(&opts),
         "entropy" => commands::entropy(&opts),
+        "health" => commands::health(&opts),
         "help" | "--help" | "-h" => {
             commands::help();
             Ok(())

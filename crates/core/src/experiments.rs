@@ -84,9 +84,8 @@ pub fn x2_dev_error_breakdown(study: &Study) -> String {
 pub fn x3_fingerprint_entropy(study: &Study) -> String {
     use kt_netbase::services::{BIGIP_PORTS, THREATMETRIX_PORTS};
     let seed = study.config.population.seed;
-    let mut out = String::from(
-        "Shannon entropy harvested by each scan over 1,000 visitor machines:\n",
-    );
+    let mut out =
+        String::from("Shannon entropy harvested by each scan over 1,000 visitor machines:\n");
     let mut wide: Vec<u16> = THREATMETRIX_PORTS.to_vec();
     wide.extend_from_slice(&BIGIP_PORTS);
     wide.extend_from_slice(&[6463, 3000, 5900]);
@@ -191,6 +190,28 @@ pub fn table1(study: &Study) -> String {
     report::table1(&rows).0
 }
 
+/// The crawl health report — resilience counters (retries, recrawls,
+/// recoveries, quarantines) for every campaign/OS.
+pub fn health_report(study: &Study) -> String {
+    let mut rows: Vec<(&str, Os, &kt_crawler::CrawlStats)> = Vec::new();
+    let pairs = [
+        ("Top 100K: 2020", "top2020", Os::Windows),
+        ("Top 100K: 2020", "top2020", Os::Linux),
+        ("Top 100K: 2020", "top2020", Os::MacOs),
+        ("Top 100K: 2021", "top2021", Os::Windows),
+        ("Top 100K: 2021", "top2021", Os::Linux),
+        ("Malicious", "malicious", Os::Windows),
+        ("Malicious", "malicious", Os::Linux),
+        ("Malicious", "malicious", Os::MacOs),
+    ];
+    for (label, crawl, os) in pairs {
+        if let Some(stats) = study.stats.get(&(crawl.to_string(), os)) {
+            rows.push((label, os, stats));
+        }
+    }
+    report::health_table(&rows).0
+}
+
 /// Table 2 — malicious crawl summary.
 pub fn table2(study: &Study) -> String {
     let records = study.store.crawl_records(&CrawlId::malicious());
@@ -287,7 +308,10 @@ pub fn figure2(study: &Study) -> String {
 /// Render an ECDF curve as a unicode sparkline: each column is F(x)
 /// at an evenly-spaced x, so a uniform distribution draws a ramp.
 fn sparkline(ecdf: &Ecdf) -> String {
-    const BARS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    const BARS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
     ecdf.curve(39)
         .into_iter()
         .map(|(_, f)| BARS[((f * (BARS.len() - 1) as f64).round() as usize).min(BARS.len() - 1)])
@@ -305,11 +329,7 @@ fn rank_cdf(sites: &[SiteLocalActivity], oses: &[Os]) -> String {
             .map(|r| r as f64)
             .collect();
         let ecdf = Ecdf::new(ranks);
-        out.push_str(&format!(
-            "{} (total #: {})\n",
-            os.name(),
-            ecdf.len()
-        ));
+        out.push_str(&format!("{} (total #: {})\n", os.name(), ecdf.len()));
         if !ecdf.is_empty() {
             for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
                 out.push_str(&format!(

@@ -22,8 +22,9 @@
 //! locality, Same-Origin Policy), `kt-netlog` (Chrome NetLog model),
 //! `kt-simnet` (simulated internet), `kt-weblists`/`kt-webgen`
 //! (populations), `kt-browser` (the instrumented browser),
-//! `kt-crawler` (orchestration), `kt-store` (telemetry store) and
-//! `kt-analysis` (detection, classification, reports).
+//! `kt-faults` (deterministic fault injection + retry policy),
+//! `kt-crawler` (supervised orchestration), `kt-store` (telemetry
+//! store) and `kt-analysis` (detection, classification, reports).
 
 #![warn(missing_docs)]
 
@@ -35,6 +36,7 @@ pub use study::{Study, StudyConfig};
 pub use kt_analysis as analysis;
 pub use kt_browser as browser;
 pub use kt_crawler as crawler;
+pub use kt_faults as faults;
 pub use kt_netbase as netbase;
 pub use kt_netlog as netlog;
 pub use kt_simnet as simnet;

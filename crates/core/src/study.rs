@@ -57,7 +57,10 @@ pub fn campaigns() -> Vec<(CrawlId, Vec<Os>)> {
         (CrawlId::top2020(), vec![Os::Windows, Os::Linux, Os::MacOs]),
         // Logistics prevented the 2021 Mac crawl (§3.2, fn. 3).
         (CrawlId::top2021(), vec![Os::Windows, Os::Linux]),
-        (CrawlId::malicious(), vec![Os::Windows, Os::Linux, Os::MacOs]),
+        (
+            CrawlId::malicious(),
+            vec![Os::Windows, Os::Linux, Os::MacOs],
+        ),
     ]
 }
 

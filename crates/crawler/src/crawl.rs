@@ -1,18 +1,37 @@
-//! The crawl loop: worker pool over a site population.
+//! The crawl loop: a supervised worker pool over a site population.
 //!
 //! Each worker owns its own [`World`] (its own DNS cache and latency
 //! stream, like a separate VM) built over its chunk of sites, performs
 //! the paper's connectivity pre-check before every visit, runs the
 //! browser, and appends the visit record to the shared store.
+//!
+//! On top of the plain loop sits a resilience layer:
+//!
+//! * every visit runs under [`catch_unwind`] — a panicking visit is
+//!   quarantined as [`LoadOutcome::Crashed`] (salvaging whatever
+//!   capture prefix the panic payload carries) and the worker moves
+//!   on; `run_crawl` never aborts a campaign;
+//! * transient failures ([`is_transient`]) are retried in place with
+//!   exponential backoff, then parked on an end-of-campaign recrawl
+//!   queue that gets one final pass before the error is allowed into
+//!   the Table 1 statistics;
+//! * injected faults from the config's [`FaultPlan`] flow through the
+//!   same paths as organic failures, so failure-injection tests
+//!   exercise the production machinery.
+//!
 //! Determinism holds across worker counts because every sampled value
-//! is keyed by site identity, not by visit order.
+//! — latencies, fault decisions, backoff jitter — is keyed by site
+//! identity (and attempt number), not by visit order or thread.
 
-use kt_netbase::Os;
-use kt_simnet::connectivity::{ConnectivityChecker, Outage};
 use kt_browser::{Browser, BrowserConfig, PageLoadOutcome, World};
+use kt_faults::{is_transient, Fault, FaultPlan, RetryPolicy, SalvagedVisit};
+use kt_netbase::Os;
+use kt_netlog::NetLogEvent;
+use kt_simnet::connectivity::{ConnectivityChecker, Outage};
 use kt_store::{CrawlId, LoadOutcome, TelemetryStore, VisitRecord};
 use kt_webgen::WebSite;
-use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 
 use crate::stats::CrawlStats;
 
@@ -44,6 +63,10 @@ pub struct CrawlConfig {
     pub outages: Vec<Outage>,
     /// Deep-crawl mode: also visit internal pages (§3.3 extension).
     pub crawl_internal: bool,
+    /// Fault-injection plan (clean in production crawls).
+    pub faults: FaultPlan,
+    /// Retry/backoff/recrawl policy for transient failures.
+    pub retry: RetryPolicy,
 }
 
 impl CrawlConfig {
@@ -57,6 +80,8 @@ impl CrawlConfig {
             window_ms: 20_000,
             outages: Vec::new(),
             crawl_internal: false,
+            faults: FaultPlan::none(seed),
+            retry: RetryPolicy::paper(),
         }
     }
 }
@@ -65,47 +90,92 @@ impl CrawlConfig {
 /// overhead for the fresh incognito instance.
 const VISIT_WALL_MS: u64 = 21_000;
 
-/// Run one crawl campaign over `jobs`, appending to `store`.
-pub fn run_crawl(jobs: &[CrawlJob<'_>], config: &CrawlConfig, store: &TelemetryStore) -> CrawlStats {
-    let workers = config.workers.max(1).min(jobs.len().max(1));
-    let chunk_size = jobs.len().div_ceil(workers);
-    let total = Mutex::new(CrawlStats::new());
-    crossbeam::thread::scope(|scope| {
-        for (w, chunk) in jobs.chunks(chunk_size.max(1)).enumerate() {
-            let total = &total;
-            let config = config.clone();
-            scope.spawn(move |_| {
-                let stats = crawl_chunk(chunk, &config, store, w as u64);
-                total.lock().merge(&stats);
-            });
-        }
-    })
-    .expect("crawl workers never panic");
-    total.into_inner()
+/// One attempt's result after panic isolation has run.
+enum AttemptEnd {
+    /// The browser returned: page outcome, landing domain, capture.
+    Outcome(PageLoadOutcome, String, Vec<NetLogEvent>),
+    /// The visit panicked; the events are the salvaged capture prefix
+    /// (empty when the panic payload carried none).
+    Crashed(Vec<NetLogEvent>),
 }
 
-/// One worker's loop.
-fn crawl_chunk(
+/// Run one crawl campaign over `jobs`, appending to `store`.
+///
+/// Never aborts: panicking visits are quarantined as
+/// [`LoadOutcome::Crashed`] and every job is accounted for exactly
+/// once in the returned stats, whatever faults were injected.
+pub fn run_crawl(
     jobs: &[CrawlJob<'_>],
     config: &CrawlConfig,
     store: &TelemetryStore,
-    worker_id: u64,
 ) -> CrawlStats {
-    let sites: Vec<WebSite> = jobs.iter().map(|j| j.site.clone()).collect();
-    let mut world = World::build(&sites, config.os, config.seed);
-    let mut checker = ConnectivityChecker::with_outages(config.outages.clone());
-    let mut stats = CrawlStats::new();
-    let mut wall_ms: u64 = worker_id; // stagger workers trivially
-    for job in jobs {
-        // §3.1: ping 8.8.8.8 before each visit; wait out any outage so
-        // measurement-side network problems never masquerade as
-        // website failures.
-        while !checker.ping(wall_ms) {
-            stats.connectivity_retries += 1;
-            wall_ms = checker.next_online(wall_ms);
+    let workers = config.workers.max(1).min(jobs.len().max(1));
+    let chunk_size = jobs.len().div_ceil(workers).max(1);
+    let total = Mutex::new(CrawlStats::new());
+    let pending = Mutex::new(Vec::<usize>::new());
+    std::thread::scope(|scope| {
+        for (w, chunk) in jobs.chunks(chunk_size).enumerate() {
+            let total = &total;
+            let pending = &pending;
+            let config = config.clone();
+            scope.spawn(move || {
+                let (stats, chunk_pending) =
+                    crawl_chunk(chunk, &config, store, w as u64, workers as u64);
+                total.lock().expect("stats lock poisoned").merge(&stats);
+                let base = w * chunk_size;
+                pending
+                    .lock()
+                    .expect("pending lock poisoned")
+                    .extend(chunk_pending.into_iter().map(|i| base + i));
+            });
         }
+    });
+    let mut stats = total.into_inner().expect("stats lock poisoned");
+    let mut queue = pending.into_inner().expect("pending lock poisoned");
+    if !queue.is_empty() {
+        // Sorted by domain so the pass is independent of which worker
+        // originally owned each site.
+        queue.sort_by(|a, b| {
+            jobs[*a]
+                .site
+                .domain
+                .as_str()
+                .cmp(jobs[*b].site.domain.as_str())
+        });
+        recrawl_pass(jobs, &queue, config, store, &mut stats);
+    }
+    stats
+}
+
+/// §3.1: ping 8.8.8.8 before each visit — and before each retry, since
+/// a backoff can sleep straight into an outage window. Waits out any
+/// outage so measurement-side network problems never masquerade as
+/// website failures.
+fn wait_online(checker: &mut ConnectivityChecker, wall_ms: &mut u64, stats: &mut CrawlStats) {
+    while !checker.ping(*wall_ms) {
+        stats.connectivity_retries += 1;
+        *wall_ms = checker.next_online(*wall_ms);
+    }
+}
+
+/// One supervised browser attempt: looks up the visit's injected
+/// faults, runs the browser under `catch_unwind`, and converts a panic
+/// into a quarantined [`AttemptEnd::Crashed`] with whatever capture
+/// prefix the payload salvaged.
+fn attempt_visit(
+    world: &mut World,
+    config: &CrawlConfig,
+    site: &WebSite,
+    attempt: u32,
+) -> AttemptEnd {
+    let faults = config.faults.visit_faults(site.domain.as_str(), attempt);
+    // AssertUnwindSafe: the closure owns the browser; the world's only
+    // cross-visit state (DNS cache, counters) is left at worst
+    // harmlessly stale by a mid-visit panic, and the visit's whole
+    // record is quarantined anyway.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
         let mut browser = Browser::new(
-            &mut world,
+            world,
             BrowserConfig {
                 os: config.os,
                 window_ms: config.window_ms,
@@ -116,28 +186,227 @@ fn crawl_chunk(
             },
             config.seed,
         );
-        let result = browser.visit(job.site);
-        let (outcome, loaded_at) = match result.outcome {
-            PageLoadOutcome::Loaded { at_ms } => (LoadOutcome::Success, at_ms),
-            PageLoadOutcome::Failed(err) => (LoadOutcome::Error(err), 0),
-        };
-        match outcome {
-            LoadOutcome::Success => stats.record_success(),
-            LoadOutcome::Error(err) => stats.record_failure(err),
+        browser.visit_faulted(site, &faults)
+    }));
+    match outcome {
+        Ok(result) => AttemptEnd::Outcome(result.outcome, result.domain, result.capture.events),
+        Err(payload) => {
+            // A cooperative panic carries the capture prefix; anything
+            // else (a genuine bug) quarantines with an empty capture.
+            let events = match payload.downcast::<SalvagedVisit>() {
+                Ok(salvaged) => salvaged.events,
+                Err(_) => Vec::new(),
+            };
+            AttemptEnd::Crashed(events)
         }
-        store.append(&VisitRecord {
-            crawl: config.crawl.clone(),
-            domain: result.domain,
-            rank: job.site.rank,
-            malicious_category: job.malicious_category,
-            os: config.os,
-            outcome,
-            loaded_at_ms: loaded_at,
-            events: result.capture.events,
-        });
+    }
+}
+
+/// Append one visit record, retrying once when the fault plan injects
+/// a store-append failure (the retry, like a real fsync hiccup's,
+/// succeeds).
+#[allow(clippy::too_many_arguments)]
+fn append_record(
+    store: &TelemetryStore,
+    stats: &mut CrawlStats,
+    config: &CrawlConfig,
+    job: &CrawlJob<'_>,
+    domain: String,
+    outcome: LoadOutcome,
+    loaded_at_ms: u64,
+    events: Vec<NetLogEvent>,
+    attempt: u32,
+) {
+    if config
+        .faults
+        .injects(Fault::StoreAppendFailure, &domain, attempt)
+    {
+        stats.store_retries += 1;
+    }
+    store.append(&VisitRecord {
+        crawl: config.crawl.clone(),
+        domain,
+        rank: job.site.rank,
+        malicious_category: job.malicious_category,
+        os: config.os,
+        outcome,
+        loaded_at_ms,
+        events,
+    });
+}
+
+/// One worker's loop. Returns its stats tally plus the chunk-local
+/// indices of sites whose transient failures exhausted their in-place
+/// retries and now wait on the end-of-campaign recrawl queue (their
+/// stats verdict is deferred to that pass).
+fn crawl_chunk(
+    jobs: &[CrawlJob<'_>],
+    config: &CrawlConfig,
+    store: &TelemetryStore,
+    worker_id: u64,
+    workers: u64,
+) -> (CrawlStats, Vec<usize>) {
+    let sites: Vec<WebSite> = jobs.iter().map(|j| j.site.clone()).collect();
+    let mut world = World::build(&sites, config.os, config.seed);
+    let mut checker = ConnectivityChecker::with_outages(config.outages.clone());
+    let mut stats = CrawlStats::new();
+    let mut pending = Vec::new();
+    // Staggered start: spread workers evenly across one visit's
+    // wall-clock span. The old `wall_ms = worker_id` start (offsets of
+    // 0, 1, 2… *milliseconds*) parked every worker's clock inside the
+    // same outage windows.
+    let mut wall_ms: u64 = worker_id * VISIT_WALL_MS / workers.max(1);
+    for (i, job) in jobs.iter().enumerate() {
+        let mut attempt: u32 = 0;
+        loop {
+            wait_online(&mut checker, &mut wall_ms, &mut stats);
+            let end = attempt_visit(&mut world, config, job.site, attempt);
+            wall_ms += VISIT_WALL_MS;
+            match end {
+                AttemptEnd::Crashed(events) => {
+                    // Quarantine immediately: a crash is a measurement
+                    // artifact, not a website failure — no retries.
+                    stats.record_crash();
+                    append_record(
+                        store,
+                        &mut stats,
+                        config,
+                        job,
+                        job.site.domain.as_str().to_string(),
+                        LoadOutcome::Crashed,
+                        0,
+                        events,
+                        attempt,
+                    );
+                    break;
+                }
+                AttemptEnd::Outcome(PageLoadOutcome::Loaded { at_ms }, domain, events) => {
+                    stats.record_success();
+                    if attempt > 0 {
+                        stats.recovered += 1;
+                    }
+                    append_record(
+                        store,
+                        &mut stats,
+                        config,
+                        job,
+                        domain,
+                        LoadOutcome::Success,
+                        at_ms,
+                        events,
+                        attempt,
+                    );
+                    break;
+                }
+                AttemptEnd::Outcome(PageLoadOutcome::Failed(err), domain, events) => {
+                    let transient = is_transient(err);
+                    if transient && attempt + 1 < config.retry.max_attempts {
+                        stats.retries += 1;
+                        wall_ms += config.retry.backoff_ms(config.seed, &domain, attempt + 1);
+                        attempt += 1;
+                        continue;
+                    }
+                    append_record(
+                        store,
+                        &mut stats,
+                        config,
+                        job,
+                        domain,
+                        LoadOutcome::Error(err),
+                        0,
+                        events,
+                        attempt,
+                    );
+                    if transient && config.retry.recrawl {
+                        // Verdict deferred: the recrawl pass decides
+                        // whether this becomes a Table 1 error. The
+                        // failure record above stands until (unless)
+                        // that pass overwrites it.
+                        pending.push(i);
+                    } else {
+                        stats.record_failure(err);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    (stats, pending)
+}
+
+/// The end-of-campaign recrawl: transiently-failing sites get one
+/// final visit before their errors are allowed into Table 1.
+/// Single-threaded, in domain order, with a fresh world and a wall
+/// clock restarted at zero — all independent of the original worker
+/// layout, so results stay stable across worker counts.
+fn recrawl_pass(
+    jobs: &[CrawlJob<'_>],
+    queue: &[usize],
+    config: &CrawlConfig,
+    store: &TelemetryStore,
+    stats: &mut CrawlStats,
+) {
+    let sites: Vec<WebSite> = queue.iter().map(|&i| jobs[i].site.clone()).collect();
+    let mut world = World::build(&sites, config.os, config.seed);
+    let mut checker = ConnectivityChecker::with_outages(config.outages.clone());
+    let mut wall_ms: u64 = 0;
+    // The recrawl visit is attempt number `max_attempts`: the first
+    // fresh fault/backoff draw past the in-place attempts.
+    let attempt = config.retry.max_attempts;
+    for &index in queue {
+        let job = &jobs[index];
+        stats.recrawled += 1;
+        wait_online(&mut checker, &mut wall_ms, stats);
+        match attempt_visit(&mut world, config, job.site, attempt) {
+            AttemptEnd::Crashed(events) => {
+                stats.record_crash();
+                append_record(
+                    store,
+                    stats,
+                    config,
+                    job,
+                    job.site.domain.as_str().to_string(),
+                    LoadOutcome::Crashed,
+                    0,
+                    events,
+                    attempt,
+                );
+            }
+            AttemptEnd::Outcome(PageLoadOutcome::Loaded { at_ms }, domain, events) => {
+                stats.record_success();
+                stats.recovered += 1;
+                // Overwrites the pass-one failure record: the store is
+                // last-write-wins per (crawl, domain, os).
+                append_record(
+                    store,
+                    stats,
+                    config,
+                    job,
+                    domain,
+                    LoadOutcome::Success,
+                    at_ms,
+                    events,
+                    attempt,
+                );
+            }
+            AttemptEnd::Outcome(PageLoadOutcome::Failed(err), domain, events) => {
+                stats.record_failure(err);
+                stats.gave_up += 1;
+                append_record(
+                    store,
+                    stats,
+                    config,
+                    job,
+                    domain,
+                    LoadOutcome::Error(err),
+                    0,
+                    events,
+                    attempt,
+                );
+            }
+        }
         wall_ms += VISIT_WALL_MS;
     }
-    stats
 }
 
 #[cfg(test)]
@@ -205,6 +474,47 @@ mod tests {
     }
 
     #[test]
+    fn faulty_stats_and_store_are_stable_across_worker_counts() {
+        // The acceptance bar for the fault layer: a fixed seed and a
+        // fixed fault plan give byte-identical stats (including the
+        // resilience counters) and store contents whatever the worker
+        // count, because every draw is keyed by site identity and
+        // attempt number.
+        let population = sites(30);
+        let plan = FaultPlan::none(7)
+            .with_rate(Fault::DnsFlap, 0.2)
+            .with_rate(Fault::ConnectionReset, 0.2)
+            .with_rate(Fault::TruncatedCapture, 0.15)
+            .with_rate(Fault::StoreAppendFailure, 0.15)
+            .with_rate(Fault::WorkerPanic, 0.1);
+        let mut baseline: Option<(CrawlStats, Vec<VisitRecord>)> = None;
+        for workers in [1, 2, 4, 8] {
+            let store = TelemetryStore::new();
+            let mut config = CrawlConfig::paper(CrawlId::top2020(), Os::Windows, 7);
+            config.workers = workers;
+            config.faults = plan.clone();
+            let mut stats = run_crawl(&jobs(&population), &config, &store);
+            // Worker staggering interacts with outage windows, so the
+            // connectivity counter is the one legitimately
+            // schedule-dependent number.
+            stats.connectivity_retries = 0;
+            let mut records = store.crawl_records_on(&CrawlId::top2020(), Os::Windows);
+            records.sort_by(|a, b| a.domain.cmp(&b.domain));
+            assert_eq!(records.len(), 30, "workers={workers}");
+            match &baseline {
+                None => baseline = Some((stats, records)),
+                Some((b_stats, b_records)) => {
+                    assert_eq!(&stats, b_stats, "workers={workers}");
+                    assert_eq!(&records, b_records, "workers={workers}");
+                }
+            }
+        }
+        let (stats, _) = baseline.unwrap();
+        assert!(stats.retries > 0, "the plan should exercise retries");
+        assert!(stats.crashed > 0, "the plan should exercise quarantine");
+    }
+
+    #[test]
     fn records_are_keyed_by_crawl_and_os() {
         let population = sites(5);
         let store = TelemetryStore::new();
@@ -235,6 +545,172 @@ mod tests {
         assert!(stats.connectivity_retries > 0);
         assert_eq!(stats.attempted, 10, "every site still crawled");
         assert_eq!(stats.failed(), 1, "only the genuine NXDOMAIN fails");
+    }
+
+    #[test]
+    fn staggered_workers_do_not_share_outage_windows() {
+        // Workers used to start at wall_ms = worker_id — offsets of
+        // 0, 1, 2, 3 *milliseconds*, so one outage at the crawl's
+        // start stalled all four workers. The stagger now spreads
+        // starts across a visit span (0 / 5250 / 10500 / 15750 ms for
+        // four workers): an outage over [0, 5000) catches only
+        // worker 0's first ping.
+        let population = sites(8);
+        let store = TelemetryStore::new();
+        let mut config = CrawlConfig::paper(CrawlId::top2020(), Os::Linux, 5);
+        config.outages = vec![Outage {
+            start: 0,
+            end: 5_000,
+        }];
+        let stats = run_crawl(&jobs(&population), &config, &store);
+        assert_eq!(
+            stats.connectivity_retries, 1,
+            "only worker 0 starts inside the outage"
+        );
+        assert_eq!(stats.attempted, 8);
+        assert_eq!(stats.failed(), 0);
+    }
+
+    #[test]
+    fn outage_starting_mid_backoff_is_waited_out() {
+        // Attempt 0 ends at 21 s; the backoff pushes the retry past
+        // 26 s; an outage opening at 22 s must be caught by the
+        // pre-retry ping rather than crawled through.
+        let site = WebSite::plain(DomainName::parse("flaky.example").unwrap(), Some(1), 3);
+        let store = TelemetryStore::new();
+        let mut config = CrawlConfig::paper(CrawlId::top2020(), Os::Linux, 5);
+        config.workers = 1;
+        config.faults = FaultPlan::none(5).with_first_attempts(Fault::ConnectionReset, 1);
+        config.outages = vec![Outage {
+            start: 22_000,
+            end: 600_000,
+        }];
+        let job = [CrawlJob {
+            site: &site,
+            malicious_category: None,
+        }];
+        let stats = run_crawl(&job, &config, &store);
+        assert_eq!(stats.retries, 1);
+        assert!(
+            stats.connectivity_retries >= 1,
+            "the retry pinged into the outage"
+        );
+        assert_eq!(
+            stats.successful, 1,
+            "retry succeeded once the outage lifted"
+        );
+        assert_eq!(stats.recovered, 1);
+    }
+
+    #[test]
+    fn injected_panics_never_abort_the_campaign() {
+        // Every visit panics: all six are quarantined as Crashed
+        // records, the workers keep going, and the campaign accounts
+        // for every job.
+        let population = sites(6);
+        let store = TelemetryStore::new();
+        let mut config = CrawlConfig::paper(CrawlId::top2020(), Os::Linux, 5);
+        config.workers = 2;
+        config.faults = FaultPlan::none(5).with_rate(Fault::WorkerPanic, 1.0);
+        let stats = run_crawl(&jobs(&population), &config, &store);
+        assert_eq!(stats.attempted, 6, "no job lost to a panic");
+        assert_eq!(stats.crashed, 6, "every visit quarantined");
+        assert_eq!(store.len(), 6);
+        let records = store.crawl_records_on(&CrawlId::top2020(), Os::Linux);
+        assert!(records.iter().all(|r| r.outcome.is_crashed()));
+    }
+
+    #[test]
+    fn transient_failure_recovers_in_place() {
+        // A single reset on attempt 0; the in-place retry (attempt 1)
+        // succeeds, so the site never reaches the recrawl queue and
+        // the store holds a success.
+        let site = WebSite::plain(DomainName::parse("wobbly.example").unwrap(), Some(1), 3);
+        let store = TelemetryStore::new();
+        let mut config = CrawlConfig::paper(CrawlId::top2020(), Os::Linux, 11);
+        config.workers = 1;
+        config.faults = FaultPlan::none(11).with_first_attempts(Fault::ConnectionReset, 1);
+        let job = [CrawlJob {
+            site: &site,
+            malicious_category: None,
+        }];
+        let stats = run_crawl(&job, &config, &store);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.recrawled, 0);
+        assert_eq!(stats.recovered, 1);
+        assert_eq!(stats.successful, 1);
+        assert_eq!(stats.failed(), 0);
+        let record = store
+            .get(&CrawlId::top2020(), "wobbly.example", Os::Linux)
+            .unwrap();
+        assert!(record.outcome.is_success());
+    }
+
+    #[test]
+    fn exhausted_transients_go_to_the_recrawl_queue() {
+        // Resets on attempts 0 and 1 exhaust the paper policy's
+        // in-place budget (max_attempts = 2); the recrawl pass
+        // (attempt 2) is clean and overwrites the failure record.
+        let site = WebSite::plain(DomainName::parse("stubborn.example").unwrap(), Some(1), 3);
+        let store = TelemetryStore::new();
+        let mut config = CrawlConfig::paper(CrawlId::top2020(), Os::Linux, 11);
+        config.workers = 1;
+        config.faults = FaultPlan::none(11).with_first_attempts(Fault::ConnectionReset, 2);
+        let job = [CrawlJob {
+            site: &site,
+            malicious_category: None,
+        }];
+        let stats = run_crawl(&job, &config, &store);
+        assert_eq!(stats.retries, 1, "one in-place retry before parking");
+        assert_eq!(stats.recrawled, 1);
+        assert_eq!(stats.recovered, 1);
+        assert_eq!(stats.gave_up, 0);
+        assert_eq!(stats.attempted, 1, "the site still counts exactly once");
+        assert_eq!(stats.failed(), 0, "no Table 1 error for a recovered site");
+        let record = store
+            .get(&CrawlId::top2020(), "stubborn.example", Os::Linux)
+            .unwrap();
+        assert!(record.outcome.is_success(), "recrawl overwrote the failure");
+    }
+
+    #[test]
+    fn permanently_failing_transients_give_up() {
+        // Resets on every attempt including the recrawl: the site ends
+        // as a genuine CONN_RESET row in Table 1 with gave_up = 1.
+        let site = WebSite::plain(DomainName::parse("dead.example").unwrap(), Some(1), 3);
+        let store = TelemetryStore::new();
+        let mut config = CrawlConfig::paper(CrawlId::top2020(), Os::Linux, 11);
+        config.workers = 1;
+        config.faults = FaultPlan::none(11).with_first_attempts(Fault::ConnectionReset, 3);
+        let job = [CrawlJob {
+            site: &site,
+            malicious_category: None,
+        }];
+        let stats = run_crawl(&job, &config, &store);
+        assert_eq!(stats.recrawled, 1);
+        assert_eq!(stats.gave_up, 1);
+        assert_eq!(stats.recovered, 0);
+        assert_eq!(stats.failure_count(NetError::ConnectionReset), 1);
+        assert_eq!(stats.failed(), 1);
+        let record = store
+            .get(&CrawlId::top2020(), "dead.example", Os::Linux)
+            .unwrap();
+        assert_eq!(
+            record.outcome,
+            LoadOutcome::Error(NetError::ConnectionReset)
+        );
+    }
+
+    #[test]
+    fn store_append_faults_are_retried_and_counted() {
+        let population = sites(4);
+        let store = TelemetryStore::new();
+        let mut config = CrawlConfig::paper(CrawlId::top2020(), Os::Linux, 5);
+        config.workers = 1;
+        config.faults = FaultPlan::none(5).with_first_attempts(Fault::StoreAppendFailure, 1);
+        let stats = run_crawl(&jobs(&population), &config, &store);
+        assert_eq!(stats.store_retries, 4, "every site's first append retried");
+        assert_eq!(store.len(), 4, "no record lost");
     }
 
     #[test]

@@ -8,7 +8,8 @@ use serde::{Deserialize, Serialize};
 /// Accumulated load outcomes for one crawl.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CrawlStats {
-    /// Pages attempted.
+    /// Sites attempted (each site counts once, however many retries
+    /// its visits needed).
     pub attempted: usize,
     /// Pages loaded successfully.
     pub successful: usize,
@@ -17,6 +18,23 @@ pub struct CrawlStats {
     /// Connectivity-check retries performed (network outages on the
     /// measurement side delay the crawl instead of polluting stats).
     pub connectivity_retries: usize,
+    /// In-place visit retries after transient failures.
+    pub retries: usize,
+    /// Sites revisited by the end-of-campaign recrawl pass.
+    pub recrawled: usize,
+    /// Sites that failed transiently but ended as successes (via
+    /// in-place retry or recrawl).
+    pub recovered: usize,
+    /// Transiently-failing sites still failing after the recrawl pass
+    /// (their last error lands in `failures`).
+    pub gave_up: usize,
+    /// Visits quarantined after a worker panic (`LoadOutcome::Crashed`
+    /// records). A measurement artifact: excluded from Table 1's
+    /// error columns but part of `failed()`.
+    pub crashed: usize,
+    /// Telemetry-store appends retried after an injected/observed
+    /// append failure.
+    pub store_retries: usize,
 }
 
 impl CrawlStats {
@@ -37,19 +55,33 @@ impl CrawlStats {
         *self.failures.entry(err).or_default() += 1;
     }
 
+    /// Record a quarantined (crashed) visit.
+    pub fn record_crash(&mut self) {
+        self.attempted += 1;
+        self.crashed += 1;
+    }
+
     /// Merge another tally into this one.
     pub fn merge(&mut self, other: &CrawlStats) {
         self.attempted += other.attempted;
         self.successful += other.successful;
         self.connectivity_retries += other.connectivity_retries;
+        self.retries += other.retries;
+        self.recrawled += other.recrawled;
+        self.recovered += other.recovered;
+        self.gave_up += other.gave_up;
+        self.crashed += other.crashed;
+        self.store_retries += other.store_retries;
         for (err, n) in &other.failures {
             *self.failures.entry(*err).or_default() += n;
         }
     }
 
-    /// Total failed loads.
+    /// Total failed loads: derived from the failure map plus the
+    /// quarantine count, never from `attempted - successful`
+    /// subtraction (which underflows on partially-merged tallies).
     pub fn failed(&self) -> usize {
-        self.attempted - self.successful
+        self.failures.values().sum::<usize>() + self.crashed
     }
 
     /// Success rate in [0, 1].
@@ -82,10 +114,19 @@ impl CrawlStats {
             .map(|(_, n)| n)
             .sum();
         [
-            ("NAME_NOT_RESOLVED", self.failure_count(NetError::NameNotResolved)),
-            ("CONN_REFUSED", self.failure_count(NetError::ConnectionRefused)),
+            (
+                "NAME_NOT_RESOLVED",
+                self.failure_count(NetError::NameNotResolved),
+            ),
+            (
+                "CONN_REFUSED",
+                self.failure_count(NetError::ConnectionRefused),
+            ),
             ("CONN_RESET", self.failure_count(NetError::ConnectionReset)),
-            ("CERT_CN_INVALID", self.failure_count(NetError::CertCommonNameInvalid)),
+            (
+                "CERT_CN_INVALID",
+                self.failure_count(NetError::CertCommonNameInvalid),
+            ),
             ("Others", others),
         ]
     }
@@ -132,5 +173,65 @@ mod tests {
         let s = CrawlStats::new();
         assert_eq!(s.success_rate(), 0.0);
         assert_eq!(s.failed(), 0);
+    }
+
+    #[test]
+    fn failed_never_underflows_on_partial_merges() {
+        // A tally holding only another worker's successes (e.g. a
+        // half-merged supervisor snapshot) used to underflow
+        // `attempted - successful` when successful > attempted.
+        let s = CrawlStats {
+            attempted: 1,
+            successful: 3,
+            ..CrawlStats::default()
+        };
+        assert_eq!(s.failed(), 0, "no panic, no wraparound");
+    }
+
+    #[test]
+    fn crashes_count_as_failures_but_not_table1_errors() {
+        let mut s = CrawlStats::new();
+        s.record_success();
+        s.record_crash();
+        s.record_failure(NetError::ConnectionReset);
+        assert_eq!(s.attempted, 3);
+        assert_eq!(s.failed(), 2);
+        assert_eq!(s.crashed, 1);
+        let table1: usize = s.table1_errors().iter().map(|(_, n)| n).sum();
+        assert_eq!(table1, 1, "the crash is a measurement artifact");
+    }
+
+    #[test]
+    fn merge_combines_resilience_counters() {
+        let mut a = CrawlStats {
+            retries: 2,
+            recrawled: 1,
+            recovered: 1,
+            gave_up: 0,
+            crashed: 1,
+            store_retries: 3,
+            ..CrawlStats::default()
+        };
+        let b = CrawlStats {
+            retries: 1,
+            recrawled: 2,
+            recovered: 2,
+            gave_up: 1,
+            crashed: 0,
+            store_retries: 1,
+            ..CrawlStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(
+            (
+                a.retries,
+                a.recrawled,
+                a.recovered,
+                a.gave_up,
+                a.crashed,
+                a.store_retries
+            ),
+            (3, 3, 3, 1, 1, 4)
+        );
     }
 }

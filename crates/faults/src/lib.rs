@@ -1,0 +1,30 @@
+//! # kt-faults
+//!
+//! The crawl resilience layer's fault model: everything a
+//! production-scale measurement crawl must survive, made deterministic
+//! so failure-injection tests are one-liners against the same
+//! machinery the supervisor runs in anger.
+//!
+//! * [`plan`] — a seeded [`FaultPlan`] that decides, per `(fault,
+//!   domain, attempt)`, whether to inject a transient DNS flap, a
+//!   mid-flight connection reset, a truncated NetLog capture, a
+//!   store-append failure, or a worker panic. Decisions are keyed by
+//!   site identity (like all `simnet` randomness), so they are stable
+//!   across runs, worker counts, and crawl order — and each retry
+//!   *redraws*, because the attempt number is part of the key;
+//! * [`retry`] — the supervisor's [`RetryPolicy`]: which net errors
+//!   count as transient, how many in-place retries a visit gets,
+//!   exponential backoff with deterministic jitter, and whether
+//!   still-failing sites join the end-of-campaign recrawl queue;
+//! * [`SalvagedVisit`] — the panic payload an instrumented browser
+//!   throws when a visit crashes, carrying the parseable capture
+//!   prefix so the supervisor can quarantine the site without losing
+//!   the evidence gathered before the crash.
+
+#![warn(missing_docs)]
+
+pub mod plan;
+pub mod retry;
+
+pub use plan::{Fault, FaultPlan, SalvagedVisit, VisitFaults};
+pub use retry::{is_transient, RetryPolicy};

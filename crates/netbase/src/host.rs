@@ -221,13 +221,23 @@ mod tests {
     #[test]
     fn registrable_suffix() {
         assert_eq!(
-            DomainName::parse("regstat.betfair.com").unwrap().registrable(),
+            DomainName::parse("regstat.betfair.com")
+                .unwrap()
+                .registrable(),
             "betfair.com"
         );
-        assert_eq!(DomainName::parse("ebay.com").unwrap().registrable(), "ebay.com");
-        assert_eq!(DomainName::parse("localhost").unwrap().registrable(), "localhost");
         assert_eq!(
-            DomainName::parse("a.b.c.d.example.org").unwrap().registrable(),
+            DomainName::parse("ebay.com").unwrap().registrable(),
+            "ebay.com"
+        );
+        assert_eq!(
+            DomainName::parse("localhost").unwrap().registrable(),
+            "localhost"
+        );
+        assert_eq!(
+            DomainName::parse("a.b.c.d.example.org")
+                .unwrap()
+                .registrable(),
             "example.org"
         );
     }
@@ -238,8 +248,14 @@ mod tests {
             Host::parse("127.0.0.1").unwrap(),
             Host::Ipv4(Ipv4Addr::new(127, 0, 0, 1))
         );
-        assert_eq!(Host::parse("[::1]").unwrap(), Host::Ipv6(Ipv6Addr::LOCALHOST));
-        assert!(matches!(Host::parse("example.com").unwrap(), Host::Domain(_)));
+        assert_eq!(
+            Host::parse("[::1]").unwrap(),
+            Host::Ipv6(Ipv6Addr::LOCALHOST)
+        );
+        assert!(matches!(
+            Host::parse("example.com").unwrap(),
+            Host::Domain(_)
+        ));
     }
 
     #[test]

@@ -267,14 +267,26 @@ mod tests {
         assert_eq!(Locality::of_ipv4(v4("0.1.2.3")), Locality::Unspecified);
         assert_eq!(Locality::of_ipv4(v4("169.254.1.1")), Locality::LinkLocal);
         assert_eq!(Locality::of_ipv4(v4("169.253.1.1")), Locality::Public);
-        assert_eq!(Locality::of_ipv4(v4("100.64.0.1")), Locality::CarrierGradeNat);
-        assert_eq!(Locality::of_ipv4(v4("100.127.255.255")), Locality::CarrierGradeNat);
+        assert_eq!(
+            Locality::of_ipv4(v4("100.64.0.1")),
+            Locality::CarrierGradeNat
+        );
+        assert_eq!(
+            Locality::of_ipv4(v4("100.127.255.255")),
+            Locality::CarrierGradeNat
+        );
         assert_eq!(Locality::of_ipv4(v4("100.128.0.0")), Locality::Public);
         assert_eq!(Locality::of_ipv4(v4("100.63.255.255")), Locality::Public);
         assert_eq!(Locality::of_ipv4(v4("224.0.0.1")), Locality::Multicast);
-        assert_eq!(Locality::of_ipv4(v4("239.255.255.255")), Locality::Multicast);
+        assert_eq!(
+            Locality::of_ipv4(v4("239.255.255.255")),
+            Locality::Multicast
+        );
         assert_eq!(Locality::of_ipv4(v4("240.0.0.1")), Locality::Reserved);
-        assert_eq!(Locality::of_ipv4(v4("255.255.255.255")), Locality::Broadcast);
+        assert_eq!(
+            Locality::of_ipv4(v4("255.255.255.255")),
+            Locality::Broadcast
+        );
     }
 
     #[test]
@@ -293,7 +305,10 @@ mod tests {
 
     #[test]
     fn ipv4_mapped_ipv6_uses_embedded_address() {
-        assert_eq!(Locality::of_ipv6(v6("::ffff:127.0.0.1")), Locality::Loopback);
+        assert_eq!(
+            Locality::of_ipv6(v6("::ffff:127.0.0.1")),
+            Locality::Loopback
+        );
         assert_eq!(Locality::of_ipv6(v6("::ffff:10.0.0.1")), Locality::Private);
         assert_eq!(Locality::of_ipv6(v6("::ffff:8.8.8.8")), Locality::Public);
     }

@@ -70,7 +70,9 @@ impl fmt::Display for Os {
 }
 
 /// A subset of the three OSes — the ✓ pattern of a table row.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
 pub struct OsSet {
     /// Active on Windows.
     pub windows: bool,

@@ -125,10 +125,22 @@ mod tests {
 
     #[test]
     fn address_space_of_urls() {
-        assert_eq!(AddressSpace::of_url(&url("http://localhost:4444/")), AddressSpace::Local);
-        assert_eq!(AddressSpace::of_url(&url("http://127.0.0.1/")), AddressSpace::Local);
-        assert_eq!(AddressSpace::of_url(&url("http://192.168.0.1/")), AddressSpace::Private);
-        assert_eq!(AddressSpace::of_url(&url("https://example.com/")), AddressSpace::Public);
+        assert_eq!(
+            AddressSpace::of_url(&url("http://localhost:4444/")),
+            AddressSpace::Local
+        );
+        assert_eq!(
+            AddressSpace::of_url(&url("http://127.0.0.1/")),
+            AddressSpace::Local
+        );
+        assert_eq!(
+            AddressSpace::of_url(&url("http://192.168.0.1/")),
+            AddressSpace::Private
+        );
+        assert_eq!(
+            AddressSpace::of_url(&url("https://example.com/")),
+            AddressSpace::Public
+        );
     }
 
     #[test]
@@ -163,7 +175,12 @@ mod tests {
             PnaVerdict::BlockedPreflight
         );
         assert_eq!(
-            decide(AddressSpace::Public, true, &target, PreflightResult::Approved),
+            decide(
+                AddressSpace::Public,
+                true,
+                &target,
+                PreflightResult::Approved
+            ),
             PnaVerdict::Allowed
         );
     }

@@ -58,8 +58,9 @@ pub const BIGIP_PORTS: [u16; 7] = [4444, 4653, 5555, 7054, 7055, 9515, 17556];
 pub const DISCORD_PORTS: [u16; 10] = [6463, 6464, 6465, 6466, 6467, 6468, 6469, 6470, 6471, 6472];
 
 /// nProtect Online Security local HTTPS ports (samsungcard.com).
-pub const NPROTECT_PORTS: [u16; 10] =
-    [14440, 14441, 14442, 14443, 14444, 14445, 14446, 14447, 14448, 14449];
+pub const NPROTECT_PORTS: [u16; 10] = [
+    14440, 14441, 14442, 14443, 14444, 14445, 14446, 14447, 14448, 14449,
+];
 
 /// AnySign-for-PC local WSS ports (samsungcard.com).
 pub const ANYSIGN_PORTS: [u16; 3] = [10531, 31027, 31029];
@@ -142,7 +143,11 @@ impl ServiceRegistry {
         add(63333, "Tripp Lite PowerAlert UPS", Some(FraudDetection));
         add(7070, "AnyDesk Remote Desktop", Some(FraudDetection));
         // Table 4 — bot detection (BIG-IP ASM).
-        add(4444, "Malware: CrackDown, Prosiak, Swift Remote", Some(BotDetection));
+        add(
+            4444,
+            "Malware: CrackDown, Prosiak, Swift Remote",
+            Some(BotDetection),
+        );
         add(4653, "Malware: Cero", Some(BotDetection));
         add(5555, "Malware: ServeMe", Some(BotDetection));
         add(7054, "QuickTime Streaming Server", Some(BotDetection));
@@ -210,7 +215,11 @@ mod tests {
 
     #[test]
     fn port_set_sizes_match_paper() {
-        assert_eq!(THREATMETRIX_PORTS.len(), 14, "14 distinct WSS ports (§4.3.1)");
+        assert_eq!(
+            THREATMETRIX_PORTS.len(),
+            14,
+            "14 distinct WSS ports (§4.3.1)"
+        );
         assert_eq!(BIGIP_PORTS.len(), 7, "7 HTTP ports (§4.3.2)");
         assert_eq!(DISCORD_PORTS.len(), 10);
         assert_eq!(NPROTECT_PORTS.len(), 10);
@@ -249,7 +258,10 @@ mod tests {
         let reg = ServiceRegistry::standard();
         assert_eq!(reg.lookup(3389).unwrap().service, "Windows Remote Desktop");
         assert_eq!(reg.lookup(5939).unwrap().service, "TeamViewer");
-        assert_eq!(reg.lookup(17556).unwrap().service, "Microsoft Edge WebDriver");
+        assert_eq!(
+            reg.lookup(17556).unwrap().service,
+            "Microsoft Edge WebDriver"
+        );
         assert_eq!(reg.lookup(9515).unwrap().service, "Malware: W32.Loxbot.A");
         assert!(reg.lookup(6463).unwrap().use_case.is_none());
     }
@@ -259,7 +271,10 @@ mod tests {
         assert!(is_native_app_port(6463), "Discord");
         assert!(is_native_app_port(28337), "FACEIT");
         assert!(is_native_app_port(14440), "nProtect");
-        assert!(!is_native_app_port(3389), "RDP is a scan target, not an app");
+        assert!(
+            !is_native_app_port(3389),
+            "RDP is a scan target, not an app"
+        );
         assert!(!is_native_app_port(4444), "malware port");
         assert!(!is_native_app_port(80));
     }

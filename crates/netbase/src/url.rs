@@ -129,7 +129,8 @@ impl Url {
 
     /// The effective port: the explicit one, else the scheme default.
     pub fn port(&self) -> u16 {
-        self.explicit_port.unwrap_or_else(|| self.scheme.default_port())
+        self.explicit_port
+            .unwrap_or_else(|| self.scheme.default_port())
     }
 
     /// The explicit port, if the URL text carried one.

@@ -11,7 +11,8 @@ use proptest::prelude::*;
 fn oracle_v4(addr: Ipv4Addr) -> Locality {
     let n = u32::from(addr);
     let in_range = |lo: &str, hi: &str| {
-        n >= u32::from(lo.parse::<Ipv4Addr>().unwrap()) && n <= u32::from(hi.parse::<Ipv4Addr>().unwrap())
+        n >= u32::from(lo.parse::<Ipv4Addr>().unwrap())
+            && n <= u32::from(hi.parse::<Ipv4Addr>().unwrap())
     };
     if n == u32::MAX {
         Locality::Broadcast

@@ -97,9 +97,7 @@ impl Capture {
         match serde_json::from_str::<Value>(input) {
             Ok(doc) => {
                 let events_val = doc.get("events").ok_or(CaptureError::MissingEvents)?;
-                let arr = events_val
-                    .as_array()
-                    .ok_or(CaptureError::MissingEvents)?;
+                let arr = events_val.as_array().ok_or(CaptureError::MissingEvents)?;
                 let mut events = Vec::with_capacity(arr.len());
                 let mut skipped = 0;
                 for v in arr {

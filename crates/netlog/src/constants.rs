@@ -94,7 +94,10 @@ impl EventType {
 
     /// Integer code used on the wire (index in the constant table).
     pub fn code(self) -> u32 {
-        EventType::ALL.iter().position(|t| *t == self).expect("in ALL") as u32
+        EventType::ALL
+            .iter()
+            .position(|t| *t == self)
+            .expect("in ALL") as u32
     }
 
     /// Reverse lookup from a wire code.
@@ -148,7 +151,10 @@ impl SourceType {
 
     /// Integer code used on the wire.
     pub fn code(self) -> u32 {
-        SourceType::ALL.iter().position(|t| *t == self).expect("in ALL") as u32
+        SourceType::ALL
+            .iter()
+            .position(|t| *t == self)
+            .expect("in ALL") as u32
     }
 
     /// Reverse lookup from a wire code.

@@ -163,7 +163,10 @@ mod tests {
 
         let flows = FlowSet::from_events(log.into_capture().events);
         assert_eq!(flows.len(), 2);
-        assert_eq!(flows.get(ok.id).unwrap().outcome(), FlowOutcome::Success(200));
+        assert_eq!(
+            flows.get(ok.id).unwrap().outcome(),
+            FlowOutcome::Success(200)
+        );
         assert!(flows.get(ok.id).unwrap().is_closed());
         assert_eq!(
             flows.get(bad.id).unwrap().outcome(),

@@ -1,9 +1,7 @@
 //! Property tests: capture serialisation round-trips and truncation
 //! recovery never loses already-complete events.
 
-use kt_netlog::{
-    Capture, EventParams, EventPhase, EventType, NetLogEvent, SourceRef, SourceType,
-};
+use kt_netlog::{Capture, EventParams, EventPhase, EventType, NetLogEvent, SourceRef, SourceType};
 use proptest::prelude::*;
 
 fn arb_params() -> impl Strategy<Value = (EventType, EventParams)> {
@@ -18,14 +16,19 @@ fn arb_params() -> impl Strategy<Value = (EventType, EventParams)> {
                 load_flags: 0,
             }
         )),
-        "[a-z.]{1,20}".prop_map(|h| (EventType::HostResolverImplJob, EventParams::DnsJob { host: h })),
+        "[a-z.]{1,20}".prop_map(|h| (
+            EventType::HostResolverImplJob,
+            EventParams::DnsJob { host: h }
+        )),
         (any::<u16>()).prop_map(|s| (
             EventType::HttpTransactionReadHeaders,
             EventParams::ResponseHeaders { status: s }
         )),
         (any::<i16>()).prop_map(|e| (
             EventType::FailedRequest,
-            EventParams::Failed { net_error: e as i32 }
+            EventParams::Failed {
+                net_error: e as i32
+            }
         )),
         (any::<u32>()).prop_map(|l| (
             EventType::WebSocketRecvFrame,
@@ -35,14 +38,8 @@ fn arb_params() -> impl Strategy<Value = (EventType, EventParams)> {
 }
 
 fn arb_event() -> impl Strategy<Value = NetLogEvent> {
-    (
-        any::<u32>(),
-        1u64..10_000,
-        0u32..6,
-        0u32..3,
-        arb_params(),
-    )
-        .prop_map(|(time, id, src, phase, (event_type, params))| NetLogEvent {
+    (any::<u32>(), 1u64..10_000, 0u32..6, 0u32..3, arb_params()).prop_map(
+        |(time, id, src, phase, (event_type, params))| NetLogEvent {
             time: time as u64,
             event_type,
             source: SourceRef {
@@ -51,7 +48,8 @@ fn arb_event() -> impl Strategy<Value = NetLogEvent> {
             },
             phase: EventPhase::from_code(phase).unwrap(),
             params,
-        })
+        },
+    )
 }
 
 proptest! {

@@ -58,11 +58,14 @@ impl ConnectivityChecker {
     }
 
     /// The earliest time ≥ `now` at which the network is back up.
+    /// Chains across overlapping or adjacent outages: one window's end
+    /// may land inside (or exactly at the start of) the next.
     pub fn next_online(&self, now: SimTime) -> SimTime {
-        match self.outages.iter().find(|o| o.start <= now && now < o.end) {
-            Some(o) => o.end,
-            None => now,
+        let mut t = now;
+        while let Some(o) = self.outages.iter().find(|o| o.start <= t && t < o.end) {
+            t = o.end;
         }
+        t
     }
 }
 
@@ -96,11 +99,83 @@ mod tests {
     #[test]
     fn next_online_skips_past_outage() {
         let c = ConnectivityChecker::with_outages(vec![
-            Outage { start: 100, end: 200 },
-            Outage { start: 500, end: 700 },
+            Outage {
+                start: 100,
+                end: 200,
+            },
+            Outage {
+                start: 500,
+                end: 700,
+            },
         ]);
         assert_eq!(c.next_online(50), 50);
         assert_eq!(c.next_online(150), 200);
         assert_eq!(c.next_online(600), 700);
+    }
+
+    #[test]
+    fn probe_exactly_at_outage_end_is_online() {
+        // Closed-open semantics: `end` itself is the first online ms.
+        let mut c = ConnectivityChecker::with_outages(vec![Outage {
+            start: 100,
+            end: 200,
+        }]);
+        assert!(c.ping(200));
+        assert_eq!(c.next_online(200), 200);
+        assert_eq!(c.failures, 0);
+    }
+
+    #[test]
+    fn overlapping_outages_chain_in_next_online() {
+        // The first window's end (300) falls inside the second; a
+        // single-lookup next_online would resurface mid-outage.
+        let mut c = ConnectivityChecker::with_outages(vec![
+            Outage {
+                start: 100,
+                end: 300,
+            },
+            Outage {
+                start: 250,
+                end: 450,
+            },
+        ]);
+        assert_eq!(c.next_online(150), 450);
+        assert!(!c.ping(300), "still inside the overlapping window");
+        assert!(c.ping(450));
+    }
+
+    #[test]
+    fn adjacent_outages_chain_in_next_online() {
+        // Back-to-back windows: [100, 200) then [200, 350). Time 200
+        // is simultaneously the first window's end and the second's
+        // start, so the chain must keep walking.
+        let c = ConnectivityChecker::with_outages(vec![
+            Outage {
+                start: 100,
+                end: 200,
+            },
+            Outage {
+                start: 200,
+                end: 350,
+            },
+        ]);
+        assert_eq!(c.next_online(120), 350);
+        assert_eq!(c.next_online(200), 350);
+        assert_eq!(c.next_online(350), 350);
+    }
+
+    #[test]
+    fn unsorted_overlapping_schedule_still_chains() {
+        let c = ConnectivityChecker::with_outages(vec![
+            Outage {
+                start: 500,
+                end: 700,
+            },
+            Outage {
+                start: 100,
+                end: 550,
+            },
+        ]);
+        assert_eq!(c.next_online(110), 700);
     }
 }

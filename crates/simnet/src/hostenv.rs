@@ -85,7 +85,11 @@ impl HostEnv {
                     env.add_listener(6039, "X Window System", Endpoint::ws());
                 }
                 if rng::coin(seed, &tag("devserver"), 0.10) {
-                    env.add_listener(3000, "local dev server", Endpoint::http(HttpResponse::ok(128)));
+                    env.add_listener(
+                        3000,
+                        "local dev server",
+                        Endpoint::http(HttpResponse::ok(128)),
+                    );
                 }
             }
             Os::MacOs => {

@@ -36,8 +36,8 @@ pub mod tls;
 pub use clock::SimClock;
 pub use connectivity::ConnectivityChecker;
 pub use dns::{DnsError, DnsRecord, DnsResolver};
-pub use hostenv::{HostEnv, LanDevice, LocalService};
 pub use hostenv::Os;
+pub use hostenv::{HostEnv, LanDevice, LocalService};
 pub use latency::LatencyModel;
 pub use net::{ConnectOutcome, SimNet};
 pub use server::{Endpoint, HttpResponse, ServerBehavior};

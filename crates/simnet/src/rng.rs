@@ -87,10 +87,8 @@ mod tests {
         let n = 10_000;
         let mean: f64 = (0..n).map(|i| unit(3, &format!("k{i}"))).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
-        let below_quarter = (0..n)
-            .filter(|i| unit(3, &format!("k{i}")) < 0.25)
-            .count() as f64
-            / n as f64;
+        let below_quarter =
+            (0..n).filter(|i| unit(3, &format!("k{i}")) < 0.25).count() as f64 / n as f64;
         assert!((below_quarter - 0.25).abs() < 0.02, "{below_quarter}");
     }
 

@@ -218,9 +218,7 @@ fn get_params(buf: &mut Bytes) -> Result<EventParams, CodecError> {
         6 => Ok(EventParams::ResponseHeaders {
             status: get_varint(buf)? as u16,
         }),
-        7 => Ok(EventParams::WebSocket {
-            url: get_str(buf)?,
-        }),
+        7 => Ok(EventParams::WebSocket { url: get_str(buf)? }),
         8 => Ok(EventParams::WebSocketFrame {
             length: get_varint(buf)?,
         }),
@@ -259,6 +257,7 @@ pub fn encode(record: &VisitRecord) -> Bytes {
             buf.put_u8(1);
             put_varint(&mut buf, zigzag(err.code() as i64));
         }
+        LoadOutcome::Crashed => buf.put_u8(2),
     }
     put_varint(&mut buf, record.loaded_at_ms);
     put_varint(&mut buf, record.events.len() as u64);
@@ -315,6 +314,7 @@ pub fn decode(mut buf: Bytes) -> Result<VisitRecord, CodecError> {
                 .ok_or(CodecError::BadTag("net_error", code as u64))?;
             LoadOutcome::Error(err)
         }
+        2 => LoadOutcome::Crashed,
         v => return Err(CodecError::BadTag("outcome", v as u64)),
     };
     let loaded_at_ms = get_varint(&mut buf)?;
@@ -423,6 +423,17 @@ mod tests {
     }
 
     #[test]
+    fn round_trip_crashed_outcome() {
+        let mut rec = sample();
+        rec.outcome = LoadOutcome::Crashed;
+        rec.loaded_at_ms = 0;
+        let decoded = decode(encode(&rec)).unwrap();
+        assert_eq!(decoded, rec);
+        assert!(decoded.outcome.is_crashed());
+        assert_eq!(decoded.events.len(), 2, "salvaged prefix survives");
+    }
+
+    #[test]
     fn truncation_is_detected() {
         let encoded = encode(&sample());
         for cut in [0, 1, 2, 5, 10, encoded.len() - 1] {
@@ -443,7 +454,16 @@ mod tests {
 
     #[test]
     fn zigzag_round_trips() {
-        for v in [-105i64, -1, 0, 1, 200, -200, i32::MIN as i64, i32::MAX as i64] {
+        for v in [
+            -105i64,
+            -1,
+            0,
+            1,
+            200,
+            -200,
+            i32::MIN as i64,
+            i32::MAX as i64,
+        ] {
             assert_eq!(unzigzag(zigzag(v)), v);
         }
     }

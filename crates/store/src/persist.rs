@@ -89,7 +89,9 @@ pub fn save(store: &TelemetryStore, path: &Path) -> Result<usize, PersistError> 
 pub fn load(path: &Path) -> Result<LoadReport, PersistError> {
     let mut input = BufReader::new(File::open(path)?);
     let mut magic = [0u8; 8];
-    input.read_exact(&mut magic).map_err(|_| PersistError::BadMagic)?;
+    input
+        .read_exact(&mut magic)
+        .map_err(|_| PersistError::BadMagic)?;
     if &magic != MAGIC {
         return Err(PersistError::BadMagic);
     }
@@ -135,7 +137,10 @@ pub fn verify_round_trip(store: &TelemetryStore, path: &Path) -> Result<bool, Pe
     save(store, path)?;
     let report = load(path)?;
     let a = store.scan_all().map_err(|_| PersistError::BadMagic)?;
-    let b = report.store.scan_all().map_err(|_| PersistError::BadMagic)?;
+    let b = report
+        .store
+        .scan_all()
+        .map_err(|_| PersistError::BadMagic)?;
     Ok(a == b && !report.truncated && report.corrupt == 0)
 }
 

@@ -38,12 +38,22 @@ pub enum LoadOutcome {
     Success,
     /// The page failed with this Chrome net error.
     Error(NetError),
+    /// The visit crashed the browser/worker and was quarantined; the
+    /// record's events are the salvaged capture prefix. A measurement
+    /// artifact, not a website failure — excluded from Table 1's
+    /// error columns.
+    Crashed,
 }
 
 impl LoadOutcome {
     /// True for successful loads.
     pub fn is_success(self) -> bool {
         self == LoadOutcome::Success
+    }
+
+    /// True for quarantined (crashed) visits.
+    pub fn is_crashed(self) -> bool {
+        self == LoadOutcome::Crashed
     }
 }
 
@@ -85,5 +95,8 @@ mod tests {
     fn outcome_predicate() {
         assert!(LoadOutcome::Success.is_success());
         assert!(!LoadOutcome::Error(NetError::NameNotResolved).is_success());
+        assert!(!LoadOutcome::Crashed.is_success());
+        assert!(LoadOutcome::Crashed.is_crashed());
+        assert!(!LoadOutcome::Error(NetError::TimedOut).is_crashed());
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! Records are encoded into append-only byte segments; an in-memory
 //! index maps `(crawl, domain, os)` to segment offsets. Workers on a
-//! crawl pool append concurrently through a `parking_lot` lock. Reads
+//! crawl pool append concurrently through an `RwLock`. Reads
 //! decode on demand — the store keeps bytes, not structs, so memory
 //! stays proportional to the (compact) encoded size.
 
@@ -10,7 +10,7 @@ use std::collections::HashMap;
 
 use bytes::Bytes;
 use kt_netbase::Os;
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 use crate::codec::{decode, encode, CodecError};
 use crate::record::{CrawlId, VisitRecord};
@@ -54,7 +54,7 @@ impl TelemetryStore {
             domain: record.domain.clone(),
             os: record.os,
         };
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().expect("store lock poisoned");
         if inner
             .segments
             .last()
@@ -68,14 +68,18 @@ impl TelemetryStore {
         let offset = segment.len();
         segment.extend_from_slice(&encoded);
         let len = encoded.len();
-        if inner.index.insert(key.clone(), (seg_idx, offset, len)).is_none() {
+        if inner
+            .index
+            .insert(key.clone(), (seg_idx, offset, len))
+            .is_none()
+        {
             inner.order.push(key);
         }
     }
 
     /// Number of stored visits.
     pub fn len(&self) -> usize {
-        self.inner.read().index.len()
+        self.inner.read().expect("store lock poisoned").index.len()
     }
 
     /// True if nothing is stored.
@@ -85,12 +89,18 @@ impl TelemetryStore {
 
     /// Total encoded bytes.
     pub fn byte_size(&self) -> usize {
-        self.inner.read().segments.iter().map(Vec::len).sum()
+        self.inner
+            .read()
+            .expect("store lock poisoned")
+            .segments
+            .iter()
+            .map(Vec::len)
+            .sum()
     }
 
     /// Indexed point lookup.
     pub fn get(&self, crawl: &CrawlId, domain: &str, os: Os) -> Option<VisitRecord> {
-        let inner = self.inner.read();
+        let inner = self.inner.read().expect("store lock poisoned");
         let key = VisitKey {
             crawl: crawl.as_str().to_string(),
             domain: domain.to_string(),
@@ -104,7 +114,7 @@ impl TelemetryStore {
     /// All records of one crawl, in insertion order (decoded lazily
     /// into a vector — callers typically aggregate immediately).
     pub fn crawl_records(&self, crawl: &CrawlId) -> Vec<VisitRecord> {
-        let inner = self.inner.read();
+        let inner = self.inner.read().expect("store lock poisoned");
         inner
             .order
             .iter()
@@ -128,7 +138,7 @@ impl TelemetryStore {
     /// Full scan over every stored record (the unindexed ablation
     /// path: decode every segment sequentially).
     pub fn scan_all(&self) -> Result<Vec<VisitRecord>, CodecError> {
-        let inner = self.inner.read();
+        let inner = self.inner.read().expect("store lock poisoned");
         let mut out = Vec::with_capacity(inner.index.len());
         for key in &inner.order {
             let &(seg, off, len) = inner.index.get(key).ok_or(CodecError::Truncated)?;
@@ -182,10 +192,18 @@ mod tests {
     fn crawl_partitioning() {
         let store = TelemetryStore::new();
         for i in 0..10 {
-            store.append(&rec(CrawlId::top2020(), &format!("d{i}.example"), Os::Linux));
+            store.append(&rec(
+                CrawlId::top2020(),
+                &format!("d{i}.example"),
+                Os::Linux,
+            ));
         }
         for i in 0..4 {
-            store.append(&rec(CrawlId::malicious(), &format!("m{i}.example"), Os::Linux));
+            store.append(&rec(
+                CrawlId::malicious(),
+                &format!("m{i}.example"),
+                Os::Linux,
+            ));
         }
         assert_eq!(store.crawl_records(&CrawlId::top2020()).len(), 10);
         assert_eq!(store.crawl_records(&CrawlId::malicious()).len(), 4);
@@ -215,7 +233,11 @@ mod tests {
     fn scan_matches_indexed_reads() {
         let store = TelemetryStore::new();
         for i in 0..50 {
-            store.append(&rec(CrawlId::top2020(), &format!("s{i}.example"), Os::MacOs));
+            store.append(&rec(
+                CrawlId::top2020(),
+                &format!("s{i}.example"),
+                Os::MacOs,
+            ));
         }
         let scanned = store.scan_all().unwrap();
         assert_eq!(scanned.len(), 50);

@@ -9,19 +9,46 @@ use proptest::prelude::*;
 fn arb_params() -> impl Strategy<Value = (EventType, EventParams)> {
     prop_oneof![
         Just((EventType::RequestAlive, EventParams::None)),
-        ("[ -~]{0,40}", "[A-Z]{3,7}", proptest::option::of("[ -~]{0,30}"), any::<u32>()).prop_map(
-            |(url, method, initiator, load_flags)| (
+        (
+            "[ -~]{0,40}",
+            "[A-Z]{3,7}",
+            proptest::option::of("[ -~]{0,30}"),
+            any::<u32>()
+        )
+            .prop_map(|(url, method, initiator, load_flags)| (
                 EventType::UrlRequestStartJob,
-                EventParams::UrlRequestStart { url, method, initiator, load_flags }
-            )
-        ),
-        "[ -~]{0,60}".prop_map(|l| (EventType::UrlRequestRedirected, EventParams::Redirect { location: l })),
-        "[ -~]{0,40}".prop_map(|h| (EventType::HostResolverImplJob, EventParams::DnsJob { host: h })),
+                EventParams::UrlRequestStart {
+                    url,
+                    method,
+                    initiator,
+                    load_flags
+                }
+            )),
+        "[ -~]{0,60}".prop_map(|l| (
+            EventType::UrlRequestRedirected,
+            EventParams::Redirect { location: l }
+        )),
+        "[ -~]{0,40}".prop_map(|h| (
+            EventType::HostResolverImplJob,
+            EventParams::DnsJob { host: h }
+        )),
         "[ -~]{0,30}".prop_map(|a| (EventType::TcpConnect, EventParams::Connect { address: a })),
-        any::<u16>().prop_map(|s| (EventType::HttpTransactionReadHeaders, EventParams::ResponseHeaders { status: s })),
-        "[ -~]{0,50}".prop_map(|u| (EventType::WebSocketSendRequestHeaders, EventParams::WebSocket { url: u })),
-        any::<u64>().prop_map(|l| (EventType::WebSocketRecvFrame, EventParams::WebSocketFrame { length: l })),
-        any::<i32>().prop_map(|e| (EventType::FailedRequest, EventParams::Failed { net_error: e })),
+        any::<u16>().prop_map(|s| (
+            EventType::HttpTransactionReadHeaders,
+            EventParams::ResponseHeaders { status: s }
+        )),
+        "[ -~]{0,50}".prop_map(|u| (
+            EventType::WebSocketSendRequestHeaders,
+            EventParams::WebSocket { url: u }
+        )),
+        any::<u64>().prop_map(|l| (
+            EventType::WebSocketRecvFrame,
+            EventParams::WebSocketFrame { length: l }
+        )),
+        any::<i32>().prop_map(|e| (
+            EventType::FailedRequest,
+            EventParams::Failed { net_error: e }
+        )),
     ]
 }
 

@@ -168,8 +168,8 @@ pub enum UnknownKind {
 
 /// The ports probed by the wide sweep (Table 5, wowreality.info row).
 pub const WIDE_SWEEP_PORTS: [u16; 25] = [
-    1080, 1194, 2375, 2376, 3000, 3128, 3306, 3479, 4244, 5037, 5242, 5601, 5938, 6379, 8332,
-    8333, 8530, 9000, 9050, 9150, 9785, 11211, 15672, 23399, 27017,
+    1080, 1194, 2375, 2376, 3000, 3128, 3306, 3479, 4244, 5037, 5242, 5601, 5938, 6379, 8332, 8333,
+    8530, 9000, 9050, 9150, 9785, 11211, 15672, 23399, 27017,
 ];
 
 /// A behaviour a website exhibits.
@@ -328,11 +328,7 @@ impl Behavior {
 
 /// Expansion of the native-application probes (port sets and paths
 /// from Tables 5 and 7 / Appendix A).
-fn expand_native_app(
-    app: NativeApp,
-    push: &mut impl FnMut(Url, Channel, u64),
-    base: u64,
-) {
+fn expand_native_app(app: NativeApp, push: &mut impl FnMut(Url, Channel, u64), base: u64) {
     let localhost = || Host::domain_unchecked("localhost");
     let loopback = || Host::Ipv4(Ipv4Addr::LOCALHOST);
     match app {
@@ -406,8 +402,12 @@ fn expand_native_app(
         }
         NativeApp::Iqiyi => {
             for (i, port) in IQIYI_PORTS.iter().enumerate() {
-                let url =
-                    Url::from_parts(Scheme::Http, loopback(), Some(*port), "/get_client_ver?kt=1");
+                let url = Url::from_parts(
+                    Scheme::Http,
+                    loopback(),
+                    Some(*port),
+                    "/get_client_ver?kt=1",
+                );
                 push(url, Channel::Fetch, base + 60 * i as u64);
             }
         }
@@ -475,12 +475,7 @@ fn expand_dev_error(
             push(url, Channel::Redirect, base);
         }
         DevError::SockJsNode { scheme } => {
-            let url = Url::from_parts(
-                *scheme,
-                localhost(),
-                Some(9000),
-                "/sockjs-node/info?t=1595",
-            );
+            let url = Url::from_parts(*scheme, localhost(), Some(9000), "/sockjs-node/info?t=1595");
             push(url, Channel::Fetch, base);
         }
         DevError::LocalService { scheme, port, path } => {
@@ -535,8 +530,18 @@ mod tests {
             assert!(wss_ports.contains(&p), "missing port {p}");
         }
         // Script download before the scan, upload after.
-        assert!(plan.first().unwrap().url.to_string().contains("/fp/tags.js"));
-        assert!(plan.last().unwrap().url.to_string().contains("/fp/clear.png"));
+        assert!(plan
+            .first()
+            .unwrap()
+            .url
+            .to_string()
+            .contains("/fp/tags.js"));
+        assert!(plan
+            .last()
+            .unwrap()
+            .url
+            .to_string()
+            .contains("/fp/clear.png"));
         // All local scans use path "/" and the WebSocket channel.
         for r in &plan {
             if r.url.is_local() {
@@ -581,8 +586,14 @@ mod tests {
     fn samsung_mixes_https_and_wss() {
         let b = Behavior::NativeApp(NativeApp::SamsungSecurity);
         let plan = b.planned_requests(&site(), Os::Linux, 2_000);
-        let https = plan.iter().filter(|r| r.url.scheme() == Scheme::Https).count();
-        let wss = plan.iter().filter(|r| r.url.scheme() == Scheme::Wss).count();
+        let https = plan
+            .iter()
+            .filter(|r| r.url.scheme() == Scheme::Https)
+            .count();
+        let wss = plan
+            .iter()
+            .filter(|r| r.url.scheme() == Scheme::Wss)
+            .count();
         assert_eq!(https, 10);
         assert_eq!(wss, 3);
     }

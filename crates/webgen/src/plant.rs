@@ -20,7 +20,7 @@
 //! 41, matching Figure 2a's shape (the paper reports L=54; one site of
 //! rounding separates the reconstructions).
 
-use kt_netbase::{Scheme, OsSet};
+use kt_netbase::{OsSet, Scheme};
 use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 
@@ -191,8 +191,16 @@ pub fn top2020_localhost_specs() -> Vec<PlantSpec> {
     faceit.os_set = OsSet::ALL;
     specs.push(faceit);
     specs.push(native(NativeApp::Discord, SiteCategory::Generic, true));
-    specs.push(native(NativeApp::SamsungSecurity, SiteCategory::Ecommerce, true));
-    specs.push(native(NativeApp::SamsungSecurity, SiteCategory::Ecommerce, true));
+    specs.push(native(
+        NativeApp::SamsungSecurity,
+        SiteCategory::Ecommerce,
+        true,
+    ));
+    specs.push(native(
+        NativeApp::SamsungSecurity,
+        SiteCategory::Ecommerce,
+        true,
+    ));
     specs.push(native(NativeApp::GameHouse, SiteCategory::Gaming, false));
     let mut games_lol = native(NativeApp::GamesLol, SiteCategory::Gaming, true);
     games_lol.os_set = OsSet::WINDOWS_LINUX;
@@ -219,7 +227,11 @@ pub fn top2020_localhost_specs() -> Vec<PlantSpec> {
     const FS_PORTS: [u16; 8] = [8888, 80, 1987, 8080, 9999, 49972, 9092, 8899];
     for i in 0..24 {
         dev_kinds.push(DevError::LocalFileServer {
-            scheme: if i % 6 == 0 { Scheme::Https } else { Scheme::Http },
+            scheme: if i % 6 == 0 {
+                Scheme::Https
+            } else {
+                Scheme::Http
+            },
             port: FS_PORTS[i % FS_PORTS.len()],
             path: wp_path(i),
         });
@@ -375,12 +387,24 @@ pub fn top2021_new_localhost_specs() -> Vec<PlantSpec> {
     for _ in 0..6 {
         specs.push(native(NativeApp::Iqiyi, SiteCategory::Media, true));
     }
-    specs.push(native(NativeApp::SoliqCrypto, SiteCategory::Government, true));
-    specs.push(native(NativeApp::SoliqCrypto, SiteCategory::Government, true));
+    specs.push(native(
+        NativeApp::SoliqCrypto,
+        SiteCategory::Government,
+        true,
+    ));
+    specs.push(native(
+        NativeApp::SoliqCrypto,
+        SiteCategory::Government,
+        true,
+    ));
     for _ in 0..3 {
         specs.push(native(NativeApp::Thunder, SiteCategory::Media, true));
     }
-    specs.push(native(NativeApp::McgeeSocketIo, SiteCategory::Ecommerce, true));
+    specs.push(native(
+        NativeApp::McgeeSocketIo,
+        SiteCategory::Ecommerce,
+        true,
+    ));
     specs.push(native(NativeApp::Iqiyi, SiteCategory::Media, true));
     let mut gnway = native(NativeApp::Gnway, SiteCategory::Generic, true);
     gnway.os_set = OsSet::WINDOWS_ONLY;
@@ -441,7 +465,13 @@ pub fn top2021_new_lan_specs() -> Vec<PlantSpec> {
         s
     };
     vec![
-        lan([10, 10, 34, 34], Scheme::Http, 80, "/", OsSet::WINDOWS_LINUX),
+        lan(
+            [10, 10, 34, 34],
+            Scheme::Http,
+            80,
+            "/",
+            OsSet::WINDOWS_LINUX,
+        ),
         lan(
             [192, 168, 8, 241],
             Scheme::Http,
@@ -543,7 +573,11 @@ pub mod malicious {
                 // The bulk: wp-content fetches from compromised sites.
                 _ => dev(
                     DevError::LocalFileServer {
-                        scheme: if i % 9 == 0 { Scheme::Https } else { Scheme::Http },
+                        scheme: if i % 9 == 0 {
+                            Scheme::Https
+                        } else {
+                            Scheme::Http
+                        },
                         port: if i % 9 == 0 { 443 } else { 80 },
                         path: super::wp_path(300 + i),
                     },
@@ -573,7 +607,11 @@ pub mod malicious {
         for (i, os) in phish_os.into_iter().enumerate() {
             let kind = match i % 4 {
                 0 => DevError::NonExistentImage {
-                    scheme: if i % 2 == 0 { Scheme::Https } else { Scheme::Http },
+                    scheme: if i % 2 == 0 {
+                        Scheme::Https
+                    } else {
+                        Scheme::Http
+                    },
                     port: [44056u16, 5140, 62389, 44938, 49622][i % 5],
                     number: 19258 + i as u32,
                 },
@@ -726,7 +764,12 @@ mod tests {
     fn top2020_localhost_class_sizes_match_paper() {
         let specs = top2020_localhost_specs();
         assert_eq!(specs.len(), 107, "107 localhost sites (§4.1)");
-        let count = |label: &str| specs.iter().filter(|s| s.behavior.reason_label() == label).count();
+        let count = |label: &str| {
+            specs
+                .iter()
+                .filter(|s| s.behavior.reason_label() == label)
+                .count()
+        };
         assert_eq!(count("Fraud Detection"), 36);
         assert_eq!(count("Bot Detection"), 10);
         assert_eq!(count("Native Application"), 12);
@@ -790,7 +833,12 @@ mod tests {
     fn top2021_new_specs_counts() {
         let specs = top2021_new_localhost_specs();
         assert_eq!(specs.len(), 40, "19 newly-behaving + 21 newly-listed");
-        let count = |label: &str| specs.iter().filter(|s| s.behavior.reason_label() == label).count();
+        let count = |label: &str| {
+            specs
+                .iter()
+                .filter(|s| s.behavior.reason_label() == label)
+                .count()
+        };
         assert_eq!(count("Fraud Detection"), 6);
         assert_eq!(count("Native Application"), 14);
         assert_eq!(count("Developer Error"), 20);

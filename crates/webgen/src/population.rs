@@ -152,7 +152,13 @@ fn failure_kind(u: f64) -> Availability {
 }
 
 /// Sample availability for one (site, OS) pair.
-fn sample_availability(seed: u64, domain: &str, crawl: &str, os: Os, fail_rate: f64) -> Availability {
+fn sample_availability(
+    seed: u64,
+    domain: &str,
+    crawl: &str,
+    os: Os,
+    fail_rate: f64,
+) -> Availability {
     let label = format!("avail:{crawl}:{}:{domain}", os.letter());
     if unit(seed, &label) < fail_rate {
         failure_kind(unit(seed, &format!("{label}:kind")))
@@ -180,7 +186,8 @@ fn spread_ranks(count: usize, n: usize, seed: u64) -> Vec<u32> {
         } else {
             ((i as f64 + 0.5) / count as f64 * n as f64) as usize
         };
-        let jitter = (hash_str(seed, &format!("rankjitter:{i}")) % (n as u64 / count as u64 + 1)) as usize;
+        let jitter =
+            (hash_str(seed, &format!("rankjitter:{i}")) % (n as u64 / count as u64 + 1)) as usize;
         let mut r = (base + jitter).clamp(1, n) as u32;
         while used.contains(&r) {
             r = if (r as usize) < n { r + 1 } else { 1 };
@@ -240,11 +247,8 @@ impl WebPopulation {
             ranks2020.swap(i, j);
         }
         // rank -> spec index
-        let planted2020: HashMap<u32, usize> = ranks2020
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (*r, i))
-            .collect();
+        let planted2020: HashMap<u32, usize> =
+            ranks2020.iter().enumerate().map(|(i, r)| (*r, i)).collect();
 
         // Domains whose behaviour carries into 2021 must survive the
         // snapshot churn: the paper observed them in both crawls. Any
@@ -277,7 +281,10 @@ impl WebPopulation {
                 let start = (rank as usize - 1).min(snapshot2021.len() - 1);
                 let mut replaced = false;
                 for offset in 0..snapshot2021.len() {
-                    for idx in [start.saturating_sub(offset), (start + offset).min(snapshot2021.len() - 1)] {
+                    for idx in [
+                        start.saturating_sub(offset),
+                        (start + offset).min(snapshot2021.len() - 1),
+                    ] {
                         let candidate = &snapshot2021.entries[idx];
                         if !old.contains(candidate.domain.as_str()) {
                             snapshot2021.entries[idx].domain = domain.clone();
@@ -365,29 +372,31 @@ impl WebPopulation {
             }
         }
         // Deterministically thin the host lists to spread ranks.
-        let pick_spread = |hosts: &[&kt_weblists::RankedDomain], count: usize| -> Vec<(u32, DomainName)> {
-            let mut out = Vec::with_capacity(count);
-            if hosts.is_empty() || count == 0 {
-                return out;
-            }
-            let stride = (hosts.len() / count.max(1)).max(1);
-            for i in 0..count {
-                let idx = (i * stride + (hash_str(seed, &format!("h21:{i}")) as usize % stride.max(1)))
-                    .min(hosts.len() - 1);
-                out.push((hosts[idx].rank, hosts[idx].domain.clone()));
-            }
-            out.dedup_by(|a, b| a.1 == b.1);
-            // Fill any dedup losses from the tail.
-            let mut tail = hosts.len();
-            while out.len() < count && tail > 0 {
-                tail -= 1;
-                let cand = hosts[tail];
-                if !out.iter().any(|(_, d)| d == &cand.domain) {
-                    out.push((cand.rank, cand.domain.clone()));
+        let pick_spread =
+            |hosts: &[&kt_weblists::RankedDomain], count: usize| -> Vec<(u32, DomainName)> {
+                let mut out = Vec::with_capacity(count);
+                if hosts.is_empty() || count == 0 {
+                    return out;
                 }
-            }
-            out
-        };
+                let stride = (hosts.len() / count.max(1)).max(1);
+                for i in 0..count {
+                    let idx = (i * stride
+                        + (hash_str(seed, &format!("h21:{i}")) as usize % stride.max(1)))
+                    .min(hosts.len() - 1);
+                    out.push((hosts[idx].rank, hosts[idx].domain.clone()));
+                }
+                out.dedup_by(|a, b| a.1 == b.1);
+                // Fill any dedup losses from the tail.
+                let mut tail = hosts.len();
+                while out.len() < count && tail > 0 {
+                    tail -= 1;
+                    let cand = hosts[tail];
+                    if !out.iter().any(|(_, d)| d == &cand.domain) {
+                        out.push((cand.rank, cand.domain.clone()));
+                    }
+                }
+                out
+            };
         // The paper: 19 new-behaviour sites existed in 2020, 21 are
         // newly listed; LAN adds 7 more (placement split pro rata).
         let n_existing = 19.min(new_specs.len());
@@ -488,8 +497,10 @@ impl WebPopulation {
             let planted = match &p.spec.behavior {
                 Behavior::ThreatMetrix { vendor } if vendor.as_str() == VENDOR_PLACEHOLDER => {
                     let brand_rank = (hash_str(seed, &format!("clone:{pi}"))
-                        % snapshot2020.len().max(1) as u64) as usize;
-                    let target = &snapshot2020.entries[brand_rank.min(snapshot2020.len() - 1)].domain;
+                        % snapshot2020.len().max(1) as u64)
+                        as usize;
+                    let target =
+                        &snapshot2020.entries[brand_rank.min(snapshot2020.len() - 1)].domain;
                     PlantedBehavior {
                         behavior: Behavior::ThreatMetrix {
                             vendor: forge.vendor_for(target, pi as u64),

@@ -238,10 +238,7 @@ mod tests {
             base_delay_ms: 10_000,
         });
         assert_eq!(site.local_os_set(), OsSet::WINDOWS_ONLY);
-        assert_eq!(
-            site.behaviors[0].effective_os_set(),
-            OsSet::WINDOWS_ONLY
-        );
+        assert_eq!(site.behaviors[0].effective_os_set(), OsSet::WINDOWS_ONLY);
     }
 
     #[test]

@@ -192,10 +192,7 @@ impl Blocklist {
     }
 
     /// Per-category `(source, fraction)` contribution, for Table 2.
-    pub fn source_contribution(
-        &self,
-        category: MaliciousCategory,
-    ) -> Vec<(BlocklistSource, f64)> {
+    pub fn source_contribution(&self, category: MaliciousCategory) -> Vec<(BlocklistSource, f64)> {
         use std::collections::BTreeMap;
         let mut counts: BTreeMap<BlocklistSource, usize> = BTreeMap::new();
         let mut total = 0usize;
@@ -232,9 +229,17 @@ mod tests {
         let abuse = list.of_category(MaliciousCategory::Abuse).count() as f64;
         let phishing = list.of_category(MaliciousCategory::Phishing).count() as f64;
         let total = list.len() as f64;
-        assert!((malware / total - 0.714).abs() < 0.01, "{}", malware / total);
+        assert!(
+            (malware / total - 0.714).abs() < 0.01,
+            "{}",
+            malware / total
+        );
         assert!((abuse / total - 0.172).abs() < 0.01, "{}", abuse / total);
-        assert!((phishing / total - 0.113).abs() < 0.01, "{}", phishing / total);
+        assert!(
+            (phishing / total - 0.113).abs() < 0.01,
+            "{}",
+            phishing / total
+        );
     }
 
     #[test]
@@ -282,7 +287,10 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         assert_eq!(Blocklist::generate(5_000, 9), Blocklist::generate(5_000, 9));
-        assert_ne!(Blocklist::generate(5_000, 9), Blocklist::generate(5_000, 10));
+        assert_ne!(
+            Blocklist::generate(5_000, 9),
+            Blocklist::generate(5_000, 10)
+        );
     }
 
     #[test]

@@ -34,7 +34,9 @@ fn main() {
         let mut local = 0;
         for flow in flows.page_flows() {
             let Some(url_text) = flow.url() else { continue };
-            let Ok(url) = Url::parse(url_text) else { continue };
+            let Ok(url) = Url::parse(url_text) else {
+                continue;
+            };
             if !url.is_local() {
                 continue;
             }

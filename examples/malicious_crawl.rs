@@ -26,7 +26,9 @@ fn main() {
     let sites = study.activities(&CrawlId::malicious());
     let clones: Vec<_> = sites
         .iter()
-        .filter(|s| s.malicious_category == Some(report::category_code(MaliciousCategory::Phishing)))
+        .filter(|s| {
+            s.malicious_category == Some(report::category_code(MaliciousCategory::Phishing))
+        })
         .filter(|s| classify_site(s) == ReasonClass::FraudDetection)
         .collect();
     println!(

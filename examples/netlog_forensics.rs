@@ -31,7 +31,11 @@ fn main() {
 
     // 1. Export as chrome://net-export JSON.
     let json = result.capture.to_json();
-    println!("capture: {} events, {} bytes of JSON", result.capture.len(), json.len());
+    println!(
+        "capture: {} events, {} bytes of JSON",
+        result.capture.len(),
+        json.len()
+    );
 
     // 2. Round-trip.
     let parsed = Capture::parse(&json).expect("well-formed capture parses");

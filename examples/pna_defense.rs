@@ -24,10 +24,14 @@ fn main() {
     let impact = evaluate(&records);
     println!("{}", impact.render());
 
-    let (fraud_ok, fraud_blocked) =
-        impact.get(ReasonClass::FraudDetection, AdoptionScenario::NativeAppsOptIn);
-    let (native_ok, native_blocked) =
-        impact.get(ReasonClass::NativeApplication, AdoptionScenario::NativeAppsOptIn);
+    let (fraud_ok, fraud_blocked) = impact.get(
+        ReasonClass::FraudDetection,
+        AdoptionScenario::NativeAppsOptIn,
+    );
+    let (native_ok, native_blocked) = impact.get(
+        ReasonClass::NativeApplication,
+        AdoptionScenario::NativeAppsOptIn,
+    );
     println!(
         "under the intended steady state (native apps opt in):\n\
          - fraud-detection scanning: {fraud_ok} sites keep working, {fraud_blocked} fully blocked\n\

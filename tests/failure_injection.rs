@@ -2,8 +2,10 @@
 //! the capture, or the input data misbehaves.
 
 use knock_talk::analysis::detect::detect_local;
+use knock_talk::analysis::report::health_table;
 use knock_talk::browser::{Browser, BrowserConfig, World};
 use knock_talk::crawler::{run_crawl, CrawlConfig, CrawlJob};
+use knock_talk::faults::{Fault, FaultPlan};
 use knock_talk::netbase::{DomainName, Os, OsSet};
 use knock_talk::netlog::{Capture, NetError};
 use knock_talk::simnet::connectivity::Outage;
@@ -51,7 +53,11 @@ fn dns_flap_differs_across_oses() {
         malicious_category: None,
     }];
     for os in Os::ALL {
-        run_crawl(&jobs, &CrawlConfig::paper(CrawlId::top2020(), os, 1), &store);
+        run_crawl(
+            &jobs,
+            &CrawlConfig::paper(CrawlId::top2020(), os, 1),
+            &store,
+        );
     }
     let mac = store
         .get(&CrawlId::top2020(), "flappy.example", Os::MacOs)
@@ -185,4 +191,116 @@ fn pages_that_never_finish_do_not_poison_the_window() {
     ));
     // Telemetry stays inside the window.
     assert!(record.events.iter().all(|e| e.time < 20_000));
+}
+
+#[test]
+fn injected_panics_do_not_abort_the_crawl() {
+    // Panics at a 40% rate across eight sites: every site is still
+    // accounted for, panicking visits become quarantined Crashed
+    // records, and run_crawl returns normally.
+    let sites: Vec<WebSite> = (0..8).map(|i| site(&format!("p{i}.example"))).collect();
+    let jobs: Vec<CrawlJob> = sites
+        .iter()
+        .map(|site| CrawlJob {
+            site,
+            malicious_category: None,
+        })
+        .collect();
+    let store = TelemetryStore::new();
+    let mut config = CrawlConfig::paper(CrawlId::top2020(), Os::Linux, 9);
+    config.faults = FaultPlan::none(9).with_rate(Fault::WorkerPanic, 0.4);
+    let stats = run_crawl(&jobs, &config, &store);
+    assert_eq!(stats.attempted, jobs.len(), "no site lost to a panic");
+    assert!(stats.crashed > 0, "the plan injected at least one panic");
+    assert_eq!(store.len(), jobs.len(), "every site has a record");
+    let crashed_records = store
+        .crawl_records_on(&CrawlId::top2020(), Os::Linux)
+        .iter()
+        .filter(|r| r.outcome.is_crashed())
+        .count();
+    assert_eq!(crashed_records, stats.crashed);
+}
+
+#[test]
+fn transient_reset_recovers_on_recrawl_and_lands_in_health_report() {
+    // The acceptance scenario: a site failing its first two visits
+    // with CONN_RESET but succeeding on the recrawl must appear in the
+    // store as a success and in HealthReport.recovered — not in
+    // Table 1's error columns.
+    let s = site("comeback.example");
+    let store = TelemetryStore::new();
+    let mut config = CrawlConfig::paper(CrawlId::top2020(), Os::Windows, 3);
+    config.faults = FaultPlan::none(3).with_first_attempts(Fault::ConnectionReset, 2);
+    let jobs = [CrawlJob {
+        site: &s,
+        malicious_category: None,
+    }];
+    let stats = run_crawl(&jobs, &config, &store);
+    let record = store
+        .get(&CrawlId::top2020(), "comeback.example", Os::Windows)
+        .unwrap();
+    assert!(record.outcome.is_success(), "recrawl overwrote the failure");
+    assert_eq!(stats.failed(), 0);
+    let table1_total: usize = stats.table1_errors().iter().map(|(_, n)| n).sum();
+    assert_eq!(table1_total, 0, "no error column for a recovered site");
+    let (text, reports) = health_table(&[("Top 100K: 2020", Os::Windows, &stats)]);
+    assert_eq!(reports[0].recovered, 1);
+    assert_eq!(reports[0].recrawled, 1);
+    assert_eq!(reports[0].gave_up, 0);
+    assert!(text.contains("recovered"));
+}
+
+#[test]
+fn injected_dns_flap_is_retried_in_place() {
+    // One transient DNS timeout on attempt 0; the in-place retry
+    // succeeds without involving the recrawl queue.
+    let s = site("blinky.example");
+    let store = TelemetryStore::new();
+    let mut config = CrawlConfig::paper(CrawlId::top2020(), Os::Linux, 4);
+    config.faults = FaultPlan::none(4).with_first_attempts(Fault::DnsFlap, 1);
+    let jobs = [CrawlJob {
+        site: &s,
+        malicious_category: None,
+    }];
+    let stats = run_crawl(&jobs, &config, &store);
+    assert_eq!(stats.retries, 1);
+    assert_eq!(stats.recovered, 1);
+    assert_eq!(stats.recrawled, 0);
+    assert!(store
+        .get(&CrawlId::top2020(), "blinky.example", Os::Linux)
+        .unwrap()
+        .outcome
+        .is_success());
+}
+
+#[test]
+fn truncation_fault_loses_telemetry_not_the_visit() {
+    // An injected capture truncation keeps the visit's Success outcome
+    // and leaves a parseable prefix for detection.
+    let mut s = site("cutoff.example");
+    s.behaviors.push(PlantedBehavior {
+        behavior: Behavior::NativeApp(NativeApp::Discord),
+        os_set: OsSet::ALL,
+        base_delay_ms: 1_000,
+    });
+    let store = TelemetryStore::new();
+    let mut config = CrawlConfig::paper(CrawlId::top2020(), Os::Linux, 6);
+    config.faults = FaultPlan::none(6).with_first_attempts(Fault::TruncatedCapture, 1);
+    let jobs = [CrawlJob {
+        site: &s,
+        malicious_category: None,
+    }];
+    let stats = run_crawl(&jobs, &config, &store);
+    assert_eq!(
+        stats.successful, 1,
+        "truncation loses telemetry, not the visit"
+    );
+    let record = store
+        .get(&CrawlId::top2020(), "cutoff.example", Os::Linux)
+        .unwrap();
+    assert!(record.outcome.is_success());
+    assert!(
+        detect_local(&record).len() <= 10,
+        "prefix detects without panicking"
+    );
 }

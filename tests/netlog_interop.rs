@@ -93,8 +93,5 @@ fn truncated_chromeish_document_recovers() {
     let capture = Capture::parse(&full[..cut]).unwrap();
     assert!(capture.truncated);
     assert_eq!(capture.len(), 1, "the complete first event survives");
-    assert_eq!(
-        capture.events[0].url(),
-        Some("https://shop.example/")
-    );
+    assert_eq!(capture.events[0].url(), Some("https://shop.example/"));
 }

@@ -53,7 +53,10 @@ fn rq1_windows_skew_figure2a() {
     assert_eq!(venn.mac_total(), 54, "54 on Mac");
     assert_eq!(venn.linux_total(), 53, "≈54 on Linux (±1, see DESIGN.md)");
     assert_eq!(venn.wlm, 41, "41 sites behave identically everywhere");
-    assert_eq!(venn.w_only, 48, "45% Windows-exclusive — the targeting signal");
+    assert_eq!(
+        venn.w_only, 48,
+        "45% Windows-exclusive — the targeting signal"
+    );
 }
 
 #[test]
@@ -78,7 +81,11 @@ fn rq1_2021_churn() {
     // §4.1: of the 82, 19 were crawled in 2020 without local traffic,
     // 21 are newly listed, the rest carried over.
     let diff = report::activity_diff(&sites2020(), &study().activities(&CrawlId::top2021()));
-    assert_eq!(diff.new.len(), 40, "40 localhost newcomers (19 old + 21 new domains)");
+    assert_eq!(
+        diff.new.len(),
+        40,
+        "40 localhost newcomers (19 old + 21 new domains)"
+    );
     assert!(
         (40..=43).contains(&diff.carried.len()),
         "≈42 carried, got {}",
@@ -110,8 +117,15 @@ fn rq2_wss_dominates_windows_figure4() {
         .get(&Scheme::Http)
         .map(|r| r.total)
         .unwrap_or(0);
-    let wss = win.by_scheme.get(&Scheme::Wss).map(|r| r.total).unwrap_or(0);
-    assert!(wss > http_like, "WSS ({wss}) > HTTP ({http_like}) on Windows");
+    let wss = win
+        .by_scheme
+        .get(&Scheme::Wss)
+        .map(|r| r.total)
+        .unwrap_or(0);
+    assert!(
+        wss > http_like,
+        "WSS ({wss}) > HTTP ({http_like}) on Windows"
+    );
 }
 
 #[test]
@@ -303,5 +317,8 @@ fn highly_ranked_sites_exhibit_behavior_table3() {
         .min()
         .unwrap();
     let head = (study().population.sites2020.len() / 100).max(10) as u32;
-    assert!(best <= head, "top site rank {best} within the first centile");
+    assert!(
+        best <= head,
+        "top site rank {best} within the first centile"
+    );
 }

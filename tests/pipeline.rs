@@ -31,10 +31,7 @@ fn every_site_is_visited_on_every_scheduled_os() {
         "2021: Windows and Linux only"
     );
     let nmal = s.population.malicious_sites.len();
-    assert_eq!(
-        s.store.crawl_records(&CrawlId::malicious()).len(),
-        nmal * 3
-    );
+    assert_eq!(s.store.crawl_records(&CrawlId::malicious()).len(), nmal * 3);
 }
 
 #[test]
@@ -47,10 +44,7 @@ fn stored_telemetry_is_flow_consistent() {
         for flow in flows.iter() {
             // Events in a flow share the source and are time-ordered.
             assert!(flow.events.iter().all(|e| e.source.id == flow.source.id));
-            assert!(flow
-                .events
-                .windows(2)
-                .all(|w| w[0].time <= w[1].time));
+            assert!(flow.events.windows(2).all(|w| w[0].time <= w[1].time));
             // Every event sits inside the 20 s observation window.
             assert!(flow.end_time() < 20_000, "{}", record.domain);
         }
@@ -70,7 +64,10 @@ fn detection_only_reports_loopback_or_private() {
                 obs.locality
             );
             // And the URL re-parses to the same classification.
-            assert_eq!(Url::parse(&obs.url.to_string()).unwrap().locality(), obs.locality);
+            assert_eq!(
+                Url::parse(&obs.url.to_string()).unwrap().locality(),
+                obs.locality
+            );
         }
     }
 }
@@ -78,14 +75,22 @@ fn detection_only_reports_loopback_or_private() {
 #[test]
 fn browser_internal_sources_never_surface_as_findings() {
     let s = study();
-    for record in s.store.crawl_records_on(&CrawlId::top2020(), Os::Windows).iter().take(100) {
+    for record in s
+        .store
+        .crawl_records_on(&CrawlId::top2020(), Os::Windows)
+        .iter()
+        .take(100)
+    {
         let internal_ids: Vec<u64> = record
             .events
             .iter()
             .filter(|e| e.source.kind == SourceType::BrowserInternal)
             .map(|e| e.source.id)
             .collect();
-        assert!(!internal_ids.is_empty(), "internal noise exists in telemetry");
+        assert!(
+            !internal_ids.is_empty(),
+            "internal noise exists in telemetry"
+        );
         // No detection may come from an internal source's flow.
         let flows = FlowSet::from_events(record.events.iter().cloned());
         for obs in detect_local(record) {

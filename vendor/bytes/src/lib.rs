@@ -1,0 +1,290 @@
+//! Minimal in-repo shim for the `bytes` crate.
+//!
+//! Implements the subset of `Bytes`/`BytesMut`/`Buf`/`BufMut` used by
+//! `kt-store`'s binary codec and persistence layer. Semantics match the
+//! real crate for that subset: multi-byte integers are big-endian, reads
+//! past the end panic (callers guard with `has_remaining`/`remaining`),
+//! and `Bytes` is a cheap-to-clone shared view with a read cursor.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// An immutable, shareable byte buffer with an internal read cursor.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::from(Vec::new())
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Unread bytes remaining.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sub-view of the unread bytes (no copy).
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && self.start + range.end <= self.end,
+            "slice out of bounds"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Copy the unread bytes out.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+/// Read-side cursor operations.
+pub trait Buf {
+    /// Unread byte count.
+    fn remaining(&self) -> usize;
+    /// True when at least one unread byte remains.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+    /// Pop one byte. Panics when empty.
+    fn get_u8(&mut self) -> u8;
+    /// Pop a big-endian u16. Panics when under 2 bytes remain.
+    fn get_u16(&mut self) -> u16 {
+        let hi = self.get_u8() as u16;
+        let lo = self.get_u8() as u16;
+        (hi << 8) | lo
+    }
+    /// Pop a little-endian u16. Panics when under 2 bytes remain.
+    fn get_u16_le(&mut self) -> u16 {
+        let lo = self.get_u8() as u16;
+        let hi = self.get_u8() as u16;
+        (hi << 8) | lo
+    }
+    /// Pop a big-endian u32.
+    fn get_u32(&mut self) -> u32 {
+        let hi = self.get_u16() as u32;
+        let lo = self.get_u16() as u32;
+        (hi << 16) | lo
+    }
+    /// Pop a big-endian u64.
+    fn get_u64(&mut self) -> u64 {
+        let hi = self.get_u32() as u64;
+        let lo = self.get_u32() as u64;
+        (hi << 32) | lo
+    }
+    /// Pop `len` bytes as a new `Bytes`. Panics when fewer remain.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes;
+    /// Skip `cnt` bytes. Panics when fewer remain.
+    fn advance(&mut self, cnt: usize);
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.has_remaining(), "get_u8 past end of buffer");
+        let b = self.data[self.start];
+        self.start += 1;
+        b
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(len <= self.remaining(), "copy_to_bytes past end of buffer");
+        let out = self.slice(0..len);
+        self.start += len;
+        out
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.remaining(), "advance past end of buffer");
+        self.start += cnt;
+    }
+}
+
+/// Write-side operations.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, b: u8);
+    /// Append a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_u8((v >> 8) as u8);
+        self.put_u8(v as u8);
+    }
+    /// Append a little-endian u16.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_u8(v as u8);
+        self.put_u8((v >> 8) as u8);
+    }
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_u16((v >> 16) as u16);
+        self.put_u16(v as u16);
+    }
+    /// Append a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_u32((v >> 32) as u32);
+        self.put_u32(v as u32);
+    }
+    /// Append a byte slice.
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable `Bytes`.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, b: u8) {
+        self.data.push(b);
+    }
+
+    fn put_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_integers_big_endian() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u16(0x4B54);
+        buf.put_u8(7);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u64(u64::MAX - 1);
+        let mut b = buf.freeze();
+        assert_eq!(b.as_ref()[0], 0x4B, "big-endian like the real crate");
+        assert_eq!(b.get_u16(), 0x4B54);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u64(), u64::MAX - 1);
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn slices_share_without_copying() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let mut s = b.slice(1..4);
+        assert_eq!(s.to_vec(), vec![2, 3, 4]);
+        assert_eq!(s.get_u8(), 2);
+        assert_eq!(s.remaining(), 2);
+        assert_eq!(b.len(), 5, "parent cursor untouched");
+    }
+
+    #[test]
+    fn copy_to_bytes_advances() {
+        let mut b = Bytes::from(vec![9, 8, 7, 6]);
+        let head = b.copy_to_bytes(2);
+        assert_eq!(head.to_vec(), vec![9, 8]);
+        assert_eq!(b.remaining(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reading_past_end_panics() {
+        let mut b = Bytes::new();
+        let _ = b.get_u8();
+    }
+}

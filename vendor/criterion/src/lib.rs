@@ -1,0 +1,188 @@
+//! Minimal in-repo shim for `criterion`.
+//!
+//! A wall-clock timing harness with criterion's surface API — groups,
+//! throughput annotation, `criterion_group!`/`criterion_main!` — but no
+//! statistical analysis: each benchmark reports the median of
+//! `sample_size` timed samples (after one warm-up), and throughput is
+//! derived from that median. `cargo bench` and `cargo test` both link
+//! against this (benches set `harness = false`).
+
+use std::time::Instant;
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical items per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    samples: usize,
+    /// Median seconds per iteration, filled by `iter`.
+    median_secs: f64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record the median iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, and an estimate of per-iteration cost so quick bodies
+        // get batched to a measurable duration.
+        let warm = Instant::now();
+        std::hint::black_box(f());
+        let once = warm.elapsed().as_secs_f64();
+        let batch = if once > 0.0 {
+            ((0.002 / once) as usize).clamp(1, 10_000)
+        } else {
+            10_000
+        };
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            times.push(start.elapsed().as_secs_f64() / batch as f64);
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        self.median_secs = times[times.len() / 2];
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+fn format_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn report(name: &str, median_secs: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median_secs > 0.0 => {
+            format!("  ({:.0} elem/s)", n as f64 / median_secs)
+        }
+        Some(Throughput::Bytes(n)) if median_secs > 0.0 => {
+            format!("  ({:.1} MiB/s)", n as f64 / median_secs / (1 << 20) as f64)
+        }
+        _ => String::new(),
+    };
+    println!("{name:<50} {:>12}{rate}", format_duration(median_secs));
+}
+
+impl Criterion {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            median_secs: 0.0,
+        };
+        f(&mut b);
+        report(name.as_ref(), b.median_secs, None);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput annotation.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Time one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.criterion.sample_size,
+            median_secs: 0.0,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, name.as_ref()),
+            b.median_secs,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Declare a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declare the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export for code written against `criterion::black_box`.
+pub use std::hint::black_box;

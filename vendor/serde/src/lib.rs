@@ -1,0 +1,413 @@
+//! Minimal in-repo shim for the `serde` crate.
+//!
+//! The real serde is a zero-copy serialisation *framework*; this shim
+//! collapses it to the one concrete data model the workspace uses — an
+//! owned JSON-like [`Value`] — while keeping the trait names, the derive
+//! macros, and the externally-tagged enum representation identical, so
+//! `#[derive(Serialize, Deserialize)]` code is source-compatible.
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Map, Number, Value};
+
+/// Types that can render themselves as a [`Value`].
+pub trait Serialize {
+    /// Produce the JSON data-model representation.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuild from the JSON data model.
+    fn deserialize(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserialisation error: a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Build an error from a message.
+    pub fn custom(msg: impl Into<String>) -> DeError {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Fetch and deserialise one struct field by key. Missing keys
+/// deserialise from `Null`, which lets `Option<T>` fields default to
+/// `None` (matching real serde) while required fields report an error.
+pub fn de_field<T: Deserialize>(m: &Map, key: &str) -> Result<T, DeError> {
+    match m.get(key) {
+        Some(v) => T::deserialize(v).map_err(|e| DeError::custom(format!("field `{key}`: {e}"))),
+        None => T::deserialize(&Value::Null)
+            .map_err(|_| DeError::custom(format!("missing field `{key}`"))),
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Value, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<bool, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, got {other}"))),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(Number::from(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<$t, DeError> {
+                let n = match v {
+                    Value::Number(n) => n.as_u64(),
+                    _ => None,
+                };
+                n.and_then(|n| <$t>::try_from(n).ok()).ok_or_else(|| {
+                    DeError::custom(format!(
+                        "expected {}, got {v}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(Number::from(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<$t, DeError> {
+                let n = match v {
+                    Value::Number(n) => n.as_i64(),
+                    _ => None,
+                };
+                n.and_then(|n| <$t>::try_from(n).ok()).ok_or_else(|| {
+                    DeError::custom(format!(
+                        "expected {}, got {v}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Number(Number::from(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<f64, DeError> {
+        match v {
+            Value::Number(n) => Ok(n.as_f64()),
+            other => Err(DeError::custom(format!("expected f64, got {other}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Number(Number::from(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<f32, DeError> {
+        f64::deserialize(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<String, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, got {other}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Option<T>, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Vec<T>, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(DeError::custom(format!("expected array, got {other}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<[T; N], DeError> {
+        let items = Vec::<T>::deserialize(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::custom(format!("expected {N}-element array, got {len}")))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let Value::Array(items) = v else {
+                    return Err(DeError::custom(format!("expected tuple array, got {v}")));
+                };
+                if items.len() != LEN {
+                    return Err(DeError::custom(format!(
+                        "expected {LEN}-tuple, got {} elements", items.len()
+                    )));
+                }
+                Ok(($($name::deserialize(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// JSON object keys must be strings: string values key directly, any
+/// other serialised key uses its compact JSON text (what real serde_json
+/// does for the key types it supports, extended to structured keys).
+fn key_string<K: Serialize>(key: &K) -> String {
+    match key.serialize() {
+        Value::String(s) => s,
+        other => other.to_string(),
+    }
+}
+
+fn key_from_str<K: Deserialize>(key: &str) -> Result<K, DeError> {
+    if let Ok(k) = K::deserialize(&Value::String(key.to_string())) {
+        return Ok(k);
+    }
+    let parsed =
+        value::parse(key).map_err(|_| DeError::custom(format!("unparseable map key {key:?}")))?;
+    K::deserialize(&parsed)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(key_string(k), v.serialize());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let Value::Object(m) = v else {
+            return Err(DeError::custom(format!("expected object, got {v}")));
+        };
+        let mut out = std::collections::BTreeMap::new();
+        for (k, v) in m.iter() {
+            out.insert(key_from_str(k)?, V::deserialize(v)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn serialize(&self) -> Value {
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_string(k), v.serialize()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut m = Map::new();
+        for (k, v) in pairs {
+            m.insert(k, v);
+        }
+        Value::Object(m)
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize
+    for std::collections::HashMap<K, V>
+{
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let Value::Object(m) = v else {
+            return Err(DeError::custom(format!("expected object, got {v}")));
+        };
+        let mut out = std::collections::HashMap::new();
+        for (k, v) in m.iter() {
+            out.insert(key_from_str(k)?, V::deserialize(v)?);
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! impl_serde_display_fromstr {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::String(self.to_string())
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<$t, DeError> {
+                match v {
+                    Value::String(s) => s.parse().map_err(|_| {
+                        DeError::custom(format!(
+                            "invalid {}: {s:?}", stringify!($t)
+                        ))
+                    }),
+                    other => Err(DeError::custom(format!(
+                        "expected {} string, got {other}", stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_display_fromstr!(
+    std::net::IpAddr,
+    std::net::Ipv4Addr,
+    std::net::Ipv6Addr,
+    std::net::SocketAddr
+);
+
+impl Deserialize for &'static str {
+    /// Real serde borrows `&str` from the input document; this owned
+    /// data model cannot, so the string is leaked. Only registry-style
+    /// types with `&'static str` labels hit this path, and none are
+    /// deserialised on any hot path.
+    fn deserialize(v: &Value) -> Result<&'static str, DeError> {
+        String::deserialize(v).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<char, DeError> {
+        let s = String::deserialize(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Box<T>, DeError> {
+        T::deserialize(v).map(Box::new)
+    }
+}

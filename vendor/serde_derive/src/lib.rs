@@ -1,0 +1,417 @@
+//! Minimal in-repo shim for `serde_derive`.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` available offline): parses
+//! plain structs and enums — named, tuple/newtype, and unit shapes, plus
+//! `#[serde(rename = "...")]` on fields — and emits impls of the shim
+//! `serde::Serialize`/`serde::Deserialize` traits using the real crate's
+//! externally-tagged enum representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+struct Field {
+    ident: String,
+    key: String,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    ident: String,
+    shape: Shape,
+}
+
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+/// Extract `rename = "..."` from a `#[serde(...)]` attribute body.
+fn serde_rename(tokens: &[TokenTree]) -> Option<String> {
+    match tokens {
+        [TokenTree::Ident(tag), TokenTree::Group(args)] if tag.to_string() == "serde" => {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            let mut i = 0;
+            while i < inner.len() {
+                if let TokenTree::Ident(id) = &inner[i] {
+                    if id.to_string() == "rename" && i + 2 < inner.len() {
+                        if let TokenTree::Literal(lit) = &inner[i + 2] {
+                            let text = lit.to_string();
+                            return Some(text.trim_matches('"').to_string());
+                        }
+                    }
+                }
+                i += 1;
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Skip leading attributes, returning any serde rename found.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> Option<String> {
+    let mut rename = None;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                        if let Some(r) = serde_rename(&body) {
+                            rename = Some(r);
+                        }
+                        *i += 1;
+                        continue;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    rename
+}
+
+/// Skip `pub`, `pub(crate)` etc.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skip tokens until a top-level comma (tracking `<...>` nesting), used
+/// for field types and variant discriminants.
+fn skip_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while *i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let rename = skip_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let ident = name.to_string();
+        i += 1;
+        // `:`
+        i += 1;
+        skip_until_comma(&tokens, &mut i);
+        // the comma itself
+        i += 1;
+        let key = rename.unwrap_or_else(|| ident.clone());
+        fields.push(Field { ident, key });
+    }
+    fields
+}
+
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_until_comma(&tokens, &mut i);
+        count += 1;
+        i += 1; // consume comma
+    }
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let ident = name.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g);
+                i += 1;
+                Shape::Named(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g);
+                i += 1;
+                Shape::Tuple(n)
+            }
+            _ => Shape::Unit,
+        };
+        // Optional `= discriminant`, then the separating comma.
+        skip_until_comma(&tokens, &mut i);
+        i += 1;
+        variants.push(Variant { ident, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let Some(TokenTree::Ident(kw)) = tokens.get(i) else {
+        panic!("derive input is not a struct or enum");
+    };
+    let kw = kw.to_string();
+    i += 1;
+    let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+        panic!("derive input has no type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    match kw.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Kind::Struct(Shape::Named(parse_named_fields(g)))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Kind::Struct(Shape::Tuple(count_tuple_fields(g)))
+                }
+                _ => Kind::Struct(Shape::Unit),
+            };
+            Item { name, kind: shape }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = tokens.get(i) else {
+                panic!("enum {name} has no body");
+            };
+            Item {
+                name,
+                kind: Kind::Enum(parse_variants(g)),
+            }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Shape::Named(fields)) => {
+            let mut s = String::from("let mut __m = serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.insert(String::from(\"{}\"), serde::Serialize::serialize(&self.{}));\n",
+                    f.key, f.ident
+                ));
+            }
+            s.push_str("serde::Value::Object(__m)");
+            s
+        }
+        Kind::Struct(Shape::Tuple(1)) => "serde::Serialize::serialize(&self.0)".to_string(),
+        Kind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Shape::Unit) => "serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.ident;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serde::Value::String(String::from(\"{vn}\")),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => {{ let mut __m = serde::Map::new(); \
+                         __m.insert(String::from(\"{vn}\"), serde::Serialize::serialize(__f0)); \
+                         serde::Value::Object(__m) }}\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::serialize({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{ let mut __m = serde::Map::new(); \
+                             __m.insert(String::from(\"{vn}\"), \
+                             serde::Value::Array(vec![{}])); serde::Value::Object(__m) }}\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.ident.clone()).collect();
+                        let mut inner = String::from("let mut __fm = serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__fm.insert(String::from(\"{}\"), serde::Serialize::serialize({}));\n",
+                                f.key, f.ident
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ {inner} let mut __m = serde::Map::new(); \
+                             __m.insert(String::from(\"{vn}\"), serde::Value::Object(__fm)); \
+                             serde::Value::Object(__m) }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all)]\n\
+         impl serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Shape::Named(fields)) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{}: serde::de_field(__m, \"{}\")?,\n",
+                    f.ident, f.key
+                ));
+            }
+            format!(
+                "match __v {{\n\
+                 serde::Value::Object(__m) => Ok({name} {{\n{inits}}}),\n\
+                 _ => Err(serde::DeError::custom(\"expected object for {name}\")),\n}}"
+            )
+        }
+        Kind::Struct(Shape::Tuple(1)) => {
+            format!("Ok({name}(serde::Deserialize::deserialize(__v)?))")
+        }
+        Kind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::deserialize(&__a[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                 serde::Value::Array(__a) if __a.len() == {n} => Ok({name}({})),\n\
+                 _ => Err(serde::DeError::custom(\"expected {n}-element array for {name}\")),\n}}",
+                items.join(", ")
+            )
+        }
+        Kind::Struct(Shape::Unit) => format!("{{ let _ = __v; Ok({name}) }}"),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut obj_arms = String::new();
+            for v in variants {
+                let vn = &v.ident;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n")),
+                    Shape::Tuple(1) => obj_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::deserialize(__inner)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::deserialize(&__a[{i}])?"))
+                            .collect();
+                        obj_arms.push_str(&format!(
+                            "\"{vn}\" => match __inner {{\n\
+                             serde::Value::Array(__a) if __a.len() == {n} => \
+                             Ok({name}::{vn}({})),\n\
+                             _ => Err(serde::DeError::custom(\
+                             \"expected {n}-element array for {name}::{vn}\")),\n}},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{}: serde::de_field(__fm, \"{}\")?,\n",
+                                f.ident, f.key
+                            ));
+                        }
+                        obj_arms.push_str(&format!(
+                            "\"{vn}\" => match __inner {{\n\
+                             serde::Value::Object(__fm) => Ok({name}::{vn} {{\n{inits}}}),\n\
+                             _ => Err(serde::DeError::custom(\
+                             \"expected object for {name}::{vn}\")),\n}},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(serde::DeError::custom(format!(\
+                 \"unknown {name} variant {{__other:?}}\"))),\n}},\n\
+                 serde::Value::Object(__m) => {{\n\
+                 let mut __it = __m.iter();\n\
+                 let Some((__k, __inner)) = __it.next() else {{\n\
+                 return Err(serde::DeError::custom(\"empty object for enum {name}\"));\n}};\n\
+                 match __k.as_str() {{\n\
+                 {obj_arms}\
+                 __other => Err(serde::DeError::custom(format!(\
+                 \"unknown {name} variant {{__other:?}}\"))),\n}}\n}},\n\
+                 _ => Err(serde::DeError::custom(\"expected string or object for enum {name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all)]\n\
+         impl serde::Deserialize for {name} {{\n\
+         fn deserialize(__v: &serde::Value) -> std::result::Result<Self, serde::DeError> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,221 @@
+//! Minimal in-repo shim for `serde_json`, backed by the shim `serde`
+//! crate's owned [`Value`] data model: the `json!` macro, compact
+//! printing, strict parsing, and the `to_string`/`from_str`/`to_value`/
+//! `from_value` entry points.
+
+pub use serde::value::ParseError;
+pub use serde::{Map, Number, Value};
+
+/// serde_json's error type: parse or data-shape failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Error {
+        Error(e.to_string())
+    }
+}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Error {
+        Error(e.to_string())
+    }
+}
+
+/// Serialise any `Serialize` type to its `Value` representation.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize()
+}
+
+/// Serialise to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.serialize().to_string())
+}
+
+/// Parse JSON text into any `Deserialize` type (including `Value`).
+pub fn from_str<T: serde::Deserialize>(input: &str) -> Result<T, Error> {
+    let v = serde::value::parse(input)?;
+    Ok(T::deserialize(&v)?)
+}
+
+/// Rebuild a `Deserialize` type from an owned `Value`.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
+    Ok(T::deserialize(&value)?)
+}
+
+/// Build a [`Value`] from JSON-like syntax. Supports the literal forms
+/// the workspace uses: `null`, nested `{ "key": value }` objects,
+/// `[ ... ]` arrays, and arbitrary `Serialize` expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => {{
+        let mut __items: Vec<$crate::Value> = Vec::new();
+        $crate::json_array_internal!(__items; $($tt)*);
+        $crate::Value::Array(__items)
+    }};
+    ({ $($tt:tt)* }) => {{
+        let mut __map = $crate::Map::new();
+        $crate::json_object_internal!(__map; $($tt)*);
+        $crate::Value::Object(__map)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Internal: munch `"key": value` pairs into a map.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_internal {
+    ($map:ident;) => {};
+    ($map:ident; ,) => {};
+    // Nested object value.
+    ($map:ident; $key:literal : { $($inner:tt)* } , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::json!({ $($inner)* }));
+        $crate::json_object_internal!($map; $($rest)*);
+    };
+    ($map:ident; $key:literal : { $($inner:tt)* }) => {
+        $map.insert($key.to_string(), $crate::json!({ $($inner)* }));
+    };
+    // Nested array value.
+    ($map:ident; $key:literal : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+        $crate::json_object_internal!($map; $($rest)*);
+    };
+    ($map:ident; $key:literal : [ $($inner:tt)* ]) => {
+        $map.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+    };
+    // Null keyword value.
+    ($map:ident; $key:literal : null , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::Value::Null);
+        $crate::json_object_internal!($map; $($rest)*);
+    };
+    ($map:ident; $key:literal : null) => {
+        $map.insert($key.to_string(), $crate::Value::Null);
+    };
+    // Expression value (consumes up to the next top-level comma).
+    ($map:ident; $key:literal : $value:expr , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::to_value(&$value));
+        $crate::json_object_internal!($map; $($rest)*);
+    };
+    ($map:ident; $key:literal : $value:expr) => {
+        $map.insert($key.to_string(), $crate::to_value(&$value));
+    };
+}
+
+/// Internal: munch array elements.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_internal {
+    ($items:ident;) => {};
+    ($items:ident; ,) => {};
+    ($items:ident; { $($inner:tt)* } , $($rest:tt)*) => {
+        $items.push($crate::json!({ $($inner)* }));
+        $crate::json_array_internal!($items; $($rest)*);
+    };
+    ($items:ident; { $($inner:tt)* }) => {
+        $items.push($crate::json!({ $($inner)* }));
+    };
+    ($items:ident; [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $items.push($crate::json!([ $($inner)* ]));
+        $crate::json_array_internal!($items; $($rest)*);
+    };
+    ($items:ident; [ $($inner:tt)* ]) => {
+        $items.push($crate::json!([ $($inner)* ]));
+    };
+    ($items:ident; null , $($rest:tt)*) => {
+        $items.push($crate::Value::Null);
+        $crate::json_array_internal!($items; $($rest)*);
+    };
+    ($items:ident; null) => {
+        $items.push($crate::Value::Null);
+    };
+    ($items:ident; $value:expr , $($rest:tt)*) => {
+        $items.push($crate::to_value(&$value));
+        $crate::json_array_internal!($items; $($rest)*);
+    };
+    ($items:ident; $value:expr) => {
+        $items.push($crate::to_value(&$value));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_documents() {
+        let time = 9_u64;
+        let v = json!({
+            "time": time.to_string(),
+            "source": { "id": 5, "type": 1 },
+            "items": [1, 2, { "deep": null }],
+            "flag": true,
+        });
+        assert_eq!(v["time"], "9");
+        assert_eq!(v["source"]["id"].as_u64(), Some(5));
+        assert_eq!(v["items"].as_array().unwrap().len(), 3);
+        assert!(v["items"][2]["deep"].is_null());
+        assert_eq!(v["flag"], true);
+    }
+
+    #[test]
+    fn round_trip_through_text() {
+        let v = json!({
+            "s": "a\"b\\c\nd",
+            "neg": -105,
+            "big": 18_446_744_073_709_551_615u64,
+            "f": 1.5,
+            "empty": {},
+            "arr": [],
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn insertion_order_is_preserved_in_output() {
+        let v = json!({ "constants": 1, "events": 2 });
+        let text = to_string(&v).unwrap();
+        assert!(text.find("constants").unwrap() < text.find("events").unwrap());
+    }
+
+    #[test]
+    fn truncated_documents_error() {
+        for cut in 1..20 {
+            let full = r#"{"a": [1, 2, {"b": "x"}]}"#;
+            if cut < full.len() {
+                assert!(from_str::<Value>(&full[..cut]).is_err(), "cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn numbers_parse_into_best_representation() {
+        assert_eq!(from_str::<Value>("42").unwrap().as_u64(), Some(42));
+        assert_eq!(from_str::<Value>("-7").unwrap().as_i64(), Some(-7));
+        assert_eq!(from_str::<Value>("2.5").unwrap().as_f64(), Some(2.5));
+        assert_eq!(from_str::<Value>("1e3").unwrap().as_f64(), Some(1000.0));
+    }
+
+    #[test]
+    fn index_mut_inserts_and_overwrites() {
+        let mut v = json!({ "params": { "x": 1 } });
+        v["time"] = json!(1234);
+        v["params"] = json!(9);
+        assert_eq!(v["time"].as_u64(), Some(1234));
+        assert_eq!(v["params"].as_u64(), Some(9));
+        v.as_object_mut().unwrap().remove("params");
+        assert!(v.get("params").is_none());
+    }
+}
