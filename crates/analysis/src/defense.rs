@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 use crate::classify::{classify_site, ReasonClass};
-use crate::detect::{aggregate_sites, detect_local};
+use crate::detect::{aggregate_sites, detect_local_with_page, LocalObservation};
 use crate::report::TextTable;
 
 /// Which local services answer the PNA preflight affirmatively.
@@ -49,46 +49,50 @@ impl AdoptionScenario {
     }
 }
 
-/// The page's security and address space, inferred from telemetry: the
-/// first page-flow URL is the main document.
-fn page_context(record: &VisitRecord) -> (AddressSpace, bool) {
-    use kt_netlog::FlowSet;
-    let flows = FlowSet::from_events(record.events.iter().cloned());
-    for flow in flows.page_flows() {
-        if let Some(u) = flow.url() {
-            if let Ok(url) = kt_netbase::Url::parse(u) {
-                return (AddressSpace::of_url(&url), url.scheme().is_secure());
+/// The page's security and address space from its main-document URL
+/// (none observed → a public, insecure page).
+pub fn page_env(page_url: Option<&kt_netbase::Url>) -> (AddressSpace, bool) {
+    match page_url {
+        Some(url) => (AddressSpace::of_url(url), url.scheme().is_secure()),
+        None => (AddressSpace::Public, false),
+    }
+}
+
+/// One observation's PNA verdict under one adoption scenario, given
+/// the page's `(address space, secure)` context. The unit both the
+/// sequential [`evaluate`] and the parallel analysis driver replay —
+/// one definition, two schedules.
+pub fn verdict_for(
+    page: (AddressSpace, bool),
+    obs: &LocalObservation,
+    scenario: AdoptionScenario,
+) -> PnaVerdict {
+    let preflight = match scenario {
+        AdoptionScenario::NoOptIn => PreflightResult::Denied,
+        AdoptionScenario::FullOptIn => PreflightResult::Approved,
+        AdoptionScenario::NativeAppsOptIn => {
+            if obs.locality.is_loopback() && is_native_app_port(obs.port) {
+                PreflightResult::Approved
+            } else {
+                PreflightResult::Denied
             }
         }
-    }
-    (AddressSpace::Public, false)
+    };
+    // WebSockets: PNA gates them identically (a ws(s) URL to a
+    // more-private space needs the same opt-in).
+    pna::decide(page.0, page.1, &obs.url, preflight)
 }
 
 /// Replay one record under PNA; returns (verdict, observation) pairs.
 pub fn replay_record(
     record: &VisitRecord,
     scenario: AdoptionScenario,
-) -> Vec<(PnaVerdict, crate::detect::LocalObservation)> {
-    let (page_space, page_secure) = page_context(record);
-    detect_local(record)
+) -> Vec<(PnaVerdict, LocalObservation)> {
+    let (observations, page_url) = detect_local_with_page(record);
+    let page = page_env(page_url.as_ref());
+    observations
         .into_iter()
-        .map(|obs| {
-            let preflight = match scenario {
-                AdoptionScenario::NoOptIn => PreflightResult::Denied,
-                AdoptionScenario::FullOptIn => PreflightResult::Approved,
-                AdoptionScenario::NativeAppsOptIn => {
-                    if obs.locality.is_loopback() && is_native_app_port(obs.port) {
-                        PreflightResult::Approved
-                    } else {
-                        PreflightResult::Denied
-                    }
-                }
-            };
-            // WebSockets: PNA gates them identically (a ws(s) URL to a
-            // more-private space needs the same opt-in).
-            let verdict = pna::decide(page_space, page_secure, &obs.url, preflight);
-            (verdict, obs)
-        })
+        .map(|obs| (verdict_for(page, &obs, scenario), obs))
         .collect()
 }
 

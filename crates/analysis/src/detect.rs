@@ -48,8 +48,18 @@ pub struct LocalObservation {
 
 /// Extract all local observations from one visit record.
 pub fn detect_local(record: &VisitRecord) -> Vec<LocalObservation> {
+    detect_local_with_page(record).0
+}
+
+/// Detection plus the visit's main-document URL (the first page flow
+/// whose direct URL parses) from a single flow reconstruction. The
+/// parallel analysis driver fans one decoded record out to every
+/// classifier, and the §5.3 defense replay needs the page context —
+/// this returns both without walking the events twice.
+pub fn detect_local_with_page(record: &VisitRecord) -> (Vec<LocalObservation>, Option<Url>) {
     let flows = FlowSet::from_events(record.events.iter().cloned());
     let mut out = Vec::new();
+    let mut page_url: Option<Url> = None;
     for flow in flows.page_flows() {
         // Direct request URL.
         let mut candidates: Vec<(String, bool)> = Vec::new();
@@ -63,6 +73,9 @@ pub fn detect_local(record: &VisitRecord) -> Vec<LocalObservation> {
             let Ok(url) = Url::parse(&text) else {
                 continue;
             };
+            if page_url.is_none() && !via_redirect {
+                page_url = Some(url.clone());
+            }
             let locality = url.locality();
             if !locality.is_local() {
                 continue;
@@ -84,7 +97,7 @@ pub fn detect_local(record: &VisitRecord) -> Vec<LocalObservation> {
             });
         }
     }
-    out
+    (out, page_url)
 }
 
 /// Per-site aggregation across OS crawls.

@@ -21,7 +21,10 @@
 //! * [`defense`] — replay telemetry under the WICG Private Network
 //!   Access proposal (§5.3) across adoption scenarios;
 //! * [`entropy`] — the §5.2 fingerprinting-entropy measurement over
-//!   simulated visitor machines.
+//!   simulated visitor machines;
+//! * [`par`] — the parallel analysis driver: stream the store shard
+//!   by shard across threads, decode each record once, fan it out to
+//!   every classifier, and merge deterministically.
 
 #![warn(missing_docs)]
 
@@ -32,6 +35,7 @@ pub mod detect;
 pub mod dev_error;
 pub mod entropy;
 pub mod longitudinal;
+pub mod par;
 pub mod report;
 pub mod rings;
 pub mod venn;
@@ -43,5 +47,6 @@ pub use detect::{detect_local, LocalObservation, SiteLocalActivity};
 pub use dev_error::{classify_dev_error, DevErrorKind};
 pub use entropy::{scan_entropy, EntropyReport, PortFingerprint};
 pub use longitudinal::{transitions, Transition, TransitionMatrix};
+pub use par::{analyze_crawl_par, CrawlAnalysis, OutcomeTally};
 pub use rings::PortRings;
 pub use venn::OsVenn;

@@ -1,0 +1,376 @@
+//! The parallel analysis driver: one decode, every classifier.
+//!
+//! The sequential pipeline decodes a crawl's records several times —
+//! once per table that wants them — and classifies on a single thread.
+//! [`analyze_crawl_par`] streams the store shard by shard across scoped
+//! worker threads instead: each record is decoded exactly once and
+//! fanned out to every consumer in one pass (local-traffic detection,
+//! the §5.3 PNA defense replay, the Figure 4/8 port rings, and the
+//! Table 2 outcome tally). Workers produce partial aggregates keyed by
+//! `(domain, OS)`; since the store holds at most one record per
+//! `(crawl, domain, OS)`, the partials are disjoint and merge into a
+//! single ordered map.
+//!
+//! Determinism: the merged map iterates in `(domain, OS)` order —
+//! exactly the order [`TelemetryStore::crawl_records`] returns and the
+//! sequential [`aggregate_sites`] consumes — so every aggregate built
+//! from it is byte-identical to the sequential path whatever the
+//! worker count or shard claim interleaving. The equivalence tests
+//! below and the Study-level table comparison prove it.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use kt_netbase::{Os, OsSet};
+use kt_store::{CrawlId, TelemetryStore, VisitRecord};
+
+use crate::classify::{classify_site, ReasonClass};
+use crate::defense::{page_env, verdict_for, AdoptionScenario, DefenseImpact};
+use crate::detect::{detect_local_with_page, SiteLocalActivity};
+use crate::rings::PortRings;
+
+/// Success/total visit counts for one (malicious category, OS) cell of
+/// Table 2.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeTally {
+    /// Visits attempted.
+    pub total: usize,
+    /// Visits that loaded successfully.
+    pub ok: usize,
+}
+
+/// Everything one crawl's telemetry yields, computed in one pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CrawlAnalysis {
+    /// Records analysed (one per (domain, OS) pair).
+    pub visits: usize,
+    /// Per-site local activity, identical to
+    /// `aggregate_sites(&store.crawl_records(crawl))`.
+    pub sites: Vec<SiteLocalActivity>,
+    /// Figure 4/8 localhost port rings over all observations.
+    pub rings: PortRings,
+    /// §5.3 PNA impact, identical to `defense::evaluate`.
+    pub defense: DefenseImpact,
+    /// (malicious category, OS) → success tally (the Table 2 rates).
+    pub outcomes: BTreeMap<(u8, Os), OutcomeTally>,
+}
+
+/// Everything one decoded record contributes, computed where the
+/// record was decoded so nothing downstream touches events again.
+struct RecordYield {
+    malicious_category: Option<u8>,
+    os: Os,
+    success: bool,
+    observations: Vec<crate::detect::LocalObservation>,
+    /// Per adoption scenario (in [`AdoptionScenario::ALL`] order):
+    /// does any observation's PNA verdict permit the request?
+    any_permitted: [bool; 3],
+}
+
+/// The store's OS column order (W/L/M — [`Os::ALL`]), which is also
+/// how bulk reads sort records within a domain.
+fn os_slot(os: Os) -> u8 {
+    match os {
+        Os::Windows => 0,
+        Os::Linux => 1,
+        Os::MacOs => 2,
+    }
+}
+
+fn fan_out(record: VisitRecord) -> ((String, u8), RecordYield) {
+    let (observations, page_url) = detect_local_with_page(&record);
+    let page = page_env(page_url.as_ref());
+    let mut any_permitted = [false; 3];
+    for (i, scenario) in AdoptionScenario::ALL.into_iter().enumerate() {
+        any_permitted[i] = observations
+            .iter()
+            .any(|obs| verdict_for(page, obs, scenario).permits());
+    }
+    (
+        (record.domain, os_slot(record.os)),
+        RecordYield {
+            malicious_category: record.malicious_category,
+            os: record.os,
+            success: record.outcome.is_success(),
+            observations,
+            any_permitted,
+        },
+    )
+}
+
+/// Analyse one crawl's telemetry with `workers` threads, decoding each
+/// record exactly once. Produces the same sites, rings, and defense
+/// impact as the sequential `aggregate_sites` / `PortRings` /
+/// `defense::evaluate` calls over `store.crawl_records(crawl)`.
+pub fn analyze_crawl_par(store: &TelemetryStore, crawl: &CrawlId, workers: usize) -> CrawlAnalysis {
+    let shards = store.shard_count();
+    let workers = workers.max(1).min(shards);
+    // Workers claim shards off an atomic ticket (same self-scheduling
+    // shape as the crawl pool) and build disjoint partial maps.
+    let ticket = AtomicUsize::new(0);
+    let mut merged: BTreeMap<(String, u8), RecordYield> = BTreeMap::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let ticket = &ticket;
+                scope.spawn(move || {
+                    let mut partial: BTreeMap<(String, u8), RecordYield> = BTreeMap::new();
+                    loop {
+                        let shard = ticket.fetch_add(1, Ordering::Relaxed);
+                        if shard >= shards {
+                            break;
+                        }
+                        for record in store.shard_records_on(crawl, shard, None) {
+                            let (key, yielded) = fan_out(record);
+                            partial.insert(key, yielded);
+                        }
+                    }
+                    partial
+                })
+            })
+            .collect();
+        for handle in handles {
+            // Disjoint keys: each (domain, OS) lives in exactly one
+            // shard, and each shard is claimed by exactly one worker.
+            merged.extend(handle.join().expect("analysis worker panicked"));
+        }
+    });
+    assemble(merged)
+}
+
+/// Fold the ordered per-record yields into the final aggregates. All
+/// iteration below is over `BTreeMap`s in `(domain, OS)` key order, so
+/// the output is a pure function of the record *set*.
+fn assemble(merged: BTreeMap<(String, u8), RecordYield>) -> CrawlAnalysis {
+    let visits = merged.len();
+    // Outcome tally and per-scenario defense verdicts (borrow pass).
+    let mut outcomes: BTreeMap<(u8, Os), OutcomeTally> = BTreeMap::new();
+    let mut permitted: [BTreeMap<String, bool>; 3] = Default::default();
+    for ((domain, _), yielded) in &merged {
+        if let Some(code) = yielded.malicious_category {
+            let tally = outcomes.entry((code, yielded.os)).or_default();
+            tally.total += 1;
+            if yielded.success {
+                tally.ok += 1;
+            }
+        }
+        if !yielded.observations.is_empty() {
+            for (scenario, map) in permitted.iter_mut().enumerate() {
+                let any = map.entry(domain.clone()).or_insert(false);
+                *any |= yielded.any_permitted[scenario];
+            }
+        }
+    }
+    // Site aggregation (consuming pass): identical logic and identical
+    // input order to `aggregate_sites` over a sorted record slice.
+    let mut by_domain: BTreeMap<String, SiteLocalActivity> = BTreeMap::new();
+    for (_, yielded) in merged {
+        for obs in yielded.observations {
+            let entry = by_domain
+                .entry(obs.domain.clone())
+                .or_insert_with(|| SiteLocalActivity {
+                    domain: obs.domain.clone(),
+                    rank: obs.rank,
+                    malicious_category: obs.malicious_category,
+                    localhost_os: OsSet::NONE,
+                    lan_os: OsSet::NONE,
+                    observations: Vec::new(),
+                });
+            if obs.locality.is_loopback() {
+                entry.localhost_os = entry.localhost_os.with(obs.os);
+            } else if obs.locality.is_private() {
+                entry.lan_os = entry.lan_os.with(obs.os);
+            }
+            entry.observations.push(obs);
+        }
+    }
+    let sites: Vec<SiteLocalActivity> = by_domain.into_values().collect();
+    // Defense impact from the per-record verdicts plus the final site
+    // classification — the same per-domain OR `defense::evaluate`
+    // computes record by record.
+    let class_of: BTreeMap<&str, ReasonClass> = sites
+        .iter()
+        .map(|s| (s.domain.as_str(), classify_site(s)))
+        .collect();
+    let mut defense = DefenseImpact::default();
+    for (i, scenario) in AdoptionScenario::ALL.into_iter().enumerate() {
+        for (domain, any_permitted) in &permitted[i] {
+            let Some(class) = class_of.get(domain.as_str()) else {
+                continue;
+            };
+            let slot = defense
+                .by_class
+                .entry((*class, scenario.label().to_string()))
+                .or_insert((0, 0));
+            if *any_permitted {
+                slot.0 += 1;
+            } else {
+                slot.1 += 1;
+            }
+        }
+    }
+    let rings = PortRings::from_observations(sites.iter().flat_map(|s| s.observations.iter()));
+    CrawlAnalysis {
+        visits,
+        sites,
+        rings,
+        defense,
+        outcomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defense::evaluate;
+    use crate::detect::{aggregate_sites, detect_local};
+    use kt_netlog::{EventParams, EventPhase, EventType, NetLogEvent, SourceRef, SourceType};
+    use kt_store::LoadOutcome;
+
+    fn url_request(id: u64, time: u64, url: &str) -> NetLogEvent {
+        NetLogEvent {
+            time,
+            event_type: EventType::UrlRequestStartJob,
+            source: SourceRef {
+                id,
+                kind: SourceType::UrlRequest,
+            },
+            phase: EventPhase::Begin,
+            params: EventParams::UrlRequestStart {
+                url: url.into(),
+                method: "GET".into(),
+                initiator: None,
+                load_flags: 0,
+            },
+        }
+    }
+
+    fn ws_request(id: u64, time: u64, url: &str) -> NetLogEvent {
+        NetLogEvent {
+            time,
+            event_type: EventType::WebSocketSendRequestHeaders,
+            source: SourceRef {
+                id,
+                kind: SourceType::WebSocket,
+            },
+            phase: EventPhase::Begin,
+            params: EventParams::WebSocket { url: url.into() },
+        }
+    }
+
+    /// A store with a spread of behaviours: native-app WebSockets,
+    /// dev-error fetches, LAN probes, quiet sites, failures, and a
+    /// malicious crawl with category codes — enough that every
+    /// aggregate in `CrawlAnalysis` is non-trivial.
+    fn populated_store() -> (TelemetryStore, CrawlId) {
+        let store = TelemetryStore::new();
+        let crawl = CrawlId::top2020();
+        for i in 0..40 {
+            let domain = format!("site{i:02}.example");
+            for os in Os::ALL {
+                let page = format!("https://{domain}/");
+                let mut events = vec![url_request(1, 100, &page)];
+                match i % 5 {
+                    0 => events.push(ws_request(2, 9_000, "ws://localhost:6463/?v=1")),
+                    1 => events.push(url_request(
+                        2,
+                        3_000,
+                        "http://localhost:35729/livereload.js",
+                    )),
+                    2 if os == Os::Windows => {
+                        events.push(url_request(2, 4_000, "http://10.0.0.20/probe"));
+                    }
+                    _ => {}
+                }
+                store.append(&VisitRecord {
+                    crawl: crawl.clone(),
+                    domain: domain.clone(),
+                    rank: Some(i + 1),
+                    malicious_category: Some((i % 3) as u8),
+                    os,
+                    outcome: if i % 7 == 6 {
+                        LoadOutcome::Error(kt_netlog::NetError::ConnectionReset)
+                    } else {
+                        LoadOutcome::Success
+                    },
+                    loaded_at_ms: 400,
+                    events,
+                });
+            }
+        }
+        // A second crawl that must not leak into the analysis.
+        store.append(&VisitRecord {
+            crawl: CrawlId::top2021(),
+            domain: "site00.example".into(),
+            rank: Some(1),
+            malicious_category: None,
+            os: Os::Linux,
+            outcome: LoadOutcome::Success,
+            loaded_at_ms: 400,
+            events: vec![
+                url_request(1, 100, "https://site00.example/"),
+                ws_request(2, 9_000, "ws://localhost:6463/?v=1"),
+            ],
+        });
+        (store, crawl)
+    }
+
+    #[test]
+    fn par_analysis_matches_sequential_exactly() {
+        let (store, crawl) = populated_store();
+        let records = store.crawl_records(&crawl);
+        let seq_sites = aggregate_sites(&records);
+        let seq_obs: Vec<_> = records.iter().flat_map(detect_local).collect();
+        let seq_rings = PortRings::from_observations(&seq_obs);
+        let seq_defense = evaluate(&records);
+        for workers in [1, 2, 8] {
+            let analysis = analyze_crawl_par(&store, &crawl, workers);
+            assert_eq!(analysis.visits, records.len(), "workers={workers}");
+            assert_eq!(analysis.sites, seq_sites, "workers={workers}");
+            assert_eq!(analysis.rings, seq_rings, "workers={workers}");
+            assert_eq!(analysis.defense, seq_defense, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn outcome_tally_matches_record_filtering() {
+        let (store, crawl) = populated_store();
+        let records = store.crawl_records(&crawl);
+        let analysis = analyze_crawl_par(&store, &crawl, 4);
+        for code in 0..3u8 {
+            for os in Os::ALL {
+                let of_cat: Vec<_> = records
+                    .iter()
+                    .filter(|r| r.malicious_category == Some(code) && r.os == os)
+                    .collect();
+                let ok = of_cat.iter().filter(|r| r.outcome.is_success()).count();
+                let tally = analysis
+                    .outcomes
+                    .get(&(code, os))
+                    .copied()
+                    .unwrap_or_default();
+                assert_eq!(
+                    (tally.total, tally.ok),
+                    (of_cat.len(), ok),
+                    "code={code} os={os:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn worker_counts_agree_with_each_other() {
+        let (store, crawl) = populated_store();
+        let one = analyze_crawl_par(&store, &crawl, 1);
+        for workers in [3, 16, 64] {
+            assert_eq!(analyze_crawl_par(&store, &crawl, workers), one);
+        }
+    }
+
+    #[test]
+    fn unknown_crawl_yields_empty_analysis() {
+        let (store, _) = populated_store();
+        let analysis = analyze_crawl_par(&store, &CrawlId("nope".into()), 4);
+        assert_eq!(analysis, CrawlAnalysis::default());
+    }
+}

@@ -13,6 +13,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use crate::classify::{classify_site, ReasonClass};
 use crate::detect::SiteLocalActivity;
+use crate::par::OutcomeTally;
 use kt_crawler::CrawlStats;
 
 /// Simple fixed-width text-table renderer.
@@ -299,6 +300,32 @@ pub fn table2(
     records: &[VisitRecord],
     sites: &[SiteLocalActivity],
 ) -> String {
+    // Reduce the records to the per-(category, OS) tally the table
+    // actually needs, then render from that — the same entry point the
+    // single-decode parallel analysis uses, so both paths are one
+    // renderer.
+    let mut outcomes: BTreeMap<(u8, Os), OutcomeTally> = BTreeMap::new();
+    for record in records {
+        let Some(code) = record.malicious_category else {
+            continue;
+        };
+        let tally = outcomes.entry((code, record.os)).or_default();
+        tally.total += 1;
+        if record.outcome.is_success() {
+            tally.ok += 1;
+        }
+    }
+    table2_tallied(blocklist, &outcomes, sites)
+}
+
+/// Table 2 from pre-aggregated outcome tallies (no record access):
+/// the renderer behind [`table2`], fed directly by
+/// [`crate::par::CrawlAnalysis::outcomes`].
+pub fn table2_tallied(
+    blocklist: &Blocklist,
+    outcomes: &BTreeMap<(u8, Os), OutcomeTally>,
+    sites: &[SiteLocalActivity],
+) -> String {
     let mut table = TextTable::new([
         "Category",
         "# Sites",
@@ -317,15 +344,11 @@ pub fn table2(
             .collect::<Vec<_>>()
             .join(", ");
         let rate = |os: Os| -> String {
-            let of_cat: Vec<&VisitRecord> = records
-                .iter()
-                .filter(|r| r.malicious_category == Some(code) && r.os == os)
-                .collect();
-            if of_cat.is_empty() {
+            let tally = outcomes.get(&(code, os)).copied().unwrap_or_default();
+            if tally.total == 0 {
                 return "-".into();
             }
-            let ok = of_cat.iter().filter(|r| r.outcome.is_success()).count();
-            format!("{:.0}%", 100.0 * ok as f64 / of_cat.len() as f64)
+            format!("{:.0}%", 100.0 * tally.ok as f64 / tally.total as f64)
         };
         let activity = |lan: bool, os: Os| -> usize {
             sites

@@ -110,12 +110,15 @@ pub fn crawl(opts: &Options) -> Result<(), String> {
     for (name, count) in stats.table1_errors() {
         println!("  {name:<18} {count}");
     }
-    let records = store.crawl_records(&CrawlId::top2020());
-    let sites = aggregate_sites(&records);
+    let analysis = knock_talk::analysis::par::analyze_crawl_par(
+        &store,
+        &CrawlId::top2020(),
+        crawl_config.workers,
+    );
     println!(
         "locally-active sites: {} localhost, {} LAN",
-        sites.iter().filter(|s| s.has_localhost()).count(),
-        sites.iter().filter(|s| s.has_lan()).count()
+        analysis.sites.iter().filter(|s| s.has_localhost()).count(),
+        analysis.sites.iter().filter(|s| s.has_lan()).count()
     );
     if let Some(path) = opts.get("save") {
         let n = knock_talk::store::save(&store, std::path::Path::new(path))
@@ -138,25 +141,32 @@ pub fn analyze(opts: &Options) -> Result<(), String> {
             report.loaded, report.corrupt, report.truncated
         );
     }
-    let records = report.store.scan_all().map_err(|e| format!("{e}"))?;
-    let sites = aggregate_sites(&records);
-    let active: Vec<_> = sites
-        .iter()
-        .filter(|s| s.has_localhost() || s.has_lan())
-        .collect();
-    println!(
-        "{} visits, {} locally-active sites:",
-        records.len(),
-        active.len()
-    );
-    for site in active {
+    // One parallel single-decode pass per crawl in the snapshot.
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    for crawl in report.store.crawl_ids() {
+        let analysis = knock_talk::analysis::par::analyze_crawl_par(&report.store, &crawl, workers);
+        let active: Vec<_> = analysis
+            .sites
+            .iter()
+            .filter(|s| s.has_localhost() || s.has_lan())
+            .collect();
         println!(
-            "  {:<40} {:<20} localhost on {}, LAN on {}",
-            site.domain,
-            classify_site(site).label(),
-            site.localhost_os,
-            site.lan_os
+            "[{}] {} visits, {} locally-active sites:",
+            crawl.as_str(),
+            analysis.visits,
+            active.len()
         );
+        for site in active {
+            println!(
+                "  {:<40} {:<20} localhost on {}, LAN on {}",
+                site.domain,
+                classify_site(site).label(),
+                site.localhost_os,
+                site.lan_os
+            );
+        }
     }
     Ok(())
 }

@@ -8,7 +8,6 @@
 use kt_analysis::cdf::Ecdf;
 use kt_analysis::detect::SiteLocalActivity;
 use kt_analysis::report;
-use kt_analysis::rings::PortRings;
 use kt_analysis::venn::OsVenn;
 use kt_netbase::{Os, ServiceRegistry};
 use kt_store::CrawlId;
@@ -58,20 +57,19 @@ pub fn run(study: &Study, id: &str) -> Option<String> {
 }
 
 /// X1 — replay the 2020 telemetry under the WICG Private Network
-/// Access proposal, per adoption scenario (§5.3).
+/// Access proposal, per adoption scenario (§5.3). The verdicts were
+/// computed during the single-decode pass; this just renders them.
 pub fn x1_defense_impact(study: &Study) -> String {
-    let records = study.store.crawl_records(&CrawlId::top2020());
-    let impact = kt_analysis::defense::evaluate(&records);
     format!(
         "Sites whose local traffic still works vs is fully blocked under PNA:\n{}",
-        impact.render()
+        study.analysis(&CrawlId::top2020()).defense.render()
     )
 }
 
 /// X2 — Appendix-B breakdown of the 2020 developer errors.
 pub fn x2_dev_error_breakdown(study: &Study) -> String {
     let sites = study.activities(&CrawlId::top2020());
-    let breakdown = kt_analysis::dev_error::breakdown(&sites);
+    let breakdown = kt_analysis::dev_error::breakdown(sites);
     let mut out = String::from("Developer-error sub-classes (2020 crawl):\n");
     for (kind, n) in breakdown {
         out.push_str(&format!("  {:<24} {n}\n", kind.label()));
@@ -112,8 +110,8 @@ pub fn x3_fingerprint_entropy(study: &Study) -> String {
 /// carried, stopped, started or were reclassified between crawls.
 pub fn x4_longitudinal(study: &Study) -> String {
     let m = kt_analysis::longitudinal::transitions(
-        &study.activities(&CrawlId::top2020()),
-        &study.activities(&CrawlId::top2021()),
+        study.activities(&CrawlId::top2020()),
+        study.activities(&CrawlId::top2021()),
     );
     format!(
         "2020 → 2021 localhost-behaviour transitions:\n{}",
@@ -135,6 +133,7 @@ pub fn x5_deep_crawl(study: &Study) -> String {
         .iter()
         .filter(|s| s.localhost_os.contains(Os::Windows))
         .count();
+    let deep_id = kt_store::CrawlId("top2020-deep".to_string());
 
     let jobs: Vec<CrawlJob> = study
         .population
@@ -146,16 +145,12 @@ pub fn x5_deep_crawl(study: &Study) -> String {
         })
         .collect();
     let store = TelemetryStore::new();
-    let mut config = CrawlConfig::paper(
-        kt_store::CrawlId("top2020-deep".to_string()),
-        Os::Windows,
-        study.config.population.seed,
-    );
+    let mut config = CrawlConfig::paper(deep_id.clone(), Os::Windows, study.config.population.seed);
     config.crawl_internal = true;
     config.workers = study.config.workers;
     run_crawl(&jobs, &config, &store);
-    let records = store.crawl_records(&kt_store::CrawlId("top2020-deep".to_string()));
-    let deep = kt_analysis::detect::aggregate_sites(&records)
+    let deep = kt_analysis::par::analyze_crawl_par(&store, &deep_id, study.config.workers)
+        .sites
         .iter()
         .filter(|s| s.localhost_os.contains(Os::Windows))
         .count();
@@ -212,17 +207,20 @@ pub fn health_report(study: &Study) -> String {
     report::health_table(&rows).0
 }
 
-/// Table 2 — malicious crawl summary.
+/// Table 2 — malicious crawl summary, from the single-decode tallies.
 pub fn table2(study: &Study) -> String {
-    let records = study.store.crawl_records(&CrawlId::malicious());
-    let sites = study.activities(&CrawlId::malicious());
-    report::table2(&study.population.blocklist, &records, &sites)
+    let analysis = study.analysis(&CrawlId::malicious());
+    report::table2_tallied(
+        &study.population.blocklist,
+        &analysis.outcomes,
+        &analysis.sites,
+    )
 }
 
 /// Table 3 — top-10 localhost-active domains, 2020.
 pub fn table3(study: &Study) -> String {
     let sites = study.activities(&CrawlId::top2020());
-    report::table3(&sites, 10)
+    report::table3(sites, 10)
 }
 
 /// Table 4 — port/service registry.
@@ -233,23 +231,24 @@ pub fn table4() -> String {
 /// Table 5 — 2020 localhost requests by reason.
 pub fn table5(study: &Study) -> String {
     let sites = study.activities(&CrawlId::top2020());
-    report::localhost_table(&sites).0
+    report::localhost_table(sites).0
 }
 
 /// Table 6 — 2020 LAN requests.
 pub fn table6(study: &Study) -> String {
     let sites = study.activities(&CrawlId::top2020());
-    report::lan_table(&sites).0
+    report::lan_table(sites).0
 }
 
 /// Table 7 — localhost requests new in 2021.
 pub fn table7(study: &Study) -> String {
     let sites2020 = study.activities(&CrawlId::top2020());
     let sites2021 = study.activities(&CrawlId::top2021());
-    let diff = report::activity_diff(&sites2020, &sites2021);
+    let diff = report::activity_diff(sites2020, sites2021);
     let new_sites: Vec<SiteLocalActivity> = sites2021
-        .into_iter()
+        .iter()
         .filter(|s| diff.new.contains(&s.domain))
+        .cloned()
         .collect();
     let (table, _) = report::localhost_table(&new_sites);
     format!(
@@ -263,25 +262,25 @@ pub fn table7(study: &Study) -> String {
 /// Table 8 — malicious localhost requests.
 pub fn table8(study: &Study) -> String {
     let sites = study.activities(&CrawlId::malicious());
-    report::localhost_table(&sites).0
+    report::localhost_table(sites).0
 }
 
 /// Table 9 — malicious LAN requests.
 pub fn table9(study: &Study) -> String {
     let sites = study.activities(&CrawlId::malicious());
-    report::lan_table(&sites).0
+    report::lan_table(sites).0
 }
 
 /// Table 10 — 2021 LAN requests.
 pub fn table10(study: &Study) -> String {
     let sites = study.activities(&CrawlId::top2021());
-    report::lan_table(&sites).0
+    report::lan_table(sites).0
 }
 
 /// Table 11 — 2020 developer-error localhost requests.
 pub fn table11(study: &Study) -> String {
     let sites = study.activities(&CrawlId::top2020());
-    report::table11(&sites).0
+    report::table11(sites).0
 }
 
 /// Figure 2 — OS overlap Venn diagrams (2020 top + malicious).
@@ -347,17 +346,13 @@ fn rank_cdf(sites: &[SiteLocalActivity], oses: &[Os]) -> String {
 /// Figure 3 — rank CDFs of localhost-active sites, 2020.
 pub fn figure3(study: &Study) -> String {
     let sites = study.activities(&CrawlId::top2020());
-    rank_cdf(&sites, &[Os::Windows, Os::Linux, Os::MacOs])
+    rank_cdf(sites, &[Os::Windows, Os::Linux, Os::MacOs])
 }
 
-/// Figure 4 — protocol/port rings, 2020 top crawl.
+/// Figure 4 — protocol/port rings, 2020 top crawl (tallied during the
+/// single-decode pass).
 pub fn figure4(study: &Study) -> String {
-    let records = study.store.crawl_records(&CrawlId::top2020());
-    let observations: Vec<_> = records
-        .iter()
-        .flat_map(kt_analysis::detect::detect_local)
-        .collect();
-    PortRings::from_observations(&observations).render()
+    study.analysis(&CrawlId::top2020()).rings.render()
 }
 
 /// Timing-CDF rendering helper shared by Figures 5–7.
@@ -393,41 +388,76 @@ fn timing_cdf(sites: &[SiteLocalActivity], oses: &[Os]) -> String {
 /// Figure 5 — time-to-first-local-request CDFs, 2020.
 pub fn figure5(study: &Study) -> String {
     let sites = study.activities(&CrawlId::top2020());
-    timing_cdf(&sites, &[Os::Windows, Os::Linux, Os::MacOs])
+    timing_cdf(sites, &[Os::Windows, Os::Linux, Os::MacOs])
 }
 
 /// Figure 6 — timing CDFs, 2021.
 pub fn figure6(study: &Study) -> String {
     let sites = study.activities(&CrawlId::top2021());
-    timing_cdf(&sites, &[Os::Windows, Os::Linux])
+    timing_cdf(sites, &[Os::Windows, Os::Linux])
 }
 
 /// Figure 7 — timing CDFs, malicious crawl.
 pub fn figure7(study: &Study) -> String {
     let sites = study.activities(&CrawlId::malicious());
-    timing_cdf(&sites, &[Os::Windows, Os::Linux, Os::MacOs])
+    timing_cdf(sites, &[Os::Windows, Os::Linux, Os::MacOs])
 }
 
-/// Figure 8 — protocol/port rings, 2021.
+/// Figure 8 — protocol/port rings, 2021 (tallied during the
+/// single-decode pass).
 pub fn figure8(study: &Study) -> String {
-    let records = study.store.crawl_records(&CrawlId::top2021());
-    let observations: Vec<_> = records
-        .iter()
-        .flat_map(kt_analysis::detect::detect_local)
-        .collect();
-    PortRings::from_observations(&observations).render()
+    study.analysis(&CrawlId::top2021()).rings.render()
 }
 
 /// Figure 9 — rank CDFs, 2021.
 pub fn figure9(study: &Study) -> String {
     let sites = study.activities(&CrawlId::top2021());
-    rank_cdf(&sites, &[Os::Windows, Os::Linux])
+    rank_cdf(sites, &[Os::Windows, Os::Linux])
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::study::StudyConfig;
+    use crate::study::{campaigns, StudyConfig};
+
+    #[test]
+    fn parallel_analysis_reproduces_sequential_tables_verbatim() {
+        // The single-decode parallel driver must be invisible in the
+        // output: every cached aggregate equals its sequential
+        // recomputation, and the rendered tables match byte for byte.
+        let study = Study::run(StudyConfig::quick(7));
+        for (crawl, _) in campaigns() {
+            let records = study.store.crawl_records(&crawl);
+            let analysis = study.analysis(&crawl);
+            assert_eq!(
+                analysis.sites,
+                kt_analysis::detect::aggregate_sites(&records),
+                "{crawl:?} sites"
+            );
+            let observations: Vec<_> = records
+                .iter()
+                .flat_map(kt_analysis::detect::detect_local)
+                .collect();
+            assert_eq!(
+                analysis.rings,
+                kt_analysis::rings::PortRings::from_observations(&observations),
+                "{crawl:?} rings"
+            );
+            assert_eq!(
+                analysis.defense,
+                kt_analysis::defense::evaluate(&records),
+                "{crawl:?} defense"
+            );
+            assert_eq!(analysis.visits, records.len(), "{crawl:?} visits");
+        }
+        // Table 2 through the tally path vs the record-level renderer.
+        let records = study.store.crawl_records(&CrawlId::malicious());
+        let sites = kt_analysis::detect::aggregate_sites(&records);
+        assert_eq!(
+            table2(&study),
+            report::table2(&study.population.blocklist, &records, &sites)
+        );
+    }
 
     #[test]
     fn every_experiment_renders() {

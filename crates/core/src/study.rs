@@ -2,7 +2,8 @@
 
 use std::collections::BTreeMap;
 
-use kt_analysis::detect::{aggregate_sites, SiteLocalActivity};
+use kt_analysis::detect::SiteLocalActivity;
+use kt_analysis::par::{analyze_crawl_par, CrawlAnalysis};
 use kt_crawler::{run_crawl, CrawlConfig, CrawlJob, CrawlStats};
 use kt_netbase::Os;
 use kt_store::{CrawlId, TelemetryStore};
@@ -74,6 +75,10 @@ pub struct Study {
     pub store: TelemetryStore,
     /// Per-(crawl, OS) crawl statistics.
     pub stats: BTreeMap<(String, Os), CrawlStats>,
+    /// Per-campaign analysis, computed once by the parallel
+    /// single-decode driver — every table and figure reads from here
+    /// instead of re-decoding the store.
+    pub analyses: BTreeMap<String, CrawlAnalysis>,
 }
 
 impl Study {
@@ -120,18 +125,32 @@ impl Study {
                 stats.insert((crawl.as_str().to_string(), os), s);
             }
         }
+        let analyses = campaigns()
+            .into_iter()
+            .map(|(crawl, _)| {
+                let analysis = analyze_crawl_par(&store, &crawl, config.workers);
+                (crawl.as_str().to_string(), analysis)
+            })
+            .collect();
         Study {
             config,
             population,
             store,
             stats,
+            analyses,
         }
     }
 
+    /// The precomputed analysis for one campaign.
+    pub fn analysis(&self, crawl: &CrawlId) -> &CrawlAnalysis {
+        self.analyses
+            .get(crawl.as_str())
+            .expect("campaign crawl analysed at Study::run")
+    }
+
     /// Per-site local activity for one crawl (all OSes merged).
-    pub fn activities(&self, crawl: &CrawlId) -> Vec<SiteLocalActivity> {
-        let records = self.store.crawl_records(crawl);
-        aggregate_sites(&records)
+    pub fn activities(&self, crawl: &CrawlId) -> &[SiteLocalActivity] {
+        &self.analysis(crawl).sites
     }
 
     /// Crawl stats for one (crawl, OS).

@@ -1,9 +1,16 @@
 //! The crawl loop: a supervised worker pool over a site population.
 //!
-//! Each worker owns its own [`World`] (its own DNS cache and latency
-//! stream, like a separate VM) built over its chunk of sites, performs
-//! the paper's connectivity pre-check before every visit, runs the
-//! browser, and appends the visit record to the shared store.
+//! Workers share one work-stealing job queue (a [`JobTicket`] — an
+//! atomic cursor over the job slice): each worker claims the next
+//! unclaimed job, builds a per-site [`World`] (its own DNS cache and
+//! latency stream, like a separate VM), performs the paper's
+//! connectivity pre-check before every visit, runs the browser, and
+//! appends the visit record to the shared store. A worker bogged down
+//! in a retry-heavy site simply claims fewer jobs while its peers
+//! drain the queue — no chunk boundary ever serialises the campaign
+//! tail. The old static-chunk scheduler survives as
+//! [`run_crawl_chunked`], the ablation baseline the perf bench
+//! measures the stealing scheduler against.
 //!
 //! On top of the plain loop sits a resilience layer:
 //!
@@ -30,9 +37,13 @@ use kt_netlog::NetLogEvent;
 use kt_simnet::connectivity::{ConnectivityChecker, Outage};
 use kt_store::{CrawlId, LoadOutcome, TelemetryStore, VisitRecord};
 use kt_webgen::WebSite;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use crate::queue::{JobTicket, PendingInjector};
 use crate::stats::CrawlStats;
 
 /// One crawl work item.
@@ -101,10 +112,82 @@ enum AttemptEnd {
 
 /// Run one crawl campaign over `jobs`, appending to `store`.
 ///
+/// Workers pull jobs off a shared work-stealing ticket queue, so a
+/// fault-heavy stretch of the population slows only the worker inside
+/// it — never a statically-assigned chunk of unrelated sites. Results
+/// are bit-identical for any worker count because every sampled value
+/// (latency, fault, backoff jitter) is keyed by site identity and
+/// attempt number, not by claim order or thread.
+///
 /// Never aborts: panicking visits are quarantined as
 /// [`LoadOutcome::Crashed`] and every job is accounted for exactly
 /// once in the returned stats, whatever faults were injected.
 pub fn run_crawl(
+    jobs: &[CrawlJob<'_>],
+    config: &CrawlConfig,
+    store: &TelemetryStore,
+) -> CrawlStats {
+    let workers = config.workers.max(1).min(jobs.len().max(1));
+    let ticket = JobTicket::new(jobs.len());
+    let injector = PendingInjector::new(jobs.len());
+    let costs: Vec<AtomicU64> = (0..jobs.len()).map(|_| AtomicU64::new(0)).collect();
+    let mut stats = CrawlStats::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let ticket = &ticket;
+                let injector = &injector;
+                let costs = costs.as_slice();
+                scope.spawn(move || {
+                    crawl_worker(
+                        jobs,
+                        ticket,
+                        injector,
+                        costs,
+                        config,
+                        store,
+                        w as u64,
+                        workers as u64,
+                    )
+                })
+            })
+            .collect();
+        // Per-worker tallies merge exactly once, at join — the crawl
+        // itself holds no shared stats lock.
+        for handle in handles {
+            stats.merge(&handle.join().expect("crawl worker panicked"));
+        }
+    });
+    // The simulated makespan. A production pool's claim order follows
+    // simulated time — a worker claims its next site the moment the
+    // previous one finishes — but the simulation compresses 21 s
+    // visits into microseconds, so the OS's thread scheduling would
+    // otherwise leak into the claimed-job layout. Replaying the greedy
+    // earliest-free-worker schedule over the recorded per-job costs
+    // recovers the deterministic duration a real campaign would take.
+    stats.makespan_ms = greedy_makespan(&costs, workers as u64);
+    let mut queue = injector.drain();
+    if !queue.is_empty() {
+        // Sorted by domain so the pass is independent of which worker
+        // originally parked each site.
+        queue.sort_by(|a, b| {
+            jobs[*a]
+                .site
+                .domain
+                .as_str()
+                .cmp(jobs[*b].site.domain.as_str())
+        });
+        recrawl_pass(jobs, &queue, config, store, &mut stats);
+    }
+    stats
+}
+
+/// The pre-work-stealing scheduler: jobs statically partitioned into
+/// per-worker chunks. Kept as the ablation baseline — the perf bench
+/// measures how badly a skewed (fault-heavy) chunk gates the campaign
+/// tail compared to [`run_crawl`]. Produces identical stats and store
+/// contents; only the wall-clock schedule differs.
+pub fn run_crawl_chunked(
     jobs: &[CrawlJob<'_>],
     config: &CrawlConfig,
     store: &TelemetryStore,
@@ -119,22 +202,36 @@ pub fn run_crawl(
             let pending = &pending;
             let config = config.clone();
             scope.spawn(move || {
-                let (stats, chunk_pending) =
-                    crawl_chunk(chunk, &config, store, w as u64, workers as u64);
-                total.lock().expect("stats lock poisoned").merge(&stats);
                 let base = w * chunk_size;
+                // A chunk is just a pre-claimed ticket range; reuse
+                // the worker loop via a ticket covering the chunk.
+                let ticket = JobTicket::new(chunk.len());
+                let injector = PendingInjector::new(chunk.len());
+                // With a static assignment the worker's own
+                // accumulated wall clock *is* its schedule, so the
+                // recorded costs are only informational here.
+                let costs: Vec<AtomicU64> = (0..chunk.len()).map(|_| AtomicU64::new(0)).collect();
+                let stats = crawl_worker(
+                    chunk,
+                    &ticket,
+                    &injector,
+                    &costs,
+                    &config,
+                    store,
+                    w as u64,
+                    workers as u64,
+                );
+                total.lock().expect("stats lock poisoned").merge(&stats);
                 pending
                     .lock()
                     .expect("pending lock poisoned")
-                    .extend(chunk_pending.into_iter().map(|i| base + i));
+                    .extend(injector.drain().into_iter().map(|i| base + i));
             });
         }
     });
     let mut stats = total.into_inner().expect("stats lock poisoned");
     let mut queue = pending.into_inner().expect("pending lock poisoned");
     if !queue.is_empty() {
-        // Sorted by domain so the pass is independent of which worker
-        // originally owned each site.
         queue.sort_by(|a, b| {
             jobs[*a]
                 .site
@@ -145,6 +242,22 @@ pub fn run_crawl(
         recrawl_pass(jobs, &queue, config, store, &mut stats);
     }
     stats
+}
+
+/// Deterministic simulated duration of a work-stealing pool: jobs are
+/// handed out in queue order, each to the worker whose clock
+/// (initialised to its staggered start) is earliest; the pool is done
+/// when its busiest worker is. This is exactly the claim order a real
+/// pool follows when visit wall time is real time.
+fn greedy_makespan(costs: &[AtomicU64], workers: u64) -> u64 {
+    let mut clocks: BinaryHeap<Reverse<u64>> = (0..workers)
+        .map(|w| Reverse(w * VISIT_WALL_MS / workers.max(1)))
+        .collect();
+    for cost in costs {
+        let Reverse(clock) = clocks.pop().expect("at least one worker");
+        clocks.push(Reverse(clock + cost.load(Ordering::Relaxed)));
+    }
+    clocks.into_iter().map(|Reverse(t)| t).max().unwrap_or(0)
 }
 
 /// §3.1: ping 8.8.8.8 before each visit — and before each retry, since
@@ -235,28 +348,43 @@ fn append_record(
     });
 }
 
-/// One worker's loop. Returns its stats tally plus the chunk-local
-/// indices of sites whose transient failures exhausted their in-place
-/// retries and now wait on the end-of-campaign recrawl queue (their
-/// stats verdict is deferred to that pass).
-fn crawl_chunk(
+/// One worker's loop: claim jobs off the shared ticket until the queue
+/// drains. Returns the worker's private stats tally (merged by the
+/// supervisor at join); sites whose transient failures exhausted their
+/// in-place retries are parked on the shared `injector` for the
+/// end-of-campaign recrawl pass (their stats verdict is deferred to
+/// that pass).
+#[allow(clippy::too_many_arguments)]
+fn crawl_worker(
     jobs: &[CrawlJob<'_>],
+    ticket: &JobTicket,
+    injector: &PendingInjector,
+    costs: &[AtomicU64],
     config: &CrawlConfig,
     store: &TelemetryStore,
     worker_id: u64,
     workers: u64,
-) -> (CrawlStats, Vec<usize>) {
-    let sites: Vec<WebSite> = jobs.iter().map(|j| j.site.clone()).collect();
-    let mut world = World::build(&sites, config.os, config.seed);
+) -> CrawlStats {
     let mut checker = ConnectivityChecker::with_outages(config.outages.clone());
     let mut stats = CrawlStats::new();
-    let mut pending = Vec::new();
     // Staggered start: spread workers evenly across one visit's
     // wall-clock span. The old `wall_ms = worker_id` start (offsets of
     // 0, 1, 2… *milliseconds*) parked every worker's clock inside the
     // same outage windows.
     let mut wall_ms: u64 = worker_id * VISIT_WALL_MS / workers.max(1);
-    for (i, job) in jobs.iter().enumerate() {
+    // Startup connectivity check, before touching the queue: keeps the
+    // outage accounting independent of claim races — worker 0's ping
+    // at wall zero happens whether or not it wins a single job.
+    wait_online(&mut checker, &mut wall_ms, &mut stats);
+    while let Some(i) = ticket.claim() {
+        let job = &jobs[i];
+        let job_start_ms = wall_ms;
+        // A per-site world — its own DNS cache and latency stream,
+        // like a dedicated VM — built once per job and reused across
+        // that job's retries. Site fates are installed from (domain,
+        // seed) alone, so a single-site world observes exactly what a
+        // whole-population world would.
+        let mut world = World::build(std::slice::from_ref(job.site), config.os, config.seed);
         let mut attempt: u32 = 0;
         loop {
             wait_online(&mut checker, &mut wall_ms, &mut stats);
@@ -322,7 +450,7 @@ fn crawl_chunk(
                         // whether this becomes a Table 1 error. The
                         // failure record above stands until (unless)
                         // that pass overwrites it.
-                        pending.push(i);
+                        injector.push(i);
                     } else {
                         stats.record_failure(err);
                     }
@@ -330,8 +458,16 @@ fn crawl_chunk(
                 }
             }
         }
+        // The job's simulated cost — visits, backoffs, outage waits —
+        // feeds the supervisor's deterministic schedule replay.
+        costs[i].store(wall_ms - job_start_ms, Ordering::Relaxed);
     }
-    (stats, pending)
+    // The worker's contribution to the simulated campaign duration is
+    // where its wall clock ended up; under a static chunk assignment
+    // (the chunked scheduler) this *is* the schedule. `run_crawl`
+    // overrides the merged value with its deterministic greedy replay.
+    stats.makespan_ms = wall_ms;
+    stats
 }
 
 /// The end-of-campaign recrawl: transiently-failing sites get one
@@ -407,6 +543,9 @@ fn recrawl_pass(
         }
         wall_ms += VISIT_WALL_MS;
     }
+    // The recrawl is a serial coda after the parallel phase: it
+    // extends the campaign rather than overlapping it.
+    stats.makespan_ms += wall_ms;
 }
 
 #[cfg(test)]
@@ -494,10 +633,11 @@ mod tests {
             config.workers = workers;
             config.faults = plan.clone();
             let mut stats = run_crawl(&jobs(&population), &config, &store);
-            // Worker staggering interacts with outage windows, so the
-            // connectivity counter is the one legitimately
-            // schedule-dependent number.
+            // Worker staggering interacts with outage windows and the
+            // makespan measures the schedule itself, so those two are
+            // the only legitimately schedule-dependent numbers.
             stats.connectivity_retries = 0;
+            stats.makespan_ms = 0;
             let mut records = store.crawl_records_on(&CrawlId::top2020(), Os::Windows);
             records.sort_by(|a, b| a.domain.cmp(&b.domain));
             assert_eq!(records.len(), 30, "workers={workers}");
@@ -512,6 +652,120 @@ mod tests {
         let (stats, _) = baseline.unwrap();
         assert!(stats.retries > 0, "the plan should exercise retries");
         assert!(stats.crashed > 0, "the plan should exercise quarantine");
+    }
+
+    #[test]
+    fn store_bytes_are_identical_across_worker_counts() {
+        // The PR's determinism bar, at the byte level: 1, 3, and 8
+        // workers produce encoded records that compare equal byte for
+        // byte, and identical stats — claim order never leaks into
+        // telemetry.
+        let population = sites(24);
+        let plan = FaultPlan::none(9)
+            .with_rate(Fault::ConnectionReset, 0.25)
+            .with_rate(Fault::WorkerPanic, 0.1);
+        let mut baseline: Option<(CrawlStats, Vec<Vec<u8>>)> = None;
+        for workers in [1, 3, 8] {
+            let store = TelemetryStore::new();
+            let mut config = CrawlConfig::paper(CrawlId::top2020(), Os::MacOs, 9);
+            config.workers = workers;
+            config.faults = plan.clone();
+            let mut stats = run_crawl(&jobs(&population), &config, &store);
+            stats.connectivity_retries = 0;
+            stats.makespan_ms = 0;
+            // `crawl_records` already returns (domain, os)-sorted rows,
+            // so the byte streams line up positionally.
+            let bytes: Vec<Vec<u8>> = store
+                .crawl_records(&CrawlId::top2020())
+                .iter()
+                .map(|r| kt_store::codec::encode(r).as_ref().to_vec())
+                .collect();
+            assert_eq!(bytes.len(), 24, "workers={workers}");
+            match &baseline {
+                None => baseline = Some((stats, bytes)),
+                Some((b_stats, b_bytes)) => {
+                    assert_eq!(&stats, b_stats, "workers={workers}");
+                    assert_eq!(&bytes, b_bytes, "workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_and_stealing_schedulers_produce_identical_results() {
+        // The ablation baseline must stay result-equivalent: only the
+        // wall-clock schedule may differ between static chunking and
+        // work stealing.
+        let population = sites(20);
+        let plan = FaultPlan::none(3)
+            .with_rate(Fault::DnsFlap, 0.2)
+            .with_rate(Fault::ConnectionReset, 0.2);
+        let mut config = CrawlConfig::paper(CrawlId::top2020(), Os::Linux, 3);
+        config.faults = plan;
+        let run = |f: fn(&[CrawlJob<'_>], &CrawlConfig, &TelemetryStore) -> CrawlStats| {
+            let store = TelemetryStore::new();
+            let mut stats = f(&jobs(&population), &config, &store);
+            stats.connectivity_retries = 0;
+            stats.makespan_ms = 0;
+            (stats, store.crawl_records(&CrawlId::top2020()))
+        };
+        assert_eq!(run(run_crawl), run(run_crawl_chunked));
+    }
+
+    #[test]
+    fn work_stealing_halves_the_makespan_on_a_skewed_population() {
+        // The scheduler's reason to exist: heavy sites (every attempt
+        // draws a reset, so each burns max_attempts visits plus
+        // backoffs) sorted contiguously at the front land in one
+        // static chunk and gate the whole campaign; work stealing
+        // spreads them. Outcome counters stay identical — only the
+        // simulated makespan may differ, and it must differ by ≥2×.
+        let plan = FaultPlan::none(13).with_rate(Fault::ConnectionReset, 0.5);
+        let mut heavy = Vec::new();
+        let mut light = Vec::new();
+        let mut candidate = 0;
+        while heavy.len() < 8 || light.len() < 56 {
+            let name = format!("skew{candidate}.example");
+            candidate += 1;
+            let first_two = plan.injects(Fault::ConnectionReset, &name, 0)
+                && plan.injects(Fault::ConnectionReset, &name, 1);
+            let bucket = if first_two { &mut heavy } else { &mut light };
+            let target = if first_two { 8 } else { 56 };
+            if bucket.len() < target {
+                bucket.push(WebSite::plain(
+                    DomainName::parse(&name).unwrap(),
+                    Some(bucket.len() as u32 + 1),
+                    3,
+                ));
+            }
+        }
+        heavy.extend(light);
+        let mut config = CrawlConfig::paper(CrawlId::top2020(), Os::Linux, 13);
+        config.workers = 8;
+        config.faults = plan;
+        config.retry = RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ms: 5_000,
+            max_backoff_ms: 60_000,
+            recrawl: false,
+        };
+        let population = jobs(&heavy);
+        let steal_store = TelemetryStore::new();
+        let stealing = run_crawl(&population, &config, &steal_store);
+        let chunk_store = TelemetryStore::new();
+        let chunked = run_crawl_chunked(&population, &config, &chunk_store);
+        assert_eq!(stealing.attempted, chunked.attempted);
+        assert_eq!(stealing.failures, chunked.failures);
+        assert_eq!(
+            steal_store.crawl_records(&CrawlId::top2020()),
+            chunk_store.crawl_records(&CrawlId::top2020())
+        );
+        assert!(
+            stealing.makespan_ms * 2 <= chunked.makespan_ms,
+            "stealing {} ms vs chunked {} ms",
+            stealing.makespan_ms,
+            chunked.makespan_ms
+        );
     }
 
     #[test]

@@ -5,18 +5,22 @@
 //! * a [`vantage::CrawlVantage`] describes one (OS, network) crawl
 //!   configuration — Windows/Linux VMs at Georgia Tech, a MacBook on
 //!   residential Comcast;
-//! * [`crawl::run_crawl`] drives a worker pool (crossbeam scoped
-//!   threads) over a site population: connectivity pre-check (ping
-//!   8.8.8.8), visit, parse, store;
+//! * [`crawl::run_crawl`] drives a worker pool (scoped threads over a
+//!   shared work-stealing [`queue::JobTicket`]) over a site
+//!   population: connectivity pre-check (ping 8.8.8.8), visit, parse,
+//!   store;
+//! * [`queue`] holds the lock-free scheduling primitives (the job
+//!   ticket and the recrawl injector);
 //! * [`stats::CrawlStats`] accumulates the Table 1 numbers: successful
 //!   and failed loads with the error-type breakdown.
 
 #![warn(missing_docs)]
 
 pub mod crawl;
+pub mod queue;
 pub mod stats;
 pub mod vantage;
 
-pub use crawl::{run_crawl, CrawlConfig, CrawlJob};
+pub use crawl::{run_crawl, run_crawl_chunked, CrawlConfig, CrawlJob};
 pub use stats::CrawlStats;
 pub use vantage::{CrawlVantage, NetworkVantage};

@@ -1,0 +1,158 @@
+//! Lock-free scheduling primitives for the crawl pool.
+//!
+//! The crawl used to partition jobs statically into per-worker chunks,
+//! which let one retry-heavy chunk gate the whole campaign tail: a
+//! worker whose chunk was dense in faulty sites kept visiting long
+//! after the other workers went idle. Both primitives here exist to
+//! kill that chokepoint without adding any lock to the hot path:
+//!
+//! * [`JobTicket`] — a shared atomic cursor over the job slice.
+//!   Workers claim the next unclaimed index with one `fetch_add`; a
+//!   worker stuck in retries simply claims fewer jobs while its peers
+//!   drain the rest. Every index is handed out exactly once.
+//! * [`PendingInjector`] — a fixed-capacity, lock-free collector for
+//!   job indices whose transient failures exhausted their in-place
+//!   retries. Workers push concurrently during the crawl; the
+//!   supervisor drains it once after join for the (deterministic,
+//!   sorted) end-of-campaign recrawl pass.
+//!
+//! Neither primitive affects results: visit outcomes are keyed by site
+//! identity and attempt number, never by which worker ran the visit,
+//! so any claim interleaving produces bit-identical telemetry.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A shared work-stealing ticket over `0..len`: each call to
+/// [`JobTicket::claim`] returns a distinct index until the range is
+/// exhausted.
+#[derive(Debug)]
+pub struct JobTicket {
+    next: AtomicUsize,
+    len: usize,
+}
+
+impl JobTicket {
+    /// A ticket over `0..len`.
+    pub fn new(len: usize) -> JobTicket {
+        JobTicket {
+            next: AtomicUsize::new(0),
+            len,
+        }
+    }
+
+    /// Claim the next unclaimed job index, or `None` when the queue is
+    /// drained. Relaxed ordering suffices: the index itself is the
+    /// only payload, and the job slice is immutably shared.
+    pub fn claim(&self) -> Option<usize> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < self.len).then_some(i)
+    }
+}
+
+/// A fixed-capacity, lock-free multi-producer collector of job
+/// indices. Capacity is the job count — each job is parked at most
+/// once — so a push is one `fetch_add` to reserve a slot plus one
+/// store, and can never fail.
+#[derive(Debug)]
+pub struct PendingInjector {
+    slots: Box<[AtomicUsize]>,
+    len: AtomicUsize,
+}
+
+impl PendingInjector {
+    /// An empty injector able to hold up to `capacity` indices.
+    pub fn new(capacity: usize) -> PendingInjector {
+        PendingInjector {
+            slots: (0..capacity).map(|_| AtomicUsize::new(0)).collect(),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Park one job index. Panics if pushed more times than
+    /// `capacity` — a bug by construction, since each job index is
+    /// parked at most once.
+    pub fn push(&self, index: usize) {
+        let slot = self.len.fetch_add(1, Ordering::Relaxed);
+        self.slots[slot].store(index, Ordering::Release);
+    }
+
+    /// Drain the parked indices. Callers sequence this after joining
+    /// every pushing thread (`join` synchronises-with the pushes), so
+    /// the relaxed loads observe every completed push.
+    pub fn drain(&self) -> Vec<usize> {
+        let len = self.len.load(Ordering::Acquire).min(self.slots.len());
+        self.slots[..len]
+            .iter()
+            .map(|slot| slot.load(Ordering::Acquire))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn ticket_hands_out_every_index_exactly_once() {
+        let ticket = JobTicket::new(100);
+        let claimed: BTreeSet<usize> = std::iter::from_fn(|| ticket.claim()).collect();
+        assert_eq!(claimed.len(), 100);
+        assert_eq!(claimed.iter().copied().max(), Some(99));
+        assert_eq!(ticket.claim(), None, "stays drained");
+    }
+
+    #[test]
+    fn ticket_is_race_free_across_threads() {
+        let ticket = JobTicket::new(1_000);
+        let mut per_thread: Vec<Vec<usize>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut mine = Vec::new();
+                        while let Some(i) = ticket.claim() {
+                            mine.push(i);
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for h in handles {
+                per_thread.push(h.join().unwrap());
+            }
+        });
+        let all: Vec<usize> = per_thread.into_iter().flatten().collect();
+        let distinct: BTreeSet<usize> = all.iter().copied().collect();
+        assert_eq!(all.len(), 1_000, "no index lost");
+        assert_eq!(distinct.len(), 1_000, "no index claimed twice");
+    }
+
+    #[test]
+    fn empty_ticket_yields_nothing() {
+        assert_eq!(JobTicket::new(0).claim(), None);
+    }
+
+    #[test]
+    fn injector_collects_concurrent_pushes() {
+        let injector = PendingInjector::new(400);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let injector = &injector;
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        injector.push(t * 100 + i);
+                    }
+                });
+            }
+        });
+        let mut drained = injector.drain();
+        drained.sort_unstable();
+        assert_eq!(drained, (0..400).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn injector_drain_when_empty() {
+        assert!(PendingInjector::new(16).drain().is_empty());
+    }
+}

@@ -35,6 +35,12 @@ pub struct CrawlStats {
     /// Telemetry-store appends retried after an injected/observed
     /// append failure.
     pub store_retries: usize,
+    /// Simulated campaign duration, ms: the busiest worker's final
+    /// wall-clock position (visits are 21 s each plus backoff and
+    /// outage waits), plus the serial recrawl pass. This is the
+    /// scheduler-quality metric — unlike the outcome counters it
+    /// legitimately depends on how jobs were laid onto workers.
+    pub makespan_ms: u64,
 }
 
 impl CrawlStats {
@@ -72,6 +78,9 @@ impl CrawlStats {
         self.gave_up += other.gave_up;
         self.crashed += other.crashed;
         self.store_retries += other.store_retries;
+        // Workers run concurrently in simulated time: the campaign
+        // lasts as long as its busiest worker.
+        self.makespan_ms = self.makespan_ms.max(other.makespan_ms);
         for (err, n) in &other.failures {
             *self.failures.entry(*err).or_default() += n;
         }
@@ -199,6 +208,22 @@ mod tests {
         assert_eq!(s.crashed, 1);
         let table1: usize = s.table1_errors().iter().map(|(_, n)| n).sum();
         assert_eq!(table1, 1, "the crash is a measurement artifact");
+    }
+
+    #[test]
+    fn merge_takes_the_busiest_workers_makespan() {
+        let mut a = CrawlStats {
+            makespan_ms: 42_000,
+            ..CrawlStats::default()
+        };
+        let b = CrawlStats {
+            makespan_ms: 126_000,
+            ..CrawlStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.makespan_ms, 126_000, "concurrent workers: max, not sum");
+        a.merge(&CrawlStats::default());
+        assert_eq!(a.makespan_ms, 126_000);
     }
 
     #[test]

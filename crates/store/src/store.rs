@@ -1,12 +1,33 @@
 //! The append-only telemetry store.
 //!
 //! Records are encoded into append-only byte segments; an in-memory
-//! index maps `(crawl, domain, os)` to segment offsets. Workers on a
-//! crawl pool append concurrently through an `RwLock`. Reads
-//! decode on demand — the store keeps bytes, not structs, so memory
-//! stays proportional to the (compact) encoded size.
+//! index maps `(crawl, domain, os)` to segment offsets. The store is
+//! built for a crawl pool hammering it from many workers at once:
+//!
+//! * **Lock striping** — keys are hashed across [`SHARD_COUNT`]
+//!   shards, each behind its own `RwLock`, so concurrent appends from
+//!   different workers almost never contend on the same lock, and the
+//!   per-append critical section is a hash-map insert plus a byte
+//!   copy (encoding happens outside the lock).
+//! * **Interned crawl ids** — campaign names (`top2020`, …) are
+//!   interned to a `u32` once per campaign, so the append hot path
+//!   never clones the crawl-id `String`.
+//! * **A filter-first index** — each shard indexes
+//!   `crawl → domain → [per-OS slot]`, so per-crawl and per-OS reads
+//!   select exactly the matching byte ranges *before* decoding
+//!   anything, instead of string-comparing and decoding the world.
+//! * **Zero-copy reads** — full segments are sealed into shared
+//!   [`Bytes`]; reads slice the shared buffer instead of copying it.
+//!   Bulk readers seal the in-flight segment first, so post-crawl
+//!   analysis never copies segment bytes at all.
+//!
+//! Reads decode on demand — the store keeps bytes, not structs, so
+//! memory stays proportional to the (compact) encoded size. Bulk
+//! reads return records sorted by (domain, OS) in the paper's OS
+//! column order, which is what makes downstream analysis reproducible
+//! whatever the append interleaving was.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use bytes::Bytes;
 use kt_netbase::Os;
@@ -15,29 +36,133 @@ use std::sync::RwLock;
 use crate::codec::{decode, encode, CodecError};
 use crate::record::{CrawlId, VisitRecord};
 
-/// Key of one visit.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct VisitKey {
-    crawl: String,
-    domain: String,
-    os: Os,
+/// Number of lock-striped shards. A small power of two: enough that an
+/// 8-worker crawl pool rarely collides, small enough that per-shard
+/// segments still fill.
+pub const SHARD_COUNT: usize = 16;
+
+/// OS slots per domain, in the paper's column order (W, L, M).
+const N_OS: usize = 3;
+
+/// Start a new segment once the active one reaches this size. The
+/// target is per shard, so the whole store seals around
+/// `SHARD_COUNT * SEGMENT_TARGET` bytes of buffered appends.
+const SEGMENT_TARGET: usize = 512 << 10;
+
+/// The paper's OS column order doubles as the slot index.
+fn os_slot(os: Os) -> usize {
+    match os {
+        Os::Windows => 0,
+        Os::Linux => 1,
+        Os::MacOs => 2,
+    }
 }
 
-const SEGMENT_TARGET: usize = 4 << 20; // start a new segment near 4 MiB
+/// Location of one encoded record: logical segment number within its
+/// shard, byte offset, byte length. Segments seal in order, so a
+/// logical number `< sealed.len()` addresses a sealed segment and the
+/// number `== sealed.len()` addresses the active buffer.
+#[derive(Debug, Clone, Copy)]
+struct Loc {
+    seg: u32,
+    off: u32,
+    len: u32,
+}
 
 #[derive(Default, Debug)]
-struct Inner {
-    segments: Vec<Vec<u8>>,
-    /// (segment index, byte offset, byte length) per visit.
-    index: HashMap<VisitKey, (usize, usize, usize)>,
-    /// Insertion order, for stable full scans.
-    order: Vec<VisitKey>,
+struct ShardInner {
+    /// Immutable, shareable segments — reads slice these without
+    /// copying.
+    sealed: Vec<Bytes>,
+    /// The in-flight segment; sealed when full or when a bulk reader
+    /// needs a stable view.
+    active: Vec<u8>,
+    /// crawl → domain → per-OS record location.
+    index: HashMap<u32, BTreeMap<String, [Option<Loc>; N_OS]>>,
+    /// Number of `Some` slots in `index`.
+    visits: usize,
+}
+
+impl ShardInner {
+    /// Seal the active buffer into an immutable shared segment.
+    fn seal(&mut self) {
+        if !self.active.is_empty() {
+            self.sealed
+                .push(Bytes::from(std::mem::take(&mut self.active)));
+        }
+    }
+
+    /// The bytes of one located record. Sealed segments are sliced
+    /// (no copy); only records still in the active buffer pay a copy.
+    fn read(&self, loc: Loc) -> Bytes {
+        let (off, len) = (loc.off as usize, loc.len as usize);
+        match self.sealed.get(loc.seg as usize) {
+            Some(segment) => segment.slice(off..off + len),
+            None => Bytes::copy_from_slice(&self.active[off..off + len]),
+        }
+    }
+
+    /// Decode every record of `crawl` in this shard, in (domain, OS)
+    /// order. Callers must have sealed first if they want zero-copy.
+    fn crawl_records(&self, crawl: u32, os: Option<Os>) -> Vec<VisitRecord> {
+        let Some(by_domain) = self.index.get(&crawl) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for slots in by_domain.values() {
+            for (slot, loc) in slots.iter().enumerate() {
+                if let Some(os) = os {
+                    if os_slot(os) != slot {
+                        continue;
+                    }
+                }
+                if let Some(loc) = loc {
+                    if let Ok(record) = decode(self.read(*loc)) {
+                        out.push(record);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[derive(Default, Debug)]
+struct Shard {
+    inner: RwLock<ShardInner>,
+}
+
+/// The crawl-id interner: campaign names are few and long-lived, so
+/// each is assigned a dense `u32` on first append and the hot path
+/// only ever compares integers.
+#[derive(Default, Debug)]
+struct Interner {
+    by_name: HashMap<String, u32>,
+    names: Vec<CrawlId>,
 }
 
 /// Concurrent append-only store of visit records.
 #[derive(Default, Debug)]
 pub struct TelemetryStore {
-    inner: RwLock<Inner>,
+    crawls: RwLock<Interner>,
+    shards: [Shard; SHARD_COUNT],
+}
+
+/// FNV-1a over the interned crawl id, the domain, and the OS slot.
+fn shard_of(crawl: u32, domain: &str, os: Os) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for b in crawl.to_le_bytes() {
+        mix(b);
+    }
+    for b in domain.bytes() {
+        mix(b);
+    }
+    mix(os_slot(os) as u8);
+    (h % SHARD_COUNT as u64) as usize
 }
 
 impl TelemetryStore {
@@ -46,40 +171,78 @@ impl TelemetryStore {
         TelemetryStore::default()
     }
 
+    /// Intern a crawl id, assigning a dense `u32` on first sight.
+    fn intern(&self, crawl: &CrawlId) -> u32 {
+        if let Some(&id) = self
+            .crawls
+            .read()
+            .expect("interner lock poisoned")
+            .by_name
+            .get(crawl.as_str())
+        {
+            return id;
+        }
+        let mut interner = self.crawls.write().expect("interner lock poisoned");
+        if let Some(&id) = interner.by_name.get(crawl.as_str()) {
+            return id;
+        }
+        let id = interner.names.len() as u32;
+        interner.names.push(crawl.clone());
+        interner.by_name.insert(crawl.as_str().to_string(), id);
+        id
+    }
+
+    /// Borrowed-key lookup of an already-interned crawl id: never
+    /// allocates, returns `None` for crawls the store has never seen.
+    fn lookup(&self, crawl: &str) -> Option<u32> {
+        self.crawls
+            .read()
+            .expect("interner lock poisoned")
+            .by_name
+            .get(crawl)
+            .copied()
+    }
+
     /// Append one record (last write wins per key).
     pub fn append(&self, record: &VisitRecord) {
+        // Encode outside the lock: the critical section is only the
+        // byte copy and the index insert.
         let encoded = encode(record);
-        let key = VisitKey {
-            crawl: record.crawl.as_str().to_string(),
-            domain: record.domain.clone(),
-            os: record.os,
+        let crawl = self.intern(&record.crawl);
+        let shard = &self.shards[shard_of(crawl, &record.domain, record.os)];
+        let mut guard = shard.inner.write().expect("store lock poisoned");
+        let inner = &mut *guard;
+        if inner.active.len() >= SEGMENT_TARGET {
+            inner.seal();
+        }
+        let loc = Loc {
+            seg: inner.sealed.len() as u32,
+            off: inner.active.len() as u32,
+            len: encoded.len() as u32,
         };
-        let mut inner = self.inner.write().expect("store lock poisoned");
-        if inner
-            .segments
-            .last()
-            .map(|s| s.len() >= SEGMENT_TARGET)
-            .unwrap_or(true)
-        {
-            inner.segments.push(Vec::with_capacity(SEGMENT_TARGET));
+        inner.active.extend_from_slice(&encoded);
+        let by_domain = inner.index.entry(crawl).or_default();
+        // Clone the domain string only on first sight of the domain;
+        // overwrites and same-domain other-OS appends borrow.
+        if !by_domain.contains_key(record.domain.as_str()) {
+            by_domain.insert(record.domain.clone(), [None; N_OS]);
         }
-        let seg_idx = inner.segments.len() - 1;
-        let segment = &mut inner.segments[seg_idx];
-        let offset = segment.len();
-        segment.extend_from_slice(&encoded);
-        let len = encoded.len();
-        if inner
-            .index
-            .insert(key.clone(), (seg_idx, offset, len))
-            .is_none()
-        {
-            inner.order.push(key);
+        let slots = by_domain
+            .get_mut(record.domain.as_str())
+            .expect("domain entry just ensured");
+        let slot = &mut slots[os_slot(record.os)];
+        if slot.is_none() {
+            inner.visits += 1;
         }
+        *slot = Some(loc);
     }
 
     /// Number of stored visits.
     pub fn len(&self) -> usize {
-        self.inner.read().expect("store lock poisoned").index.len()
+        self.shards
+            .iter()
+            .map(|s| s.inner.read().expect("store lock poisoned").visits)
+            .sum()
     }
 
     /// True if nothing is stored.
@@ -89,61 +252,131 @@ impl TelemetryStore {
 
     /// Total encoded bytes.
     pub fn byte_size(&self) -> usize {
-        self.inner
-            .read()
-            .expect("store lock poisoned")
-            .segments
+        self.shards
             .iter()
-            .map(Vec::len)
+            .map(|s| {
+                let inner = s.inner.read().expect("store lock poisoned");
+                inner.sealed.iter().map(Bytes::len).sum::<usize>() + inner.active.len()
+            })
             .sum()
     }
 
-    /// Indexed point lookup.
-    pub fn get(&self, crawl: &CrawlId, domain: &str, os: Os) -> Option<VisitRecord> {
-        let inner = self.inner.read().expect("store lock poisoned");
-        let key = VisitKey {
-            crawl: crawl.as_str().to_string(),
-            domain: domain.to_string(),
-            os,
-        };
-        let &(seg, off, len) = inner.index.get(&key)?;
-        let bytes = Bytes::copy_from_slice(&inner.segments[seg][off..off + len]);
-        decode(bytes).ok()
-    }
-
-    /// All records of one crawl, in insertion order (decoded lazily
-    /// into a vector — callers typically aggregate immediately).
-    pub fn crawl_records(&self, crawl: &CrawlId) -> Vec<VisitRecord> {
-        let inner = self.inner.read().expect("store lock poisoned");
-        inner
-            .order
+    /// Number of byte segments across all shards (sealed + active),
+    /// an observability hook for benches and tests.
+    pub fn segment_count(&self) -> usize {
+        self.shards
             .iter()
-            .filter(|k| k.crawl == crawl.as_str())
-            .filter_map(|k| {
-                let &(seg, off, len) = inner.index.get(k)?;
-                let bytes = Bytes::copy_from_slice(&inner.segments[seg][off..off + len]);
-                decode(bytes).ok()
+            .map(|s| {
+                let inner = s.inner.read().expect("store lock poisoned");
+                inner.sealed.len() + usize::from(!inner.active.is_empty())
             })
-            .collect()
+            .sum()
     }
 
-    /// All records of one crawl on one OS.
+    /// Number of lock-striped shards (the parallel analysis driver
+    /// streams records shard by shard).
+    pub fn shard_count(&self) -> usize {
+        SHARD_COUNT
+    }
+
+    /// Every crawl id the store has seen, sorted by name.
+    pub fn crawl_ids(&self) -> Vec<CrawlId> {
+        let mut ids = self
+            .crawls
+            .read()
+            .expect("interner lock poisoned")
+            .names
+            .clone();
+        ids.sort();
+        ids
+    }
+
+    /// Indexed point lookup. The key path is allocation-free: the
+    /// crawl resolves through the interner and the domain through a
+    /// borrowed `&str` map lookup — no `String` or key struct is
+    /// built per call.
+    pub fn get(&self, crawl: &CrawlId, domain: &str, os: Os) -> Option<VisitRecord> {
+        let crawl = self.lookup(crawl.as_str())?;
+        let shard = &self.shards[shard_of(crawl, domain, os)];
+        let inner = shard.inner.read().expect("store lock poisoned");
+        let loc = (*inner.index.get(&crawl)?.get(domain)?)[os_slot(os)]?;
+        decode(inner.read(loc)).ok()
+    }
+
+    /// All records of one crawl on one OS of one shard, in domain
+    /// order — the unit the parallel analysis driver streams. Seals
+    /// the shard's active segment so every returned record was sliced,
+    /// not copied, out of shared segment memory.
+    pub fn shard_records_on(
+        &self,
+        crawl: &CrawlId,
+        shard: usize,
+        os: Option<Os>,
+    ) -> Vec<VisitRecord> {
+        let Some(crawl) = self.lookup(crawl.as_str()) else {
+            return Vec::new();
+        };
+        let mut inner = self.shards[shard]
+            .inner
+            .write()
+            .expect("store lock poisoned");
+        inner.seal();
+        inner.crawl_records(crawl, os)
+    }
+
+    /// All records of one crawl, sorted by (domain, OS) in the
+    /// paper's OS column order. OS slots are selected from the index
+    /// before anything is decoded.
+    pub fn crawl_records(&self, crawl: &CrawlId) -> Vec<VisitRecord> {
+        self.crawl_records_filtered(crawl, None)
+    }
+
+    /// All records of one crawl on one OS, sorted by domain. The OS
+    /// filter is applied on the index, so only matching records are
+    /// ever decoded.
     pub fn crawl_records_on(&self, crawl: &CrawlId, os: Os) -> Vec<VisitRecord> {
-        self.crawl_records(crawl)
-            .into_iter()
-            .filter(|r| r.os == os)
-            .collect()
+        self.crawl_records_filtered(crawl, Some(os))
     }
 
-    /// Full scan over every stored record (the unindexed ablation
-    /// path: decode every segment sequentially).
+    fn crawl_records_filtered(&self, crawl: &CrawlId, os: Option<Os>) -> Vec<VisitRecord> {
+        let mut out = Vec::new();
+        for shard in 0..SHARD_COUNT {
+            out.extend(self.shard_records_on(crawl, shard, os));
+        }
+        out.sort_by(|a, b| {
+            a.domain
+                .cmp(&b.domain)
+                .then(os_slot(a.os).cmp(&os_slot(b.os)))
+        });
+        out
+    }
+
+    /// Full scan over every stored record, sorted by (crawl, domain,
+    /// OS). Unlike [`Self::crawl_records`] this propagates decode
+    /// errors — it is the persistence layer's integrity pass.
     pub fn scan_all(&self) -> Result<Vec<VisitRecord>, CodecError> {
-        let inner = self.inner.read().expect("store lock poisoned");
-        let mut out = Vec::with_capacity(inner.index.len());
-        for key in &inner.order {
-            let &(seg, off, len) = inner.index.get(key).ok_or(CodecError::Truncated)?;
-            let bytes = Bytes::copy_from_slice(&inner.segments[seg][off..off + len]);
-            out.push(decode(bytes)?);
+        let mut out = Vec::with_capacity(self.len());
+        for crawl in self.crawl_ids() {
+            let crawl_u32 = self.lookup(crawl.as_str()).expect("listed crawl interned");
+            let mut records = Vec::new();
+            for shard in &self.shards {
+                let mut inner = shard.inner.write().expect("store lock poisoned");
+                inner.seal();
+                let Some(by_domain) = inner.index.get(&crawl_u32) else {
+                    continue;
+                };
+                for slots in by_domain.values() {
+                    for loc in slots.iter().flatten() {
+                        records.push(decode(inner.read(*loc))?);
+                    }
+                }
+            }
+            records.sort_by(|a, b| {
+                a.domain
+                    .cmp(&b.domain)
+                    .then(os_slot(a.os).cmp(&os_slot(b.os)))
+            });
+            out.extend(records);
         }
         Ok(out)
     }
@@ -186,6 +419,9 @@ mod tests {
         assert!(store
             .get(&CrawlId::top2020(), "a.example", Os::MacOs)
             .is_none());
+        assert!(store
+            .get(&CrawlId::malicious(), "a.example", Os::Windows)
+            .is_none());
     }
 
     #[test]
@@ -208,6 +444,65 @@ mod tests {
         assert_eq!(store.crawl_records(&CrawlId::top2020()).len(), 10);
         assert_eq!(store.crawl_records(&CrawlId::malicious()).len(), 4);
         assert_eq!(store.crawl_records(&CrawlId::top2021()).len(), 0);
+        assert_eq!(
+            store.crawl_ids(),
+            vec![CrawlId::malicious(), CrawlId::top2020()]
+        );
+    }
+
+    #[test]
+    fn bulk_reads_are_sorted_by_domain_then_os() {
+        let store = TelemetryStore::new();
+        // Appended deliberately out of order.
+        store.append(&rec(CrawlId::top2020(), "zz.example", Os::MacOs));
+        store.append(&rec(CrawlId::top2020(), "aa.example", Os::Linux));
+        store.append(&rec(CrawlId::top2020(), "mm.example", Os::Windows));
+        store.append(&rec(CrawlId::top2020(), "aa.example", Os::Windows));
+        let records = store.crawl_records(&CrawlId::top2020());
+        let keys: Vec<(String, Os)> = records.iter().map(|r| (r.domain.clone(), r.os)).collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("aa.example".to_string(), Os::Windows),
+                ("aa.example".to_string(), Os::Linux),
+                ("mm.example".to_string(), Os::Windows),
+                ("zz.example".to_string(), Os::MacOs),
+            ]
+        );
+    }
+
+    #[test]
+    fn os_filter_applies_before_decode() {
+        let store = TelemetryStore::new();
+        for i in 0..6 {
+            for os in Os::ALL {
+                store.append(&rec(CrawlId::top2020(), &format!("s{i}.example"), os));
+            }
+        }
+        let linux = store.crawl_records_on(&CrawlId::top2020(), Os::Linux);
+        assert_eq!(linux.len(), 6);
+        assert!(linux.iter().all(|r| r.os == Os::Linux));
+        let domains: Vec<&str> = linux.iter().map(|r| r.domain.as_str()).collect();
+        let mut sorted = domains.clone();
+        sorted.sort();
+        assert_eq!(domains, sorted, "domain-sorted");
+    }
+
+    #[test]
+    fn shard_records_cover_the_crawl_exactly_once() {
+        let store = TelemetryStore::new();
+        for i in 0..40 {
+            store.append(&rec(
+                CrawlId::top2020(),
+                &format!("s{i}.example"),
+                Os::Linux,
+            ));
+        }
+        let mut via_shards: Vec<VisitRecord> = (0..store.shard_count())
+            .flat_map(|s| store.shard_records_on(&CrawlId::top2020(), s, None))
+            .collect();
+        via_shards.sort_by(|a, b| a.domain.cmp(&b.domain));
+        assert_eq!(via_shards, store.crawl_records(&CrawlId::top2020()));
     }
 
     #[test]
@@ -248,6 +543,34 @@ mod tests {
     }
 
     #[test]
+    fn reads_interleaved_with_appends_stay_consistent() {
+        // Bulk reads seal the active segment; appends after a seal
+        // must land in a fresh segment without invalidating anything.
+        let store = TelemetryStore::new();
+        for i in 0..10 {
+            store.append(&rec(
+                CrawlId::top2020(),
+                &format!("a{i}.example"),
+                Os::Linux,
+            ));
+        }
+        assert_eq!(store.crawl_records(&CrawlId::top2020()).len(), 10);
+        for i in 0..10 {
+            store.append(&rec(
+                CrawlId::top2020(),
+                &format!("b{i}.example"),
+                Os::Linux,
+            ));
+        }
+        assert_eq!(store.crawl_records(&CrawlId::top2020()).len(), 20);
+        for i in 0..10 {
+            assert!(store
+                .get(&CrawlId::top2020(), &format!("a{i}.example"), Os::Linux)
+                .is_some());
+        }
+    }
+
+    #[test]
     fn concurrent_appends() {
         use std::sync::Arc;
         let store = Arc::new(TelemetryStore::new());
@@ -272,6 +595,31 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_appends_across_crawls_intern_once() {
+        use std::sync::Arc;
+        let store = Arc::new(TelemetryStore::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let crawl = if i % 2 == 0 {
+                        CrawlId::top2020()
+                    } else {
+                        CrawlId::top2021()
+                    };
+                    store.append(&rec(crawl, &format!("t{t}-d{i}.example"), Os::Linux));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.crawl_ids().len(), 2);
+        assert_eq!(store.len(), 200);
+    }
+
+    #[test]
     fn json_export() {
         let store = TelemetryStore::new();
         store.append(&rec(CrawlId::top2020(), "j.example", Os::Windows));
@@ -293,8 +641,14 @@ mod tests {
                 Os::Linux,
             ));
         }
-        let inner_segments = store.byte_size();
-        assert!(inner_segments > SEGMENT_TARGET, "multiple segments filled");
+        assert!(
+            store.byte_size() > SEGMENT_TARGET,
+            "multiple segments filled"
+        );
+        assert!(
+            store.segment_count() > SHARD_COUNT,
+            "at least one shard rolled its segment over"
+        );
         assert_eq!(store.len(), 40_000);
     }
 }

@@ -21,7 +21,7 @@ fn study() -> &'static Study {
     STUDY.get_or_init(|| Study::run(StudyConfig::quick(2024)))
 }
 
-fn sites2020() -> Vec<SiteLocalActivity> {
+fn sites2020() -> &'static [SiteLocalActivity] {
     study().activities(&CrawlId::top2020())
 }
 
@@ -80,7 +80,7 @@ fn rq1_counts_2021_figure9() {
 fn rq1_2021_churn() {
     // §4.1: of the 82, 19 were crawled in 2020 without local traffic,
     // 21 are newly listed, the rest carried over.
-    let diff = report::activity_diff(&sites2020(), &study().activities(&CrawlId::top2021()));
+    let diff = report::activity_diff(sites2020(), study().activities(&CrawlId::top2021()));
     assert_eq!(
         diff.new.len(),
         40,

@@ -142,7 +142,7 @@ fn reruns_are_bit_identical() {
     let acts_a = a.activities(&CrawlId::top2020());
     let acts_b = b.activities(&CrawlId::top2020());
     assert_eq!(acts_a.len(), acts_b.len());
-    for (x, y) in acts_a.iter().zip(&acts_b) {
+    for (x, y) in acts_a.iter().zip(acts_b) {
         assert_eq!(x, y);
     }
 }
