@@ -275,6 +275,75 @@ pub fn health_table(rows: &[(&str, Os, &CrawlStats)]) -> (String, Vec<HealthRepo
     (table.render(), structured)
 }
 
+/// One journal's durability summary: what the write-ahead log holds,
+/// what the crash (if any) cost, and whether a resume can make the
+/// campaign whole. Rendered as the health report's durability section
+/// when a study runs journaled.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DurabilityReport {
+    /// Valid visit frames replayed.
+    pub visits: usize,
+    /// Campaign checkpoints found.
+    pub checkpoints: usize,
+    /// Flush (fsync) markers seen.
+    pub flush_points: usize,
+    /// Duplicate final verdicts deduped on replay (crash-window
+    /// re-runs; harmless by design).
+    pub duplicate_finals: usize,
+    /// Frames lost to CRC damage or torn writes.
+    pub corrupt_frames: usize,
+    /// Bytes skipped while resyncing past damage.
+    pub corrupt_bytes: u64,
+    /// True when the journal ends mid-frame (the classic kill scar).
+    pub truncated_tail: bool,
+    /// Byte offset of the last valid frame — everything after this is
+    /// the torn tail an `open_append` would trim.
+    pub valid_end: u64,
+}
+
+impl DurabilityReport {
+    /// Summarise a journal replay.
+    pub fn from_replay(report: &kt_store::ReplayReport) -> DurabilityReport {
+        DurabilityReport {
+            visits: report.visits.len(),
+            checkpoints: report.checkpoints.len(),
+            flush_points: report.flush_points,
+            duplicate_finals: report.duplicate_finals,
+            corrupt_frames: report.corrupt_frames,
+            corrupt_bytes: report.corrupt_bytes,
+            truncated_tail: report.truncated_tail,
+            valid_end: report.valid_end,
+        }
+    }
+
+    /// True when the journal shows no crash damage at all.
+    pub fn clean(&self) -> bool {
+        self.corrupt_frames == 0 && !self.truncated_tail
+    }
+
+    /// Render the health report's durability section.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Durability (write-ahead journal):\n");
+        out.push_str(&format!(
+            "  {} visit frames, {} checkpoints, {} flush points, {} duplicate finals deduped\n",
+            self.visits, self.checkpoints, self.flush_points, self.duplicate_finals
+        ));
+        if self.clean() {
+            out.push_str("  no damage: every frame CRC-valid, tail complete\n");
+        } else {
+            out.push_str(&format!(
+                "  damage: {} corrupt frame(s), {} byte(s) skipped, torn tail: {}\n",
+                self.corrupt_frames, self.corrupt_bytes, self.truncated_tail
+            ));
+            out.push_str(&format!(
+                "  recovery: replay is whole up to byte {}; run `knocktalk resume` to finish, `knocktalk fsck --repair` to scrub\n",
+                self.valid_end
+            ));
+        }
+        out
+    }
+}
+
 /// Map a record's category code back to the blocklist category.
 pub fn category_of(code: u8) -> MaliciousCategory {
     match code {
@@ -792,5 +861,61 @@ mod tests {
         let report = HealthReport::from_stats("empty", Os::MacOs, &CrawlStats::new());
         assert_eq!(report.recovery_rate(), 0.0);
         assert_eq!(report.quarantine_rate(), 0.0);
+    }
+
+    #[test]
+    fn durability_section_reports_damage_and_recovery_path() {
+        let clean = DurabilityReport {
+            visits: 120,
+            checkpoints: 8,
+            flush_points: 2,
+            duplicate_finals: 0,
+            corrupt_frames: 0,
+            corrupt_bytes: 0,
+            truncated_tail: false,
+            valid_end: 4096,
+        };
+        assert!(clean.clean());
+        let text = clean.render();
+        assert!(text.contains("120 visit frames"));
+        assert!(text.contains("no damage"));
+
+        let scarred = DurabilityReport {
+            corrupt_frames: 2,
+            corrupt_bytes: 77,
+            truncated_tail: true,
+            ..clean
+        };
+        assert!(!scarred.clean());
+        let text = scarred.render();
+        assert!(text.contains("2 corrupt frame(s)"));
+        assert!(text.contains("knocktalk resume"));
+        assert!(text.contains("fsck --repair"));
+    }
+
+    #[test]
+    fn durability_report_summarises_a_real_replay() {
+        use kt_store::{JournalWriter, VisitDelta};
+
+        let path =
+            std::env::temp_dir().join(format!("kt-analysis-durability-{}.ktj", std::process::id()));
+        let journal = JournalWriter::create(&path).unwrap();
+        let record = kt_store::VisitRecord {
+            crawl: kt_store::CrawlId::top2020(),
+            domain: "a.example".into(),
+            rank: Some(1),
+            malicious_category: None,
+            os: Os::Linux,
+            outcome: kt_store::LoadOutcome::Success,
+            loaded_at_ms: 5,
+            events: Vec::new(),
+        };
+        journal.append_visit(&record, &VisitDelta::default(), 1, false);
+        journal.sync();
+        let replayed = kt_store::replay(&path).unwrap();
+        let report = DurabilityReport::from_replay(&replayed);
+        assert_eq!(report.visits, 1);
+        assert!(report.clean());
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -6,7 +6,9 @@ use knock_talk::analysis::entropy::scan_entropy;
 use knock_talk::netbase::services::{BIGIP_PORTS, THREATMETRIX_PORTS};
 use knock_talk::netbase::Os;
 use knock_talk::netlog::Capture;
-use knock_talk::store::{CrawlId, LoadOutcome, VisitRecord};
+use knock_talk::store::{
+    CrawlId, FsckOptions, JournalWriter, KillMode, KillSpec, LoadOutcome, VisitRecord,
+};
 use knock_talk::{Study, StudyConfig};
 
 use crate::args::Options;
@@ -18,17 +20,31 @@ pub fn help() {
          \n\
          USAGE:\n\
            knocktalk repro    [--scale quick|standard|paper] [--seed N] [--id T5]\n\
+                              [--journal FILE] [--kill-frames N] [--kill-mode mid-frame|post-frame]\n\
            knocktalk crawl    [--os windows|linux|mac] [--scale ...] [--seed N] [--save FILE]\n\
-           knocktalk analyze  <store.ktstore>\n\
+                              [--journal FILE] [--kill-frames N] [--kill-mode mid-frame|post-frame]\n\
+           knocktalk resume   <study.ktj> [--id T5]\n\
+           knocktalk fsck     <journal.ktj> [--repair yes]\n\
+           knocktalk analyze  <store.ktstore|journal.ktj>\n\
            knocktalk classify <netlog.json> [--loaded-at MS] [--domain NAME]\n\
            knocktalk entropy  [--machines N] [--seed N]\n\
            knocktalk health   [--scale quick|standard|paper] [--seed N]\n\
            knocktalk help\n\
          \n\
          COMMANDS:\n\
-           repro     regenerate the paper's tables and figures (all, or one --id)\n\
+           repro     regenerate the paper's tables and figures (all, or one --id);\n\
+                     --journal writes a checksummed write-ahead log (KTSTORE2) so a\n\
+                     crash can be resumed; --kill-frames N simulates `kill -9` while\n\
+                     writing frame N (mid-frame tears it, post-frame dies just after)\n\
            crawl     run one campaign on one OS and print Table-1 statistics\n\
-           analyze   load a saved telemetry snapshot and report local activity\n\
+                     (--journal/--kill-frames work here too; resume is study-level)\n\
+           resume    replay a study journal, re-run only what the crash lost, and\n\
+                     print the tables — byte-identical to a run that never crashed\n\
+           fsck      store doctor: scan a journal for torn tails, bad CRCs, duplicate\n\
+                     and orphan records; --repair yes quarantines the damage and\n\
+                     rewrites a clean journal (fsync-before-rename)\n\
+           analyze   load a telemetry snapshot (KTSTORE1) or journal (KTSTORE2)\n\
+                     and report local activity\n\
            classify  analyse a Chrome NetLog JSON capture for local traffic\n\
            entropy   measure the fingerprinting entropy of the observed scans\n\
            health    run the study and print the crawl health report\n\
@@ -46,9 +62,70 @@ fn study_config(opts: &Options) -> Result<StudyConfig, String> {
     })
 }
 
+/// Build a journal writer from `--journal`, arming `--kill-frames` /
+/// `--kill-mode` when given. `Ok(None)` when no journal was requested.
+fn journal_from_opts(opts: &Options) -> Result<Option<JournalWriter>, String> {
+    let Some(path) = opts.get("journal") else {
+        if opts.get("kill-frames").is_some() || opts.get("kill-mode").is_some() {
+            return Err("--kill-frames/--kill-mode need --journal".to_string());
+        }
+        return Ok(None);
+    };
+    let journal = JournalWriter::create(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+    if let Some(at) = opts.get("kill-frames") {
+        let at_frame: u64 = at
+            .parse()
+            .map_err(|_| format!("flag --kill-frames expects an integer, got {at:?}"))?;
+        let mode = match opts.get("kill-mode").unwrap_or("mid-frame") {
+            "mid-frame" => KillMode::MidFrame,
+            "post-frame" => KillMode::PostFrame,
+            other => return Err(format!("unknown --kill-mode {other:?}")),
+        };
+        journal.set_kill(Some(KillSpec { at_frame, mode }));
+    } else if opts.get("kill-mode").is_some() {
+        return Err("--kill-mode needs --kill-frames".to_string());
+    }
+    Ok(Some(journal))
+}
+
+/// Report a simulated crash and how to recover from it. Returns true
+/// when the journal was killed (the caller should stop printing).
+fn report_if_killed(journal: &JournalWriter) -> bool {
+    if !journal.killed() {
+        return false;
+    }
+    let stats = journal.stats();
+    eprintln!(
+        "simulated crash: process died while journaling (frame {}, {} bytes on disk)",
+        stats.frames, stats.bytes
+    );
+    eprintln!(
+        "recover with: knocktalk resume {} (or inspect with: knocktalk fsck {})",
+        journal.path().display(),
+        journal.path().display()
+    );
+    true
+}
+
 /// `knocktalk repro`.
 pub fn repro(opts: &Options) -> Result<(), String> {
-    let study = Study::run(study_config(opts)?);
+    let config = study_config(opts)?;
+    let journal = journal_from_opts(opts)?;
+    let study = Study::run_journaled(config, journal.as_ref());
+    if let Some(journal) = &journal {
+        if report_if_killed(journal) {
+            return Ok(());
+        }
+        let stats = journal.stats();
+        eprintln!(
+            "journaled {} visit frames, {} checkpoints, {} bytes, {} fsyncs to {}",
+            stats.visits,
+            stats.checkpoints,
+            stats.bytes,
+            stats.fsyncs,
+            journal.path().display()
+        );
+    }
     match opts.get("id") {
         Some(id) => {
             let text = study
@@ -81,7 +158,7 @@ fn parse_os(s: &str) -> Result<Os, String> {
 
 /// `knocktalk crawl`.
 pub fn crawl(opts: &Options) -> Result<(), String> {
-    use knock_talk::crawler::{run_crawl, CrawlConfig, CrawlJob};
+    use knock_talk::crawler::{CrawlConfig, CrawlJob};
     use knock_talk::store::TelemetryStore;
     use knock_talk::webgen::WebPopulation;
 
@@ -98,7 +175,23 @@ pub fn crawl(opts: &Options) -> Result<(), String> {
         .collect();
     let store = TelemetryStore::new();
     let crawl_config = CrawlConfig::paper(CrawlId::top2020(), os, config.population.seed);
-    let stats = run_crawl(&jobs, &crawl_config, &store);
+    let journal = journal_from_opts(opts)?;
+    let stats =
+        knock_talk::crawler::run_crawl_journaled(&jobs, &crawl_config, &store, journal.as_ref());
+    if let Some(journal) = &journal {
+        journal.sync();
+        if report_if_killed(journal) {
+            return Ok(());
+        }
+        let jstats = journal.stats();
+        eprintln!(
+            "journaled {} visit frames ({} bytes, {} fsyncs) to {}",
+            jstats.visits,
+            jstats.bytes,
+            jstats.fsyncs,
+            journal.path().display()
+        );
+    }
     println!(
         "crawled {} pages on {}: {} ok ({:.1}%), {} failed",
         stats.attempted,
@@ -121,9 +214,12 @@ pub fn crawl(opts: &Options) -> Result<(), String> {
         analysis.sites.iter().filter(|s| s.has_lan()).count()
     );
     if let Some(path) = opts.get("save") {
-        let n = knock_talk::store::save(&store, std::path::Path::new(path))
+        let report = knock_talk::store::save(&store, std::path::Path::new(path))
             .map_err(|e| e.to_string())?;
-        println!("saved {n} visit records to {path}");
+        println!(
+            "saved {} visit records ({} bytes, {} fsyncs) to {path}",
+            report.records, report.bytes, report.fsyncs
+        );
     }
     Ok(())
 }
@@ -134,7 +230,8 @@ pub fn analyze(opts: &Options) -> Result<(), String> {
         .positional()
         .first()
         .ok_or("analyze needs a snapshot file path")?;
-    let report = knock_talk::store::load(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+    let report =
+        knock_talk::store::load_any(std::path::Path::new(path)).map_err(|e| e.to_string())?;
     if report.truncated || report.corrupt > 0 {
         eprintln!(
             "note: loaded {} records ({} corrupt skipped, truncated: {})",
@@ -225,6 +322,87 @@ pub fn classify(opts: &Options) -> Result<(), String> {
                 },
             );
         }
+    }
+    Ok(())
+}
+
+/// `knocktalk resume <study.ktj>`.
+pub fn resume(opts: &Options) -> Result<(), String> {
+    let path = opts
+        .positional()
+        .first()
+        .ok_or("resume needs a journal file path")?;
+    let path = std::path::Path::new(path);
+    // Damage summary first, so the operator sees what the crash cost
+    // before the re-run starts.
+    let replayed = knock_talk::store::replay(path).map_err(|e| e.to_string())?;
+    let durability = knock_talk::analysis::report::DurabilityReport::from_replay(&replayed);
+    eprint!("{}", durability.render());
+    drop(replayed);
+    let study = Study::resume(path).map_err(|e| e.to_string())?;
+    match opts.get("id") {
+        Some(id) => {
+            let text = study
+                .experiment(id)
+                .ok_or_else(|| format!("unknown experiment id {id:?}"))?;
+            println!("{text}");
+        }
+        None => {
+            for (id, text) in study.all_experiments() {
+                println!("=== [{id}] ===\n{text}");
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `knocktalk fsck <journal.ktj> [--repair yes]`.
+pub fn fsck(opts: &Options) -> Result<(), String> {
+    let path = opts
+        .positional()
+        .first()
+        .ok_or("fsck needs a journal file path")?;
+    let repair = matches!(opts.get("repair"), Some("yes" | "true" | "1"));
+    let report = knock_talk::store::fsck(
+        std::path::Path::new(path),
+        FsckOptions {
+            repair,
+            ..FsckOptions::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "{path}: {} frames ({} visits, {} checkpoints)",
+        report.frames, report.visits, report.checkpoints
+    );
+    if report.clean() {
+        println!("  clean: every frame CRC-valid, tail complete, no duplicate or orphan records");
+        return Ok(());
+    }
+    println!(
+        "  damage: {} corrupt frame(s) / {} byte(s), torn tail: {} ({} tail byte(s))",
+        report.corrupt_frames, report.corrupt_bytes, report.truncated_tail, report.tail_bytes
+    );
+    println!(
+        "  records: {} duplicate final(s), {} orphan(s), {} missing vs checkpoints",
+        report.duplicate_finals, report.orphan_records, report.missing_records
+    );
+    match (&report.repaired_path, &report.quarantine_path) {
+        (Some(clean), Some(quarantine)) => {
+            println!(
+                "  repaired: clean journal rewritten in place ({}); {} damaged byte(s) quarantined to {}",
+                clean.display(),
+                report.quarantined_bytes,
+                quarantine.display()
+            );
+        }
+        (Some(clean), None) => {
+            println!(
+                "  repaired: clean journal rewritten in place ({})",
+                clean.display()
+            );
+        }
+        _ => println!("  run with --repair yes to quarantine damage and rewrite a clean journal"),
     }
     Ok(())
 }

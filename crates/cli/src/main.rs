@@ -2,8 +2,12 @@
 //!
 //! ```text
 //! knocktalk repro    [--scale quick|standard|paper] [--seed N] [--id T5]
+//!                    [--journal FILE] [--kill-frames N] [--kill-mode mid-frame|post-frame]
 //! knocktalk crawl    [--os windows|linux|mac] [--scale ...] [--seed N] [--save FILE]
-//! knocktalk analyze  <store.ktstore>
+//!                    [--journal FILE] [--kill-frames N] [--kill-mode mid-frame|post-frame]
+//! knocktalk resume   <study.ktj> [--id T5]
+//! knocktalk fsck     <journal.ktj> [--repair yes]
+//! knocktalk analyze  <store.ktstore|journal.ktj>
 //! knocktalk classify <netlog.json> [--loaded-at MS]
 //! knocktalk entropy  [--machines N] [--seed N]
 //! knocktalk health   [--scale quick|standard|paper] [--seed N]
@@ -38,6 +42,8 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "repro" => commands::repro(&opts),
         "crawl" => commands::crawl(&opts),
+        "resume" => commands::resume(&opts),
+        "fsck" => commands::fsck(&opts),
         "analyze" => commands::analyze(&opts),
         "classify" => commands::classify(&opts),
         "entropy" => commands::entropy(&opts),

@@ -1,12 +1,18 @@
 //! The full study: population → eight crawls → telemetry → analysis.
 
 use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
 
 use kt_analysis::detect::SiteLocalActivity;
 use kt_analysis::par::{analyze_crawl_par, CrawlAnalysis};
-use kt_crawler::{run_crawl, CrawlConfig, CrawlJob, CrawlStats};
+use kt_crawler::{
+    run_crawl_resumed, split_campaigns, CrawlConfig, CrawlJob, CrawlStats, ResumePlan,
+};
 use kt_netbase::Os;
-use kt_store::{CrawlId, TelemetryStore};
+use kt_store::{
+    replay, CheckpointFrame, CrawlId, JournalError, JournalMeta, JournalWriter, TelemetryStore,
+};
 use kt_webgen::{PopulationConfig, WebPopulation};
 
 /// Study configuration.
@@ -81,50 +87,166 @@ pub struct Study {
     pub analyses: BTreeMap<String, CrawlAnalysis>,
 }
 
+/// The job list of one campaign over a generated population.
+fn campaign_jobs<'a>(population: &'a WebPopulation, crawl: &CrawlId) -> Vec<CrawlJob<'a>> {
+    match crawl.as_str() {
+        "top2020" => population
+            .sites2020
+            .iter()
+            .map(|site| CrawlJob {
+                site,
+                malicious_category: None,
+            })
+            .collect(),
+        "top2021" => population
+            .sites2021
+            .iter()
+            .map(|site| CrawlJob {
+                site,
+                malicious_category: None,
+            })
+            .collect(),
+        _ => population
+            .malicious_sites
+            .iter()
+            .zip(&population.blocklist.entries)
+            .map(|(site, entry)| CrawlJob {
+                site,
+                malicious_category: Some(kt_analysis::report::category_code(entry.category)),
+            })
+            .collect(),
+    }
+}
+
 impl Study {
     /// Generate the population and run every campaign.
     pub fn run(config: StudyConfig) -> Study {
+        Study::run_journaled(config, None)
+    }
+
+    /// [`Study::run`] with an optional write-ahead journal: campaign
+    /// parameters are framed up front, every visit verdict as it
+    /// lands, and a checkpoint (completed domains + the exact merged
+    /// stats) after each `(crawl, OS)` campaign. If the journal's kill
+    /// switch fires mid-study the remaining campaigns are skipped —
+    /// the returned `Study` then describes a dead process's partial
+    /// world and exists only so test harnesses can drop it;
+    /// [`Study::resume`] is the real continuation.
+    pub fn run_journaled(config: StudyConfig, journal: Option<&JournalWriter>) -> Study {
+        if let Some(j) = journal {
+            j.append_meta(&JournalMeta {
+                seed: config.population.seed,
+                top_size: config.population.top_size as u64,
+                malicious_size: config.population.malicious_size as u64,
+                workers: config.workers as u64,
+            });
+        }
         let population = WebPopulation::generate(config.population);
         let store = TelemetryStore::new();
+        let stats = Study::run_campaigns(&config, &population, &store, journal, &BTreeMap::new());
+        if let Some(j) = journal {
+            j.sync();
+        }
+        Study::finish(config, population, store, stats)
+    }
+
+    /// Resume a crashed [`Study::run_journaled`] from its journal.
+    ///
+    /// Replays the surviving frames, regenerates the identical
+    /// deterministic population from the journaled parameters,
+    /// restores checkpointed campaigns verbatim, re-runs only the
+    /// missing visits of partial ones (appending to the same journal),
+    /// and recomputes the analyses. For outage-free configurations the
+    /// result — stats, store bytes, every table — is identical to the
+    /// run that never crashed.
+    pub fn resume(path: &Path) -> Result<Study, JournalError> {
+        let report = replay(path)?;
+        let meta = report.meta.ok_or_else(|| {
+            JournalError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "journal has no campaign-parameters frame (not a study journal)",
+            ))
+        })?;
+        let config = StudyConfig {
+            population: PopulationConfig {
+                seed: meta.seed,
+                top_size: meta.top_size as usize,
+                malicious_size: meta.malicious_size as usize,
+            },
+            workers: (meta.workers as usize).max(1),
+        };
+        let population = WebPopulation::generate(config.population);
+        let journal = JournalWriter::open_append(path)?;
+        let replayed = split_campaigns(&report.visits, &report.checkpoints);
+        // Frame-rebuilt resume plans per campaign; checkpointed
+        // campaigns restore their exact stats instead.
+        let store = report.store;
+        let stats = Study::run_campaigns(&config, &population, &store, Some(&journal), &replayed);
+        journal.sync();
+        Ok(Study::finish(config, population, store, stats))
+    }
+
+    /// Run (or resume) every campaign, checkpointing completions.
+    fn run_campaigns(
+        config: &StudyConfig,
+        population: &WebPopulation,
+        store: &TelemetryStore,
+        journal: Option<&JournalWriter>,
+        replayed: &BTreeMap<(String, String), kt_crawler::CampaignReplay>,
+    ) -> BTreeMap<(String, Os), CrawlStats> {
         let mut stats = BTreeMap::new();
         let seed = config.population.seed;
-        for (crawl, oses) in campaigns() {
-            let jobs: Vec<CrawlJob<'_>> = match crawl.as_str() {
-                "top2020" => population
-                    .sites2020
-                    .iter()
-                    .map(|site| CrawlJob {
-                        site,
-                        malicious_category: None,
-                    })
-                    .collect(),
-                "top2021" => population
-                    .sites2021
-                    .iter()
-                    .map(|site| CrawlJob {
-                        site,
-                        malicious_category: None,
-                    })
-                    .collect(),
-                _ => population
-                    .malicious_sites
-                    .iter()
-                    .zip(&population.blocklist.entries)
-                    .map(|(site, entry)| CrawlJob {
-                        site,
-                        malicious_category: Some(kt_analysis::report::category_code(
-                            entry.category,
-                        )),
-                    })
-                    .collect(),
-            };
+        'campaigns: for (crawl, oses) in campaigns() {
+            let jobs = campaign_jobs(population, &crawl);
             for os in oses {
+                if journal.is_some_and(|j| j.killed()) {
+                    break 'campaigns;
+                }
+                let key = (crawl.as_str().to_string(), os.name().to_string());
+                let campaign = replayed.get(&key);
+                if let Some(done) = campaign.and_then(|c| c.restored_stats()) {
+                    // The checkpoint *is* the campaign's merged tally,
+                    // makespan and connectivity included; its records
+                    // arrived with the replayed store. A checkpoint
+                    // that outlived a corrupted visit frame is not
+                    // restorable — those campaigns fall through to the
+                    // frame-level plan and re-run the lost sites.
+                    stats.insert((crawl.as_str().to_string(), os), done);
+                    continue;
+                }
+                let plan = campaign
+                    .map(|c| c.plan(&jobs))
+                    .unwrap_or_else(|| ResumePlan::fresh(jobs.len()));
                 let mut cfg = CrawlConfig::paper(crawl.clone(), os, seed);
                 cfg.workers = config.workers;
-                let s = run_crawl(&jobs, &cfg, &store);
+                let s = run_crawl_resumed(&jobs, &plan, &cfg, store, journal);
+                if let Some(j) = journal {
+                    if j.killed() {
+                        break 'campaigns;
+                    }
+                    j.append_checkpoint(&CheckpointFrame {
+                        crawl: crawl.as_str().to_string(),
+                        os: os.name().to_string(),
+                        completed: jobs
+                            .iter()
+                            .map(|job| job.site.domain.as_str().to_string())
+                            .collect(),
+                        stats: s.to_bytes(),
+                    });
+                }
                 stats.insert((crawl.as_str().to_string(), os), s);
             }
         }
+        stats
+    }
+
+    /// Analyse the store and assemble the `Study`.
+    fn finish(
+        config: StudyConfig,
+        population: WebPopulation,
+        store: TelemetryStore,
+        stats: BTreeMap<(String, Os), CrawlStats>,
+    ) -> Study {
         let analyses = campaigns()
             .into_iter()
             .map(|(crawl, _)| {
@@ -196,6 +318,50 @@ mod tests {
         let lan = sites.iter().filter(|s| s.has_lan()).count();
         assert_eq!(localhost, 107, "the paper's 107 localhost sites");
         assert_eq!(lan, 9, "the paper's 9 LAN sites");
+    }
+
+    #[test]
+    fn killed_study_resumes_to_identical_tables() {
+        use kt_store::{KillMode, KillSpec};
+
+        let config = StudyConfig::quick(7);
+        let baseline = Study::run(config);
+        let path = std::env::temp_dir().join(format!("kt-study-resume-{}.ktj", std::process::id()));
+        let journal = JournalWriter::create(&path).unwrap();
+        // Die mid-frame about a third of the way through the study —
+        // inside a campaign, past at least one checkpoint.
+        let kill_at = (baseline.store.len() as u64) / 3;
+        journal.set_kill(Some(KillSpec {
+            at_frame: kill_at,
+            mode: KillMode::MidFrame,
+        }));
+        let _ = Study::run_journaled(config, Some(&journal));
+        assert!(journal.killed(), "the study must die at frame {kill_at}");
+
+        let resumed = Study::resume(&path).unwrap();
+        assert_eq!(resumed.stats, baseline.stats, "per-campaign stats match");
+        for (crawl, _) in campaigns() {
+            assert_eq!(
+                resumed.store.crawl_records(&crawl),
+                baseline.store.crawl_records(&crawl),
+                "store records for {} match byte for byte",
+                crawl.as_str()
+            );
+        }
+        for id in ["T1", "T2", "T5"] {
+            assert_eq!(
+                resumed.experiment(id),
+                baseline.experiment(id),
+                "table {id} regenerates identically after resume"
+            );
+        }
+
+        // Resuming a *finished* journal is a pure checkpoint restore:
+        // nothing re-runs and the results still match.
+        let restored = Study::resume(&path).unwrap();
+        assert_eq!(restored.stats, baseline.stats);
+        assert_eq!(restored.store.len(), baseline.store.len());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -35,6 +35,7 @@ use kt_faults::{is_transient, Fault, FaultPlan, RetryPolicy, SalvagedVisit};
 use kt_netbase::Os;
 use kt_netlog::NetLogEvent;
 use kt_simnet::connectivity::{ConnectivityChecker, Outage};
+use kt_store::journal::{JournalWriter, FLAG_FINAL, FLAG_RECRAWL};
 use kt_store::{CrawlId, LoadOutcome, TelemetryStore, VisitRecord};
 use kt_webgen::WebSite;
 use std::cmp::Reverse;
@@ -44,6 +45,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::queue::{JobTicket, PendingInjector};
+use crate::resume::ResumePlan;
 use crate::stats::CrawlStats;
 
 /// One crawl work item.
@@ -127,27 +129,79 @@ pub fn run_crawl(
     config: &CrawlConfig,
     store: &TelemetryStore,
 ) -> CrawlStats {
-    let workers = config.workers.max(1).min(jobs.len().max(1));
-    let ticket = JobTicket::new(jobs.len());
+    run_crawl_journaled(jobs, config, store, None)
+}
+
+/// [`run_crawl`] with an optional write-ahead journal: each visit's
+/// terminal verdict is framed (record + stats delta) before the
+/// campaign moves on, so a crash loses at most the in-flight frame.
+/// Journalling never perturbs results — the store contents and stats
+/// of a journaled run are byte-identical to a plain one.
+///
+/// When the journal's kill switch fires (a [`kt_store::KillSpec`]
+/// boundary or an injected [`Fault::ProcessKill`]), workers stop
+/// claiming jobs and the returned stats describe an abandoned,
+/// partially-run campaign — the caller is simulating `kill -9` and
+/// should discard them in favour of `resume`.
+pub fn run_crawl_journaled(
+    jobs: &[CrawlJob<'_>],
+    config: &CrawlConfig,
+    store: &TelemetryStore,
+    journal: Option<&JournalWriter>,
+) -> CrawlStats {
+    run_crawl_resumed(jobs, &ResumePlan::fresh(jobs.len()), config, store, journal)
+}
+
+/// Run the remainder of a campaign whose earlier work survives in a
+/// journal. `plan` says which jobs are already done (their stats and
+/// scheduler costs carried in), which were parked for the recrawl
+/// pass, and which still need the worker pool. With
+/// [`ResumePlan::fresh`] this *is* the uninterrupted crawl.
+///
+/// Resumed results are byte-identical to an uninterrupted run for
+/// outage-free configurations: every visit outcome is a pure function
+/// of `(seed, domain, attempt)`, the makespan is a greedy replay over
+/// the full per-job cost vector (journaled costs for finished jobs,
+/// freshly-recorded ones for the rest), and the recrawl pass is
+/// domain-ordered either way.
+pub fn run_crawl_resumed(
+    jobs: &[CrawlJob<'_>],
+    plan: &ResumePlan,
+    config: &CrawlConfig,
+    store: &TelemetryStore,
+    journal: Option<&JournalWriter>,
+) -> CrawlStats {
+    // The schedule replays over the *full* job vector whatever subset
+    // actually re-runs, so the worker count it uses must be the one
+    // the uninterrupted campaign would have had.
+    let sched_workers = config.workers.max(1).min(jobs.len().max(1));
+    let pool_workers = config.workers.max(1).min(plan.todo.len().max(1));
+    let ticket = JobTicket::new(plan.todo.len());
     let injector = PendingInjector::new(jobs.len());
     let costs: Vec<AtomicU64> = (0..jobs.len()).map(|_| AtomicU64::new(0)).collect();
-    let mut stats = CrawlStats::new();
+    for &(i, cost) in &plan.prior_costs {
+        costs[i].store(cost, Ordering::Relaxed);
+    }
+    let mut stats = plan.prior.clone();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
+        let handles: Vec<_> = (0..pool_workers)
             .map(|w| {
                 let ticket = &ticket;
                 let injector = &injector;
                 let costs = costs.as_slice();
+                let todo = plan.todo.as_slice();
                 scope.spawn(move || {
                     crawl_worker(
                         jobs,
+                        todo,
                         ticket,
                         injector,
                         costs,
                         config,
                         store,
+                        journal,
                         w as u64,
-                        workers as u64,
+                        pool_workers as u64,
                     )
                 })
             })
@@ -165,9 +219,11 @@ pub fn run_crawl(
     // otherwise leak into the claimed-job layout. Replaying the greedy
     // earliest-free-worker schedule over the recorded per-job costs
     // recovers the deterministic duration a real campaign would take.
-    stats.makespan_ms = greedy_makespan(&costs, workers as u64);
+    stats.makespan_ms = greedy_makespan(&costs, sched_workers as u64);
     let mut queue = injector.drain();
-    if !queue.is_empty() {
+    queue.extend(plan.preparked.iter().copied());
+    let dying = journal.is_some_and(|j| j.killed());
+    if !queue.is_empty() && !dying {
         // Sorted by domain so the pass is independent of which worker
         // originally parked each site.
         queue.sort_by(|a, b| {
@@ -177,8 +233,10 @@ pub fn run_crawl(
                 .as_str()
                 .cmp(jobs[*b].site.domain.as_str())
         });
-        recrawl_pass(jobs, &queue, config, store, &mut stats);
+        recrawl_pass(jobs, &queue, config, store, &mut stats, journal);
     }
+    // Recrawl wall-clock already journaled by the crashed run.
+    stats.makespan_ms += plan.prior_recrawl_wall_ms;
     stats
 }
 
@@ -205,6 +263,7 @@ pub fn run_crawl_chunked(
                 let base = w * chunk_size;
                 // A chunk is just a pre-claimed ticket range; reuse
                 // the worker loop via a ticket covering the chunk.
+                let order: Vec<usize> = (0..chunk.len()).collect();
                 let ticket = JobTicket::new(chunk.len());
                 let injector = PendingInjector::new(chunk.len());
                 // With a static assignment the worker's own
@@ -213,11 +272,13 @@ pub fn run_crawl_chunked(
                 let costs: Vec<AtomicU64> = (0..chunk.len()).map(|_| AtomicU64::new(0)).collect();
                 let stats = crawl_worker(
                     chunk,
+                    &order,
                     &ticket,
                     &injector,
                     &costs,
                     &config,
                     store,
+                    None,
                     w as u64,
                     workers as u64,
                 );
@@ -239,7 +300,7 @@ pub fn run_crawl_chunked(
                 .as_str()
                 .cmp(jobs[*b].site.domain.as_str())
         });
-        recrawl_pass(jobs, &queue, config, store, &mut stats);
+        recrawl_pass(jobs, &queue, config, store, &mut stats, None);
     }
     stats
 }
@@ -315,28 +376,16 @@ fn attempt_visit(
     }
 }
 
-/// Append one visit record, retrying once when the fault plan injects
-/// a store-append failure (the retry, like a real fsync hiccup's,
-/// succeeds).
-#[allow(clippy::too_many_arguments)]
-fn append_record(
-    store: &TelemetryStore,
-    stats: &mut CrawlStats,
+/// Build one visit's telemetry record.
+fn make_record(
     config: &CrawlConfig,
     job: &CrawlJob<'_>,
     domain: String,
     outcome: LoadOutcome,
     loaded_at_ms: u64,
     events: Vec<NetLogEvent>,
-    attempt: u32,
-) {
-    if config
-        .faults
-        .injects(Fault::StoreAppendFailure, &domain, attempt)
-    {
-        stats.store_retries += 1;
-    }
-    store.append(&VisitRecord {
+) -> VisitRecord {
+    VisitRecord {
         crawl: config.crawl.clone(),
         domain,
         rank: job.site.rank,
@@ -345,7 +394,54 @@ fn append_record(
         outcome,
         loaded_at_ms,
         events,
-    });
+    }
+}
+
+/// Append one visit record, retrying once when the fault plan injects
+/// a store-append failure (the retry, like a real fsync hiccup's,
+/// succeeds).
+fn append_record(
+    store: &TelemetryStore,
+    stats: &mut CrawlStats,
+    config: &CrawlConfig,
+    record: &VisitRecord,
+    attempt: u32,
+) {
+    if config
+        .faults
+        .injects(Fault::StoreAppendFailure, &record.domain, attempt)
+    {
+        stats.store_retries += 1;
+    }
+    store.append(record);
+}
+
+/// Frame one visit's terminal verdict in the write-ahead journal:
+/// the full record plus the stats delta accumulated since `before`
+/// (the snapshot taken when the job was claimed). Called *after* the
+/// stats mutations and store append of the terminal arm, so the delta
+/// captures everything the visit contributed — including retries and
+/// store-append retries. A [`Fault::ProcessKill`] drawn for this
+/// `(domain, attempt)` tears the frame mid-write and latches the
+/// journal's kill switch, exactly like power loss under the writer.
+#[allow(clippy::too_many_arguments)]
+fn journal_visit(
+    journal: Option<&JournalWriter>,
+    config: &CrawlConfig,
+    stats: &CrawlStats,
+    before: &CrawlStats,
+    record: &VisitRecord,
+    cost_ms: u64,
+    flags: u8,
+    attempt: u32,
+) {
+    if let Some(journal) = journal {
+        let delta = stats.delta_since(before, cost_ms);
+        let kill = config
+            .faults
+            .injects(Fault::ProcessKill, &record.domain, attempt);
+        journal.append_visit(record, &delta, flags, kill);
+    }
 }
 
 /// One worker's loop: claim jobs off the shared ticket until the queue
@@ -357,11 +453,13 @@ fn append_record(
 #[allow(clippy::too_many_arguments)]
 fn crawl_worker(
     jobs: &[CrawlJob<'_>],
+    order: &[usize],
     ticket: &JobTicket,
     injector: &PendingInjector,
     costs: &[AtomicU64],
     config: &CrawlConfig,
     store: &TelemetryStore,
+    journal: Option<&JournalWriter>,
     worker_id: u64,
     workers: u64,
 ) -> CrawlStats {
@@ -376,9 +474,19 @@ fn crawl_worker(
     // outage accounting independent of claim races — worker 0's ping
     // at wall zero happens whether or not it wins a single job.
     wait_online(&mut checker, &mut wall_ms, &mut stats);
-    while let Some(i) = ticket.claim() {
+    while let Some(t) = ticket.claim() {
+        // The process "died" mid-frame: stop claiming. Peers observe
+        // the same latch; the campaign is abandoned for `resume`.
+        if journal.is_some_and(|j| j.killed()) {
+            break;
+        }
+        let i = order[t];
         let job = &jobs[i];
         let job_start_ms = wall_ms;
+        // Snapshot for the journal's per-visit stats delta: everything
+        // this job adds to the tally lands between here and its
+        // terminal arm.
+        let before = stats.clone();
         // A per-site world — its own DNS cache and latency stream,
         // like a dedicated VM — built once per job and reused across
         // that job's retries. Site fates are installed from (domain,
@@ -395,15 +503,23 @@ fn crawl_worker(
                     // Quarantine immediately: a crash is a measurement
                     // artifact, not a website failure — no retries.
                     stats.record_crash();
-                    append_record(
-                        store,
-                        &mut stats,
+                    let record = make_record(
                         config,
                         job,
                         job.site.domain.as_str().to_string(),
                         LoadOutcome::Crashed,
                         0,
                         events,
+                    );
+                    append_record(store, &mut stats, config, &record, attempt);
+                    journal_visit(
+                        journal,
+                        config,
+                        &stats,
+                        &before,
+                        &record,
+                        wall_ms - job_start_ms,
+                        FLAG_FINAL,
                         attempt,
                     );
                     break;
@@ -413,15 +529,17 @@ fn crawl_worker(
                     if attempt > 0 {
                         stats.recovered += 1;
                     }
-                    append_record(
-                        store,
-                        &mut stats,
+                    let record =
+                        make_record(config, job, domain, LoadOutcome::Success, at_ms, events);
+                    append_record(store, &mut stats, config, &record, attempt);
+                    journal_visit(
+                        journal,
                         config,
-                        job,
-                        domain,
-                        LoadOutcome::Success,
-                        at_ms,
-                        events,
+                        &stats,
+                        &before,
+                        &record,
+                        wall_ms - job_start_ms,
+                        FLAG_FINAL,
                         attempt,
                     );
                     break;
@@ -434,25 +552,31 @@ fn crawl_worker(
                         attempt += 1;
                         continue;
                     }
-                    append_record(
-                        store,
-                        &mut stats,
+                    let record =
+                        make_record(config, job, domain, LoadOutcome::Error(err), 0, events);
+                    append_record(store, &mut stats, config, &record, attempt);
+                    let parked = transient && config.retry.recrawl;
+                    if !parked {
+                        stats.record_failure(err);
+                    }
+                    // A parked site's frame is non-final (flags 0):
+                    // resume sends it straight to the recrawl queue.
+                    journal_visit(
+                        journal,
                         config,
-                        job,
-                        domain,
-                        LoadOutcome::Error(err),
-                        0,
-                        events,
+                        &stats,
+                        &before,
+                        &record,
+                        wall_ms - job_start_ms,
+                        if parked { 0 } else { FLAG_FINAL },
                         attempt,
                     );
-                    if transient && config.retry.recrawl {
+                    if parked {
                         // Verdict deferred: the recrawl pass decides
                         // whether this becomes a Table 1 error. The
                         // failure record above stands until (unless)
                         // that pass overwrites it.
                         injector.push(i);
-                    } else {
-                        stats.record_failure(err);
                     }
                     break;
                 }
@@ -481,6 +605,7 @@ fn recrawl_pass(
     config: &CrawlConfig,
     store: &TelemetryStore,
     stats: &mut CrawlStats,
+    journal: Option<&JournalWriter>,
 ) {
     let sites: Vec<WebSite> = queue.iter().map(|&i| jobs[i].site.clone()).collect();
     let mut world = World::build(&sites, config.os, config.seed);
@@ -490,57 +615,53 @@ fn recrawl_pass(
     // fresh fault/backoff draw past the in-place attempts.
     let attempt = config.retry.max_attempts;
     for &index in queue {
+        if journal.is_some_and(|j| j.killed()) {
+            break;
+        }
         let job = &jobs[index];
+        let before = stats.clone();
         stats.recrawled += 1;
         wait_online(&mut checker, &mut wall_ms, stats);
-        match attempt_visit(&mut world, config, job.site, attempt) {
+        let record = match attempt_visit(&mut world, config, job.site, attempt) {
             AttemptEnd::Crashed(events) => {
                 stats.record_crash();
-                append_record(
-                    store,
-                    stats,
+                make_record(
                     config,
                     job,
                     job.site.domain.as_str().to_string(),
                     LoadOutcome::Crashed,
                     0,
                     events,
-                    attempt,
-                );
+                )
             }
             AttemptEnd::Outcome(PageLoadOutcome::Loaded { at_ms }, domain, events) => {
                 stats.record_success();
                 stats.recovered += 1;
                 // Overwrites the pass-one failure record: the store is
                 // last-write-wins per (crawl, domain, os).
-                append_record(
-                    store,
-                    stats,
-                    config,
-                    job,
-                    domain,
-                    LoadOutcome::Success,
-                    at_ms,
-                    events,
-                    attempt,
-                );
+                make_record(config, job, domain, LoadOutcome::Success, at_ms, events)
             }
             AttemptEnd::Outcome(PageLoadOutcome::Failed(err), domain, events) => {
                 stats.record_failure(err);
                 stats.gave_up += 1;
-                append_record(
-                    store,
-                    stats,
-                    config,
-                    job,
-                    domain,
-                    LoadOutcome::Error(err),
-                    0,
-                    events,
-                    attempt,
-                );
+                make_record(config, job, domain, LoadOutcome::Error(err), 0, events)
             }
-        }
+        };
+        append_record(store, stats, config, &record, attempt);
+        // Each recrawl visit costs exactly one wall slot (the pass is
+        // serial and outage waits are schedule-, not site-, owned), so
+        // the journaled cost is the constant — resume adds one slot
+        // back per surviving recrawl frame.
+        journal_visit(
+            journal,
+            config,
+            stats,
+            &before,
+            &record,
+            VISIT_WALL_MS,
+            FLAG_FINAL | FLAG_RECRAWL,
+            attempt,
+        );
         wall_ms += VISIT_WALL_MS;
     }
     // The recrawl is a serial coda after the parallel phase: it
@@ -974,5 +1095,164 @@ mod tests {
         let stats = run_crawl(&[], &config, &store);
         assert_eq!(stats.attempted, 0);
         assert!(store.is_empty());
+    }
+
+    // ---- write-ahead journal integration ----
+
+    use crate::resume::split_campaigns;
+    use kt_store::journal::{replay, JournalWriter, KillMode, KillSpec};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "kt-crawl-journal-{name}-{}.ktj",
+            std::process::id()
+        ))
+    }
+
+    /// A fault plan that exercises retries, recrawls, quarantines, and
+    /// store-append retries all at once.
+    fn stormy_plan(seed: u64) -> FaultPlan {
+        FaultPlan::none(seed)
+            .with_rate(Fault::DnsFlap, 0.2)
+            .with_rate(Fault::ConnectionReset, 0.25)
+            .with_rate(Fault::WorkerPanic, 0.1)
+            .with_rate(Fault::StoreAppendFailure, 0.15)
+    }
+
+    #[test]
+    fn journaling_never_perturbs_results_and_replay_rebuilds_the_run() {
+        let population = sites(24);
+        let mut config = CrawlConfig::paper(CrawlId::top2020(), Os::Windows, 7);
+        config.faults = stormy_plan(7);
+        let baseline_store = TelemetryStore::new();
+        let baseline = run_crawl(&jobs(&population), &config, &baseline_store);
+
+        let path = tmp("no-perturb");
+        let journal = JournalWriter::create(&path).unwrap();
+        let live_store = TelemetryStore::new();
+        let live = run_crawl_journaled(&jobs(&population), &config, &live_store, Some(&journal));
+        journal.sync();
+        assert!(!journal.killed());
+        assert_eq!(live, baseline, "journalling must not perturb stats");
+        assert_eq!(
+            live_store.crawl_records(&CrawlId::top2020()),
+            baseline_store.crawl_records(&CrawlId::top2020()),
+        );
+
+        // The journal alone rebuilds the store and (modulo the
+        // schedule-owned fields) the whole tally.
+        let report = replay(&path).unwrap();
+        assert_eq!(report.corrupt_frames, 0);
+        assert!(!report.truncated_tail);
+        assert_eq!(
+            report.store.crawl_records(&CrawlId::top2020()),
+            baseline_store.crawl_records(&CrawlId::top2020()),
+        );
+        let campaigns = split_campaigns(&report.visits, &report.checkpoints);
+        let key = ("top2020".to_string(), "Windows".to_string());
+        let plan = campaigns[&key].plan(&jobs(&population));
+        assert!(plan.nothing_to_run(), "every job has a final frame");
+        let mut rebuilt = plan.prior.clone();
+        rebuilt.makespan_ms = baseline.makespan_ms;
+        assert_eq!(rebuilt, baseline, "deltas rebuild the Table 1 tally");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn kill_at_any_frame_then_resume_reproduces_the_uninterrupted_run() {
+        let population = sites(18);
+        let mut config = CrawlConfig::paper(CrawlId::top2020(), Os::Linux, 11);
+        config.faults = stormy_plan(11);
+        let baseline_store = TelemetryStore::new();
+        let baseline = run_crawl(&jobs(&population), &config, &baseline_store);
+        let baseline_records = baseline_store.crawl_records(&CrawlId::top2020());
+        let key = ("top2020".to_string(), "Linux".to_string());
+
+        for at_frame in [0, 2, 5, 9, 14] {
+            for mode in [KillMode::MidFrame, KillMode::PostFrame] {
+                let path = tmp(&format!("kill-{at_frame}-{mode:?}"));
+                let journal = JournalWriter::create(&path).unwrap();
+                journal.set_kill(Some(KillSpec { at_frame, mode }));
+                let dying_store = TelemetryStore::new();
+                let _ =
+                    run_crawl_journaled(&jobs(&population), &config, &dying_store, Some(&journal));
+                assert!(journal.killed(), "frame {at_frame} must be reached");
+
+                // Recovery: replay what survived, plan the remainder,
+                // and run it on top of the replayed store.
+                let report = replay(&path).unwrap();
+                let campaigns = split_campaigns(&report.visits, &report.checkpoints);
+                let plan = campaigns
+                    .get(&key)
+                    .map(|c| c.plan(&jobs(&population)))
+                    .unwrap_or_else(|| ResumePlan::fresh(population.len()));
+                let resumed_journal = JournalWriter::open_append(&path).unwrap();
+                let resumed = run_crawl_resumed(
+                    &jobs(&population),
+                    &plan,
+                    &config,
+                    &report.store,
+                    Some(&resumed_journal),
+                );
+                assert_eq!(
+                    resumed, baseline,
+                    "kill@{at_frame}/{mode:?}: stats must match, makespan included"
+                );
+                assert_eq!(
+                    report.store.crawl_records(&CrawlId::top2020()),
+                    baseline_records,
+                    "kill@{at_frame}/{mode:?}: store must match byte for byte"
+                );
+                std::fs::remove_file(&path).ok();
+            }
+        }
+    }
+
+    #[test]
+    fn injected_process_kill_tears_the_journal_and_resume_recovers() {
+        let population = sites(12);
+        let mut config = CrawlConfig::paper(CrawlId::top2020(), Os::MacOs, 23);
+        // The kill draw rides along with ordinary faults; the plain
+        // baseline carries the same plan (ProcessKill only fires when
+        // a journal is attached, like power loss needs a power cord).
+        config.faults = stormy_plan(23).with_rate(Fault::ProcessKill, 0.15);
+        let baseline_store = TelemetryStore::new();
+        let baseline = run_crawl(&jobs(&population), &config, &baseline_store);
+
+        let path = tmp("process-kill");
+        let journal = JournalWriter::create(&path).unwrap();
+        let dying_store = TelemetryStore::new();
+        let _ = run_crawl_journaled(&jobs(&population), &config, &dying_store, Some(&journal));
+        assert!(
+            journal.killed(),
+            "a 15% per-visit kill rate over 12 sites must fire"
+        );
+
+        // Resume without re-arming the kill: a real power loss does
+        // not deterministically recur at the same visit.
+        let mut resume_config = config.clone();
+        resume_config.faults = stormy_plan(23);
+        let report = replay(&path).unwrap();
+        assert!(report.truncated_tail, "the kill tears a frame mid-write");
+        let campaigns = split_campaigns(&report.visits, &report.checkpoints);
+        let key = ("top2020".to_string(), "Mac".to_string());
+        let plan = campaigns
+            .get(&key)
+            .map(|c| c.plan(&jobs(&population)))
+            .unwrap_or_else(|| ResumePlan::fresh(population.len()));
+        let resumed_journal = JournalWriter::open_append(&path).unwrap();
+        let resumed = run_crawl_resumed(
+            &jobs(&population),
+            &plan,
+            &resume_config,
+            &report.store,
+            Some(&resumed_journal),
+        );
+        assert_eq!(resumed, baseline);
+        assert_eq!(
+            report.store.crawl_records(&CrawlId::top2020()),
+            baseline_store.crawl_records(&CrawlId::top2020()),
+        );
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -18,9 +18,13 @@
 
 pub mod crawl;
 pub mod queue;
+pub mod resume;
 pub mod stats;
 pub mod vantage;
 
-pub use crawl::{run_crawl, run_crawl_chunked, CrawlConfig, CrawlJob};
+pub use crawl::{
+    run_crawl, run_crawl_chunked, run_crawl_journaled, run_crawl_resumed, CrawlConfig, CrawlJob,
+};
+pub use resume::{split_campaigns, CampaignReplay, ResumePlan};
 pub use stats::CrawlStats;
 pub use vantage::{CrawlVantage, NetworkVantage};

@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 
 use kt_netlog::NetError;
+use kt_store::journal::VisitDelta;
 use serde::{Deserialize, Serialize};
 
 /// Accumulated load outcomes for one crawl.
@@ -105,6 +106,115 @@ impl CrawlStats {
     /// Count of one failure class.
     pub fn failure_count(&self, err: NetError) -> usize {
         self.failures.get(&err).copied().unwrap_or(0)
+    }
+
+    /// The tally's contribution since `before` (a snapshot cloned at
+    /// job start), as a journal-ready [`VisitDelta`]. Connectivity
+    /// retries and the makespan are deliberately absent: both measure
+    /// the *schedule*, not the site, and the resume path reconstructs
+    /// them (zero without outages; greedy replay over journaled costs).
+    pub fn delta_since(&self, before: &CrawlStats, cost_ms: u64) -> VisitDelta {
+        let mut failures = Vec::new();
+        for (err, n) in &self.failures {
+            let prior = before.failures.get(err).copied().unwrap_or(0);
+            if *n > prior {
+                failures.push((err.code() as i64, (*n - prior) as u64));
+            }
+        }
+        VisitDelta {
+            cost_ms,
+            attempted: (self.attempted - before.attempted) as u64,
+            successful: (self.successful - before.successful) as u64,
+            retries: (self.retries - before.retries) as u64,
+            recrawled: (self.recrawled - before.recrawled) as u64,
+            recovered: (self.recovered - before.recovered) as u64,
+            gave_up: (self.gave_up - before.gave_up) as u64,
+            crashed: (self.crashed - before.crashed) as u64,
+            store_retries: (self.store_retries - before.store_retries) as u64,
+            failures,
+        }
+    }
+
+    /// Fold a journaled delta back into the tally (the inverse of
+    /// [`CrawlStats::delta_since`], used when resuming from a journal).
+    pub fn apply_delta(&mut self, delta: &VisitDelta) {
+        self.attempted += delta.attempted as usize;
+        self.successful += delta.successful as usize;
+        self.retries += delta.retries as usize;
+        self.recrawled += delta.recrawled as usize;
+        self.recovered += delta.recovered as usize;
+        self.gave_up += delta.gave_up as usize;
+        self.crashed += delta.crashed as usize;
+        self.store_retries += delta.store_retries as usize;
+        for &(code, count) in &delta.failures {
+            if let Some(err) = NetError::from_code(code as i32) {
+                *self.failures.entry(err).or_default() += count as usize;
+            }
+        }
+    }
+
+    /// Compact binary encoding for checkpoint frames. The vendored
+    /// serde shim cannot round-trip the enum-keyed failure map through
+    /// JSON, and the journal should not depend on it anyway: fixed
+    /// little-endian u64 fields in declaration order, then
+    /// `(i64 code, u64 count)` failure pairs.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(11 * 8 + self.failures.len() * 16);
+        for v in [
+            self.attempted,
+            self.successful,
+            self.connectivity_retries,
+            self.retries,
+            self.recrawled,
+            self.recovered,
+            self.gave_up,
+            self.crashed,
+            self.store_retries,
+        ] {
+            out.extend_from_slice(&(v as u64).to_le_bytes());
+        }
+        out.extend_from_slice(&self.makespan_ms.to_le_bytes());
+        out.extend_from_slice(&(self.failures.len() as u64).to_le_bytes());
+        for (err, n) in &self.failures {
+            out.extend_from_slice(&(err.code() as i64).to_le_bytes());
+            out.extend_from_slice(&(*n as u64).to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode [`CrawlStats::to_bytes`]. `None` on malformed input
+    /// (wrong length, unknown error code) — the checkpoint is then
+    /// treated as absent and the campaign replayed from visit frames.
+    pub fn from_bytes(bytes: &[u8]) -> Option<CrawlStats> {
+        let word = |i: usize| -> Option<u64> {
+            bytes
+                .get(i * 8..i * 8 + 8)
+                .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+        };
+        let n_failures = word(10)? as usize;
+        if bytes.len() != 11 * 8 + n_failures * 16 {
+            return None;
+        }
+        let mut stats = CrawlStats {
+            attempted: word(0)? as usize,
+            successful: word(1)? as usize,
+            connectivity_retries: word(2)? as usize,
+            retries: word(3)? as usize,
+            recrawled: word(4)? as usize,
+            recovered: word(5)? as usize,
+            gave_up: word(6)? as usize,
+            crashed: word(7)? as usize,
+            store_retries: word(8)? as usize,
+            makespan_ms: word(9)?,
+            failures: BTreeMap::new(),
+        };
+        for k in 0..n_failures {
+            let code = word(11 + 2 * k)? as i64;
+            let count = word(12 + 2 * k)? as usize;
+            let err = NetError::from_code(code as i32)?;
+            *stats.failures.entry(err).or_default() += count;
+        }
+        Some(stats)
     }
 
     /// Table 1's error columns: `NAME_NOT_RESOLVED`, `CONN_REFUSED`,
@@ -224,6 +334,70 @@ mod tests {
         assert_eq!(a.makespan_ms, 126_000, "concurrent workers: max, not sum");
         a.merge(&CrawlStats::default());
         assert_eq!(a.makespan_ms, 126_000);
+    }
+
+    #[test]
+    fn binary_codec_round_trips() {
+        let mut s = CrawlStats {
+            attempted: 100,
+            successful: 90,
+            connectivity_retries: 3,
+            retries: 7,
+            recrawled: 4,
+            recovered: 2,
+            gave_up: 2,
+            crashed: 1,
+            store_retries: 5,
+            makespan_ms: 1_234_567,
+            ..CrawlStats::default()
+        };
+        s.failures.insert(NetError::NameNotResolved, 6);
+        s.failures.insert(NetError::ConnectionReset, 3);
+        let bytes = s.to_bytes();
+        assert_eq!(CrawlStats::from_bytes(&bytes), Some(s));
+        assert_eq!(
+            CrawlStats::from_bytes(&CrawlStats::default().to_bytes()),
+            Some(CrawlStats::default())
+        );
+    }
+
+    #[test]
+    fn binary_codec_rejects_malformed_blobs() {
+        let bytes = CrawlStats::default().to_bytes();
+        assert_eq!(CrawlStats::from_bytes(&bytes[..bytes.len() - 1]), None);
+        assert_eq!(CrawlStats::from_bytes(&[]), None);
+        let mut s = CrawlStats::default();
+        s.failures.insert(NetError::TimedOut, 1);
+        let mut bytes = s.to_bytes();
+        // Unknown error code → reject, don't guess.
+        bytes[88..96].copy_from_slice(&(-99999i64).to_le_bytes());
+        assert_eq!(CrawlStats::from_bytes(&bytes), None);
+    }
+
+    #[test]
+    fn delta_round_trips_through_apply() {
+        let mut before = CrawlStats::new();
+        before.record_success();
+        before.record_failure(NetError::TimedOut);
+        let mut after = before.clone();
+        after.record_success();
+        after.record_failure(NetError::ConnectionReset);
+        after.record_failure(NetError::TimedOut);
+        after.retries += 2;
+        after.store_retries += 1;
+        let delta = after.delta_since(&before, 21_000);
+        assert_eq!(delta.cost_ms, 21_000);
+        assert_eq!(delta.attempted, 3);
+        assert_eq!(delta.successful, 1);
+        assert_eq!(delta.retries, 2);
+        assert_eq!(delta.failures.len(), 2);
+        let mut rebuilt = before.clone();
+        rebuilt.apply_delta(&delta);
+        // Everything except the schedule-owned fields must match.
+        assert_eq!(rebuilt.attempted, after.attempted);
+        assert_eq!(rebuilt.failures, after.failures);
+        assert_eq!(rebuilt.retries, after.retries);
+        assert_eq!(rebuilt.store_retries, after.store_retries);
     }
 
     #[test]

@@ -26,16 +26,23 @@ pub enum Fault {
     /// The visit panics mid-flight, taking the worker with it unless
     /// the supervisor isolates it.
     WorkerPanic,
+    /// The whole crawl process dies (`kill -9`, OOM, power loss) while
+    /// journaling this visit — a torn frame on disk, nothing after it.
+    /// Unlike the other faults this one is not survivable in-process;
+    /// it exists so crash-consistency tests can place a deterministic
+    /// kill at a chosen visit and assert that `resume` recovers.
+    ProcessKill,
 }
 
 impl Fault {
     /// Every fault class, in a fixed order.
-    pub const ALL: [Fault; 5] = [
+    pub const ALL: [Fault; 6] = [
         Fault::DnsFlap,
         Fault::ConnectionReset,
         Fault::TruncatedCapture,
         Fault::StoreAppendFailure,
         Fault::WorkerPanic,
+        Fault::ProcessKill,
     ];
 
     /// Stable label (part of the RNG key — never reword).
@@ -46,6 +53,7 @@ impl Fault {
             Fault::TruncatedCapture => "truncated-capture",
             Fault::StoreAppendFailure => "store-append",
             Fault::WorkerPanic => "worker-panic",
+            Fault::ProcessKill => "process-kill",
         }
     }
 
@@ -56,6 +64,7 @@ impl Fault {
             Fault::TruncatedCapture => 2,
             Fault::StoreAppendFailure => 3,
             Fault::WorkerPanic => 4,
+            Fault::ProcessKill => 5,
         }
     }
 }
@@ -65,11 +74,11 @@ impl Fault {
 pub struct FaultPlan {
     seed: u64,
     /// Independent Bernoulli rate per fault class.
-    rates: [f64; 5],
+    rates: [f64; 6],
     /// Deterministic override: inject the fault on the first N
     /// attempts of *every* site, regardless of rate. Lets tests pin
     /// down exact retry/recrawl trajectories.
-    first_attempts: [u32; 5],
+    first_attempts: [u32; 6],
 }
 
 impl FaultPlan {
@@ -77,8 +86,8 @@ impl FaultPlan {
     pub fn none(seed: u64) -> FaultPlan {
         FaultPlan {
             seed,
-            rates: [0.0; 5],
-            first_attempts: [0; 5],
+            rates: [0.0; 6],
+            first_attempts: [0; 6],
         }
     }
 
@@ -226,6 +235,27 @@ mod tests {
             assert!(plan.injects(Fault::ConnectionReset, domain, 1));
             assert!(!plan.injects(Fault::ConnectionReset, domain, 2));
         }
+    }
+
+    #[test]
+    fn process_kill_is_keyed_like_every_other_fault() {
+        // The crash injector must be a first-class plan member:
+        // deterministic per (seed, domain, attempt), pinnable via
+        // first_attempts, and absent from clean plans.
+        let plan = FaultPlan::none(11).with_rate(Fault::ProcessKill, 0.5);
+        let d = "victim.example";
+        assert_eq!(
+            plan.injects(Fault::ProcessKill, d, 0),
+            plan.injects(Fault::ProcessKill, d, 0)
+        );
+        let hits = (0..1000)
+            .filter(|i| plan.injects(Fault::ProcessKill, &format!("k{i}.example"), 0))
+            .count();
+        assert!((350..650).contains(&hits), "{hits}");
+        let pinned = FaultPlan::none(11).with_first_attempts(Fault::ProcessKill, 1);
+        assert!(pinned.injects(Fault::ProcessKill, d, 0));
+        assert!(!pinned.injects(Fault::ProcessKill, d, 1));
+        assert!(!FaultPlan::none(11).injects(Fault::ProcessKill, d, 0));
     }
 
     #[test]

@@ -54,7 +54,7 @@ impl std::error::Error for CodecError {}
 const MAGIC: u16 = 0x4B54; // "KT"
 const VERSION: u8 = 1;
 
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
+pub(crate) fn put_varint(buf: &mut BytesMut, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -66,7 +66,7 @@ fn put_varint(buf: &mut BytesMut, mut v: u64) {
     }
 }
 
-fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
+pub(crate) fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
     let mut v = 0u64;
     let mut shift = 0;
     loop {
@@ -117,11 +117,11 @@ fn os_from(code: u8) -> Result<Os, CodecError> {
 }
 
 /// Zig-zag encoding for the signed net-error codes.
-fn zigzag(v: i64) -> u64 {
+pub(crate) fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }
 
-fn unzigzag(v: u64) -> i64 {
+pub(crate) fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 

@@ -1,0 +1,1473 @@
+//! `KTSTORE2`: the crash-safe campaign journal (write-ahead log).
+//!
+//! The PR-1/PR-2 pipeline only persisted a whole-store snapshot at
+//! end-of-campaign, so a process kill at hour N lost every visit since
+//! launch. The journal inverts that: workers append one checksummed
+//! frame per *finished* visit as the campaign runs, the supervisor
+//! appends a checkpoint frame per completed `(crawl, os)` campaign, and
+//! a killed run resumes by replaying the journal and crawling only what
+//! is missing.
+//!
+//! ```text
+//! file  = magic(8B = "KTSTORE2") frame*
+//! frame = sync(2B = F5 4B) kind(u8) len(u32 LE) payload[len] crc(u32 LE)
+//!         crc = CRC-32/IEEE over kind ‖ len ‖ payload
+//! kinds : 1 VISIT   flags, stats delta, codec-encoded VisitRecord
+//!         2 CHECKPOINT (crawl, os) done: completed domains + stats blob
+//!         3 FLUSH   durability marker: fsync happened right after
+//!         4 META    campaign parameters (seed, sizes) for resume
+//! ```
+//!
+//! Recovery properties, in decreasing order of strength:
+//!
+//! * **Torn tail** (the common crash shape): the scanner loads every
+//!   complete frame and truncation repair cuts the partial one.
+//! * **Interior corruption** (bit rot, overwrite): the per-frame CRC
+//!   rejects the damaged frame and the scanner *resyncs* — scans
+//!   forward for the next `F5 4B` that starts a CRC-valid frame — so
+//!   one bad frame never swallows the rest of the file.
+//! * **Duplicate frames** (crash after journal append, before
+//!   checkpoint; or a re-run visit after resume): replay dedupes on
+//!   visit identity `(crawl, domain, os)`, last write wins, exactly
+//!   like `TelemetryStore::append`.
+//!
+//! Crash points are *injectable*: a [`KillSpec`] makes the writer stop
+//! mid-frame or post-frame at a chosen frame index, simulating a
+//! `kill -9` at every interesting byte boundary without forking real
+//! processes. `kt-faults` drives the same mechanism per-visit via
+//! `Fault::ProcessKill`.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use crate::codec::{self, decode, encode};
+use crate::record::VisitRecord;
+use crate::store::TelemetryStore;
+
+/// File magic for journals (snapshots are `KTSTORE1`).
+pub const JOURNAL_MAGIC: &[u8; 8] = b"KTSTORE2";
+
+/// Frame sync marker: resync scans look for this pair.
+pub const SYNC: [u8; 2] = [0xF5, 0x4B];
+
+/// Upper bound on one frame's payload. A corrupted length field must
+/// never drive a multi-gigabyte allocation (the `persist::load` bug
+/// this PR also fixes); anything claiming more than this is corrupt.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// Bytes of visit payload between durability flush points. Matches the
+/// sharded store's segment target so one sealed segment's worth of
+/// appends is at most what a crash can lose *from the OS page cache*
+/// (frames are still complete on disk far more often in practice).
+pub const FLUSH_EVERY: u64 = 512 << 10;
+
+/// Frame kinds.
+pub mod kind {
+    /// One finished visit: flags + stats delta + encoded record.
+    pub const VISIT: u8 = 1;
+    /// One finished `(crawl, os)` campaign.
+    pub const CHECKPOINT: u8 = 2;
+    /// Durability marker: the writer fsynced right after this frame.
+    pub const FLUSH: u8 = 3;
+    /// Campaign parameters, written once at journal start.
+    pub const META: u8 = 4;
+}
+
+/// Visit frame flag: this is the site's *final* record for the pass
+/// (terminal success/failure/quarantine, not superseded later).
+pub const FLAG_FINAL: u8 = 1;
+/// Visit frame flag: produced by the end-of-campaign recrawl pass.
+pub const FLAG_RECRAWL: u8 = 2;
+
+// ---------------------------------------------------------------- CRC
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32/IEEE (the zlib/gzip polynomial).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ------------------------------------------------------------- frames
+
+/// Per-visit contribution to `CrawlStats`, journaled alongside the
+/// record so a resumed run can reconstruct the merged tally without
+/// re-running finished sites. Failure classes travel as raw NetError
+/// codes (`NetError::code()`) — the crawler owns the enum.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VisitDelta {
+    /// Simulated wall-clock cost of this site on its worker, ms
+    /// (everything the scheduler charged: visit, retries, backoff).
+    pub cost_ms: u64,
+    /// Sites attempted (1 for a final frame, 0 otherwise).
+    pub attempted: u64,
+    /// Successful loads contributed.
+    pub successful: u64,
+    /// In-place retries consumed by this site.
+    pub retries: u64,
+    /// 1 when the recrawl pass revisited this site.
+    pub recrawled: u64,
+    /// 1 when a transiently-failing site ended as a success.
+    pub recovered: u64,
+    /// 1 when the site still failed after the recrawl pass.
+    pub gave_up: u64,
+    /// 1 when the visit was quarantined after a worker panic.
+    pub crashed: u64,
+    /// Store appends retried for this site.
+    pub store_retries: u64,
+    /// Failed loads by raw net-error code.
+    pub failures: Vec<(i64, u64)>,
+}
+
+/// One visit frame as read back from a journal.
+#[derive(Debug, Clone)]
+pub struct ReplayedVisit {
+    /// The decoded telemetry record.
+    pub record: VisitRecord,
+    /// Its stats contribution.
+    pub delta: VisitDelta,
+    /// `FLAG_*` bits.
+    pub flags: u8,
+}
+
+/// One finished `(crawl, os)` campaign: enough to skip it wholesale on
+/// resume. `stats` is the merged `CrawlStats` in the crawler's compact
+/// binary encoding (kt-store stays ignorant of the enum-keyed map).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CheckpointFrame {
+    /// Crawl id, e.g. `top2020`.
+    pub crawl: String,
+    /// OS name exactly as `Os::name()` prints it
+    /// (`Windows`/`Linux`/`Mac`).
+    pub os: String,
+    /// Every domain with a final record in this campaign.
+    pub completed: Vec<String>,
+    /// `CrawlStats::to_bytes` blob.
+    pub stats: Vec<u8>,
+}
+
+/// Campaign parameters written once at journal start; `resume`
+/// regenerates the identical deterministic population from these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalMeta {
+    /// Master RNG seed (drives population, faults, latencies).
+    pub seed: u64,
+    /// 2020 toplist size.
+    pub top_size: u64,
+    /// Malicious-list size.
+    pub malicious_size: u64,
+    /// Worker count of the original run (informational; resume may use
+    /// fewer — outcomes are worker-count-invariant by design).
+    pub workers: u64,
+}
+
+fn put_delta(buf: &mut BytesMut, delta: &VisitDelta) {
+    codec::put_varint(buf, delta.cost_ms);
+    codec::put_varint(buf, delta.attempted);
+    codec::put_varint(buf, delta.successful);
+    codec::put_varint(buf, delta.retries);
+    codec::put_varint(buf, delta.recrawled);
+    codec::put_varint(buf, delta.recovered);
+    codec::put_varint(buf, delta.gave_up);
+    codec::put_varint(buf, delta.crashed);
+    codec::put_varint(buf, delta.store_retries);
+    codec::put_varint(buf, delta.failures.len() as u64);
+    for &(code, count) in &delta.failures {
+        codec::put_varint(buf, codec::zigzag(code));
+        codec::put_varint(buf, count);
+    }
+}
+
+fn get_delta(buf: &mut Bytes) -> Result<VisitDelta, codec::CodecError> {
+    let mut d = VisitDelta {
+        cost_ms: codec::get_varint(buf)?,
+        attempted: codec::get_varint(buf)?,
+        successful: codec::get_varint(buf)?,
+        retries: codec::get_varint(buf)?,
+        recrawled: codec::get_varint(buf)?,
+        recovered: codec::get_varint(buf)?,
+        gave_up: codec::get_varint(buf)?,
+        crashed: codec::get_varint(buf)?,
+        store_retries: codec::get_varint(buf)?,
+        failures: Vec::new(),
+    };
+    let n = codec::get_varint(buf)? as usize;
+    if n > buf.remaining() {
+        // Each pair is at least 2 bytes; a count beyond the remaining
+        // byte budget is corrupt, not a huge allocation request.
+        return Err(codec::CodecError::Truncated);
+    }
+    for _ in 0..n {
+        let code = codec::unzigzag(codec::get_varint(buf)?);
+        let count = codec::get_varint(buf)?;
+        d.failures.push((code, count));
+    }
+    Ok(d)
+}
+
+/// Serialize a visit frame payload.
+fn encode_visit_payload(record: &VisitRecord, delta: &VisitDelta, flags: u8) -> Vec<u8> {
+    let record_bytes = encode(record);
+    let mut buf = BytesMut::with_capacity(record_bytes.len() + 64);
+    buf.put_u8(flags);
+    put_delta(&mut buf, delta);
+    codec::put_varint(&mut buf, record_bytes.len() as u64);
+    buf.put_slice(&record_bytes);
+    buf.freeze().to_vec()
+}
+
+fn decode_visit_payload(payload: &[u8]) -> Result<ReplayedVisit, codec::CodecError> {
+    let mut buf = Bytes::copy_from_slice(payload);
+    if !buf.has_remaining() {
+        return Err(codec::CodecError::Truncated);
+    }
+    let flags = buf.get_u8();
+    let delta = get_delta(&mut buf)?;
+    let len = codec::get_varint(&mut buf)? as usize;
+    if buf.remaining() < len {
+        return Err(codec::CodecError::Truncated);
+    }
+    let record = decode(buf.copy_to_bytes(len))?;
+    Ok(ReplayedVisit {
+        record,
+        delta,
+        flags,
+    })
+}
+
+// ------------------------------------------------------------- errors
+
+/// Journal-level failures. Frame-level damage is never an `Err` — the
+/// scanner degrades to the maximal clean subset and reports counts.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the journal magic.
+    BadMagic,
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal i/o error: {e}"),
+            JournalError::BadMagic => write!(f, "not a knock-talk journal (KTSTORE2) file"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+// ------------------------------------------------------------- writer
+
+/// How an injected crash truncates the write stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillMode {
+    /// Die halfway through the frame: sync marker and header reach
+    /// disk, the payload is torn, no CRC. The classic torn write.
+    MidFrame,
+    /// Die right after the frame's last byte but before anything that
+    /// follows (checkpoint, fsync, rename): the frame is intact, the
+    /// campaign bookkeeping is not.
+    PostFrame,
+}
+
+/// A deterministic crash point: die while writing frame `at_frame`
+/// (0-based, counting every frame kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillSpec {
+    /// Frame index at which to die.
+    pub at_frame: u64,
+    /// Where in that frame's write to die.
+    pub mode: KillMode,
+}
+
+/// Counters describing what a writer has durably appended.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Total frames written (all kinds).
+    pub frames: u64,
+    /// Visit frames.
+    pub visits: u64,
+    /// Checkpoint frames.
+    pub checkpoints: u64,
+    /// Flush points (each implies an fsync).
+    pub flush_points: u64,
+    /// Bytes written, including magic.
+    pub bytes: u64,
+    /// `fsync` calls issued.
+    pub fsyncs: u64,
+}
+
+struct WriterInner {
+    file: File,
+    stats: JournalStats,
+    since_flush: u64,
+    kill: Option<KillSpec>,
+    error: Option<String>,
+}
+
+/// Append-only journal writer, shared across crawl workers. All frame
+/// appends serialize through one mutex — the paper's bottleneck is the
+/// 21-second page visit, not the journal write — and a simulated kill
+/// (or a real I/O error) flips the `killed` latch that workers poll to
+/// stop claiming jobs, mimicking a process death without taking the
+/// test harness down with it.
+pub struct JournalWriter {
+    inner: Mutex<WriterInner>,
+    killed: AtomicBool,
+    path: PathBuf,
+}
+
+impl JournalWriter {
+    /// Create a fresh journal at `path` (truncates any existing file),
+    /// writing and fsyncing the magic so even an immediately-killed
+    /// campaign leaves a well-formed empty journal.
+    pub fn create(path: &Path) -> Result<JournalWriter, JournalError> {
+        let mut file = File::create(path)?;
+        file.write_all(JOURNAL_MAGIC)?;
+        file.sync_all()?;
+        Ok(JournalWriter {
+            inner: Mutex::new(WriterInner {
+                file,
+                stats: JournalStats {
+                    bytes: JOURNAL_MAGIC.len() as u64,
+                    fsyncs: 1,
+                    ..JournalStats::default()
+                },
+                since_flush: 0,
+                kill: None,
+                error: None,
+            }),
+            killed: AtomicBool::new(false),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Reopen an existing journal for appending: scan it, truncate the
+    /// torn tail back to the last complete frame, and position at the
+    /// end. Interior corruption (if any) is left in place — replay
+    /// resyncs past it; `fsck --repair` rewrites it out.
+    pub fn open_append(path: &Path) -> Result<JournalWriter, JournalError> {
+        let data = std::fs::read(path)?;
+        let scan = scan(&data)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(scan.valid_end)?;
+        file.sync_all()?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(JournalWriter {
+            inner: Mutex::new(WriterInner {
+                file,
+                stats: JournalStats {
+                    frames: scan.frames.len() as u64,
+                    visits: scan.count_kind(kind::VISIT),
+                    checkpoints: scan.count_kind(kind::CHECKPOINT),
+                    flush_points: scan.count_kind(kind::FLUSH),
+                    bytes: scan.valid_end,
+                    fsyncs: 1,
+                },
+                since_flush: 0,
+                kill: None,
+                error: None,
+            }),
+            killed: AtomicBool::new(false),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Arm (or disarm) a deterministic crash point.
+    pub fn set_kill(&self, kill: Option<KillSpec>) {
+        self.inner.lock().unwrap().kill = kill;
+    }
+
+    /// Journal path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// True once a kill point fired or an I/O error latched. Workers
+    /// poll this between jobs, like checking whether the process they
+    /// live in is still alive.
+    pub fn killed(&self) -> bool {
+        self.killed.load(Ordering::Acquire)
+    }
+
+    /// The latched I/O error, if the writer died of one.
+    pub fn error(&self) -> Option<String> {
+        self.inner.lock().unwrap().error.clone()
+    }
+
+    /// Durability counters so far.
+    pub fn stats(&self) -> JournalStats {
+        self.inner.lock().unwrap().stats
+    }
+
+    /// Append one finished visit. `kill_now` is the per-visit
+    /// `Fault::ProcessKill` decision: die (torn, mid-frame) while
+    /// writing exactly this frame.
+    pub fn append_visit(
+        &self,
+        record: &VisitRecord,
+        delta: &VisitDelta,
+        flags: u8,
+        kill_now: bool,
+    ) {
+        let payload = encode_visit_payload(record, delta, flags);
+        self.append_frame(kind::VISIT, &payload, kill_now);
+        if self.killed() {
+            return;
+        }
+        // Durability flush point: seal roughly one store segment's
+        // worth of visit bytes per fsync.
+        let due = {
+            let inner = self.inner.lock().unwrap();
+            inner.since_flush >= FLUSH_EVERY
+        };
+        if due {
+            self.append_frame(kind::FLUSH, &[], false);
+            self.fsync();
+        }
+    }
+
+    /// Append a campaign checkpoint and fsync: a completed `(crawl,
+    /// os)` must survive any crash that happens after this returns.
+    pub fn append_checkpoint(&self, cp: &CheckpointFrame) {
+        let payload = serde_json::to_string(cp)
+            .expect("checkpoint serialises")
+            .into_bytes();
+        self.append_frame(kind::CHECKPOINT, &payload, false);
+        self.fsync();
+    }
+
+    /// Append the campaign-parameters frame and fsync.
+    pub fn append_meta(&self, meta: &JournalMeta) {
+        let payload = serde_json::to_string(meta)
+            .expect("meta serialises")
+            .into_bytes();
+        self.append_frame(kind::META, &payload, false);
+        self.fsync();
+    }
+
+    /// Force everything written so far to disk.
+    pub fn sync(&self) {
+        self.fsync();
+    }
+
+    fn fsync(&self) {
+        if self.killed() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        // Re-check under the lock: a writer blocked here while another
+        // thread hit the kill boundary must not outlive the "process".
+        if inner.error.is_some() || self.killed() {
+            return;
+        }
+        match inner.file.sync_all() {
+            Ok(()) => inner.stats.fsyncs += 1,
+            Err(e) => {
+                inner.error = Some(e.to_string());
+                self.killed.store(true, Ordering::Release);
+            }
+        }
+    }
+
+    fn append_frame(&self, frame_kind: u8, payload: &[u8], kill_now: bool) {
+        if self.killed() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        // Re-check under the lock. Without this, a worker that passed
+        // the latch check and then blocked on the mutex while another
+        // thread died mid-frame would append a whole frame *after* the
+        // torn write — bytes from a thread that outlived the simulated
+        // `kill -9`, which no real crash can produce. The latch is also
+        // set *before* the lock is released (below) so the two checks
+        // can never both read stale state.
+        if inner.error.is_some() || self.killed() {
+            return;
+        }
+        let index = inner.stats.frames;
+        let armed = match inner.kill {
+            Some(k) if k.at_frame == index => Some(k.mode),
+            _ => None,
+        };
+        let mode = if kill_now {
+            Some(KillMode::MidFrame)
+        } else {
+            armed
+        };
+        let mut frame = Vec::with_capacity(payload.len() + 11);
+        frame.extend_from_slice(&SYNC);
+        frame.push(frame_kind);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(payload);
+        let crc = crc32(&frame[2..]);
+        let outcome: io::Result<bool> = (|| match mode {
+            Some(KillMode::MidFrame) => {
+                // The torn write: header plus roughly half the payload
+                // reach disk, never the CRC. Flushed so the damage is
+                // durable, exactly as an unlucky page-cache writeback
+                // would leave it.
+                let cut = 3 + (frame.len() - 3) / 2;
+                inner.file.write_all(&frame[..cut])?;
+                inner.file.sync_all()?;
+                inner.stats.bytes += cut as u64;
+                inner.stats.fsyncs += 1;
+                Ok(true)
+            }
+            Some(KillMode::PostFrame) => {
+                frame.extend_from_slice(&crc.to_le_bytes());
+                inner.file.write_all(&frame)?;
+                inner.file.sync_all()?;
+                inner.stats.bytes += frame.len() as u64;
+                inner.stats.fsyncs += 1;
+                inner.stats.frames += 1;
+                Ok(true)
+            }
+            None => {
+                frame.extend_from_slice(&crc.to_le_bytes());
+                inner.file.write_all(&frame)?;
+                inner.stats.bytes += frame.len() as u64;
+                inner.stats.frames += 1;
+                match frame_kind {
+                    kind::VISIT => {
+                        inner.stats.visits += 1;
+                        inner.since_flush += frame.len() as u64;
+                    }
+                    kind::CHECKPOINT => inner.stats.checkpoints += 1,
+                    kind::FLUSH => {
+                        inner.stats.flush_points += 1;
+                        inner.since_flush = 0;
+                    }
+                    _ => {}
+                }
+                Ok(false)
+            }
+        })();
+        match outcome {
+            Ok(false) => {}
+            Ok(true) => {
+                self.killed.store(true, Ordering::Release);
+            }
+            Err(e) => {
+                inner.error = Some(e.to_string());
+                self.killed.store(true, Ordering::Release);
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ scanner
+
+/// One parsed frame.
+#[derive(Debug, Clone)]
+pub enum FrameBody {
+    /// A visit frame.
+    Visit(ReplayedVisit),
+    /// A checkpoint frame.
+    Checkpoint(CheckpointFrame),
+    /// A flush marker.
+    Flush,
+    /// The campaign-parameters frame.
+    Meta(JournalMeta),
+    /// CRC-valid frame of a kind this build does not know (forward
+    /// compatibility: carried, never dropped).
+    Unknown(u8, Vec<u8>),
+}
+
+impl FrameBody {
+    fn kind(&self) -> u8 {
+        match self {
+            FrameBody::Visit(_) => kind::VISIT,
+            FrameBody::Checkpoint(_) => kind::CHECKPOINT,
+            FrameBody::Flush => kind::FLUSH,
+            FrameBody::Meta(_) => kind::META,
+            FrameBody::Unknown(k, _) => *k,
+        }
+    }
+}
+
+/// A scanned journal: every recoverable frame plus damage accounting.
+#[derive(Debug)]
+pub struct ScanReport {
+    /// Valid frames in file order, with their byte spans.
+    pub frames: Vec<ScannedFrame>,
+    /// Byte spans the scanner had to skip (failed CRC or framing).
+    pub corrupt_spans: Vec<(u64, u64)>,
+    /// True when the file ends inside a frame (torn tail).
+    pub truncated_tail: bool,
+    /// End offset of the last valid frame: truncation repair cuts here.
+    pub valid_end: u64,
+    /// Total file length scanned.
+    pub file_len: u64,
+}
+
+/// A valid frame plus its location.
+#[derive(Debug)]
+pub struct ScannedFrame {
+    /// Byte offset of the frame's sync marker.
+    pub start: u64,
+    /// Byte offset one past the frame's CRC.
+    pub end: u64,
+    /// Parsed body.
+    pub body: FrameBody,
+}
+
+impl ScanReport {
+    fn count_kind(&self, k: u8) -> u64 {
+        self.frames.iter().filter(|f| f.body.kind() == k).count() as u64
+    }
+
+    /// Bytes lost to corruption.
+    pub fn corrupt_bytes(&self) -> u64 {
+        self.corrupt_spans.iter().map(|(s, e)| e - s).sum()
+    }
+}
+
+enum FrameErr {
+    /// No sync marker at this offset.
+    BadSync,
+    /// Plausible header but the frame extends past EOF.
+    Truncated,
+    /// Length field exceeds `MAX_FRAME_LEN`.
+    BadLen,
+    /// CRC mismatch.
+    BadCrc,
+    /// CRC fine but the payload does not decode (e.g. a visit frame
+    /// whose inner record is from a future codec).
+    BadPayload,
+}
+
+/// Try to parse one frame at `pos`. Returns the end offset + body.
+fn try_frame(data: &[u8], pos: usize) -> Result<(usize, FrameBody), FrameErr> {
+    let remaining = data.len() - pos;
+    if remaining < 2 || data[pos] != SYNC[0] || data[pos + 1] != SYNC[1] {
+        return Err(if remaining < 2 && remaining > 0 && data[pos] == SYNC[0] {
+            // A lone F5 at EOF is a torn sync marker.
+            FrameErr::Truncated
+        } else {
+            FrameErr::BadSync
+        });
+    }
+    if remaining < 7 {
+        return Err(FrameErr::Truncated);
+    }
+    let kind_byte = data[pos + 2];
+    let len =
+        u32::from_le_bytes([data[pos + 3], data[pos + 4], data[pos + 5], data[pos + 6]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameErr::BadLen);
+    }
+    let total = 7 + len + 4;
+    if remaining < total {
+        return Err(FrameErr::Truncated);
+    }
+    let payload = &data[pos + 7..pos + 7 + len];
+    let stored_crc = u32::from_le_bytes([
+        data[pos + 7 + len],
+        data[pos + 8 + len],
+        data[pos + 9 + len],
+        data[pos + 10 + len],
+    ]);
+    if crc32(&data[pos + 2..pos + 7 + len]) != stored_crc {
+        return Err(FrameErr::BadCrc);
+    }
+    let body = match kind_byte {
+        kind::VISIT => {
+            FrameBody::Visit(decode_visit_payload(payload).map_err(|_| FrameErr::BadPayload)?)
+        }
+        kind::CHECKPOINT => {
+            let text = std::str::from_utf8(payload).map_err(|_| FrameErr::BadPayload)?;
+            FrameBody::Checkpoint(serde_json::from_str(text).map_err(|_| FrameErr::BadPayload)?)
+        }
+        kind::FLUSH => FrameBody::Flush,
+        kind::META => {
+            let text = std::str::from_utf8(payload).map_err(|_| FrameErr::BadPayload)?;
+            FrameBody::Meta(serde_json::from_str(text).map_err(|_| FrameErr::BadPayload)?)
+        }
+        other => FrameBody::Unknown(other, payload.to_vec()),
+    };
+    Ok((pos + total, body))
+}
+
+/// Scan raw journal bytes (past callers verified the magic) into the
+/// maximal clean subset of frames. Never panics, never errors on frame
+/// damage — only on a missing magic.
+pub fn scan(data: &[u8]) -> Result<ScanReport, JournalError> {
+    if data.len() < JOURNAL_MAGIC.len() || &data[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC {
+        return Err(JournalError::BadMagic);
+    }
+    let mut report = ScanReport {
+        frames: Vec::new(),
+        corrupt_spans: Vec::new(),
+        truncated_tail: false,
+        valid_end: JOURNAL_MAGIC.len() as u64,
+        file_len: data.len() as u64,
+    };
+    let mut pos = JOURNAL_MAGIC.len();
+    while pos < data.len() {
+        match try_frame(data, pos) {
+            Ok((end, body)) => {
+                report.frames.push(ScannedFrame {
+                    start: pos as u64,
+                    end: end as u64,
+                    body,
+                });
+                report.valid_end = end as u64;
+                pos = end;
+            }
+            Err(err) => {
+                // Resync: the next CRC-valid frame start after pos.
+                let next = resync(data, pos + 1);
+                match next {
+                    Some(next) => {
+                        report.corrupt_spans.push((pos as u64, next as u64));
+                        if matches!(err, FrameErr::Truncated) {
+                            // "Truncated" but valid frames follow: the
+                            // length field was damaged, not the tail.
+                        }
+                        pos = next;
+                    }
+                    None => {
+                        // Nothing recoverable to EOF. A plausible
+                        // partial frame is a torn tail; anything else
+                        // is trailing corruption.
+                        if matches!(err, FrameErr::Truncated) {
+                            report.truncated_tail = true;
+                        } else {
+                            report.corrupt_spans.push((pos as u64, data.len() as u64));
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+fn resync(data: &[u8], from: usize) -> Option<usize> {
+    let mut pos = from;
+    while pos + 1 < data.len() {
+        if data[pos] == SYNC[0] && data[pos + 1] == SYNC[1] && try_frame(data, pos).is_ok() {
+            return Some(pos);
+        }
+        pos += 1;
+    }
+    None
+}
+
+// ------------------------------------------------------------- replay
+
+/// A journal replayed into usable state.
+#[derive(Debug)]
+pub struct ReplayReport {
+    /// Store rebuilt from every valid visit frame (idempotent
+    /// last-write-wins append, same as the live store).
+    pub store: TelemetryStore,
+    /// Every valid visit frame, in journal order.
+    pub visits: Vec<ReplayedVisit>,
+    /// Every checkpoint, in journal order.
+    pub checkpoints: Vec<CheckpointFrame>,
+    /// The campaign-parameters frame, if present.
+    pub meta: Option<JournalMeta>,
+    /// Frame kinds in journal order (test hook for targeting specific
+    /// kill boundaries).
+    pub frame_kinds: Vec<u8>,
+    /// Visit frames whose identity `(crawl, domain, os)` had already
+    /// been seen with `FLAG_FINAL` — the crash-between-append-and-
+    /// checkpoint duplicates that replay dedupes.
+    pub duplicate_finals: usize,
+    /// Damage accounting from the scan.
+    pub corrupt_frames: usize,
+    /// Bytes lost to corruption.
+    pub corrupt_bytes: u64,
+    /// True when the file ended mid-frame.
+    pub truncated_tail: bool,
+    /// End offset of the last valid frame.
+    pub valid_end: u64,
+    /// Flush markers seen.
+    pub flush_points: usize,
+}
+
+/// Replay a journal from disk. Frame damage degrades, never fails.
+pub fn replay(path: &Path) -> Result<ReplayReport, JournalError> {
+    let data = std::fs::read(path)?;
+    let scan = scan(&data)?;
+    let store = TelemetryStore::new();
+    let mut visits = Vec::new();
+    let mut checkpoints = Vec::new();
+    let mut meta = None;
+    let mut frame_kinds = Vec::with_capacity(scan.frames.len());
+    let mut seen_final: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+    let mut duplicate_finals = 0usize;
+    let mut flush_points = 0usize;
+    for frame in &scan.frames {
+        frame_kinds.push(frame.body.kind());
+        match &frame.body {
+            FrameBody::Visit(v) => {
+                store.append(&v.record);
+                if v.flags & FLAG_FINAL != 0 {
+                    let key = (
+                        v.record.crawl.as_str().to_string(),
+                        v.record.domain.clone(),
+                        v.record.os.name().to_string(),
+                    );
+                    if let Some(n) = seen_final.get_mut(&key) {
+                        *n += 1;
+                        duplicate_finals += 1;
+                    } else {
+                        seen_final.insert(key, 1);
+                    }
+                }
+                visits.push(v.clone());
+            }
+            FrameBody::Checkpoint(cp) => checkpoints.push(cp.clone()),
+            FrameBody::Meta(m) => meta = Some(*m),
+            FrameBody::Flush => flush_points += 1,
+            FrameBody::Unknown(..) => {}
+        }
+    }
+    Ok(ReplayReport {
+        store,
+        visits,
+        checkpoints,
+        meta,
+        frame_kinds,
+        duplicate_finals,
+        corrupt_frames: scan.corrupt_spans.len(),
+        corrupt_bytes: scan.corrupt_bytes(),
+        truncated_tail: scan.truncated_tail,
+        valid_end: scan.valid_end,
+        flush_points,
+    })
+}
+
+// --------------------------------------------------------------- fsck
+
+/// `fsck` knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FsckOptions {
+    /// Rewrite a clean journal in place (tmp + fsync + rename) and
+    /// quarantine damaged byte ranges next to it.
+    pub repair: bool,
+    /// Test hook for the mid-rename crash boundary: do everything
+    /// except the final rename, leaving the fsynced `.tmp` beside the
+    /// untouched original — exactly the on-disk state a kill between
+    /// fsync and rename leaves behind.
+    pub kill_before_rename: bool,
+}
+
+/// What the store doctor found (and, with `repair`, fixed).
+#[derive(Debug, Default)]
+pub struct FsckReport {
+    /// Valid frames.
+    pub frames: usize,
+    /// Valid visit frames.
+    pub visits: usize,
+    /// Checkpoints.
+    pub checkpoints: usize,
+    /// Corrupt byte spans skipped by resync.
+    pub corrupt_frames: usize,
+    /// Bytes in those spans.
+    pub corrupt_bytes: u64,
+    /// File ended mid-frame.
+    pub truncated_tail: bool,
+    /// Bytes in the torn tail.
+    pub tail_bytes: u64,
+    /// Final visit frames whose identity repeats (idempotent replay
+    /// collapses them; reported so operators see crash duplicates).
+    pub duplicate_finals: usize,
+    /// Final visit frames written before a checkpoint that does *not*
+    /// list their domain as completed — evidence the checkpoint and
+    /// journal disagree (a frame survived that bookkeeping lost).
+    pub orphan_records: usize,
+    /// Domains a checkpoint claims completed with no surviving final
+    /// frame (the checkpoint outlived a corrupted visit frame).
+    pub missing_records: usize,
+    /// True when a clean journal was rewritten.
+    pub repaired: bool,
+    /// Bytes quarantined to the `.quarantine` file.
+    pub quarantined_bytes: u64,
+    /// Path of the rewritten journal (same as input) when repaired.
+    pub repaired_path: Option<PathBuf>,
+    /// Path of the quarantine file when damage was quarantined.
+    pub quarantine_path: Option<PathBuf>,
+}
+
+impl FsckReport {
+    /// A journal with nothing wrong.
+    pub fn clean(&self) -> bool {
+        self.corrupt_frames == 0
+            && !self.truncated_tail
+            && self.duplicate_finals == 0
+            && self.orphan_records == 0
+            && self.missing_records == 0
+    }
+}
+
+/// Scan a journal for damage; optionally rewrite it clean. Never
+/// panics on arbitrary input (fuzzed in tests).
+pub fn fsck(path: &Path, options: FsckOptions) -> Result<FsckReport, JournalError> {
+    let data = std::fs::read(path)?;
+    let scan = scan(&data)?;
+    let mut report = FsckReport {
+        frames: scan.frames.len(),
+        corrupt_frames: scan.corrupt_spans.len(),
+        corrupt_bytes: scan.corrupt_bytes(),
+        truncated_tail: scan.truncated_tail,
+        tail_bytes: if scan.truncated_tail {
+            scan.file_len
+                - scan
+                    .frames
+                    .last()
+                    .map(|f| f.end)
+                    .unwrap_or(JOURNAL_MAGIC.len() as u64)
+        } else {
+            0
+        },
+        ..FsckReport::default()
+    };
+    // Duplicate finals + checkpoint cross-checks, in journal order.
+    let mut finals: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+    for frame in &scan.frames {
+        match &frame.body {
+            FrameBody::Visit(v) => {
+                report.visits += 1;
+                if v.flags & FLAG_FINAL != 0 {
+                    let key = (
+                        v.record.crawl.as_str().to_string(),
+                        v.record.domain.clone(),
+                        v.record.os.name().to_string(),
+                    );
+                    let n = finals.entry(key).or_insert(0);
+                    if *n > 0 {
+                        report.duplicate_finals += 1;
+                    }
+                    *n += 1;
+                }
+            }
+            FrameBody::Checkpoint(cp) => {
+                report.checkpoints += 1;
+                let listed: std::collections::BTreeSet<&str> =
+                    cp.completed.iter().map(|s| s.as_str()).collect();
+                let mut seen_here = 0usize;
+                for ((crawl, domain, os), _) in finals.iter() {
+                    if crawl == &cp.crawl && os == &cp.os {
+                        if listed.contains(domain.as_str()) {
+                            seen_here += 1;
+                        } else {
+                            report.orphan_records += 1;
+                        }
+                    }
+                }
+                report.missing_records += cp.completed.len().saturating_sub(seen_here);
+            }
+            _ => {}
+        }
+    }
+    if options.repair {
+        let tmp = path.with_extension("ktj.tmp");
+        {
+            let mut out = File::create(&tmp)?;
+            out.write_all(JOURNAL_MAGIC)?;
+            for frame in &scan.frames {
+                out.write_all(&data[frame.start as usize..frame.end as usize])?;
+            }
+            out.sync_all()?;
+        }
+        let damaged: u64 = report.corrupt_bytes + report.tail_bytes;
+        if damaged > 0 {
+            let qpath = path.with_extension("ktj.quarantine");
+            let mut q = File::create(&qpath)?;
+            for (s, e) in &scan.corrupt_spans {
+                q.write_all(&data[*s as usize..*e as usize])?;
+            }
+            if scan.truncated_tail {
+                q.write_all(&data[scan.valid_end as usize..])?;
+            }
+            q.sync_all()?;
+            report.quarantined_bytes = damaged;
+            report.quarantine_path = Some(qpath);
+        }
+        if options.kill_before_rename {
+            // Crash boundary: fsynced tmp exists, original untouched.
+            return Ok(report);
+        }
+        std::fs::rename(&tmp, path)?;
+        sync_parent_dir(path)?;
+        report.repaired = true;
+        report.repaired_path = Some(path.to_path_buf());
+    }
+    Ok(report)
+}
+
+/// fsync a file's parent directory so a rename survives power loss.
+pub(crate) fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        let parent = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        // Directories can be opened read-only for fsync on POSIX;
+        // failure is non-fatal on filesystems that refuse it.
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// True when `path` starts with the journal magic (used by readers
+/// that accept either a KTSTORE1 snapshot or a KTSTORE2 journal).
+pub fn is_journal(path: &Path) -> bool {
+    let mut magic = [0u8; 8];
+    File::open(path)
+        .and_then(|mut f| f.read_exact(&mut magic))
+        .map(|_| &magic == JOURNAL_MAGIC)
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{CrawlId, LoadOutcome};
+    use kt_netbase::Os;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("kt-journal-{name}-{}", std::process::id()))
+    }
+
+    fn sample_record(i: usize, os: Os) -> VisitRecord {
+        VisitRecord {
+            crawl: CrawlId::top2020(),
+            domain: format!("site{i}.example"),
+            rank: Some(i as u32 + 1),
+            malicious_category: None,
+            os,
+            outcome: LoadOutcome::Success,
+            loaded_at_ms: 1_000 + i as u64,
+            events: Vec::new(),
+        }
+    }
+
+    fn sample_delta(i: usize) -> VisitDelta {
+        VisitDelta {
+            cost_ms: 21_000 + i as u64,
+            attempted: 1,
+            successful: 1,
+            retries: (i % 3) as u64,
+            failures: if i.is_multiple_of(4) {
+                vec![(-105, 1), (-102, 2)]
+            } else {
+                Vec::new()
+            },
+            ..VisitDelta::default()
+        }
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The canonical CRC-32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn journal_round_trips_visits_checkpoints_and_meta() {
+        let path = tmp("roundtrip");
+        let w = JournalWriter::create(&path).unwrap();
+        w.append_meta(&JournalMeta {
+            seed: 7,
+            top_size: 100,
+            malicious_size: 40,
+            workers: 4,
+        });
+        for i in 0..25 {
+            w.append_visit(
+                &sample_record(i, Os::ALL[i % 3]),
+                &sample_delta(i),
+                FLAG_FINAL,
+                false,
+            );
+        }
+        w.append_checkpoint(&CheckpointFrame {
+            crawl: "top2020".into(),
+            os: "Linux".into(),
+            completed: (0..25).map(|i| format!("site{i}.example")).collect(),
+            stats: vec![1, 2, 3],
+        });
+        w.sync();
+        let report = replay(&path).unwrap();
+        assert_eq!(report.visits.len(), 25);
+        assert_eq!(report.checkpoints.len(), 1);
+        assert_eq!(report.meta.unwrap().seed, 7);
+        assert_eq!(report.duplicate_finals, 0);
+        assert_eq!(report.corrupt_frames, 0);
+        assert!(!report.truncated_tail);
+        assert_eq!(report.visits[3].delta, sample_delta(3));
+        assert_eq!(report.visits[3].record, sample_record(3, Os::ALL[0]));
+        assert_eq!(report.store.len(), 25);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_dedupes_duplicate_final_frames() {
+        let path = tmp("dedupe");
+        let w = JournalWriter::create(&path).unwrap();
+        let rec = sample_record(1, Os::Linux);
+        w.append_visit(&rec, &sample_delta(1), FLAG_FINAL, false);
+        w.append_visit(&rec, &sample_delta(1), FLAG_FINAL, false);
+        w.append_visit(&rec, &sample_delta(1), FLAG_FINAL, false);
+        w.sync();
+        let report = replay(&path).unwrap();
+        assert_eq!(report.visits.len(), 3, "frames are all there");
+        assert_eq!(report.duplicate_finals, 2, "two are crash duplicates");
+        assert_eq!(report.store.len(), 1, "the store keeps one (idempotent)");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mid_frame_kill_leaves_a_repairable_torn_tail() {
+        let path = tmp("midframe");
+        let w = JournalWriter::create(&path).unwrap();
+        for i in 0..10 {
+            w.append_visit(
+                &sample_record(i, Os::Linux),
+                &sample_delta(i),
+                FLAG_FINAL,
+                false,
+            );
+        }
+        w.set_kill(Some(KillSpec {
+            at_frame: 10,
+            mode: KillMode::MidFrame,
+        }));
+        w.append_visit(
+            &sample_record(10, Os::Linux),
+            &sample_delta(10),
+            FLAG_FINAL,
+            false,
+        );
+        assert!(w.killed());
+        // Appends after death are silently dropped, like a dead process.
+        w.append_visit(
+            &sample_record(11, Os::Linux),
+            &sample_delta(11),
+            FLAG_FINAL,
+            false,
+        );
+        let report = replay(&path).unwrap();
+        assert_eq!(
+            report.visits.len(),
+            10,
+            "torn frame 10 is lost, 0..9 survive"
+        );
+        assert!(report.truncated_tail);
+        // open_append truncates the torn tail and appending resumes.
+        let w2 = JournalWriter::open_append(&path).unwrap();
+        w2.append_visit(
+            &sample_record(10, Os::Linux),
+            &sample_delta(10),
+            FLAG_FINAL,
+            false,
+        );
+        w2.sync();
+        let report = replay(&path).unwrap();
+        assert_eq!(report.visits.len(), 11);
+        assert!(!report.truncated_tail);
+        assert_eq!(report.corrupt_frames, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn post_frame_kill_keeps_the_frame() {
+        let path = tmp("postframe");
+        let w = JournalWriter::create(&path).unwrap();
+        w.set_kill(Some(KillSpec {
+            at_frame: 1,
+            mode: KillMode::PostFrame,
+        }));
+        w.append_visit(
+            &sample_record(0, Os::Linux),
+            &sample_delta(0),
+            FLAG_FINAL,
+            false,
+        );
+        w.append_visit(
+            &sample_record(1, Os::Linux),
+            &sample_delta(1),
+            FLAG_FINAL,
+            false,
+        );
+        assert!(w.killed());
+        let report = replay(&path).unwrap();
+        assert_eq!(report.visits.len(), 2, "the kill frame itself is durable");
+        assert!(!report.truncated_tail);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn scanner_resyncs_past_interior_corruption() {
+        let path = tmp("resync");
+        let w = JournalWriter::create(&path).unwrap();
+        for i in 0..20 {
+            w.append_visit(
+                &sample_record(i, Os::Linux),
+                &sample_delta(i),
+                FLAG_FINAL,
+                false,
+            );
+        }
+        w.sync();
+        let mut data = std::fs::read(&path).unwrap();
+        // Smash 10 bytes in the middle of the file.
+        let mid = data.len() / 2;
+        for b in &mut data[mid..mid + 10] {
+            *b ^= 0x5A;
+        }
+        std::fs::write(&path, &data).unwrap();
+        let report = replay(&path).unwrap();
+        assert!(report.corrupt_frames >= 1, "damage detected");
+        assert!(
+            report.visits.len() >= 18,
+            "at most two frames lost to a 10-byte smash, got {}",
+            report.visits.len()
+        );
+        assert!(!report.visits.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn oversized_length_field_is_corrupt_not_an_allocation() {
+        let path = tmp("hugelen");
+        let w = JournalWriter::create(&path).unwrap();
+        w.append_visit(
+            &sample_record(0, Os::Linux),
+            &sample_delta(0),
+            FLAG_FINAL,
+            false,
+        );
+        w.sync();
+        let mut data = std::fs::read(&path).unwrap();
+        // Corrupt the length field of frame 0 to 0xFFFF_FFFF.
+        let off = JOURNAL_MAGIC.len() + 3;
+        data[off..off + 4].copy_from_slice(&0xFFFF_FFFFu32.to_le_bytes());
+        std::fs::write(&path, &data).unwrap();
+        let report = replay(&path).unwrap();
+        assert_eq!(report.visits.len(), 0);
+        assert!(report.corrupt_frames >= 1 || report.truncated_tail);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fsck_detects_and_repairs_damage() {
+        let path = tmp("fsck");
+        let w = JournalWriter::create(&path).unwrap();
+        let rec = sample_record(7, Os::Linux);
+        for i in 0..12 {
+            w.append_visit(
+                &sample_record(i, Os::Linux),
+                &sample_delta(i),
+                FLAG_FINAL,
+                false,
+            );
+        }
+        // A crash duplicate.
+        w.append_visit(&rec, &sample_delta(7), FLAG_FINAL, false);
+        w.sync();
+        let clean_len = std::fs::read(&path).unwrap().len();
+        let mut data = std::fs::read(&path).unwrap();
+        let mid = clean_len / 3;
+        for b in &mut data[mid..mid + 6] {
+            *b = 0;
+        }
+        data.extend_from_slice(&[SYNC[0], SYNC[1], kind::VISIT, 200, 0, 0, 0, 1, 2, 3]);
+        std::fs::write(&path, &data).unwrap();
+        let report = fsck(&path, FsckOptions::default()).unwrap();
+        assert!(!report.clean());
+        assert!(report.corrupt_frames >= 1);
+        assert!(report.truncated_tail);
+        assert!(report.duplicate_finals >= 1);
+        assert!(!report.repaired);
+        // Now repair: rewritten journal scans clean, damage quarantined.
+        let report = fsck(
+            &path,
+            FsckOptions {
+                repair: true,
+                ..FsckOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(report.repaired);
+        assert!(report.quarantined_bytes > 0);
+        let qpath = report.quarantine_path.clone().unwrap();
+        assert!(qpath.exists());
+        let after = fsck(&path, FsckOptions::default()).unwrap();
+        assert_eq!(after.corrupt_frames, 0);
+        assert!(!after.truncated_tail);
+        assert_eq!(after.visits, report.visits);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&qpath).ok();
+    }
+
+    #[test]
+    fn fsck_cross_checks_checkpoints_for_orphans_and_missing() {
+        let path = tmp("orphan");
+        let w = JournalWriter::create(&path).unwrap();
+        w.append_visit(
+            &sample_record(0, Os::Linux),
+            &sample_delta(0),
+            FLAG_FINAL,
+            false,
+        );
+        w.append_visit(
+            &sample_record(1, Os::Linux),
+            &sample_delta(1),
+            FLAG_FINAL,
+            false,
+        );
+        w.append_checkpoint(&CheckpointFrame {
+            crawl: "top2020".into(),
+            os: "Linux".into(),
+            // site0 listed; site1's frame is an orphan; siteX is
+            // claimed but has no frame (missing).
+            completed: vec!["site0.example".into(), "siteX.example".into()],
+            stats: Vec::new(),
+        });
+        let report = fsck(&path, FsckOptions::default()).unwrap();
+        assert_eq!(report.orphan_records, 1);
+        assert_eq!(report.missing_records, 1);
+        assert!(!report.clean());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fsck_kill_before_rename_leaves_both_files() {
+        let path = tmp("midrename");
+        let w = JournalWriter::create(&path).unwrap();
+        w.append_visit(
+            &sample_record(0, Os::Linux),
+            &sample_delta(0),
+            FLAG_FINAL,
+            false,
+        );
+        w.sync();
+        // Torn tail to make the repair do something.
+        let mut data = std::fs::read(&path).unwrap();
+        data.extend_from_slice(&[SYNC[0], SYNC[1], kind::VISIT, 50]);
+        std::fs::write(&path, &data).unwrap();
+        let before = std::fs::read(&path).unwrap();
+        let report = fsck(
+            &path,
+            FsckOptions {
+                repair: true,
+                kill_before_rename: true,
+            },
+        )
+        .unwrap();
+        assert!(!report.repaired, "rename never happened");
+        let tmp_path = path.with_extension("ktj.tmp");
+        assert!(tmp_path.exists(), "fsynced tmp survives the crash");
+        assert_eq!(std::fs::read(&path).unwrap(), before, "original untouched");
+        // Recovery after the simulated crash: run fsck again.
+        let report = fsck(
+            &path,
+            FsckOptions {
+                repair: true,
+                ..FsckOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(report.repaired);
+        assert!(fsck(&path, FsckOptions::default()).unwrap().clean());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&tmp_path).ok();
+        std::fs::remove_file(path.with_extension("ktj.quarantine")).ok();
+    }
+
+    #[test]
+    fn empty_journal_is_valid() {
+        let path = tmp("empty");
+        let w = JournalWriter::create(&path).unwrap();
+        drop(w);
+        let report = replay(&path).unwrap();
+        assert!(report.visits.is_empty());
+        assert!(!report.truncated_tail);
+        assert!(fsck(&path, FsckOptions::default()).unwrap().clean());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn non_journal_files_are_rejected_not_parsed() {
+        let path = tmp("notajournal");
+        std::fs::write(&path, b"KTSTORE1not-a-journal").unwrap();
+        assert!(matches!(replay(&path), Err(JournalError::BadMagic)));
+        assert!(!is_journal(&path));
+        std::fs::write(&path, JOURNAL_MAGIC).unwrap();
+        assert!(is_journal(&path));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flush_points_appear_after_enough_visit_bytes() {
+        let path = tmp("flush");
+        let w = JournalWriter::create(&path).unwrap();
+        // Events make records big enough to cross FLUSH_EVERY quickly.
+        let mut rec = sample_record(0, Os::Linux);
+        rec.events = Vec::new();
+        let big_domain = "x".repeat(4096);
+        let mut total = 0u64;
+        let mut i = 0;
+        while total < FLUSH_EVERY + 4096 {
+            let mut r = rec.clone();
+            r.domain = format!("{big_domain}{i}");
+            w.append_visit(&r, &sample_delta(i as usize), FLAG_FINAL, false);
+            total = w.stats().bytes;
+            i += 1;
+        }
+        assert!(w.stats().flush_points >= 1, "a flush point sealed the run");
+        let report = replay(&path).unwrap();
+        assert!(report.flush_points >= 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -14,15 +14,23 @@
 //!   from crawl workers, with full-scan and indexed query paths (the
 //!   ablation benches compare the two);
 //! * [`persist`] — dump/load the store to a length-prefixed snapshot
-//!   file, with truncation recovery and corrupt-record skipping.
+//!   file, with truncation recovery and corrupt-record skipping;
+//! * [`journal`] — the `KTSTORE2` write-ahead log: per-visit CRC32
+//!   frames, campaign checkpoints, deterministic crash-point
+//!   injection, replay/resume, and the `fsck` store doctor.
 
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod journal;
 pub mod persist;
 pub mod record;
 pub mod store;
 
-pub use persist::{load, save, LoadReport, PersistError};
+pub use journal::{
+    fsck, replay, CheckpointFrame, FsckOptions, FsckReport, JournalError, JournalMeta,
+    JournalStats, JournalWriter, KillMode, KillSpec, ReplayReport, ReplayedVisit, VisitDelta,
+};
+pub use persist::{load, load_any, save, LoadReport, PersistError, SaveReport};
 pub use record::{CrawlId, LoadOutcome, VisitRecord};
 pub use store::TelemetryStore;

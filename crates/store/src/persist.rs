@@ -17,12 +17,18 @@ use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use crate::codec::{decode, encode};
+use crate::codec::{decode, encode, CodecError};
+use crate::journal;
 
 use crate::store::TelemetryStore;
 
 /// File magic for store snapshots.
 pub const MAGIC: &[u8; 8] = b"KTSTORE1";
+
+/// Upper bound on one record's encoded length. A corrupted u32 length
+/// field (e.g. `0xFFFF_FFFF`) must be rejected as corrupt, not turned
+/// into a ~4 GB allocation before the first read.
+pub const MAX_RECORD_LEN: usize = 16 << 20;
 
 /// Result of loading a snapshot.
 #[derive(Debug)]
@@ -38,6 +44,18 @@ pub struct LoadReport {
     pub corrupt: usize,
 }
 
+/// Result of writing a snapshot: how much went out and how hard it was
+/// pushed to disk (the `LoadReport` counterpart for the write path).
+#[derive(Debug, Clone, Copy)]
+pub struct SaveReport {
+    /// Records written.
+    pub records: usize,
+    /// Bytes written, including the magic.
+    pub bytes: u64,
+    /// `fsync` calls issued (file before rename, directory after).
+    pub fsyncs: usize,
+}
+
 /// Persistence errors.
 #[derive(Debug)]
 pub enum PersistError {
@@ -45,6 +63,9 @@ pub enum PersistError {
     Io(io::Error),
     /// The file does not start with the store magic.
     BadMagic,
+    /// An in-memory store scan failed while saving or comparing — a
+    /// codec-level problem, not a file-format one.
+    Scan(CodecError),
 }
 
 impl std::fmt::Display for PersistError {
@@ -52,6 +73,7 @@ impl std::fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "i/o error: {e}"),
             PersistError::BadMagic => write!(f, "not a knock-talk store file"),
+            PersistError::Scan(e) => write!(f, "in-memory store scan failed: {e}"),
         }
     }
 }
@@ -64,30 +86,42 @@ impl From<io::Error> for PersistError {
     }
 }
 
-/// Write every record of the store to `path` (atomically enough for a
-/// research pipeline: a temp file renamed into place).
-pub fn save(store: &TelemetryStore, path: &Path) -> Result<usize, PersistError> {
+/// Write every record of the store to `path`, atomically: a temp file
+/// fsynced before the rename (and the parent directory after), so a
+/// power loss leaves either the old snapshot or the complete new one —
+/// never an empty rename target.
+pub fn save(store: &TelemetryStore, path: &Path) -> Result<SaveReport, PersistError> {
     let tmp = path.with_extension("tmp");
     let mut written = 0usize;
+    let mut bytes_out = MAGIC.len() as u64;
     {
         let mut out = BufWriter::new(File::create(&tmp)?);
         out.write_all(MAGIC)?;
-        for record in store.scan_all().map_err(|_| PersistError::BadMagic)? {
+        for record in store.scan_all().map_err(PersistError::Scan)? {
             let bytes = encode(&record);
             out.write_all(&(bytes.len() as u32).to_le_bytes())?;
             out.write_all(&bytes)?;
+            bytes_out += 4 + bytes.len() as u64;
             written += 1;
         }
         out.flush()?;
+        out.get_ref().sync_all()?;
     }
     std::fs::rename(&tmp, path)?;
-    Ok(written)
+    journal::sync_parent_dir(path)?;
+    Ok(SaveReport {
+        records: written,
+        bytes: bytes_out,
+        fsyncs: 2,
+    })
 }
 
 /// Load a snapshot, recovering from truncation and skipping corrupt
 /// records.
 pub fn load(path: &Path) -> Result<LoadReport, PersistError> {
-    let mut input = BufReader::new(File::open(path)?);
+    let file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut input = BufReader::new(file);
     let mut magic = [0u8; 8];
     input
         .read_exact(&mut magic)
@@ -96,6 +130,7 @@ pub fn load(path: &Path) -> Result<LoadReport, PersistError> {
         return Err(PersistError::BadMagic);
     }
     let store = TelemetryStore::new();
+    let mut pos = MAGIC.len() as u64;
     let mut loaded = 0usize;
     let mut corrupt = 0usize;
     let mut truncated = false;
@@ -106,10 +141,26 @@ pub fn load(path: &Path) -> Result<LoadReport, PersistError> {
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
             Err(e) => return Err(e.into()),
         }
+        pos += 4;
         let len = u32::from_le_bytes(len_bytes) as usize;
+        // A corrupted length field must never drive the allocation: cap
+        // it against the sane record maximum and the bytes actually
+        // left in the file. KTSTORE1 has no sync markers to resync on,
+        // so a bad length ends the load (degraded, not fatal): an
+        // oversized claim is corruption, a sane length that runs past
+        // EOF is the familiar torn tail.
+        let remaining = file_len.saturating_sub(pos);
+        if len > MAX_RECORD_LEN {
+            corrupt += 1;
+            break;
+        }
+        if (len as u64) > remaining {
+            truncated = true;
+            break;
+        }
         let mut bytes = vec![0u8; len];
         match input.read_exact(&mut bytes) {
-            Ok(()) => {}
+            Ok(()) => pos += len as u64,
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
                 truncated = true;
                 break;
@@ -136,12 +187,30 @@ pub fn load(path: &Path) -> Result<LoadReport, PersistError> {
 pub fn verify_round_trip(store: &TelemetryStore, path: &Path) -> Result<bool, PersistError> {
     save(store, path)?;
     let report = load(path)?;
-    let a = store.scan_all().map_err(|_| PersistError::BadMagic)?;
-    let b = report
-        .store
-        .scan_all()
-        .map_err(|_| PersistError::BadMagic)?;
+    let a = store.scan_all().map_err(PersistError::Scan)?;
+    let b = report.store.scan_all().map_err(PersistError::Scan)?;
     Ok(a == b && !report.truncated && report.corrupt == 0)
+}
+
+/// Load either store format by sniffing the magic: a `KTSTORE1`
+/// snapshot loads directly, a `KTSTORE2` journal is replayed into a
+/// store (valid visit frames only, idempotent dedup). This is what
+/// read-side tools (`analyze`) use so both artifacts are queryable.
+pub fn load_any(path: &Path) -> Result<LoadReport, PersistError> {
+    if journal::is_journal(path) {
+        let report = journal::replay(path).map_err(|e| match e {
+            journal::JournalError::Io(io) => PersistError::Io(io),
+            journal::JournalError::BadMagic => PersistError::BadMagic,
+        })?;
+        let loaded = report.visits.len();
+        return Ok(LoadReport {
+            store: report.store,
+            loaded,
+            truncated: report.truncated_tail,
+            corrupt: report.corrupt_frames,
+        });
+    }
+    load(path)
 }
 
 #[cfg(test)]
@@ -225,10 +294,82 @@ mod tests {
     fn empty_store_round_trips() {
         let store = TelemetryStore::new();
         let path = tmp("empty");
-        assert_eq!(save(&store, &path).unwrap(), 0);
+        assert_eq!(save(&store, &path).unwrap().records, 0);
         let report = load(&path).unwrap();
         assert_eq!(report.loaded, 0);
         assert!(report.store.is_empty());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_reports_bytes_and_fsyncs() {
+        let store = sample_store(10);
+        let path = tmp("savereport");
+        let report = save(&store, &path).unwrap();
+        assert_eq!(report.records, 10);
+        assert_eq!(
+            report.bytes,
+            std::fs::metadata(&path).unwrap().len(),
+            "reported bytes match the file"
+        );
+        assert_eq!(report.fsyncs, 2, "file before rename, directory after");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn oversized_length_field_does_not_allocate() {
+        let store = sample_store(5);
+        let path = tmp("hugelen");
+        save(&store, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Corrupt the first record's length field to u32::MAX. Before
+        // the cap this requested a ~4 GB allocation up front.
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let report = load(&path).unwrap();
+        assert_eq!(report.loaded, 0);
+        assert_eq!(report.corrupt, 1, "the oversized frame counts as corrupt");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sane_length_past_eof_is_truncation() {
+        let store = sample_store(5);
+        let path = tmp("pasteof");
+        save(&store, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Claim a 1 MiB record (< MAX_RECORD_LEN) in a tiny file.
+        bytes[8..12].copy_from_slice(&(1u32 << 20).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let report = load(&path).unwrap();
+        assert!(report.truncated);
+        assert_eq!(report.loaded, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_any_reads_both_formats() {
+        use crate::journal::{JournalWriter, VisitDelta, FLAG_FINAL};
+        let store = sample_store(8);
+        let snap = tmp("any-snap");
+        save(&store, &snap).unwrap();
+        let report = load_any(&snap).unwrap();
+        assert_eq!(report.loaded, 8);
+
+        let jpath = tmp("any-journal");
+        let w = JournalWriter::create(&jpath).unwrap();
+        for record in store.scan_all().unwrap() {
+            w.append_visit(&record, &VisitDelta::default(), FLAG_FINAL, false);
+        }
+        w.sync();
+        let report = load_any(&jpath).unwrap();
+        assert_eq!(report.loaded, 8);
+        assert_eq!(
+            report.store.scan_all().unwrap(),
+            store.scan_all().unwrap(),
+            "journal replay reconstructs the same records"
+        );
+        std::fs::remove_file(&snap).ok();
+        std::fs::remove_file(&jpath).ok();
     }
 }

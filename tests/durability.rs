@@ -1,0 +1,321 @@
+//! Crash durability end to end: kill the process at every journal
+//! frame boundary, resume, and require the analysis tables to come out
+//! byte-identical to a run that never crashed; repair damaged journals
+//! with fsck and resume from the repaired file; keep loading the
+//! legacy `KTSTORE1` snapshot format.
+
+use knock_talk::analysis::report::{health_table, localhost_table, table1};
+use knock_talk::analysis::{analyze_crawl_par, detect_local};
+use knock_talk::crawler::{
+    run_crawl, run_crawl_journaled, run_crawl_resumed, split_campaigns, CrawlConfig, CrawlJob,
+    ResumePlan,
+};
+use knock_talk::faults::{Fault, FaultPlan};
+use knock_talk::netbase::{DomainName, Os, OsSet};
+use knock_talk::store::journal::{kind, scan};
+use knock_talk::store::{
+    fsck, persist, replay, CrawlId, FsckOptions, JournalWriter, KillMode, KillSpec, TelemetryStore,
+};
+use knock_talk::study::campaigns;
+use knock_talk::webgen::{Availability, Behavior, NativeApp, PlantedBehavior, WebSite};
+use knock_talk::{Study, StudyConfig};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("kt-durability-{name}-{}.ktj", std::process::id()))
+}
+
+/// A small campaign with every kind of journal frame: plain successes,
+/// localhost behaviour (so detection tables have rows), hard failures,
+/// and transient faults that exercise retries and the recrawl pass.
+fn sweep_sites() -> Vec<WebSite> {
+    let mut sites: Vec<WebSite> = (0..10)
+        .map(|i| {
+            WebSite::plain(
+                DomainName::parse(&format!("boundary-{i}.example")).unwrap(),
+                Some(i as u32 + 1),
+                3,
+            )
+        })
+        .collect();
+    sites[2].behaviors.push(PlantedBehavior {
+        behavior: Behavior::NativeApp(NativeApp::Discord),
+        os_set: OsSet::ALL,
+        base_delay_ms: 1_000,
+    });
+    sites[7].set_availability_all(Availability::Refused);
+    sites
+}
+
+fn sweep_config() -> CrawlConfig {
+    let mut config = CrawlConfig::paper(CrawlId::top2020(), Os::Windows, 5);
+    config.faults = FaultPlan::none(5)
+        .with_rate(Fault::ConnectionReset, 0.25)
+        .with_rate(Fault::DnsFlap, 0.2);
+    config
+}
+
+/// Every derived artefact the paper's tables read from one campaign,
+/// rendered to text so "byte-identical" means exactly that.
+fn campaign_tables(store: &TelemetryStore, stats: &knock_talk::crawler::CrawlStats) -> String {
+    let analysis = analyze_crawl_par(store, &CrawlId::top2020(), 2);
+    let mut out = table1(&[("Top 100K: 2020", Os::Windows, stats)]).0;
+    out.push_str(&health_table(&[("Top 100K: 2020", Os::Windows, stats)]).0);
+    out.push_str(&localhost_table(&analysis.sites).0);
+    out
+}
+
+#[test]
+fn kill_at_every_frame_boundary_resumes_to_identical_tables() {
+    let sites = sweep_sites();
+    let jobs: Vec<CrawlJob> = sites
+        .iter()
+        .map(|site| CrawlJob {
+            site,
+            malicious_category: None,
+        })
+        .collect();
+    let config = sweep_config();
+
+    let baseline_store = TelemetryStore::new();
+    let baseline_stats = run_crawl(&jobs, &config, &baseline_store);
+    let baseline_records = baseline_store.crawl_records(&CrawlId::top2020());
+    let baseline_tables = campaign_tables(&baseline_store, &baseline_stats);
+
+    // Probe run: how many frames does the uninterrupted journal hold?
+    let probe = tmp("sweep-probe");
+    let journal = JournalWriter::create(&probe).unwrap();
+    run_crawl_journaled(&jobs, &config, &TelemetryStore::new(), Some(&journal));
+    journal.sync();
+    let total_frames = replay(&probe).unwrap().frame_kinds.len() as u64;
+    std::fs::remove_file(&probe).ok();
+    assert!(total_frames >= jobs.len() as u64, "one frame per visit");
+
+    for at_frame in 0..total_frames {
+        for mode in [KillMode::MidFrame, KillMode::PostFrame] {
+            let path = tmp(&format!("sweep-{at_frame}-{mode:?}"));
+            let journal = JournalWriter::create(&path).unwrap();
+            journal.set_kill(Some(KillSpec { at_frame, mode }));
+            run_crawl_journaled(&jobs, &config, &TelemetryStore::new(), Some(&journal));
+            assert!(journal.killed(), "kill at frame {at_frame} ({mode:?})");
+            drop(journal);
+
+            let report = replay(&path).unwrap();
+            let campaigns = split_campaigns(&report.visits, &report.checkpoints);
+            let plan = campaigns
+                .get(&("top2020".to_string(), "Windows".to_string()))
+                .map(|c| c.plan(&jobs))
+                .unwrap_or_else(|| ResumePlan::fresh(jobs.len()));
+            let journal = JournalWriter::open_append(&path).unwrap();
+            let stats = run_crawl_resumed(&jobs, &plan, &config, &report.store, Some(&journal));
+            journal.sync();
+
+            assert_eq!(
+                stats, baseline_stats,
+                "stats diverge after kill at frame {at_frame} ({mode:?})"
+            );
+            assert_eq!(
+                report.store.crawl_records(&CrawlId::top2020()),
+                baseline_records,
+                "records diverge after kill at frame {at_frame} ({mode:?})"
+            );
+            assert_eq!(
+                campaign_tables(&report.store, &stats),
+                baseline_tables,
+                "tables diverge after kill at frame {at_frame} ({mode:?})"
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}
+
+#[test]
+fn study_kills_at_meta_and_checkpoint_boundaries() {
+    let config = StudyConfig::quick(13);
+    let baseline = Study::run(config);
+
+    // Probe the frame layout of an uninterrupted study journal.
+    let probe = tmp("study-probe");
+    let journal = JournalWriter::create(&probe).unwrap();
+    Study::run_journaled(config, Some(&journal));
+    drop(journal);
+    let kinds = replay(&probe).unwrap().frame_kinds;
+    std::fs::remove_file(&probe).ok();
+    let first_cp = kinds
+        .iter()
+        .position(|&k| k == kind::CHECKPOINT)
+        .expect("at least one checkpoint") as u64;
+    let last = kinds.len() as u64 - 1;
+
+    // Tearing the campaign-parameters frame itself leaves nothing to
+    // resume from: the doctor can salvage bytes, but `resume` must
+    // refuse rather than guess a population.
+    let path = tmp("study-meta-kill");
+    let journal = JournalWriter::create(&path).unwrap();
+    journal.set_kill(Some(KillSpec {
+        at_frame: 0,
+        mode: KillMode::MidFrame,
+    }));
+    Study::run_journaled(config, Some(&journal));
+    drop(journal);
+    assert!(
+        Study::resume(&path).is_err(),
+        "resume without a meta frame must refuse"
+    );
+    std::fs::remove_file(&path).ok();
+
+    // The interesting crash boundaries around campaign bookkeeping: a
+    // torn first checkpoint, a crash right after it (campaign complete
+    // on disk, successor not started), and a torn final checkpoint.
+    let boundaries = [
+        (first_cp, KillMode::MidFrame),
+        (first_cp, KillMode::PostFrame),
+        (last, KillMode::MidFrame),
+    ];
+    for (at_frame, mode) in boundaries {
+        let path = tmp(&format!("study-kill-{at_frame}-{mode:?}"));
+        let journal = JournalWriter::create(&path).unwrap();
+        journal.set_kill(Some(KillSpec { at_frame, mode }));
+        Study::run_journaled(config, Some(&journal));
+        assert!(journal.killed(), "study must die at frame {at_frame}");
+        drop(journal);
+
+        let resumed = Study::resume(&path).unwrap();
+        assert_eq!(
+            resumed.stats, baseline.stats,
+            "stats diverge after kill at frame {at_frame} ({mode:?})"
+        );
+        for (crawl, _) in campaigns() {
+            assert_eq!(
+                resumed.store.crawl_records(&crawl),
+                baseline.store.crawl_records(&crawl),
+                "{} records diverge after kill at frame {at_frame} ({mode:?})",
+                crawl.as_str()
+            );
+        }
+        for id in ["T1", "T2", "T5"] {
+            assert_eq!(
+                resumed.experiment(id),
+                baseline.experiment(id),
+                "table {id} diverges after kill at frame {at_frame} ({mode:?})"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn fsck_repair_then_resume_recovers_a_damaged_study_journal() {
+    let config = StudyConfig::quick(29);
+    let baseline = Study::run(config);
+
+    let path = tmp("fsck-resume");
+    let journal = JournalWriter::create(&path).unwrap();
+    Study::run_journaled(config, Some(&journal));
+    drop(journal);
+
+    // Vandalise two visit frames in the middle of the file (never the
+    // meta frame — a lost meta is unresumable by design).
+    let data = std::fs::read(&path).unwrap();
+    let frames = scan(&data).unwrap().frames;
+    let mut bent = data.clone();
+    for target in [frames.len() / 3, 2 * frames.len() / 3] {
+        let frame = &frames[target];
+        assert_ne!(frame.start, 8, "never the meta frame");
+        bent[frame.start as usize + 9] ^= 0xFF;
+    }
+    std::fs::write(&path, &bent).unwrap();
+
+    let report = fsck(
+        &path,
+        FsckOptions {
+            repair: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(report.corrupt_frames, 2, "both flips detected");
+    assert!(report.repaired, "repair rewrote the journal");
+    assert!(report.quarantined_bytes > 0, "damage quarantined, not lost");
+    let quarantine = report.quarantine_path.clone().expect("quarantine written");
+
+    // The rewritten journal is clean; the two vandalised visits are
+    // simply missing, and resume re-runs exactly those.
+    let clean = fsck(&path, FsckOptions::default()).unwrap();
+    assert_eq!(clean.corrupt_frames, 0);
+    assert!(!clean.truncated_tail);
+
+    let resumed = Study::resume(&path).unwrap();
+    for (crawl, _) in campaigns() {
+        let pick = |records: Vec<knock_talk::store::VisitRecord>| {
+            records
+                .into_iter()
+                .map(|r| ((r.domain.clone(), r.os), r))
+                .collect::<std::collections::BTreeMap<_, _>>()
+        };
+        let ours = pick(resumed.store.crawl_records(&crawl));
+        let theirs = pick(baseline.store.crawl_records(&crawl));
+        let missing: Vec<_> = theirs.keys().filter(|k| !ours.contains_key(*k)).collect();
+        let extra: Vec<_> = ours.keys().filter(|k| !theirs.contains_key(*k)).collect();
+        assert!(
+            missing.is_empty() && extra.is_empty(),
+            "{} domain set: missing {missing:?}, extra {extra:?}",
+            crawl.as_str()
+        );
+        for (key, record) in &ours {
+            assert_eq!(
+                record,
+                &theirs[key],
+                "{} record for {key:?} diverges after repair",
+                crawl.as_str()
+            );
+        }
+    }
+    assert_eq!(resumed.stats, baseline.stats, "stats recover after repair");
+    assert_eq!(resumed.experiment("T1"), baseline.experiment("T1"));
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&quarantine).ok();
+}
+
+#[test]
+fn legacy_ktstore1_snapshots_still_load_and_analyze() {
+    let sites = sweep_sites();
+    let jobs: Vec<CrawlJob> = sites
+        .iter()
+        .map(|site| CrawlJob {
+            site,
+            malicious_category: None,
+        })
+        .collect();
+    let store = TelemetryStore::new();
+    run_crawl(&jobs, &sweep_config(), &store);
+
+    let path = std::env::temp_dir().join(format!(
+        "kt-durability-legacy-{}.ktstore",
+        std::process::id()
+    ));
+    let saved = persist::save(&store, &path).unwrap();
+    assert_eq!(saved.records, store.len());
+    assert!(saved.bytes > 0);
+
+    // Both the explicit KTSTORE1 loader and the format-sniffing one.
+    for loaded in [
+        persist::load(&path).unwrap(),
+        persist::load_any(&path).unwrap(),
+    ] {
+        assert_eq!(loaded.loaded, store.len());
+        assert_eq!(loaded.corrupt, 0);
+        assert!(!loaded.truncated);
+        assert_eq!(
+            loaded.store.crawl_records(&CrawlId::top2020()),
+            store.crawl_records(&CrawlId::top2020()),
+            "snapshot round-trips byte for byte"
+        );
+        // The analysis pipeline accepts the reloaded store unchanged.
+        let records = loaded.store.crawl_records(&CrawlId::top2020());
+        let detections: usize = records.iter().map(|r| detect_local(r).len()).sum();
+        assert!(detections >= 10, "planted Discord probes survive the trip");
+    }
+    std::fs::remove_file(&path).ok();
+}
