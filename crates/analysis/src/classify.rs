@@ -117,7 +117,7 @@ const FILE_SUFFIXES: &[&str] = &[
 /// if any (the names of §4.3.3 / Appendix A). Independent of the
 /// overall classification so reports can annotate rows.
 pub fn native_app_name(site: &SiteLocalActivity) -> Option<&'static str> {
-    let paths = site.paths();
+    let paths = site.path_refs();
     for (name, fp_ports, marker, ws_required) in NATIVE_FINGERPRINTS {
         let port_hit = site
             .observations
@@ -136,7 +136,7 @@ pub fn native_app_name(site: &SiteLocalActivity) -> Option<&'static str> {
 /// Classify one site's local activity.
 pub fn classify_site(site: &SiteLocalActivity) -> ReasonClass {
     let ports: BTreeSet<u16> = site.observations.iter().map(|o| o.port).collect();
-    let paths = site.paths();
+    let paths = site.path_refs();
 
     // 1. ThreatMetrix: WSS to most of the 14-port set, path "/".
     let tm_hits = THREATMETRIX_PORTS

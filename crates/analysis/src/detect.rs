@@ -8,11 +8,12 @@
 //! or a loopback address, and *LAN* if it is in the RFC 1918 /
 //! unique-local ranges.
 
-use kt_netbase::{Locality, Os, OsSet, Scheme, Url};
-use kt_netlog::FlowSet;
-use kt_store::VisitRecord;
+use crate::intern::DomainInterner;
+use kt_netbase::{Locality, Os, OsSet, Scheme, Url, UrlView};
+use kt_netlog::{FlowSet, FlowSetView};
+use kt_store::{VisitRecord, VisitView};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 
 /// One locally-destined request observed in telemetry.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -57,6 +58,22 @@ pub fn detect_local(record: &VisitRecord) -> Vec<LocalObservation> {
 /// classifier, and the §5.3 defense replay needs the page context —
 /// this returns both without walking the events twice.
 pub fn detect_local_with_page(record: &VisitRecord) -> (Vec<LocalObservation>, Option<Url>) {
+    detect_local_with_page_view(&record.view())
+}
+
+/// Extract all local observations from a borrowed record view.
+pub fn detect_local_view(view: &VisitView<'_>) -> Vec<LocalObservation> {
+    detect_local_with_page_view(view).0
+}
+
+/// The pre-zero-copy reference implementation of
+/// [`detect_local_with_page`]: owned flow reconstruction (every event
+/// cloned into a [`FlowSet`]), owned candidate strings, and an owned
+/// [`Url`] parse for every URL. Retained verbatim as the ablation
+/// baseline the decode+detect bench measures against and the ground
+/// truth the equivalence tests pin [`detect_local_with_page_view`] to,
+/// byte for byte.
+pub fn detect_local_with_page_owned(record: &VisitRecord) -> (Vec<LocalObservation>, Option<Url>) {
     let flows = FlowSet::from_events(record.events.iter().cloned());
     let mut out = Vec::new();
     let mut page_url: Option<Url> = None;
@@ -93,6 +110,54 @@ pub fn detect_local_with_page(record: &VisitRecord) -> (Vec<LocalObservation>, O
                 via_redirect,
                 time_ms: flow.start_time(),
                 delay_ms: flow.start_time().saturating_sub(record.loaded_at_ms),
+                url,
+            });
+        }
+    }
+    (out, page_url)
+}
+
+/// The zero-copy detection core: flows are reconstructed over borrowed
+/// [`kt_netlog::EventView`]s and every candidate URL is parsed as a
+/// borrowed [`UrlView`]. Nothing is copied out of the backing buffer
+/// until a URL actually classifies as local (< 1% of requests) or
+/// becomes the page URL — only then is an owned [`Url`] materialised.
+pub fn detect_local_with_page_view(view: &VisitView<'_>) -> (Vec<LocalObservation>, Option<Url>) {
+    let flows = FlowSetView::from_events(view.events.iter().copied());
+    let mut out = Vec::new();
+    let mut page_url: Option<Url> = None;
+    for flow in flows.page_flows() {
+        // Direct request URL first, then any redirect targets — all
+        // borrowed from the flow's events.
+        let direct = flow.url().map(|u| (u, false));
+        let candidates = direct
+            .into_iter()
+            .chain(flow.redirects().map(|loc| (loc, true)));
+        for (text, via_redirect) in candidates {
+            let Ok(url) = UrlView::parse(text) else {
+                continue;
+            };
+            if page_url.is_none() && !via_redirect {
+                page_url = Some(url.to_owned());
+            }
+            let locality = url.locality();
+            if !locality.is_local() {
+                continue;
+            }
+            let url = url.to_owned();
+            out.push(LocalObservation {
+                domain: view.domain.to_string(),
+                rank: view.rank,
+                malicious_category: view.malicious_category,
+                os: view.os,
+                scheme: url.scheme(),
+                port: url.port(),
+                path: url.path_and_query(),
+                locality,
+                websocket: flow.is_websocket() || url.scheme().is_websocket(),
+                via_redirect,
+                time_ms: flow.start_time(),
+                delay_ms: flow.start_time().saturating_sub(view.loaded_at_ms),
                 url,
             });
         }
@@ -140,10 +205,19 @@ impl SiteLocalActivity {
         v
     }
 
-    /// Distinct paths observed, sorted.
+    /// Distinct paths observed, sorted. Allocates one `String` per
+    /// observation; classifiers on the hot path should prefer
+    /// [`SiteLocalActivity::path_refs`].
     pub fn paths(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.observations.iter().map(|o| o.path.clone()).collect();
-        v.sort();
+        self.path_refs().into_iter().map(str::to_string).collect()
+    }
+
+    /// Distinct paths observed, sorted, borrowed from the
+    /// observations — the clone-free counterpart of
+    /// [`SiteLocalActivity::paths`].
+    pub fn path_refs(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.observations.iter().map(|o| o.path.as_str()).collect();
+        v.sort_unstable();
         v.dedup();
         v
     }
@@ -161,14 +235,20 @@ impl SiteLocalActivity {
 }
 
 /// Aggregate observations from many visit records into per-site
-/// activity summaries, in first-seen order.
+/// activity summaries, sorted by domain.
+///
+/// Sites are keyed through a [`DomainInterner`] so the per-observation
+/// cost is a borrowed hash lookup, not a `String` clone; the domain is
+/// copied once per distinct site.
 pub fn aggregate_sites(records: &[VisitRecord]) -> Vec<SiteLocalActivity> {
-    let mut by_domain: BTreeMap<String, SiteLocalActivity> = BTreeMap::new();
+    let mut interner = DomainInterner::new();
+    let mut slots: HashMap<crate::intern::Symbol, usize> = HashMap::new();
+    let mut sites: Vec<SiteLocalActivity> = Vec::new();
     for record in records {
         for obs in detect_local(record) {
-            let entry = by_domain
-                .entry(obs.domain.clone())
-                .or_insert_with(|| SiteLocalActivity {
+            let sym = interner.intern(&obs.domain);
+            let slot = *slots.entry(sym).or_insert_with(|| {
+                sites.push(SiteLocalActivity {
                     domain: obs.domain.clone(),
                     rank: obs.rank,
                     malicious_category: obs.malicious_category,
@@ -176,6 +256,9 @@ pub fn aggregate_sites(records: &[VisitRecord]) -> Vec<SiteLocalActivity> {
                     lan_os: OsSet::NONE,
                     observations: Vec::new(),
                 });
+                sites.len() - 1
+            });
+            let entry = &mut sites[slot];
             if obs.locality.is_loopback() {
                 entry.localhost_os = entry.localhost_os.with(obs.os);
             } else if obs.locality.is_private() {
@@ -184,7 +267,8 @@ pub fn aggregate_sites(records: &[VisitRecord]) -> Vec<SiteLocalActivity> {
             entry.observations.push(obs);
         }
     }
-    by_domain.into_values().collect()
+    sites.sort_by(|a, b| a.domain.cmp(&b.domain));
+    sites
 }
 
 #[cfg(test)]
@@ -346,6 +430,36 @@ mod tests {
         let events = url_request(1, 1_000, "not a url at all");
         let record = record_with_events("weird.example", Os::Linux, events);
         assert!(detect_local(&record).is_empty());
+    }
+
+    #[test]
+    fn view_detection_matches_owned_reference_byte_for_byte() {
+        let mut events = url_request(1, 500, "https://cdn.example/lib.js");
+        events.extend(url_request(2, 5_400, "http://LOCALHOST:8888/wp-content/a.jpg"));
+        events.extend(url_request(3, 6_000, "http://10.0.0.200/b.mp4"));
+        events.extend(ws_request(4, 9_000, "wss://localhost:3389/"));
+        events.extend(url_request(5, 1_000, "not a url at all"));
+        events.push(NetLogEvent {
+            time: 800,
+            event_type: EventType::UrlRequestRedirected,
+            source: SourceRef {
+                id: 1,
+                kind: SourceType::UrlRequest,
+            },
+            phase: EventPhase::None,
+            params: EventParams::Redirect {
+                location: "http://127.0.0.1/redir?x=1".into(),
+            },
+        });
+        for os in [Os::Windows, Os::Linux] {
+            let record = record_with_events("equiv.example", os, events.clone());
+            let owned = detect_local_with_page_owned(&record);
+            let via_wrapper = detect_local_with_page(&record);
+            let via_view = detect_local_with_page_view(&record.view());
+            assert_eq!(owned, via_wrapper);
+            assert_eq!(owned, via_view);
+            assert!(!owned.0.is_empty() && owned.1.is_some());
+        }
     }
 
     #[test]

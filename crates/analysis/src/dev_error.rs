@@ -71,7 +71,7 @@ const FILE_SUFFIXES: &[&str] = &[
 /// error. The most specific signature wins; sites whose only local
 /// traffic is LAN-destined classify as [`DevErrorKind::LanResource`].
 pub fn classify_dev_error(site: &SiteLocalActivity) -> DevErrorKind {
-    let paths = site.paths();
+    let paths = site.path_refs();
     let has = |needle: &str| paths.iter().any(|p| p.contains(needle));
     if has("xook.js") {
         return DevErrorKind::PenTest;

@@ -1,0 +1,101 @@
+//! A small string interner for per-crawl aggregation keys.
+//!
+//! The aggregation layer used to key its maps by `domain.clone()` —
+//! one heap `String` per observation per map. At crawl scale (100K
+//! sites × 3 OSes) those clones dominate the aggregation profile. A
+//! [`DomainInterner`] assigns each distinct domain a dense `u32`
+//! [`Symbol`] on first sight; hot-path maps key on the `Symbol`
+//! (4 bytes, `Copy`, hashes in one multiply) and resolve back to the
+//! string only when a report is rendered.
+//!
+//! Determinism note: symbol *values* depend on first-sight order, which
+//! under the parallel driver depends on thread interleaving. Consumers
+//! must therefore never order output by raw symbol — they sort by the
+//! resolved string (see `par::analyze_crawl_par`), which restores the
+//! byte-identical table order regardless of worker count.
+
+use std::collections::HashMap;
+
+/// An interned domain: a dense index into the interner's table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw index value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interns domain strings to dense [`Symbol`]s for the lifetime of one
+/// crawl analysis.
+#[derive(Debug, Default)]
+pub struct DomainInterner {
+    by_name: HashMap<String, Symbol>,
+    names: Vec<String>,
+}
+
+impl DomainInterner {
+    /// An empty interner.
+    pub fn new() -> DomainInterner {
+        DomainInterner::default()
+    }
+
+    /// The symbol for `name`, allocating the string only on first
+    /// sight. Repeat interning of a known name is a borrowed map
+    /// lookup — no allocation.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.by_name.get(name) {
+            return sym;
+        }
+        let sym = Symbol(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), sym);
+        sym
+    }
+
+    /// Resolve a symbol back to its string.
+    ///
+    /// # Panics
+    /// If `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut i = DomainInterner::new();
+        let a = i.intern("a.example");
+        let b = i.intern("b.example");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("a.example"), a);
+        assert_eq!(i.intern("b.example"), b);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(a), "a.example");
+        assert_eq!(i.resolve(b), "b.example");
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = DomainInterner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

@@ -22,6 +22,8 @@
 //!   Access proposal (§5.3) across adoption scenarios;
 //! * [`entropy`] — the §5.2 fingerprinting-entropy measurement over
 //!   simulated visitor machines;
+//! * [`intern`] — the per-crawl domain interner backing the clone-free
+//!   aggregation keys;
 //! * [`par`] — the parallel analysis driver: stream the store shard
 //!   by shard across threads, decode each record once, fan it out to
 //!   every classifier, and merge deterministically.
@@ -34,6 +36,7 @@ pub mod defense;
 pub mod detect;
 pub mod dev_error;
 pub mod entropy;
+pub mod intern;
 pub mod longitudinal;
 pub mod par;
 pub mod report;
@@ -43,7 +46,11 @@ pub mod venn;
 pub use cdf::Ecdf;
 pub use classify::{classify_site, ReasonClass};
 pub use defense::{AdoptionScenario, DefenseImpact};
-pub use detect::{detect_local, LocalObservation, SiteLocalActivity};
+pub use detect::{
+    detect_local, detect_local_view, detect_local_with_page_owned, LocalObservation,
+    SiteLocalActivity,
+};
+pub use intern::{DomainInterner, Symbol};
 pub use dev_error::{classify_dev_error, DevErrorKind};
 pub use entropy::{scan_entropy, EntropyReport, PortFingerprint};
 pub use longitudinal::{transitions, Transition, TransitionMatrix};

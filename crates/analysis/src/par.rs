@@ -3,30 +3,38 @@
 //! The sequential pipeline decodes a crawl's records several times —
 //! once per table that wants them — and classifies on a single thread.
 //! [`analyze_crawl_par`] streams the store shard by shard across scoped
-//! worker threads instead: each record is decoded exactly once and
-//! fanned out to every consumer in one pass (local-traffic detection,
-//! the §5.3 PNA defense replay, the Figure 4/8 port rings, and the
-//! Table 2 outcome tally). Workers produce partial aggregates keyed by
-//! `(domain, OS)`; since the store holds at most one record per
-//! `(crawl, domain, OS)`, the partials are disjoint and merge into a
-//! single ordered map.
+//! worker threads instead, and the decode is *borrowed*: workers pull
+//! raw segment bytes with [`TelemetryStore::shard_raw_on`], decode each
+//! record once as a [`VisitView`] (string fields are slices into the
+//! segment, never copied), and fan it out to every consumer in one
+//! pass (local-traffic detection, the §5.3 PNA defense replay, the
+//! Figure 4/8 port rings, and the Table 2 outcome tally). Each record's
+//! domain is interned to a [`Symbol`] through a shared
+//! [`DomainInterner`] — one short lock per record — so the partial
+//! aggregates carry 4-byte `Copy` keys instead of cloned `String`s.
 //!
-//! Determinism: the merged map iterates in `(domain, OS)` order —
-//! exactly the order [`TelemetryStore::crawl_records`] returns and the
-//! sequential [`aggregate_sites`] consumes — so every aggregate built
-//! from it is byte-identical to the sequential path whatever the
-//! worker count or shard claim interleaving. The equivalence tests
+//! Determinism: symbol values depend on which worker interned a domain
+//! first, so after the join the merged entries are sorted by the
+//! *resolved* `(domain, OS)` key — exactly the order
+//! [`TelemetryStore::crawl_records`] returns and the sequential
+//! [`aggregate_sites`] consumes. Every aggregate built from the sorted
+//! entries is therefore byte-identical to the sequential path whatever
+//! the worker count or shard claim interleaving. The equivalence tests
 //! below and the Study-level table comparison prove it.
+//!
+//! [`aggregate_sites`]: crate::detect::aggregate_sites
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use kt_netbase::{Os, OsSet};
-use kt_store::{CrawlId, TelemetryStore, VisitRecord};
+use kt_store::{decode_view, CrawlId, TelemetryStore, VisitView};
 
 use crate::classify::{classify_site, ReasonClass};
 use crate::defense::{page_env, verdict_for, AdoptionScenario, DefenseImpact};
-use crate::detect::{detect_local_with_page, SiteLocalActivity};
+use crate::detect::{detect_local_with_page_view, SiteLocalActivity};
+use crate::intern::{DomainInterner, Symbol};
 use crate::rings::PortRings;
 
 /// Success/total visit counts for one (malicious category, OS) cell of
@@ -77,8 +85,8 @@ fn os_slot(os: Os) -> u8 {
     }
 }
 
-fn fan_out(record: VisitRecord) -> ((String, u8), RecordYield) {
-    let (observations, page_url) = detect_local_with_page(&record);
+fn fan_out(view: &VisitView<'_>) -> RecordYield {
+    let (observations, page_url) = detect_local_with_page_view(view);
     let page = page_env(page_url.as_ref());
     let mut any_permitted = [false; 3];
     for (i, scenario) in AdoptionScenario::ALL.into_iter().enumerate() {
@@ -86,43 +94,53 @@ fn fan_out(record: VisitRecord) -> ((String, u8), RecordYield) {
             .iter()
             .any(|obs| verdict_for(page, obs, scenario).permits());
     }
-    (
-        (record.domain, os_slot(record.os)),
-        RecordYield {
-            malicious_category: record.malicious_category,
-            os: record.os,
-            success: record.outcome.is_success(),
-            observations,
-            any_permitted,
-        },
-    )
+    RecordYield {
+        malicious_category: view.malicious_category,
+        os: view.os,
+        success: view.outcome.is_success(),
+        observations,
+        any_permitted,
+    }
 }
 
 /// Analyse one crawl's telemetry with `workers` threads, decoding each
-/// record exactly once. Produces the same sites, rings, and defense
-/// impact as the sequential `aggregate_sites` / `PortRings` /
-/// `defense::evaluate` calls over `store.crawl_records(crawl)`.
+/// record exactly once — as a borrowed view over the store's own
+/// bytes. Produces the same sites, rings, and defense impact as the
+/// sequential `aggregate_sites` / `PortRings` / `defense::evaluate`
+/// calls over `store.crawl_records(crawl)`.
 pub fn analyze_crawl_par(store: &TelemetryStore, crawl: &CrawlId, workers: usize) -> CrawlAnalysis {
     let shards = store.shard_count();
     let workers = workers.max(1).min(shards);
     // Workers claim shards off an atomic ticket (same self-scheduling
-    // shape as the crawl pool) and build disjoint partial maps.
+    // shape as the crawl pool) and build disjoint partial vectors.
     let ticket = AtomicUsize::new(0);
-    let mut merged: BTreeMap<(String, u8), RecordYield> = BTreeMap::new();
+    let interner = Mutex::new(DomainInterner::new());
+    let mut entries: Vec<((Symbol, u8), RecordYield)> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let ticket = &ticket;
+                let interner = &interner;
                 scope.spawn(move || {
-                    let mut partial: BTreeMap<(String, u8), RecordYield> = BTreeMap::new();
+                    let mut partial: Vec<((Symbol, u8), RecordYield)> = Vec::new();
                     loop {
                         let shard = ticket.fetch_add(1, Ordering::Relaxed);
                         if shard >= shards {
                             break;
                         }
-                        for record in store.shard_records_on(crawl, shard, None) {
-                            let (key, yielded) = fan_out(record);
-                            partial.insert(key, yielded);
+                        for raw in store.shard_raw_on(crawl, shard, None) {
+                            // Undecodable segments cannot occur for
+                            // records the store itself encoded; skip
+                            // defensively all the same.
+                            let Ok(view) = decode_view(&raw) else {
+                                continue;
+                            };
+                            let yielded = fan_out(&view);
+                            let sym = interner
+                                .lock()
+                                .expect("interner lock poisoned")
+                                .intern(view.domain);
+                            partial.push(((sym, os_slot(view.os)), yielded));
                         }
                     }
                     partial
@@ -132,21 +150,32 @@ pub fn analyze_crawl_par(store: &TelemetryStore, crawl: &CrawlId, workers: usize
         for handle in handles {
             // Disjoint keys: each (domain, OS) lives in exactly one
             // shard, and each shard is claimed by exactly one worker.
-            merged.extend(handle.join().expect("analysis worker panicked"));
+            entries.extend(handle.join().expect("analysis worker panicked"));
         }
     });
-    assemble(merged)
+    let interner = interner.into_inner().expect("interner lock poisoned");
+    // Symbol values depend on interleaving; resolved names do not.
+    // Keys are unique, so this sort fully determines the order.
+    entries.sort_unstable_by(|((a_sym, a_os), _), ((b_sym, b_os), _)| {
+        interner
+            .resolve(*a_sym)
+            .cmp(interner.resolve(*b_sym))
+            .then(a_os.cmp(b_os))
+    });
+    assemble(entries, &interner)
 }
 
-/// Fold the ordered per-record yields into the final aggregates. All
-/// iteration below is over `BTreeMap`s in `(domain, OS)` key order, so
-/// the output is a pure function of the record *set*.
-fn assemble(merged: BTreeMap<(String, u8), RecordYield>) -> CrawlAnalysis {
-    let visits = merged.len();
+/// Fold the `(domain, OS)`-ordered per-record yields into the final
+/// aggregates. Entries arrive sorted by resolved key, so a site's OS
+/// rows are adjacent and every aggregate below is a pure function of
+/// the record *set*.
+fn assemble(entries: Vec<((Symbol, u8), RecordYield)>, interner: &DomainInterner) -> CrawlAnalysis {
+    let visits = entries.len();
     // Outcome tally and per-scenario defense verdicts (borrow pass).
+    // `permitted` merges a domain's OS rows by run — no keying needed.
     let mut outcomes: BTreeMap<(u8, Os), OutcomeTally> = BTreeMap::new();
-    let mut permitted: [BTreeMap<String, bool>; 3] = Default::default();
-    for ((domain, _), yielded) in &merged {
+    let mut permitted: Vec<(Symbol, [bool; 3])> = Vec::new();
+    for ((sym, _), yielded) in &entries {
         if let Some(code) = yielded.malicious_category {
             let tally = outcomes.entry((code, yielded.os)).or_default();
             tally.total += 1;
@@ -155,20 +184,25 @@ fn assemble(merged: BTreeMap<(String, u8), RecordYield>) -> CrawlAnalysis {
             }
         }
         if !yielded.observations.is_empty() {
-            for (scenario, map) in permitted.iter_mut().enumerate() {
-                let any = map.entry(domain.clone()).or_insert(false);
+            if permitted.last().map(|(s, _)| s != sym).unwrap_or(true) {
+                permitted.push((*sym, [false; 3]));
+            }
+            let (_, flags) = permitted.last_mut().expect("just pushed");
+            for (scenario, any) in flags.iter_mut().enumerate() {
                 *any |= yielded.any_permitted[scenario];
             }
         }
     }
     // Site aggregation (consuming pass): identical logic and identical
-    // input order to `aggregate_sites` over a sorted record slice.
-    let mut by_domain: BTreeMap<String, SiteLocalActivity> = BTreeMap::new();
-    for (_, yielded) in merged {
+    // input order to `aggregate_sites` over a sorted record slice; the
+    // sorted entries make each site one contiguous run, so sites build
+    // directly into their final vector.
+    let mut sites: Vec<SiteLocalActivity> = Vec::new();
+    let mut site_sym: Option<Symbol> = None;
+    for ((sym, _), yielded) in entries {
         for obs in yielded.observations {
-            let entry = by_domain
-                .entry(obs.domain.clone())
-                .or_insert_with(|| SiteLocalActivity {
+            if site_sym != Some(sym) {
+                sites.push(SiteLocalActivity {
                     domain: obs.domain.clone(),
                     rank: obs.rank,
                     malicious_category: obs.malicious_category,
@@ -176,6 +210,9 @@ fn assemble(merged: BTreeMap<(String, u8), RecordYield>) -> CrawlAnalysis {
                     lan_os: OsSet::NONE,
                     observations: Vec::new(),
                 });
+                site_sym = Some(sym);
+            }
+            let entry = sites.last_mut().expect("just pushed a site");
             if obs.locality.is_loopback() {
                 entry.localhost_os = entry.localhost_os.with(obs.os);
             } else if obs.locality.is_private() {
@@ -184,7 +221,6 @@ fn assemble(merged: BTreeMap<(String, u8), RecordYield>) -> CrawlAnalysis {
             entry.observations.push(obs);
         }
     }
-    let sites: Vec<SiteLocalActivity> = by_domain.into_values().collect();
     // Defense impact from the per-record verdicts plus the final site
     // classification — the same per-domain OR `defense::evaluate`
     // computes record by record.
@@ -194,15 +230,15 @@ fn assemble(merged: BTreeMap<(String, u8), RecordYield>) -> CrawlAnalysis {
         .collect();
     let mut defense = DefenseImpact::default();
     for (i, scenario) in AdoptionScenario::ALL.into_iter().enumerate() {
-        for (domain, any_permitted) in &permitted[i] {
-            let Some(class) = class_of.get(domain.as_str()) else {
+        for (sym, flags) in &permitted {
+            let Some(class) = class_of.get(interner.resolve(*sym)) else {
                 continue;
             };
             let slot = defense
                 .by_class
                 .entry((*class, scenario.label().to_string()))
                 .or_insert((0, 0));
-            if *any_permitted {
+            if flags[i] {
                 slot.0 += 1;
             } else {
                 slot.1 += 1;
@@ -225,7 +261,7 @@ mod tests {
     use crate::defense::evaluate;
     use crate::detect::{aggregate_sites, detect_local};
     use kt_netlog::{EventParams, EventPhase, EventType, NetLogEvent, SourceRef, SourceType};
-    use kt_store::LoadOutcome;
+    use kt_store::{LoadOutcome, VisitRecord};
 
     fn url_request(id: u64, time: u64, url: &str) -> NetLogEvent {
         NetLogEvent {

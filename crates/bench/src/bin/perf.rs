@@ -31,14 +31,79 @@
 //! speed so `--check` can compare runs across hosts: it fails (exit 1)
 //! when any stage's relative throughput regressed more than 2× against
 //! the checked-in baseline.
+//!
+//! The binary also installs a counting global allocator and runs the
+//! decode+detect hot path twice over the same raw store bytes — once
+//! through the owned path (`decode` to a `VisitRecord`, `detect_local`
+//! over it) and once through the borrowed path (`decode_view` +
+//! `detect_local_view`) — recording events/sec, allocations/event, and
+//! heap bytes/event for each. `--alloc-ceiling <f64>` turns the view
+//! path's allocations/event into a CI gate: exit 1 if any population
+//! exceeds the checked-in ceiling.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use knock_talk::analysis::{detect_local_view, detect_local_with_page_owned};
 use knock_talk::crawler::{run_crawl, run_crawl_chunked, CrawlConfig, CrawlJob};
 use knock_talk::faults::{Fault, FaultPlan, RetryPolicy};
 use knock_talk::netbase::{DomainName, Os};
-use knock_talk::store::{CrawlId, TelemetryStore};
+use knock_talk::store::codec::decode;
+use knock_talk::store::{decode_view, CrawlId, TelemetryStore};
 use knock_talk::webgen::WebSite;
+
+/// A pass-through [`System`] allocator that counts every allocation so
+/// the decode+detect stages can report allocations/event. Reallocs and
+/// zeroed allocations count too; frees are not tracked (the metric is
+/// allocator traffic, not live heap).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Run `f`, returning its result plus (allocations, heap bytes)
+/// performed while it ran. Single-threaded callers only — the counters
+/// are process-global.
+fn count_allocs<T>(f: impl FnOnce() -> T) -> (T, u64, u64) {
+    let (a0, b0) = (
+        ALLOCS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    );
+    let value = f();
+    let (a1, b1) = (
+        ALLOCS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    );
+    (value, a1 - a0, b1 - b0)
+}
 
 /// Fraction of the population that is heavy: exactly one chunk's worth
 /// at the maximum worker count, so static chunking concentrates all of
@@ -55,6 +120,7 @@ const FAULT_RATE: f64 = 0.5;
 struct Options {
     smoke: bool,
     check: Option<String>,
+    alloc_ceiling: Option<f64>,
     out: String,
     seed: u64,
 }
@@ -63,6 +129,7 @@ fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         smoke: false,
         check: None,
+        alloc_ceiling: None,
         out: "BENCH_pipeline.json".to_string(),
         seed: 0xBE7C,
     };
@@ -72,6 +139,13 @@ fn parse_args() -> Result<Options, String> {
             "--smoke" => opts.smoke = true,
             "--check" => {
                 opts.check = Some(args.next().ok_or("--check needs a baseline path")?);
+            }
+            "--alloc-ceiling" => {
+                opts.alloc_ceiling = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--alloc-ceiling needs a number (allocs/event)")?,
+                );
             }
             "--out" => opts.out = args.next().ok_or("--out needs a path")?,
             "--seed" => {
@@ -224,6 +298,50 @@ fn bench_population(n: usize, seed: u64, plan: &FaultPlan, calib: f64) -> serde_
         );
     }
 
+    // Zero-copy decode+detect ablation: identical raw segment bytes
+    // through the pre-refactor owned path (`decode` to a
+    // `VisitRecord`, then the retained clone-per-event reference
+    // detection) and the borrowed path (`decode_view` +
+    // `detect_local_view`). Cloning a `Bytes` is an Arc refcount bump,
+    // so the owned pass pays only what owned decode+detect itself
+    // costs.
+    let raws: Vec<_> = (0..store.shard_count())
+        .flat_map(|shard| store.shard_raw_on(&crawl, shard, None))
+        .collect();
+    assert_eq!(raws.len(), n);
+    let events: usize = raws
+        .iter()
+        .map(|raw| decode_view(raw).expect("store bytes decode").events.len())
+        .sum();
+    let owned_pass = || -> usize {
+        raws.iter()
+            .map(|raw| {
+                let record = decode(raw.clone()).expect("store bytes decode");
+                detect_local_with_page_owned(&record).0.len()
+            })
+            .sum()
+    };
+    let view_pass = || -> usize {
+        raws.iter()
+            .map(|raw| {
+                let view = decode_view(raw).expect("store bytes decode");
+                detect_local_view(&view).len()
+            })
+            .sum()
+    };
+    let (owned_obs, owned_allocs, owned_bytes) = count_allocs(&owned_pass);
+    let (view_obs, view_allocs, view_bytes) = count_allocs(&view_pass);
+    assert_eq!(owned_obs, view_obs, "both paths must agree on observations");
+    let (_, mut owned_secs) = time(&owned_pass);
+    for _ in 0..2 {
+        owned_secs = owned_secs.min(time(&owned_pass).1);
+    }
+    let (_, mut view_secs) = time(&view_pass);
+    for _ in 0..2 {
+        view_secs = view_secs.min(time(&view_pass).1);
+    }
+    let per_event = |count: u64| count as f64 / events.max(1) as f64;
+
     eprintln!(
         "  n={n:>4}: crawl {:.2}s ({:.0}/s, sim {:.0}s), scan {:.3}s, analyze {:.3}s",
         crawl_secs,
@@ -232,6 +350,16 @@ fn bench_population(n: usize, seed: u64, plan: &FaultPlan, calib: f64) -> serde_
         scan_secs,
         analyze_secs
     );
+    eprintln!(
+        "          decode+detect over {events} events: owned {:.0}/s ({:.2} allocs/ev), \
+         view {:.0}/s ({:.3} allocs/ev) — {:.1}x faster, {:.0}x fewer allocs",
+        events as f64 / owned_secs,
+        per_event(owned_allocs),
+        events as f64 / view_secs,
+        per_event(view_allocs),
+        owned_secs / view_secs,
+        owned_allocs as f64 / view_allocs.max(1) as f64
+    );
     let mut crawl_stage = stage_json(n, crawl_secs, calib);
     if let serde_json::Value::Object(map) = &mut crawl_stage {
         map.insert(
@@ -239,6 +367,20 @@ fn bench_population(n: usize, seed: u64, plan: &FaultPlan, calib: f64) -> serde_
             serde_json::json!(stats.makespan_ms),
         );
     }
+    let decode_stage = |secs: f64, allocs: u64, bytes: u64| {
+        let mut stage = stage_json(events, secs, calib);
+        if let serde_json::Value::Object(map) = &mut stage {
+            map.insert(
+                "allocs_per_event".to_string(),
+                serde_json::json!(per_event(allocs)),
+            );
+            map.insert(
+                "bytes_per_event".to_string(),
+                serde_json::json!(per_event(bytes)),
+            );
+        }
+        stage
+    };
     serde_json::json!({
         "sites": n,
         "heavy_sites": (n / MAX_WORKERS).max(1),
@@ -246,6 +388,12 @@ fn bench_population(n: usize, seed: u64, plan: &FaultPlan, calib: f64) -> serde_
             "crawl": crawl_stage,
             "scan": stage_json(n, scan_secs, calib),
             "analyze": stage_json(n, analyze_secs, calib),
+            "decode_detect_owned": decode_stage(owned_secs, owned_allocs, owned_bytes),
+            "decode_detect_view": decode_stage(view_secs, view_allocs, view_bytes),
+        },
+        "zero_copy": {
+            "speedup": owned_secs / view_secs,
+            "alloc_reduction": owned_allocs as f64 / view_allocs.max(1) as f64,
         },
     })
 }
@@ -333,7 +481,13 @@ fn check_regressions(
         else {
             continue; // no baseline at this size — nothing to compare
         };
-        for stage in ["crawl", "scan", "analyze"] {
+        for stage in [
+            "crawl",
+            "scan",
+            "analyze",
+            "decode_detect_owned",
+            "decode_detect_view",
+        ] {
             let (Some(b), Some(c)) = (rel(base, stage), rel(cur, stage)) else {
                 continue;
             };
@@ -461,6 +615,23 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    if let Some(ceiling) = opts.alloc_ceiling {
+        let worst = report["populations"]
+            .as_array()
+            .into_iter()
+            .flatten()
+            .filter_map(|p| p["stages"]["decode_detect_view"]["allocs_per_event"].as_f64())
+            .fold(0.0f64, f64::max);
+        if worst > ceiling {
+            eprintln!(
+                "check: FAILED — decode_detect_view allocated {worst:.3}/event, \
+                 ceiling is {ceiling}"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("check: decode_detect_view allocs/event {worst:.3} within ceiling {ceiling}");
     }
 
     let out = if opts.check.is_some() && opts.out == "BENCH_pipeline.json" {

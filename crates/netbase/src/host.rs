@@ -179,6 +179,122 @@ impl FromStr for Host {
     }
 }
 
+/// A borrowed, validated DNS name: the input slice with any trailing
+/// root dot stripped, in its *original* case.
+///
+/// Validation is byte-identical to [`DomainName::parse`] — same
+/// accepted set, same error values (including the lower-cased label in
+/// `InvalidLabel`) — but nothing is copied on success. Case-dependent
+/// predicates compare case-insensitively instead of lowering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DomainView<'a>(&'a str);
+
+impl<'a> DomainView<'a> {
+    /// Validate a domain name without copying it.
+    pub fn parse(s: &'a str) -> Result<DomainView<'a>, ParseError> {
+        if s.is_empty() {
+            return Err(ParseError::Empty);
+        }
+        // A trailing dot denotes the DNS root and is stripped.
+        let s = s.strip_suffix('.').unwrap_or(s);
+        if s.is_empty() || s.len() > 253 {
+            return Err(ParseError::InvalidHost(s.to_string()));
+        }
+        // Length, hyphen placement and the accepted byte set are all
+        // case-insensitive, so validating the original bytes accepts
+        // exactly what DomainName::parse accepts after lowering. Only
+        // the error value needs the lowered form.
+        for label in s.split('.') {
+            if label.is_empty()
+                || label.len() > 63
+                || label.starts_with('-')
+                || label.ends_with('-')
+                || !label
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+            {
+                return Err(ParseError::InvalidLabel(label.to_ascii_lowercase()));
+            }
+        }
+        Ok(DomainView(s))
+    }
+
+    /// The validated name in its original case, trailing dot stripped.
+    pub fn as_str(&self) -> &'a str {
+        self.0
+    }
+
+    /// True for `localhost` and any `*.localhost` name, compared
+    /// case-insensitively (the owned form lowers at parse time).
+    pub fn is_localhost(&self) -> bool {
+        const SUFFIX: &str = ".localhost";
+        self.0.eq_ignore_ascii_case("localhost")
+            || (self.0.len() > SUFFIX.len()
+                && self.0[self.0.len() - SUFFIX.len()..].eq_ignore_ascii_case(SUFFIX))
+    }
+
+    /// Convert to the owned, lower-cased form (allocates).
+    pub fn to_owned(self) -> DomainName {
+        DomainName::parse(self.0).expect("DomainView is pre-validated")
+    }
+}
+
+/// Borrowed counterpart of [`Host`]: IP literals are parsed to their
+/// address value (they are `Copy` anyway), domain names stay slices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostView<'a> {
+    /// A DNS name, borrowed and validated.
+    Domain(DomainView<'a>),
+    /// An IPv4 literal such as `10.0.0.200`.
+    Ipv4(Ipv4Addr),
+    /// An IPv6 literal, written `[...]` in URLs.
+    Ipv6(Ipv6Addr),
+}
+
+impl<'a> HostView<'a> {
+    /// Parse a URL host token without copying it. Accepts and rejects
+    /// exactly what [`Host::parse`] does, with identical error values.
+    pub fn parse(s: &'a str) -> Result<HostView<'a>, ParseError> {
+        if s.is_empty() {
+            return Err(ParseError::Empty);
+        }
+        if let Some(rest) = s.strip_prefix('[') {
+            let inner = rest.strip_suffix(']').ok_or(ParseError::UnterminatedIpv6)?;
+            let addr: Ipv6Addr = inner
+                .parse()
+                .map_err(|_| ParseError::InvalidIpLiteral(inner.to_string()))?;
+            return Ok(HostView::Ipv6(addr));
+        }
+        // A string that looks like a dotted quad must parse as IPv4:
+        // treating `1.2.3.999` as a domain would silently misclassify.
+        if s.bytes().all(|b| b.is_ascii_digit() || b == b'.') && s.contains('.') {
+            let addr: Ipv4Addr = s
+                .parse()
+                .map_err(|_| ParseError::InvalidIpLiteral(s.to_string()))?;
+            return Ok(HostView::Ipv4(addr));
+        }
+        Ok(HostView::Domain(DomainView::parse(s)?))
+    }
+
+    /// The IP address if this host is a literal.
+    pub fn ip(&self) -> Option<IpAddr> {
+        match self {
+            HostView::Ipv4(a) => Some(IpAddr::V4(*a)),
+            HostView::Ipv6(a) => Some(IpAddr::V6(*a)),
+            HostView::Domain(_) => None,
+        }
+    }
+
+    /// Convert to the owned form (allocates for domain names).
+    pub fn to_owned(self) -> Host {
+        match self {
+            HostView::Domain(d) => Host::Domain(d.to_owned()),
+            HostView::Ipv4(a) => Host::Ipv4(a),
+            HostView::Ipv6(a) => Host::Ipv6(a),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,5 +388,49 @@ mod tests {
             let h = Host::parse(s).unwrap();
             assert_eq!(Host::parse(&h.to_string()).unwrap(), h);
         }
+    }
+
+    #[test]
+    fn host_view_agrees_with_owned_on_fixed_corpus() {
+        let corpus = [
+            "example.com",
+            "EBay.COM.",
+            "LOCALHOST",
+            "api.localhost",
+            "localhost.com",
+            "_dmarc.example.com",
+            "127.0.0.1",
+            "1.2.3.999",
+            "1.2.3.4.5",
+            "[::1]",
+            "[::1",
+            "[zzz]",
+            "-foo.com",
+            "foo-.com",
+            "a..b",
+            "sp ace.com",
+            "",
+            ".",
+        ];
+        for s in corpus {
+            match (Host::parse(s), HostView::parse(s)) {
+                (Ok(owned), Ok(view)) => {
+                    assert_eq!(view.to_owned(), owned, "value for {s:?}");
+                    assert_eq!(view.ip(), owned.ip(), "ip for {s:?}");
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "error for {s:?}"),
+                (a, b) => panic!("disagreement on {s:?}: owned={a:?} view={b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn domain_view_keeps_original_case_but_matches_owned_predicates() {
+        let v = DomainView::parse("API.LocalHost.").unwrap();
+        assert_eq!(v.as_str(), "API.LocalHost");
+        assert!(v.is_localhost());
+        assert_eq!(v.to_owned().as_str(), "api.localhost");
+        assert!(!DomainView::parse("notlocalhost").unwrap().is_localhost());
+        assert!(!DomainView::parse("localhost.com").unwrap().is_localhost());
     }
 }

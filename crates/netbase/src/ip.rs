@@ -24,7 +24,7 @@ use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 
 use serde::{Deserialize, Serialize};
 
-use crate::host::Host;
+use crate::host::{Host, HostView};
 
 /// Locality of a network destination, from the point of view of the
 /// browser's host machine.
@@ -136,6 +136,21 @@ impl Locality {
             Host::Ipv4(a) => Locality::of_ipv4(*a),
             Host::Ipv6(a) => Locality::of_ipv6(*a),
             Host::Domain(d) => {
+                if d.is_localhost() {
+                    Locality::Loopback
+                } else {
+                    Locality::Public
+                }
+            }
+        }
+    }
+
+    /// Classify a borrowed URL host — same table as [`Locality::of_host`].
+    pub fn of_host_view(host: &HostView<'_>) -> Locality {
+        match host {
+            HostView::Ipv4(a) => Locality::of_ipv4(*a),
+            HostView::Ipv6(a) => Locality::of_ipv6(*a),
+            HostView::Domain(d) => {
                 if d.is_localhost() {
                     Locality::Loopback
                 } else {

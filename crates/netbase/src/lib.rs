@@ -31,11 +31,11 @@ pub mod services;
 pub mod url;
 
 pub use error::ParseError;
-pub use host::{DomainName, Host};
+pub use host::{DomainName, DomainView, Host, HostView};
 pub use ip::Locality;
 pub use origin::{Origin, SopVerdict};
 pub use os::{Os, OsSet};
 pub use pna::{AddressSpace, PnaVerdict, PreflightResult};
 pub use scheme::Scheme;
 pub use services::{PortService, ServiceRegistry, UseCase};
-pub use url::Url;
+pub use url::{Url, UrlView};

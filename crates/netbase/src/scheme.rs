@@ -29,15 +29,16 @@ impl Scheme {
     /// All schemes, in report order.
     pub const ALL: [Scheme; 4] = [Scheme::Http, Scheme::Https, Scheme::Ws, Scheme::Wss];
 
-    /// Parse a scheme token (case-insensitive).
+    /// Parse a scheme token (case-insensitive). Compares in place
+    /// rather than lowering into a fresh `String`: this sits on the
+    /// per-URL analysis hot path and must not allocate on success.
     pub fn parse(s: &str) -> Result<Scheme, ParseError> {
-        match s.to_ascii_lowercase().as_str() {
-            "http" => Ok(Scheme::Http),
-            "https" => Ok(Scheme::Https),
-            "ws" => Ok(Scheme::Ws),
-            "wss" => Ok(Scheme::Wss),
-            other => Err(ParseError::UnknownScheme(other.to_string())),
+        for scheme in Scheme::ALL {
+            if s.eq_ignore_ascii_case(scheme.as_str()) {
+                return Ok(scheme);
+            }
         }
+        Err(ParseError::UnknownScheme(s.to_ascii_lowercase()))
     }
 
     /// Canonical lower-case name.

@@ -20,7 +20,7 @@ use std::str::FromStr;
 use serde::{Deserialize, Serialize};
 
 use crate::error::ParseError;
-use crate::host::Host;
+use crate::host::{Host, HostView};
 use crate::ip::Locality;
 use crate::scheme::Scheme;
 
@@ -199,6 +199,125 @@ impl FromStr for Url {
     }
 }
 
+/// A parsed absolute URL that borrows its input.
+///
+/// [`UrlView::parse`] accepts and rejects exactly what [`Url::parse`]
+/// does (identical error values) but allocates nothing on success: the
+/// path, query and fragment are slices of the input, and the host
+/// keeps domain names borrowed. The analysis hot path classifies every
+/// request URL but emits an observation for fewer than 1% of them, so
+/// the owned conversion ([`UrlView::to_owned`]) is deferred until a
+/// local destination is actually found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UrlView<'a> {
+    scheme: Scheme,
+    host: HostView<'a>,
+    explicit_port: Option<u16>,
+    /// Path slice; `"/"` when the input had none (`'static` coerces).
+    path: &'a str,
+    query: Option<&'a str>,
+    fragment: Option<&'a str>,
+}
+
+impl<'a> UrlView<'a> {
+    /// Parse an absolute URL without copying it.
+    pub fn parse(input: &'a str) -> Result<UrlView<'a>, ParseError> {
+        let input = input.trim();
+        if input.is_empty() {
+            return Err(ParseError::Empty);
+        }
+        let (scheme_str, rest) = input.split_once("://").ok_or(ParseError::MissingScheme)?;
+        let scheme = Scheme::parse(scheme_str)?;
+
+        let (authority, tail) = split_authority(rest)?;
+        if authority.contains('@') {
+            return Err(ParseError::InvalidHost(authority.to_string()));
+        }
+
+        let (host_str, port) = split_host_port(authority)?;
+        let host = HostView::parse(host_str)?;
+
+        let (before_frag, fragment) = match tail.split_once('#') {
+            Some((b, f)) => (b, Some(f)),
+            None => (tail, None),
+        };
+        let (path_str, query) = match before_frag.split_once('?') {
+            Some((p, q)) => (p, Some(q)),
+            None => (before_frag, None),
+        };
+        let path = if path_str.is_empty() { "/" } else { path_str };
+
+        Ok(UrlView {
+            scheme,
+            host,
+            explicit_port: port,
+            path,
+            query,
+            fragment,
+        })
+    }
+
+    /// The URL scheme.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The parsed (borrowed) host.
+    pub fn host(&self) -> &HostView<'a> {
+        &self.host
+    }
+
+    /// The effective port: the explicit one, else the scheme default.
+    pub fn port(&self) -> u16 {
+        self.explicit_port
+            .unwrap_or_else(|| self.scheme.default_port())
+    }
+
+    /// The explicit port, if the URL text carried one.
+    pub fn explicit_port(&self) -> Option<u16> {
+        self.explicit_port
+    }
+
+    /// The path (always `/`-prefixed).
+    pub fn path(&self) -> &'a str {
+        self.path
+    }
+
+    /// Query string without the `?`, if any.
+    pub fn query(&self) -> Option<&'a str> {
+        self.query
+    }
+
+    /// Fragment without the `#`, if any.
+    pub fn fragment(&self) -> Option<&'a str> {
+        self.fragment
+    }
+
+    /// Locality of the destination host (syntactic, like
+    /// [`Url::locality`]).
+    pub fn locality(&self) -> Locality {
+        Locality::of_host_view(&self.host)
+    }
+
+    /// True if this URL targets localhost or a private (LAN) address.
+    pub fn is_local(&self) -> bool {
+        self.locality().is_local()
+    }
+
+    /// Convert to the owned [`Url`] (allocates; equal to what
+    /// `Url::parse` would have produced on the same input).
+    pub fn to_owned(self) -> Url {
+        Url {
+            scheme: self.scheme,
+            host: self.host.to_owned(),
+            explicit_port: self.explicit_port,
+            path: self.path.to_string(),
+            query: self.query.map(str::to_string),
+            fragment: self.fragment.map(str::to_string),
+        }
+    }
+}
+
 /// Split `rest` (everything after `scheme://`) into the authority and
 /// the remaining tail starting at `/`, `?` or `#`.
 fn split_authority(rest: &str) -> Result<(&str, &str), ParseError> {
@@ -352,6 +471,58 @@ mod tests {
             assert_eq!(u.to_string(), s, "round trip of {s}");
             assert_eq!(Url::parse(&u.to_string()).unwrap(), u);
         }
+    }
+
+    #[test]
+    fn url_view_agrees_with_owned_on_fixed_corpus() {
+        let corpus = [
+            "http://example.com/index.html",
+            "wss://127.0.0.1:5939/",
+            "http://localhost:12071/v1/init.json?api_port=3&query_id=7",
+            "ws://localhost:6463/?v=1",
+            "HTTPS://ExAmple.COM:8443",
+            "https://example.com?q=1",
+            "http://[::1]:8080/status",
+            "https://e.com/p?a=1#frag?not-query",
+            "http://example.com:/x",
+            "  http://example.com/padded  ",
+            "",
+            "example.com/no-scheme",
+            "ftp://example.com/",
+            "http://user:pw@example.com/",
+            "http:///missing-host",
+            "http://example.com:99999/",
+            "http://exa mple.com/",
+            "http://[::1/",
+        ];
+        for s in corpus {
+            match (Url::parse(s), UrlView::parse(s)) {
+                (Ok(owned), Ok(view)) => {
+                    assert_eq!(view.to_owned(), owned, "value for {s:?}");
+                    assert_eq!(view.scheme(), owned.scheme(), "scheme for {s:?}");
+                    assert_eq!(view.port(), owned.port(), "port for {s:?}");
+                    assert_eq!(view.path(), owned.path(), "path for {s:?}");
+                    assert_eq!(view.query(), owned.query(), "query for {s:?}");
+                    assert_eq!(view.fragment(), owned.fragment(), "fragment for {s:?}");
+                    assert_eq!(view.locality(), owned.locality(), "locality for {s:?}");
+                    assert_eq!(view.is_local(), owned.is_local(), "is_local for {s:?}");
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "error for {s:?}"),
+                (a, b) => panic!("disagreement on {s:?}: owned={a:?} view={b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn url_view_parse_does_not_copy_components() {
+        let text = "ws://API.localhost:6463/app?v=1#top";
+        let v = UrlView::parse(text).unwrap();
+        // The path/query/fragment point into the input buffer.
+        assert_eq!(v.path().as_ptr(), text["ws://API.localhost:6463".len()..].as_ptr());
+        assert_eq!(v.query(), Some("v=1"));
+        assert_eq!(v.fragment(), Some("top"));
+        assert!(v.is_local());
+        assert_eq!(v.port(), 6463);
     }
 
     #[test]

@@ -28,7 +28,9 @@
 //!   which is how the analysis pipeline tells page-initiated requests
 //!   apart from browser-internal traffic;
 //! * [`logger`] — the handle a (simulated) browser uses to emit events
-//!   with serial source IDs and monotonic timestamps.
+//!   with serial source IDs and monotonic timestamps;
+//! * [`view`] — borrowed (`&str`-backed) event views and a clone-free
+//!   flow reconstruction used by the zero-copy analysis hot path.
 
 #![warn(missing_docs)]
 
@@ -37,9 +39,11 @@ pub mod constants;
 pub mod event;
 pub mod flow;
 pub mod logger;
+pub mod view;
 
 pub use capture::{Capture, CaptureError};
 pub use constants::{EventPhase, EventType, NetError, SourceType};
 pub use event::{EventParams, NetLogEvent, SourceRef};
 pub use flow::{Flow, FlowOutcome, FlowSet};
 pub use logger::NetLogger;
+pub use view::{EventView, FlowSetView, FlowView, ParamsView};

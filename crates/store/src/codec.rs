@@ -18,7 +18,9 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use kt_netbase::Os;
-use kt_netlog::{EventParams, EventPhase, EventType, NetLogEvent, SourceRef, SourceType};
+use kt_netlog::{
+    EventParams, EventPhase, EventType, EventView, NetLogEvent, ParamsView, SourceRef, SourceType,
+};
 
 use crate::record::{CrawlId, LoadOutcome, VisitRecord};
 
@@ -95,8 +97,15 @@ fn get_str(buf: &mut Bytes) -> Result<String, CodecError> {
     if buf.remaining() < len {
         return Err(CodecError::Truncated);
     }
-    let bytes = buf.copy_to_bytes(len);
-    String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8)
+    // Validate in place on the buffer slice, then copy once into the
+    // String (the old copy_to_bytes(..).to_vec() paid an extra copy
+    // and a refcount bump).
+    let s = match std::str::from_utf8(&buf[..len]) {
+        Ok(s) => s.to_string(),
+        Err(_) => return Err(CodecError::BadUtf8),
+    };
+    buf.advance(len);
+    Ok(s)
 }
 
 fn os_code(os: Os) -> u8 {
@@ -359,6 +368,259 @@ pub fn decode(mut buf: Bytes) -> Result<VisitRecord, CodecError> {
     })
 }
 
+/// Borrowed cursor over an encoded record: the read-side mirror of the
+/// `Bytes`-based helpers above, but every string it yields is a slice
+/// of the input rather than a fresh `String`.
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn has_remaining(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self.buf[0];
+        self.buf = &self.buf[1..];
+        b
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let v = u16::from_le_bytes([self.buf[0], self.buf[1]]);
+        self.buf = &self.buf[2..];
+        v
+    }
+
+    fn get_varint(&mut self) -> Result<u64, CodecError> {
+        let mut v = 0u64;
+        let mut shift = 0;
+        loop {
+            if !self.has_remaining() {
+                return Err(CodecError::Truncated);
+            }
+            let byte = self.get_u8();
+            v |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift >= 64 {
+                return Err(CodecError::BadTag("varint", v));
+            }
+        }
+    }
+
+    fn get_str(&mut self) -> Result<&'a str, CodecError> {
+        let len = self.get_varint()? as usize;
+        if self.remaining() < len {
+            return Err(CodecError::Truncated);
+        }
+        let (head, rest) = self.buf.split_at(len);
+        self.buf = rest;
+        std::str::from_utf8(head).map_err(|_| CodecError::BadUtf8)
+    }
+}
+
+fn get_params_view<'a>(c: &mut Cursor<'a>) -> Result<ParamsView<'a>, CodecError> {
+    if !c.has_remaining() {
+        return Err(CodecError::Truncated);
+    }
+    match c.get_u8() {
+        0 => Ok(ParamsView::None),
+        1 => {
+            let url = c.get_str()?;
+            let method = c.get_str()?;
+            let initiator = if c.has_remaining() && c.get_u8() == 1 {
+                Some(c.get_str()?)
+            } else {
+                None
+            };
+            let load_flags = c.get_varint()? as u32;
+            Ok(ParamsView::UrlRequestStart {
+                url,
+                method,
+                initiator,
+                load_flags,
+            })
+        }
+        2 => Ok(ParamsView::Redirect {
+            location: c.get_str()?,
+        }),
+        3 => Ok(ParamsView::DnsJob { host: c.get_str()? }),
+        4 => Ok(ParamsView::Connect {
+            address: c.get_str()?,
+        }),
+        5 => Ok(ParamsView::Ssl { host: c.get_str()? }),
+        6 => Ok(ParamsView::ResponseHeaders {
+            status: c.get_varint()? as u16,
+        }),
+        7 => Ok(ParamsView::WebSocket { url: c.get_str()? }),
+        8 => Ok(ParamsView::WebSocketFrame {
+            length: c.get_varint()?,
+        }),
+        9 => Ok(ParamsView::Failed {
+            net_error: unzigzag(c.get_varint()?) as i32,
+        }),
+        v => Err(CodecError::BadTag("params", v as u64)),
+    }
+}
+
+/// A decoded visit record whose strings borrow the encoded buffer.
+///
+/// Produced by [`decode_view`]; the only heap allocation behind a view
+/// is its `events` vector. Convert with [`VisitView::to_owned`] when an
+/// owned [`VisitRecord`] is actually needed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VisitView<'a> {
+    /// Which crawl campaign this visit belongs to.
+    pub crawl: &'a str,
+    /// The visited domain.
+    pub domain: &'a str,
+    /// Tranco rank, for top-list crawls.
+    pub rank: Option<u32>,
+    /// Malicious blocklist category code, for the malicious crawl.
+    pub malicious_category: Option<u8>,
+    /// The crawling OS.
+    pub os: Os,
+    /// Landing-page outcome.
+    pub outcome: LoadOutcome,
+    /// Time at which the landing page finished loading, ms.
+    pub loaded_at_ms: u64,
+    /// The visit's NetLog events, borrowing their strings.
+    pub events: Vec<EventView<'a>>,
+}
+
+impl VisitView<'_> {
+    /// Convert to the owned record (allocates every string). Equal to
+    /// what [`decode`] produces from the same buffer.
+    pub fn to_owned(&self) -> VisitRecord {
+        VisitRecord {
+            crawl: CrawlId(self.crawl.to_string()),
+            domain: self.domain.to_string(),
+            rank: self.rank,
+            malicious_category: self.malicious_category,
+            os: self.os,
+            outcome: self.outcome,
+            loaded_at_ms: self.loaded_at_ms,
+            events: self.events.iter().map(|&e| e.to_owned()).collect(),
+        }
+    }
+}
+
+impl VisitRecord {
+    /// A borrowed view of this record, for the zero-copy analysis path
+    /// when the record is already owned.
+    pub fn view(&self) -> VisitView<'_> {
+        VisitView {
+            crawl: self.crawl.as_str(),
+            domain: &self.domain,
+            rank: self.rank,
+            malicious_category: self.malicious_category,
+            os: self.os,
+            outcome: self.outcome,
+            loaded_at_ms: self.loaded_at_ms,
+            events: self.events.iter().map(NetLogEvent::view).collect(),
+        }
+    }
+}
+
+/// Decode one record without copying its strings: the borrowed mirror
+/// of [`decode`]. Accepts and rejects exactly the same inputs with the
+/// same error values (the property suite holds the two decoders to
+/// byte-for-byte agreement); on success the view's one allocation is
+/// the events vector.
+pub fn decode_view(buf: &[u8]) -> Result<VisitView<'_>, CodecError> {
+    let mut c = Cursor { buf };
+    if c.remaining() < 3 {
+        return Err(CodecError::Truncated);
+    }
+    if c.get_u16_le() != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = c.get_u8();
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let crawl = c.get_str()?;
+    let domain = c.get_str()?;
+    let rank = if c.has_remaining() && c.get_u8() == 1 {
+        Some(c.get_varint()? as u32)
+    } else {
+        None
+    };
+    let malicious_category = if c.has_remaining() && c.get_u8() == 1 {
+        if !c.has_remaining() {
+            return Err(CodecError::Truncated);
+        }
+        Some(c.get_u8())
+    } else {
+        None
+    };
+    if !c.has_remaining() {
+        return Err(CodecError::Truncated);
+    }
+    let os = os_from(c.get_u8())?;
+    if !c.has_remaining() {
+        return Err(CodecError::Truncated);
+    }
+    let outcome = match c.get_u8() {
+        0 => LoadOutcome::Success,
+        1 => {
+            let code = unzigzag(c.get_varint()?) as i32;
+            let err = kt_netlog::NetError::from_code(code)
+                .ok_or(CodecError::BadTag("net_error", code as u64))?;
+            LoadOutcome::Error(err)
+        }
+        2 => LoadOutcome::Crashed,
+        v => return Err(CodecError::BadTag("outcome", v as u64)),
+    };
+    let loaded_at_ms = c.get_varint()?;
+    let n = c.get_varint()? as usize;
+    let mut events = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let time = c.get_varint()?;
+        if c.remaining() < 1 {
+            return Err(CodecError::Truncated);
+        }
+        let ty = c.get_u8();
+        let event_type =
+            EventType::from_code(ty as u32).ok_or(CodecError::BadTag("event_type", ty as u64))?;
+        let id = c.get_varint()?;
+        if c.remaining() < 2 {
+            return Err(CodecError::Truncated);
+        }
+        let st = c.get_u8();
+        let kind =
+            SourceType::from_code(st as u32).ok_or(CodecError::BadTag("source_type", st as u64))?;
+        let ph = c.get_u8();
+        let phase =
+            EventPhase::from_code(ph as u32).ok_or(CodecError::BadTag("phase", ph as u64))?;
+        let params = get_params_view(&mut c)?;
+        events.push(EventView {
+            time,
+            event_type,
+            source: SourceRef { id, kind },
+            phase,
+            params,
+        });
+    }
+    Ok(VisitView {
+        crawl,
+        domain,
+        rank,
+        malicious_category,
+        os,
+        outcome,
+        loaded_at_ms,
+        events,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -476,6 +738,45 @@ mod tests {
             let mut bytes = buf.freeze();
             assert_eq!(get_varint(&mut bytes).unwrap(), v);
         }
+    }
+
+    #[test]
+    fn decode_view_matches_owned_decode() {
+        let rec = sample();
+        let encoded = encode(&rec);
+        let view = decode_view(&encoded).unwrap();
+        assert_eq!(view.to_owned(), rec);
+        assert_eq!(view.domain, "ebay-like.example");
+        assert_eq!(view.rank, Some(104));
+        // Strings are slices of the encoded buffer, not copies.
+        let buf_range = encoded.as_ptr() as usize..encoded.as_ptr() as usize + encoded.len();
+        assert!(buf_range.contains(&(view.domain.as_ptr() as usize)));
+        if let ParamsView::UrlRequestStart { url, .. } = view.events[0].params {
+            assert!(buf_range.contains(&(url.as_ptr() as usize)));
+            assert_eq!(url, "wss://localhost:3389/");
+        } else {
+            panic!("expected UrlRequestStart, got {:?}", view.events[0].params);
+        }
+    }
+
+    #[test]
+    fn decode_view_rejects_what_decode_rejects() {
+        let encoded = encode(&sample());
+        for cut in 0..encoded.len() {
+            let owned = decode(encoded.slice(0..cut));
+            let view = decode_view(&encoded[..cut]);
+            match (owned, view) {
+                (Ok(a), Ok(b)) => assert_eq!(b.to_owned(), a, "cut at {cut}"),
+                (Err(a), Err(b)) => assert_eq!(a, b, "cut at {cut}"),
+                (a, b) => panic!("decoders disagree at cut {cut}: owned={a:?} view={b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn record_view_round_trips() {
+        let rec = sample();
+        assert_eq!(rec.view().to_owned(), rec);
     }
 
     #[test]

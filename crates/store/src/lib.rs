@@ -31,6 +31,7 @@ pub use journal::{
     fsck, replay, CheckpointFrame, FsckOptions, FsckReport, JournalError, JournalMeta,
     JournalStats, JournalWriter, KillMode, KillSpec, ReplayReport, ReplayedVisit, VisitDelta,
 };
+pub use codec::{decode_view, VisitView};
 pub use persist::{load, load_any, save, LoadReport, PersistError, SaveReport};
 pub use record::{CrawlId, LoadOutcome, VisitRecord};
 pub use store::TelemetryStore;

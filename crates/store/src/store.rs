@@ -324,6 +324,42 @@ impl TelemetryStore {
         inner.crawl_records(crawl, os)
     }
 
+    /// The encoded bytes of every record of one crawl on one OS of one
+    /// shard, in the same (domain, OS) order as
+    /// [`Self::shard_records_on`] — but *not decoded*. Seals the
+    /// shard's active segment first, so every returned `Bytes` is a
+    /// zero-copy slice of shared segment memory that outlives the
+    /// shard lock; the caller decodes with
+    /// [`decode_view`](crate::codec::decode_view) and borrows straight
+    /// from the segment.
+    pub fn shard_raw_on(&self, crawl: &CrawlId, shard: usize, os: Option<Os>) -> Vec<Bytes> {
+        let Some(crawl) = self.lookup(crawl.as_str()) else {
+            return Vec::new();
+        };
+        let mut inner = self.shards[shard]
+            .inner
+            .write()
+            .expect("store lock poisoned");
+        inner.seal();
+        let Some(by_domain) = inner.index.get(&crawl) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for slots in by_domain.values() {
+            for (slot, loc) in slots.iter().enumerate() {
+                if let Some(os) = os {
+                    if os_slot(os) != slot {
+                        continue;
+                    }
+                }
+                if let Some(loc) = loc {
+                    out.push(inner.read(*loc));
+                }
+            }
+        }
+        out
+    }
+
     /// All records of one crawl, sorted by (domain, OS) in the
     /// paper's OS column order. OS slots are selected from the index
     /// before anything is decoded.
@@ -503,6 +539,33 @@ mod tests {
             .collect();
         via_shards.sort_by(|a, b| a.domain.cmp(&b.domain));
         assert_eq!(via_shards, store.crawl_records(&CrawlId::top2020()));
+    }
+
+    #[test]
+    fn shard_raw_matches_decoded_shard_records() {
+        let store = TelemetryStore::new();
+        for i in 0..40 {
+            let os = [Os::Windows, Os::Linux, Os::MacOs][i % 3];
+            store.append(&rec(CrawlId::top2020(), &format!("s{i}.example"), os));
+        }
+        for shard in 0..store.shard_count() {
+            for os in [None, Some(Os::Linux)] {
+                let decoded = store.shard_records_on(&CrawlId::top2020(), shard, os);
+                let raw = store.shard_raw_on(&CrawlId::top2020(), shard, os);
+                let via_view: Vec<VisitRecord> = raw
+                    .iter()
+                    .map(|bytes| {
+                        crate::codec::decode_view(bytes)
+                            .expect("stored records decode")
+                            .to_owned()
+                    })
+                    .collect();
+                assert_eq!(via_view, decoded, "shard {shard} os {os:?}");
+            }
+        }
+        assert!(store
+            .shard_raw_on(&CrawlId::top2021(), 0, None)
+            .is_empty());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use kt_netbase::Os;
 use kt_netlog::{EventParams, EventPhase, EventType, NetError, NetLogEvent, SourceRef, SourceType};
-use kt_store::codec::{decode, encode};
+use kt_store::codec::{decode, decode_view, encode};
 use kt_store::journal::{self, FrameBody, JournalWriter, VisitDelta, FLAG_FINAL, JOURNAL_MAGIC};
 use kt_store::{CrawlId, LoadOutcome, VisitRecord};
 use proptest::prelude::*;
@@ -117,6 +117,69 @@ proptest! {
         let cut = ((encoded.len() as f64) * frac) as usize;
         if cut < encoded.len() {
             prop_assert!(decode(encoded.slice(0..cut)).is_err());
+        }
+    }
+
+    /// The borrowed decoder must agree with the owned decoder on every
+    /// well-formed record: same value after `to_owned()`.
+    #[test]
+    fn decode_view_agrees_with_decode_on_records(record in arb_record()) {
+        let encoded = encode(&record);
+        let owned = decode(encoded.clone()).unwrap();
+        let view = decode_view(&encoded).unwrap();
+        prop_assert_eq!(&view.to_owned(), &owned);
+        prop_assert_eq!(view.domain, owned.domain.as_str());
+        prop_assert_eq!(view.crawl, owned.crawl.as_str());
+        prop_assert_eq!(view.events.len(), owned.events.len());
+        // A view of the owned record is the same view.
+        prop_assert_eq!(owned.view(), view);
+    }
+
+    /// And it must reject exactly what the owned decoder rejects, with
+    /// the same error, at *every* truncation point of a valid record.
+    #[test]
+    fn decode_view_rejects_same_truncations(record in arb_record()) {
+        let encoded = encode(&record);
+        for cut in 0..encoded.len() {
+            match (decode(encoded.slice(0..cut)), decode_view(&encoded[..cut])) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(b.to_owned(), a, "cut {}", cut),
+                (Err(a), Err(b)) => prop_assert_eq!(a, b, "cut {}", cut),
+                (a, b) => prop_assert!(
+                    false,
+                    "decoders disagree at cut {}: owned={:?} view={:?}",
+                    cut, a, b
+                ),
+            }
+        }
+    }
+
+    /// Same agreement on arbitrary noise and on valid records with a
+    /// corrupted byte: accept together (same value) or reject together
+    /// (same error).
+    #[test]
+    fn decode_view_agrees_on_noise(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        match (decode(bytes::Bytes::from(data.clone())), decode_view(&data)) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(b.to_owned(), a),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "decoders disagree: owned={:?} view={:?}", a, b),
+        }
+    }
+
+    #[test]
+    fn decode_view_agrees_on_corrupted_records(
+        record in arb_record(),
+        pos_frac in 0.0f64..1.0,
+        xor in 1u8..,
+    ) {
+        let mut data = encode(&record).to_vec();
+        if !data.is_empty() {
+            let pos = ((data.len() as f64) * pos_frac) as usize % data.len();
+            data[pos] ^= xor;
+        }
+        match (decode(bytes::Bytes::from(data.clone())), decode_view(&data)) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(b.to_owned(), a),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "decoders disagree: owned={:?} view={:?}", a, b),
         }
     }
 }
