@@ -435,7 +435,11 @@ mod tests {
     #[test]
     fn view_detection_matches_owned_reference_byte_for_byte() {
         let mut events = url_request(1, 500, "https://cdn.example/lib.js");
-        events.extend(url_request(2, 5_400, "http://LOCALHOST:8888/wp-content/a.jpg"));
+        events.extend(url_request(
+            2,
+            5_400,
+            "http://LOCALHOST:8888/wp-content/a.jpg",
+        ));
         events.extend(url_request(3, 6_000, "http://10.0.0.200/b.mp4"));
         events.extend(ws_request(4, 9_000, "wss://localhost:3389/"));
         events.extend(url_request(5, 1_000, "not a url at all"));

@@ -50,10 +50,10 @@ pub use detect::{
     detect_local, detect_local_view, detect_local_with_page_owned, LocalObservation,
     SiteLocalActivity,
 };
-pub use intern::{DomainInterner, Symbol};
 pub use dev_error::{classify_dev_error, DevErrorKind};
 pub use entropy::{scan_entropy, EntropyReport, PortFingerprint};
+pub use intern::{DomainInterner, Symbol};
 pub use longitudinal::{transitions, Transition, TransitionMatrix};
-pub use par::{analyze_crawl_par, CrawlAnalysis, OutcomeTally};
+pub use par::{analyze_crawl_par, analyze_crawl_traced, CrawlAnalysis, OutcomeTally};
 pub use rings::PortRings;
 pub use venn::OsVenn;

@@ -30,6 +30,7 @@ use std::sync::Mutex;
 
 use kt_netbase::{Os, OsSet};
 use kt_store::{decode_view, CrawlId, TelemetryStore, VisitView};
+use kt_trace::{names, Labels, Trace, WorkerSink};
 
 use crate::classify::{classify_site, ReasonClass};
 use crate::defense::{page_env, verdict_for, AdoptionScenario, DefenseImpact};
@@ -109,6 +110,64 @@ fn fan_out(view: &VisitView<'_>) -> RecordYield {
 /// sequential `aggregate_sites` / `PortRings` / `defense::evaluate`
 /// calls over `store.crawl_records(crawl)`.
 pub fn analyze_crawl_par(store: &TelemetryStore, crawl: &CrawlId, workers: usize) -> CrawlAnalysis {
+    analyze_crawl_traced(store, crawl, workers, None)
+}
+
+/// Deterministic per-element stage costs, in simulated microseconds.
+/// The `analysis_stage_seconds` histogram is fed from these — not from
+/// `Instant` — so its buckets, sum, and count are a pure function of
+/// the record set: byte-identical across worker counts, machines, and
+/// kill/resume cycles. (Real wall time lives in `knocktalk profile`,
+/// which is never byte-compared.) The constants approximate the
+/// measured per-element costs in BENCH_pipeline.json at nominal
+/// hardware speed; their absolute accuracy doesn't matter, their
+/// determinism does.
+const SIM_DECODE_BASE_US: u64 = 2;
+const SIM_DECODE_PER_EVENT_US: u64 = 1;
+const SIM_DETECT_BASE_US: u64 = 1;
+const SIM_DETECT_PER_OBS_US: u64 = 3;
+const SIM_ASSEMBLE_PER_ENTRY_US: u64 = 5;
+
+/// Per-worker analysis instrumentation: the stage histogram handles
+/// plus the local-observation counter, pre-registered so the per-record
+/// hot path is two vector-index adds.
+struct StageSink {
+    sink: WorkerSink,
+    decode: kt_trace::HistogramId,
+    detect: kt_trace::HistogramId,
+    observations: kt_trace::CounterId,
+}
+
+impl StageSink {
+    fn new(crawl: &CrawlId) -> StageSink {
+        let mut sink = WorkerSink::new();
+        let stage = |stage| Labels::new(&[("crawl", crawl.as_str()), ("stage", stage)]);
+        let decode = sink.histogram(&names::ANALYSIS_STAGE_SECONDS, stage("decode"));
+        let detect = sink.histogram(&names::ANALYSIS_STAGE_SECONDS, stage("detect"));
+        let observations = sink.counter(
+            names::LOCAL_OBSERVATIONS_TOTAL,
+            Labels::new(&[("crawl", crawl.as_str())]),
+        );
+        StageSink {
+            sink,
+            decode,
+            detect,
+            observations,
+        }
+    }
+}
+
+/// [`analyze_crawl_par`] reporting into a [`Trace`]: workers record
+/// per-record decode/detect costs (under the deterministic sim-cost
+/// model above) and local-observation counts into private sinks merged
+/// at join; the supervisor adds the assemble stage and the derived
+/// site/record gauges. Tracing never changes the returned analysis.
+pub fn analyze_crawl_traced(
+    store: &TelemetryStore,
+    crawl: &CrawlId,
+    workers: usize,
+    trace: Option<&Trace>,
+) -> CrawlAnalysis {
     let shards = store.shard_count();
     let workers = workers.max(1).min(shards);
     // Workers claim shards off an atomic ticket (same self-scheduling
@@ -122,6 +181,7 @@ pub fn analyze_crawl_par(store: &TelemetryStore, crawl: &CrawlId, workers: usize
                 let ticket = &ticket;
                 let interner = &interner;
                 scope.spawn(move || {
+                    let mut stage_sink = trace.map(|_| StageSink::new(crawl));
                     let mut partial: Vec<((Symbol, u8), RecordYield)> = Vec::new();
                     loop {
                         let shard = ticket.fetch_add(1, Ordering::Relaxed);
@@ -135,7 +195,21 @@ pub fn analyze_crawl_par(store: &TelemetryStore, crawl: &CrawlId, workers: usize
                             let Ok(view) = decode_view(&raw) else {
                                 continue;
                             };
+                            let events = view.events.len() as u64;
                             let yielded = fan_out(&view);
+                            if let Some(obs) = stage_sink.as_mut() {
+                                obs.sink.observe(
+                                    obs.decode,
+                                    SIM_DECODE_BASE_US + events * SIM_DECODE_PER_EVENT_US,
+                                );
+                                obs.sink.observe(
+                                    obs.detect,
+                                    SIM_DETECT_BASE_US
+                                        + yielded.observations.len() as u64 * SIM_DETECT_PER_OBS_US,
+                                );
+                                obs.sink
+                                    .add(obs.observations, yielded.observations.len() as u64);
+                            }
                             let sym = interner
                                 .lock()
                                 .expect("interner lock poisoned")
@@ -143,14 +217,18 @@ pub fn analyze_crawl_par(store: &TelemetryStore, crawl: &CrawlId, workers: usize
                             partial.push(((sym, os_slot(view.os)), yielded));
                         }
                     }
-                    partial
+                    (partial, stage_sink)
                 })
             })
             .collect();
         for handle in handles {
             // Disjoint keys: each (domain, OS) lives in exactly one
             // shard, and each shard is claimed by exactly one worker.
-            entries.extend(handle.join().expect("analysis worker panicked"));
+            let (partial, stage_sink) = handle.join().expect("analysis worker panicked");
+            entries.extend(partial);
+            if let (Some(trace), Some(obs)) = (trace, stage_sink) {
+                trace.merge_sink(&obs.sink);
+            }
         }
     });
     let interner = interner.into_inner().expect("interner lock poisoned");
@@ -162,7 +240,38 @@ pub fn analyze_crawl_par(store: &TelemetryStore, crawl: &CrawlId, workers: usize
             .cmp(interner.resolve(*b_sym))
             .then(a_os.cmp(b_os))
     });
-    assemble(entries, &interner)
+    let entry_count = entries.len() as u64;
+    let analysis = assemble(entries, &interner);
+    if let Some(trace) = trace {
+        trace.observe(
+            &names::ANALYSIS_STAGE_SECONDS,
+            Labels::new(&[("crawl", crawl.as_str()), ("stage", "assemble")]),
+            entry_count * SIM_ASSEMBLE_PER_ENTRY_US,
+        );
+        let crawl_labels = Labels::new(&[("crawl", crawl.as_str())]);
+        trace.set_gauge(names::STORE_RECORDS, crawl_labels, analysis.visits as f64);
+        let localhost = analysis
+            .sites
+            .iter()
+            .filter(|s| !s.localhost_os.is_empty())
+            .count();
+        let lan = analysis
+            .sites
+            .iter()
+            .filter(|s| !s.lan_os.is_empty())
+            .count();
+        trace.set_gauge(
+            names::LOCAL_SITES,
+            Labels::new(&[("crawl", crawl.as_str()), ("locality", "localhost")]),
+            localhost as f64,
+        );
+        trace.set_gauge(
+            names::LOCAL_SITES,
+            Labels::new(&[("crawl", crawl.as_str()), ("locality", "lan")]),
+            lan as f64,
+        );
+    }
+    analysis
 }
 
 /// Fold the `(domain, OS)`-ordered per-record yields into the final

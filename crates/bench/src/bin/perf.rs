@@ -4,7 +4,14 @@
 //! cargo run --release -p kt-bench --bin perf                 # full sweep
 //! cargo run --release -p kt-bench --bin perf -- --smoke      # CI-sized run
 //! cargo run --release -p kt-bench --bin perf -- --smoke --check BENCH_pipeline.json
+//! cargo run --release -p kt-bench --bin perf -- --check-prom metrics.prom \
+//!     --require visits_total --require analysis_stage_seconds
 //! ```
+//!
+//! `--check-prom` is a standalone mode: validate a Prometheus text
+//! exposition file written by `knocktalk --metrics-out` (format +
+//! histogram consistency + required series) and exit without running
+//! any benchmark.
 //!
 //! Measures each pipeline stage at three population sizes, plus a
 //! worker-scaling curve (1/2/4/8) comparing the work-stealing
@@ -41,8 +48,6 @@
 //! path's allocations/event into a CI gate: exit 1 if any population
 //! exceeds the checked-in ceiling.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use knock_talk::analysis::{detect_local_view, detect_local_with_page_owned};
@@ -51,59 +56,15 @@ use knock_talk::faults::{Fault, FaultPlan, RetryPolicy};
 use knock_talk::netbase::{DomainName, Os};
 use knock_talk::store::codec::decode;
 use knock_talk::store::{decode_view, CrawlId, TelemetryStore};
+use knock_talk::trace::{count_allocs, CountingAllocator, StageProfiler};
 use knock_talk::webgen::WebSite;
 
-/// A pass-through [`System`] allocator that counts every allocation so
-/// the decode+detect stages can report allocations/event. Reallocs and
-/// zeroed allocations count too; frees are not tracked (the metric is
-/// allocator traffic, not live heap).
-struct CountingAlloc;
-
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
-static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
-        unsafe { System.alloc(layout) }
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
-        unsafe { System.alloc_zeroed(layout) }
-    }
-}
-
+// The shared counting allocator from kt-trace: feeds the decode+detect
+// allocs/event columns (via `count_allocs`) and the stage profiler's
+// alloc_mb column. Replaces the hand-rolled copy this binary used to
+// carry.
 #[global_allocator]
-static GLOBAL: CountingAlloc = CountingAlloc;
-
-/// Run `f`, returning its result plus (allocations, heap bytes)
-/// performed while it ran. Single-threaded callers only — the counters
-/// are process-global.
-fn count_allocs<T>(f: impl FnOnce() -> T) -> (T, u64, u64) {
-    let (a0, b0) = (
-        ALLOCS.load(Ordering::Relaxed),
-        ALLOC_BYTES.load(Ordering::Relaxed),
-    );
-    let value = f();
-    let (a1, b1) = (
-        ALLOCS.load(Ordering::Relaxed),
-        ALLOC_BYTES.load(Ordering::Relaxed),
-    );
-    (value, a1 - a0, b1 - b0)
-}
+static GLOBAL: CountingAllocator = CountingAllocator;
 
 /// Fraction of the population that is heavy: exactly one chunk's worth
 /// at the maximum worker count, so static chunking concentrates all of
@@ -120,6 +81,8 @@ const FAULT_RATE: f64 = 0.5;
 struct Options {
     smoke: bool,
     check: Option<String>,
+    check_prom: Option<String>,
+    require: Vec<String>,
     alloc_ceiling: Option<f64>,
     out: String,
     seed: u64,
@@ -129,6 +92,8 @@ fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         smoke: false,
         check: None,
+        check_prom: None,
+        require: Vec::new(),
         alloc_ceiling: None,
         out: "BENCH_pipeline.json".to_string(),
         seed: 0xBE7C,
@@ -139,6 +104,13 @@ fn parse_args() -> Result<Options, String> {
             "--smoke" => opts.smoke = true,
             "--check" => {
                 opts.check = Some(args.next().ok_or("--check needs a baseline path")?);
+            }
+            "--check-prom" => {
+                opts.check_prom = Some(args.next().ok_or("--check-prom needs a metrics path")?);
+            }
+            "--require" => {
+                opts.require
+                    .push(args.next().ok_or("--require needs a series name")?);
             }
             "--alloc-ceiling" => {
                 opts.alloc_ceiling = Some(
@@ -329,16 +301,16 @@ fn bench_population(n: usize, seed: u64, plan: &FaultPlan, calib: f64) -> serde_
             })
             .sum()
     };
-    let (owned_obs, owned_allocs, owned_bytes) = count_allocs(&owned_pass);
-    let (view_obs, view_allocs, view_bytes) = count_allocs(&view_pass);
+    let (owned_obs, owned_allocs, owned_bytes) = count_allocs(owned_pass);
+    let (view_obs, view_allocs, view_bytes) = count_allocs(view_pass);
     assert_eq!(owned_obs, view_obs, "both paths must agree on observations");
-    let (_, mut owned_secs) = time(&owned_pass);
+    let (_, mut owned_secs) = time(owned_pass);
     for _ in 0..2 {
-        owned_secs = owned_secs.min(time(&owned_pass).1);
+        owned_secs = owned_secs.min(time(owned_pass).1);
     }
-    let (_, mut view_secs) = time(&view_pass);
+    let (_, mut view_secs) = time(view_pass);
     for _ in 0..2 {
-        view_secs = view_secs.min(time(&view_pass).1);
+        view_secs = view_secs.min(time(view_pass).1);
     }
     let per_event = |count: u64| count as f64 / events.max(1) as f64;
 
@@ -546,6 +518,44 @@ fn pretty(value: &serde_json::Value, indent: usize, out: &mut String) {
     }
 }
 
+/// `--check-prom`: validate a Prometheus text exposition file (as
+/// written by `knocktalk --metrics-out`) and require the named series.
+/// Runs no benchmarks; exit 1 on any format violation or missing
+/// series.
+fn check_prom(path: &str, require: &[String]) -> ! {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("perf: reading {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let required: Vec<&str> = require.iter().map(String::as_str).collect();
+    match kt_bench::prom::check(&text, &required) {
+        Ok(report) => {
+            eprintln!(
+                "check-prom: {path} OK — {} families, {} series, {} samples{}",
+                report.families,
+                report.series,
+                report.samples,
+                if required.is_empty() {
+                    String::new()
+                } else {
+                    format!("; required present: {}", required.join(", "))
+                }
+            );
+            std::process::exit(0);
+        }
+        Err(errors) => {
+            eprintln!("check-prom: {path} FAILED — {} problem(s):", errors.len());
+            for e in &errors {
+                eprintln!("  {e}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let opts = match parse_args() {
         Ok(opts) => opts,
@@ -554,6 +564,9 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Some(path) = &opts.check_prom {
+        check_prom(path, &opts.require);
+    }
     let plan = FaultPlan::none(opts.seed).with_rate(Fault::ConnectionReset, FAULT_RATE);
     let (population_sizes, scaling_n, worker_counts): (Vec<usize>, usize, Vec<usize>) =
         if opts.smoke {
@@ -562,18 +575,33 @@ fn main() {
             (vec![64, 160, 320], 256, vec![1, 2, 4, MAX_WORKERS])
         };
 
+    // The top-level phases run under the kt-trace stage profiler so the
+    // bench binary prints the same stage/alloc breakdown `knocktalk
+    // profile` does; the JSON schema below is unchanged.
+    let mut profiler = StageProfiler::new();
+
     eprintln!("calibrating...");
-    let calib = calibrate(opts.seed);
+    let calib = profiler.run("calibrate", || calibrate(opts.seed));
     eprintln!("calibration crawl: {calib:.3}s");
 
     eprintln!("population sweep:");
     let populations: Vec<serde_json::Value> = population_sizes
         .iter()
-        .map(|&n| bench_population(n, opts.seed, &plan, calib))
+        .map(|&n| {
+            let entry = profiler.run(&format!("population:{n}"), || {
+                bench_population(n, opts.seed, &plan, calib)
+            });
+            profiler.annotate_elements(n as u64);
+            entry
+        })
         .collect();
 
     eprintln!("worker scaling at n={scaling_n}:");
-    let scaling = bench_scaling(scaling_n, &worker_counts, opts.seed, &plan);
+    let scaling = profiler.run("scaling", || {
+        bench_scaling(scaling_n, &worker_counts, opts.seed, &plan)
+    });
+    profiler.annotate_elements(scaling_n as u64);
+    eprintln!("stage breakdown:\n{}", profiler.render_table());
 
     let report = serde_json::json!({
         "schema": 1,

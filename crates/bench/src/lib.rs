@@ -10,6 +10,8 @@
 
 #![warn(missing_docs)]
 
+pub mod prom;
+
 use std::sync::OnceLock;
 
 use knock_talk::{Study, StudyConfig};

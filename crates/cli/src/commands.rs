@@ -9,6 +9,7 @@ use knock_talk::netlog::Capture;
 use knock_talk::store::{
     CrawlId, FsckOptions, JournalWriter, KillMode, KillSpec, LoadOutcome, VisitRecord,
 };
+use knock_talk::trace::Trace;
 use knock_talk::{Study, StudyConfig};
 
 use crate::args::Options;
@@ -29,7 +30,14 @@ pub fn help() {
            knocktalk classify <netlog.json> [--loaded-at MS] [--domain NAME]\n\
            knocktalk entropy  [--machines N] [--seed N]\n\
            knocktalk health   [--scale quick|standard|paper] [--seed N]\n\
+           knocktalk profile  [--scale quick|standard|paper] [--seed N] [--workers N]\n\
            knocktalk help\n\
+         \n\
+         repro, crawl, and resume also accept:\n\
+           --workers N        override the worker-thread count\n\
+           --metrics-out FILE write the campaign's metrics registry in Prometheus\n\
+                              text exposition format (worker-count-invariant)\n\
+           --trace-out FILE   write the span/event trace (simulated clock) as JSONL\n\
          \n\
          COMMANDS:\n\
            repro     regenerate the paper's tables and figures (all, or one --id);\n\
@@ -48,18 +56,52 @@ pub fn help() {
            classify  analyse a Chrome NetLog JSON capture for local traffic\n\
            entropy   measure the fingerprinting entropy of the observed scans\n\
            health    run the study and print the crawl health report\n\
-                     (retries, recrawls, recoveries, quarantines per campaign/OS)"
+                     (retries, recrawls, recoveries, quarantines per campaign/OS)\n\
+           profile   run the study under the stage profiler and print per-stage\n\
+                     real time, simulated time, and allocator traffic"
     );
 }
 
 fn study_config(opts: &Options) -> Result<StudyConfig, String> {
     let seed = opts.get_u64("seed", 0x00C0_FFEE)?;
-    Ok(match opts.get("scale").unwrap_or("quick") {
+    let mut config = match opts.get("scale").unwrap_or("quick") {
         "quick" => StudyConfig::quick(seed),
         "standard" => StudyConfig::standard(seed),
         "paper" => StudyConfig::paper(seed),
         other => return Err(format!("unknown --scale {other:?}")),
-    })
+    };
+    if let Some(workers) = opts.get("workers") {
+        config.workers = workers
+            .parse::<usize>()
+            .ok()
+            .filter(|&w| w >= 1)
+            .ok_or_else(|| format!("flag --workers expects a positive integer, got {workers:?}"))?;
+    }
+    Ok(config)
+}
+
+/// Build a [`Trace`] when `--metrics-out` or `--trace-out` asks for
+/// one; campaigns run unobserved otherwise.
+fn trace_from_opts(opts: &Options) -> Option<Trace> {
+    (opts.get("metrics-out").is_some() || opts.get("trace-out").is_some()).then(Trace::new)
+}
+
+/// Write the requested observability artefacts: Prometheus text
+/// exposition to `--metrics-out`, the JSONL span/event trace to
+/// `--trace-out`.
+fn write_trace_outputs(opts: &Options, trace: Option<&Trace>) -> Result<(), String> {
+    let Some(trace) = trace else { return Ok(()) };
+    if let Some(path) = opts.get("metrics-out") {
+        std::fs::write(path, trace.export_prometheus())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("metrics written to {path}");
+    }
+    if let Some(path) = opts.get("trace-out") {
+        std::fs::write(path, trace.export_trace_jsonl())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("trace written to {path}");
+    }
+    Ok(())
 }
 
 /// Build a journal writer from `--journal`, arming `--kill-frames` /
@@ -111,7 +153,9 @@ fn report_if_killed(journal: &JournalWriter) -> bool {
 pub fn repro(opts: &Options) -> Result<(), String> {
     let config = study_config(opts)?;
     let journal = journal_from_opts(opts)?;
-    let study = Study::run_journaled(config, journal.as_ref());
+    let trace = trace_from_opts(opts);
+    let study = Study::run_journaled_observed(config, journal.as_ref(), trace.as_ref());
+    write_trace_outputs(opts, trace.as_ref())?;
     if let Some(journal) = &journal {
         if report_if_killed(journal) {
             return Ok(());
@@ -158,7 +202,7 @@ fn parse_os(s: &str) -> Result<Os, String> {
 
 /// `knocktalk crawl`.
 pub fn crawl(opts: &Options) -> Result<(), String> {
-    use knock_talk::crawler::{CrawlConfig, CrawlJob};
+    use knock_talk::crawler::{CrawlConfig, CrawlJob, ResumePlan};
     use knock_talk::store::TelemetryStore;
     use knock_talk::webgen::WebPopulation;
 
@@ -174,13 +218,25 @@ pub fn crawl(opts: &Options) -> Result<(), String> {
         })
         .collect();
     let store = TelemetryStore::new();
-    let crawl_config = CrawlConfig::paper(CrawlId::top2020(), os, config.population.seed);
+    let mut crawl_config = CrawlConfig::paper(CrawlId::top2020(), os, config.population.seed);
+    crawl_config.workers = config.workers;
     let journal = journal_from_opts(opts)?;
-    let stats =
-        knock_talk::crawler::run_crawl_journaled(&jobs, &crawl_config, &store, journal.as_ref());
+    let trace = trace_from_opts(opts);
+    let stats = knock_talk::crawler::run_crawl_resumed_observed(
+        &jobs,
+        &ResumePlan::fresh(jobs.len()),
+        &crawl_config,
+        &store,
+        journal.as_ref(),
+        trace.as_ref(),
+    );
     if let Some(journal) = &journal {
         journal.sync();
+        if let Some(t) = trace.as_ref() {
+            knock_talk::record_journal_stats(t, &journal.stats());
+        }
         if report_if_killed(journal) {
+            write_trace_outputs(opts, trace.as_ref())?;
             return Ok(());
         }
         let jstats = journal.stats();
@@ -203,10 +259,11 @@ pub fn crawl(opts: &Options) -> Result<(), String> {
     for (name, count) in stats.table1_errors() {
         println!("  {name:<18} {count}");
     }
-    let analysis = knock_talk::analysis::par::analyze_crawl_par(
+    let analysis = knock_talk::analysis::par::analyze_crawl_traced(
         &store,
         &CrawlId::top2020(),
         crawl_config.workers,
+        trace.as_ref(),
     );
     println!(
         "locally-active sites: {} localhost, {} LAN",
@@ -216,11 +273,15 @@ pub fn crawl(opts: &Options) -> Result<(), String> {
     if let Some(path) = opts.get("save") {
         let report = knock_talk::store::save(&store, std::path::Path::new(path))
             .map_err(|e| e.to_string())?;
+        if let Some(t) = trace.as_ref() {
+            knock_talk::record_save_report(t, &report);
+        }
         println!(
             "saved {} visit records ({} bytes, {} fsyncs) to {path}",
             report.records, report.bytes, report.fsyncs
         );
     }
+    write_trace_outputs(opts, trace.as_ref())?;
     Ok(())
 }
 
@@ -339,7 +400,9 @@ pub fn resume(opts: &Options) -> Result<(), String> {
     let durability = knock_talk::analysis::report::DurabilityReport::from_replay(&replayed);
     eprint!("{}", durability.render());
     drop(replayed);
-    let study = Study::resume(path).map_err(|e| e.to_string())?;
+    let trace = trace_from_opts(opts);
+    let study = Study::resume_observed(path, trace.as_ref()).map_err(|e| e.to_string())?;
+    write_trace_outputs(opts, trace.as_ref())?;
     match opts.get("id") {
         Some(id) => {
             let text = study
@@ -411,6 +474,24 @@ pub fn fsck(opts: &Options) -> Result<(), String> {
 pub fn health(opts: &Options) -> Result<(), String> {
     let study = Study::run(study_config(opts)?);
     println!("{}", knock_talk::experiments::health_report(&study));
+    Ok(())
+}
+
+/// `knocktalk profile`: run the full study under the stage profiler
+/// and print the per-stage time/allocation breakdown.
+pub fn profile(opts: &Options) -> Result<(), String> {
+    let config = study_config(opts)?;
+    let trace = trace_from_opts(opts);
+    let mut profiler = knock_talk::trace::StageProfiler::new();
+    let study = knock_talk::profile_study(config, &mut profiler, trace.as_ref());
+    write_trace_outputs(opts, trace.as_ref())?;
+    println!(
+        "profiled study: seed {}, {} workers, {} visit records",
+        study.config.population.seed,
+        study.config.workers,
+        study.store.len()
+    );
+    print!("{}", profiler.render_table());
     Ok(())
 }
 

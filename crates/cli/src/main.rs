@@ -11,8 +11,14 @@
 //! knocktalk classify <netlog.json> [--loaded-at MS]
 //! knocktalk entropy  [--machines N] [--seed N]
 //! knocktalk health   [--scale quick|standard|paper] [--seed N]
+//! knocktalk profile  [--scale quick|standard|paper] [--seed N] [--workers N]
 //! knocktalk help
 //! ```
+//!
+//! `repro`, `crawl`, and `resume` additionally accept `--workers N`,
+//! `--metrics-out FILE` (Prometheus text exposition of the campaign's
+//! metrics registry) and `--trace-out FILE` (JSONL span/event trace
+//! over the simulated clock).
 //!
 //! `classify` is the downstream-facing subcommand: point it at a JSON
 //! capture from `chrome://net-export` (or from this library) and it
@@ -25,6 +31,11 @@ use std::process::ExitCode;
 
 mod args;
 mod commands;
+
+// Feeds `knocktalk profile`'s per-stage allocation columns; a
+// pass-through to the system allocator everywhere else.
+#[global_allocator]
+static GLOBAL: knock_talk::trace::CountingAllocator = knock_talk::trace::CountingAllocator;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -48,6 +59,7 @@ fn main() -> ExitCode {
         "classify" => commands::classify(&opts),
         "entropy" => commands::entropy(&opts),
         "health" => commands::health(&opts),
+        "profile" => commands::profile(&opts),
         "help" | "--help" | "-h" => {
             commands::help();
             Ok(())

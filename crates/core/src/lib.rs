@@ -31,7 +31,7 @@
 pub mod experiments;
 pub mod study;
 
-pub use study::{Study, StudyConfig};
+pub use study::{profile_study, record_journal_stats, record_save_report, Study, StudyConfig};
 
 pub use kt_analysis as analysis;
 pub use kt_browser as browser;
@@ -41,5 +41,6 @@ pub use kt_netbase as netbase;
 pub use kt_netlog as netlog;
 pub use kt_simnet as simnet;
 pub use kt_store as store;
+pub use kt_trace as trace;
 pub use kt_webgen as webgen;
 pub use kt_weblists as weblists;

@@ -5,14 +5,17 @@ use std::io;
 use std::path::Path;
 
 use kt_analysis::detect::SiteLocalActivity;
-use kt_analysis::par::{analyze_crawl_par, CrawlAnalysis};
+use kt_analysis::par::{analyze_crawl_traced, CrawlAnalysis};
 use kt_crawler::{
-    run_crawl_resumed, split_campaigns, CrawlConfig, CrawlJob, CrawlStats, ResumePlan,
+    run_crawl_resumed_observed, set_stats_gauges, split_campaigns, stats_sink, CrawlConfig,
+    CrawlJob, CrawlStats, ResumePlan,
 };
 use kt_netbase::Os;
 use kt_store::{
-    replay, CheckpointFrame, CrawlId, JournalError, JournalMeta, JournalWriter, TelemetryStore,
+    replay, CheckpointFrame, CrawlId, JournalError, JournalMeta, JournalStats, JournalWriter,
+    TelemetryStore,
 };
+use kt_trace::{names, Labels, Trace};
 use kt_webgen::{PopulationConfig, WebPopulation};
 
 /// Study configuration.
@@ -118,10 +121,97 @@ fn campaign_jobs<'a>(population: &'a WebPopulation, crawl: &CrawlId) -> Vec<Craw
     }
 }
 
+/// Record a journal writer's durability counters into the metrics
+/// registry. Journal counters are *writer-owned*: a resumed study
+/// reports only the frames its own process appended, so — unlike the
+/// crawl counters — these legitimately differ between a baseline run
+/// and a kill/resume cycle.
+pub fn record_journal_stats(trace: &Trace, stats: &JournalStats) {
+    let none = Labels::new(&[]);
+    trace.inc_counter(names::JOURNAL_FRAMES_TOTAL, none.clone(), stats.frames);
+    trace.inc_counter(names::JOURNAL_VISITS_TOTAL, none.clone(), stats.visits);
+    trace.inc_counter(
+        names::JOURNAL_CHECKPOINTS_TOTAL,
+        none.clone(),
+        stats.checkpoints,
+    );
+    trace.inc_counter(names::JOURNAL_BYTES_TOTAL, none.clone(), stats.bytes);
+    trace.inc_counter(names::JOURNAL_FSYNCS_TOTAL, none, stats.fsyncs);
+}
+
+/// Run a full study under a [`StageProfiler`]: population generation,
+/// each (campaign, OS) crawl, and each campaign analysis become
+/// separate profiled stages with element counts (sites crawled /
+/// records analysed) and, for crawls, the simulated makespan alongside
+/// real wall time. Profiling changes nothing about the study itself —
+/// the returned `Study` is the same one [`Study::run_observed`]
+/// produces.
+pub fn profile_study(
+    config: StudyConfig,
+    profiler: &mut kt_trace::StageProfiler,
+    trace: Option<&Trace>,
+) -> Study {
+    let population = profiler.run("population", || WebPopulation::generate(config.population));
+    profiler.annotate_elements(
+        (population.sites2020.len() + population.sites2021.len() + population.malicious_sites.len())
+            as u64,
+    );
+    let store = TelemetryStore::new();
+    let mut stats = BTreeMap::new();
+    let seed = config.population.seed;
+    for (crawl, oses) in campaigns() {
+        let jobs = campaign_jobs(&population, &crawl);
+        for os in oses {
+            let mut cfg = CrawlConfig::paper(crawl.clone(), os, seed);
+            cfg.workers = config.workers;
+            let plan = ResumePlan::fresh(jobs.len());
+            let name = format!("crawl:{}/{}", crawl.as_str(), os.name());
+            let s = profiler.run(&name, || {
+                run_crawl_resumed_observed(&jobs, &plan, &cfg, &store, None, trace)
+            });
+            profiler.annotate_elements(s.attempted as u64);
+            profiler.annotate_sim_ms(s.makespan_ms);
+            stats.insert((crawl.as_str().to_string(), os), s);
+        }
+    }
+    let analyses = campaigns()
+        .into_iter()
+        .map(|(crawl, _)| {
+            let name = format!("analyze:{}", crawl.as_str());
+            let analysis = profiler.run(&name, || {
+                analyze_crawl_traced(&store, &crawl, config.workers, trace)
+            });
+            profiler.annotate_elements(analysis.visits as u64);
+            (crawl.as_str().to_string(), analysis)
+        })
+        .collect();
+    Study {
+        config,
+        population,
+        store,
+        stats,
+        analyses,
+    }
+}
+
+/// Record a snapshot save's [`kt_store::SaveReport`] as gauges.
+pub fn record_save_report(trace: &Trace, report: &kt_store::SaveReport) {
+    let none = Labels::new(&[]);
+    trace.set_gauge(names::SAVE_RECORDS, none.clone(), report.records as f64);
+    trace.set_gauge(names::SAVE_BYTES, none.clone(), report.bytes as f64);
+    trace.set_gauge(names::SAVE_FSYNCS, none, report.fsyncs as f64);
+}
+
 impl Study {
     /// Generate the population and run every campaign.
     pub fn run(config: StudyConfig) -> Study {
         Study::run_journaled(config, None)
+    }
+
+    /// [`Study::run`] reporting metrics, spans, and events into a
+    /// [`Trace`].
+    pub fn run_observed(config: StudyConfig, trace: Option<&Trace>) -> Study {
+        Study::run_journaled_observed(config, None, trace)
     }
 
     /// [`Study::run`] with an optional write-ahead journal: campaign
@@ -133,6 +223,15 @@ impl Study {
     /// world and exists only so test harnesses can drop it;
     /// [`Study::resume`] is the real continuation.
     pub fn run_journaled(config: StudyConfig, journal: Option<&JournalWriter>) -> Study {
+        Study::run_journaled_observed(config, journal, None)
+    }
+
+    /// [`Study::run_journaled`] reporting into a [`Trace`].
+    pub fn run_journaled_observed(
+        config: StudyConfig,
+        journal: Option<&JournalWriter>,
+        trace: Option<&Trace>,
+    ) -> Study {
         if let Some(j) = journal {
             j.append_meta(&JournalMeta {
                 seed: config.population.seed,
@@ -143,11 +242,21 @@ impl Study {
         }
         let population = WebPopulation::generate(config.population);
         let store = TelemetryStore::new();
-        let stats = Study::run_campaigns(&config, &population, &store, journal, &BTreeMap::new());
+        let stats = Study::run_campaigns(
+            &config,
+            &population,
+            &store,
+            journal,
+            &BTreeMap::new(),
+            trace,
+        );
         if let Some(j) = journal {
             j.sync();
+            if let Some(t) = trace {
+                record_journal_stats(t, &j.stats());
+            }
         }
-        Study::finish(config, population, store, stats)
+        Study::finish(config, population, store, stats, trace)
     }
 
     /// Resume a crashed [`Study::run_journaled`] from its journal.
@@ -160,6 +269,15 @@ impl Study {
     /// result — stats, store bytes, every table — is identical to the
     /// run that never crashed.
     pub fn resume(path: &Path) -> Result<Study, JournalError> {
+        Study::resume_observed(path, None)
+    }
+
+    /// [`Study::resume`] reporting into a [`Trace`]. Counters for
+    /// checkpoint-restored campaigns are seeded from their restored
+    /// stats, so `visits_total` and friends match the run that never
+    /// crashed; journal counters are writer-owned and count only this
+    /// process's appends.
+    pub fn resume_observed(path: &Path, trace: Option<&Trace>) -> Result<Study, JournalError> {
         let report = replay(path)?;
         let meta = report.meta.ok_or_else(|| {
             JournalError::Io(io::Error::new(
@@ -181,9 +299,19 @@ impl Study {
         // Frame-rebuilt resume plans per campaign; checkpointed
         // campaigns restore their exact stats instead.
         let store = report.store;
-        let stats = Study::run_campaigns(&config, &population, &store, Some(&journal), &replayed);
+        let stats = Study::run_campaigns(
+            &config,
+            &population,
+            &store,
+            Some(&journal),
+            &replayed,
+            trace,
+        );
         journal.sync();
-        Ok(Study::finish(config, population, store, stats))
+        if let Some(t) = trace {
+            record_journal_stats(t, &journal.stats());
+        }
+        Ok(Study::finish(config, population, store, stats, trace))
     }
 
     /// Run (or resume) every campaign, checkpointing completions.
@@ -193,6 +321,7 @@ impl Study {
         store: &TelemetryStore,
         journal: Option<&JournalWriter>,
         replayed: &BTreeMap<(String, String), kt_crawler::CampaignReplay>,
+        trace: Option<&Trace>,
     ) -> BTreeMap<(String, Os), CrawlStats> {
         let mut stats = BTreeMap::new();
         let seed = config.population.seed;
@@ -211,6 +340,13 @@ impl Study {
                     // that outlived a corrupted visit frame is not
                     // restorable — those campaigns fall through to the
                     // frame-level plan and re-run the lost sites.
+                    if let Some(t) = trace {
+                        // Seed counters from the restored tally, the
+                        // same derivation the crawl itself would have
+                        // reported — resume-invariance by construction.
+                        t.merge_sink(&stats_sink(&crawl, os, &done));
+                        set_stats_gauges(t, &crawl, os, &done);
+                    }
                     stats.insert((crawl.as_str().to_string(), os), done);
                     continue;
                 }
@@ -219,7 +355,7 @@ impl Study {
                     .unwrap_or_else(|| ResumePlan::fresh(jobs.len()));
                 let mut cfg = CrawlConfig::paper(crawl.clone(), os, seed);
                 cfg.workers = config.workers;
-                let s = run_crawl_resumed(&jobs, &plan, &cfg, store, journal);
+                let s = run_crawl_resumed_observed(&jobs, &plan, &cfg, store, journal, trace);
                 if let Some(j) = journal {
                     if j.killed() {
                         break 'campaigns;
@@ -246,11 +382,12 @@ impl Study {
         population: WebPopulation,
         store: TelemetryStore,
         stats: BTreeMap<(String, Os), CrawlStats>,
+        trace: Option<&Trace>,
     ) -> Study {
         let analyses = campaigns()
             .into_iter()
             .map(|(crawl, _)| {
-                let analysis = analyze_crawl_par(&store, &crawl, config.workers);
+                let analysis = analyze_crawl_traced(&store, &crawl, config.workers, trace);
                 (crawl.as_str().to_string(), analysis)
             })
             .collect();
@@ -361,6 +498,104 @@ mod tests {
         let restored = Study::resume(&path).unwrap();
         assert_eq!(restored.stats, baseline.stats);
         assert_eq!(restored.store.len(), baseline.store.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn profiled_study_matches_plain_run() {
+        let config = StudyConfig::quick(7);
+        let baseline = Study::run(config);
+        let mut profiler = kt_trace::StageProfiler::new();
+        let profiled = profile_study(config, &mut profiler, None);
+        assert_eq!(profiled.stats, baseline.stats, "profiling changes nothing");
+        // population + 8 campaign/OS crawls + 3 analyses.
+        assert_eq!(profiler.stages().len(), 12);
+        let names: Vec<&str> = profiler.stages().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names[0], "population");
+        assert!(names.contains(&"crawl:top2020/Windows"));
+        assert!(names.contains(&"analyze:malicious"));
+        let table = profiler.render_table();
+        assert!(table.lines().last().unwrap().starts_with("total"));
+    }
+
+    #[test]
+    fn metrics_are_worker_count_invariant() {
+        // Same population, different schedules: every exported series
+        // — counters, gauges, sim-cost histograms — must come out byte
+        // for byte identical. This is the registry-level face of the
+        // CrawlStats invariance the crawler already guarantees.
+        let export_with = |workers: usize| {
+            let mut config = StudyConfig::quick(7);
+            config.workers = workers;
+            let trace = Trace::new();
+            let _ = Study::run_observed(config, Some(&trace));
+            trace.export_prometheus()
+        };
+        let baseline = export_with(1);
+        assert!(baseline.contains("visits_total{"), "core series present");
+        assert!(baseline.contains("analysis_stage_seconds_bucket{"));
+        for workers in [2, 4, 8] {
+            assert_eq!(
+                export_with(workers),
+                baseline,
+                "{workers}-worker export differs from single-worker"
+            );
+        }
+    }
+
+    #[test]
+    fn resumed_metrics_match_baseline_counters() {
+        use kt_store::{KillMode, KillSpec};
+
+        let config = StudyConfig::quick(11);
+        let base_trace = Trace::new();
+        let _ = Study::run_observed(config, Some(&base_trace));
+
+        let path = std::env::temp_dir().join(format!(
+            "kt-study-metrics-resume-{}.ktj",
+            std::process::id()
+        ));
+        let journal = JournalWriter::create(&path).unwrap();
+        let kill_at = 900;
+        journal.set_kill(Some(KillSpec {
+            at_frame: kill_at,
+            mode: KillMode::MidFrame,
+        }));
+        let _ = Study::run_journaled(config, Some(&journal));
+        assert!(journal.killed());
+
+        let resumed_trace = Trace::new();
+        let _ = Study::resume_observed(&path, Some(&resumed_trace)).unwrap();
+
+        // Crawl-derived counters and analysis counters must match the
+        // never-crashed run exactly; journal counters are writer-owned
+        // and may not.
+        for (crawl, oses) in campaigns() {
+            for os in oses {
+                let labels = kt_crawler::campaign_labels(&crawl, os);
+                for name in [
+                    names::VISITS_TOTAL,
+                    names::SUCCESS_TOTAL,
+                    names::RETRIES_TOTAL,
+                ] {
+                    let base = base_trace.with_registry(|r| r.counter_value(name, &labels));
+                    let resumed = resumed_trace.with_registry(|r| r.counter_value(name, &labels));
+                    assert_eq!(
+                        resumed,
+                        base,
+                        "{name} for ({}, {}) differs after resume",
+                        crawl.as_str(),
+                        os.name()
+                    );
+                }
+            }
+            let labels = Labels::new(&[("crawl", crawl.as_str())]);
+            let base = base_trace
+                .with_registry(|r| r.counter_value(names::LOCAL_OBSERVATIONS_TOTAL, &labels));
+            let resumed = resumed_trace
+                .with_registry(|r| r.counter_value(names::LOCAL_OBSERVATIONS_TOTAL, &labels));
+            assert_eq!(resumed, base, "local observations differ after resume");
+        }
         std::fs::remove_file(&path).ok();
     }
 

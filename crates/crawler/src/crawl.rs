@@ -37,13 +37,14 @@ use kt_netlog::NetLogEvent;
 use kt_simnet::connectivity::{ConnectivityChecker, Outage};
 use kt_store::journal::{JournalWriter, FLAG_FINAL, FLAG_RECRAWL};
 use kt_store::{CrawlId, LoadOutcome, TelemetryStore, VisitRecord};
+use kt_trace::{EventRecord, SpanRecord, SpanRing, Trace};
 use kt_webgen::WebSite;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
+use crate::observe::{set_stats_gauges, stats_sink, stats_sink_delta};
 use crate::queue::{JobTicket, PendingInjector};
 use crate::resume::ResumePlan;
 use crate::stats::CrawlStats;
@@ -102,6 +103,12 @@ impl CrawlConfig {
 /// Wall-clock cost of one visit: the 20 s window plus startup/teardown
 /// overhead for the fresh incognito instance.
 const VISIT_WALL_MS: u64 = 21_000;
+
+/// Per-worker span ring capacity: big enough for every visit of a
+/// quick-scale campaign's share, bounded so a pathological retry storm
+/// sheds old spans (counted in the trace meta line) instead of
+/// growing without limit.
+const SPAN_RING_CAP: usize = 4_096;
 
 /// One attempt's result after panic isolation has run.
 enum AttemptEnd {
@@ -171,6 +178,45 @@ pub fn run_crawl_resumed(
     store: &TelemetryStore,
     journal: Option<&JournalWriter>,
 ) -> CrawlStats {
+    run_crawl_resumed_observed(jobs, plan, config, store, journal, None)
+}
+
+/// [`run_crawl`] reporting into a [`Trace`]: per-visit spans land in
+/// lock-free per-worker ring buffers, per-worker counter sinks are
+/// built from each worker's private tally and merged at join, and the
+/// campaign's derived gauges are set from the final stats. Tracing
+/// never perturbs results — stats and store contents stay
+/// byte-identical to an untraced run.
+pub fn run_crawl_observed(
+    jobs: &[CrawlJob<'_>],
+    config: &CrawlConfig,
+    store: &TelemetryStore,
+    trace: Option<&Trace>,
+) -> CrawlStats {
+    run_crawl_resumed_observed(
+        jobs,
+        &ResumePlan::fresh(jobs.len()),
+        config,
+        store,
+        None,
+        trace,
+    )
+}
+
+/// [`run_crawl_resumed`] with optional tracing. Counter series are
+/// derived from [`CrawlStats`] snapshots (worker tallies, the
+/// journal-replayed prior, the recrawl pass's delta), so the exported
+/// values always sum to the returned stats — which are worker-count-
+/// and resume-invariant, making the exported text byte-identical
+/// across `--workers` settings and kill/resume cycles.
+pub fn run_crawl_resumed_observed(
+    jobs: &[CrawlJob<'_>],
+    plan: &ResumePlan,
+    config: &CrawlConfig,
+    store: &TelemetryStore,
+    journal: Option<&JournalWriter>,
+    trace: Option<&Trace>,
+) -> CrawlStats {
     // The schedule replays over the *full* job vector whatever subset
     // actually re-runs, so the worker count it uses must be the one
     // the uninterrupted campaign would have had.
@@ -183,6 +229,12 @@ pub fn run_crawl_resumed(
         costs[i].store(cost, Ordering::Relaxed);
     }
     let mut stats = plan.prior.clone();
+    // Work finished before the crash was journaled with its stats
+    // deltas; replaying them as a sink makes resumed counters equal to
+    // an uninterrupted run's.
+    if let Some(trace) = trace {
+        trace.merge_sink(&stats_sink(&config.crawl, config.os, &plan.prior));
+    }
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..pool_workers)
             .map(|w| {
@@ -202,14 +254,24 @@ pub fn run_crawl_resumed(
                         journal,
                         w as u64,
                         pool_workers as u64,
+                        trace.is_some(),
                     )
                 })
             })
             .collect();
         // Per-worker tallies merge exactly once, at join — the crawl
-        // itself holds no shared stats lock.
+        // itself holds no shared stats lock. The metrics sink and span
+        // ring merge on the same schedule: one uncontended trace lock
+        // per worker per campaign, nothing in the visit loop.
         for handle in handles {
-            stats.merge(&handle.join().expect("crawl worker panicked"));
+            let (worker_stats, ring) = handle.join().expect("crawl worker panicked");
+            if let Some(trace) = trace {
+                trace.merge_sink(&stats_sink(&config.crawl, config.os, &worker_stats));
+                if let Some(ring) = ring {
+                    trace.absorb_ring(ring);
+                }
+            }
+            stats.merge(&worker_stats);
         }
     });
     // The simulated makespan. A production pool's claim order follows
@@ -233,10 +295,36 @@ pub fn run_crawl_resumed(
                 .as_str()
                 .cmp(jobs[*b].site.domain.as_str())
         });
-        recrawl_pass(jobs, &queue, config, store, &mut stats, journal);
+        let before_recrawl = stats.clone();
+        let mut ring = trace.map(|_| SpanRing::new(SPAN_RING_CAP));
+        recrawl_pass(
+            jobs,
+            &queue,
+            config,
+            store,
+            &mut stats,
+            journal,
+            ring.as_mut(),
+        );
+        if let Some(trace) = trace {
+            // The pass mutates the merged tally in place, so its
+            // counter contribution is the snapshot difference.
+            trace.merge_sink(&stats_sink_delta(
+                &config.crawl,
+                config.os,
+                &stats,
+                &before_recrawl,
+            ));
+            if let Some(ring) = ring {
+                trace.absorb_ring(ring);
+            }
+        }
     }
     // Recrawl wall-clock already journaled by the crashed run.
     stats.makespan_ms += plan.prior_recrawl_wall_ms;
+    if let Some(trace) = trace {
+        set_stats_gauges(trace, &config.crawl, config.os, &stats);
+    }
     stats
 }
 
@@ -252,46 +340,57 @@ pub fn run_crawl_chunked(
 ) -> CrawlStats {
     let workers = config.workers.max(1).min(jobs.len().max(1));
     let chunk_size = jobs.len().div_ceil(workers).max(1);
-    let total = Mutex::new(CrawlStats::new());
-    let pending = Mutex::new(Vec::<usize>::new());
+    let mut stats = CrawlStats::new();
+    let mut queue = Vec::<usize>::new();
+    // Chunk results come back through the join handles and merge on
+    // the supervisor thread, the same single-merge-point shape as
+    // `run_crawl` and the trace registry — the old version funnelled
+    // every worker through a Mutex<CrawlStats> + Mutex<Vec> pair, a
+    // second hand-rolled merge path that observability would have had
+    // to duplicate.
     std::thread::scope(|scope| {
-        for (w, chunk) in jobs.chunks(chunk_size).enumerate() {
-            let total = &total;
-            let pending = &pending;
-            let config = config.clone();
-            scope.spawn(move || {
-                let base = w * chunk_size;
-                // A chunk is just a pre-claimed ticket range; reuse
-                // the worker loop via a ticket covering the chunk.
-                let order: Vec<usize> = (0..chunk.len()).collect();
-                let ticket = JobTicket::new(chunk.len());
-                let injector = PendingInjector::new(chunk.len());
-                // With a static assignment the worker's own
-                // accumulated wall clock *is* its schedule, so the
-                // recorded costs are only informational here.
-                let costs: Vec<AtomicU64> = (0..chunk.len()).map(|_| AtomicU64::new(0)).collect();
-                let stats = crawl_worker(
-                    chunk,
-                    &order,
-                    &ticket,
-                    &injector,
-                    &costs,
-                    &config,
-                    store,
-                    None,
-                    w as u64,
-                    workers as u64,
-                );
-                total.lock().expect("stats lock poisoned").merge(&stats);
-                pending
-                    .lock()
-                    .expect("pending lock poisoned")
-                    .extend(injector.drain().into_iter().map(|i| base + i));
-            });
+        let handles: Vec<_> = jobs
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(w, chunk)| {
+                let config = config.clone();
+                scope.spawn(move || {
+                    let base = w * chunk_size;
+                    // A chunk is just a pre-claimed ticket range; reuse
+                    // the worker loop via a ticket covering the chunk.
+                    let order: Vec<usize> = (0..chunk.len()).collect();
+                    let ticket = JobTicket::new(chunk.len());
+                    let injector = PendingInjector::new(chunk.len());
+                    // With a static assignment the worker's own
+                    // accumulated wall clock *is* its schedule, so the
+                    // recorded costs are only informational here.
+                    let costs: Vec<AtomicU64> =
+                        (0..chunk.len()).map(|_| AtomicU64::new(0)).collect();
+                    let (stats, _) = crawl_worker(
+                        chunk,
+                        &order,
+                        &ticket,
+                        &injector,
+                        &costs,
+                        &config,
+                        store,
+                        None,
+                        w as u64,
+                        workers as u64,
+                        false,
+                    );
+                    let pending: Vec<usize> =
+                        injector.drain().into_iter().map(|i| base + i).collect();
+                    (stats, pending)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (chunk_stats, pending) = handle.join().expect("chunk worker panicked");
+            stats.merge(&chunk_stats);
+            queue.extend(pending);
         }
     });
-    let mut stats = total.into_inner().expect("stats lock poisoned");
-    let mut queue = pending.into_inner().expect("pending lock poisoned");
     if !queue.is_empty() {
         queue.sort_by(|a, b| {
             jobs[*a]
@@ -300,7 +399,7 @@ pub fn run_crawl_chunked(
                 .as_str()
                 .cmp(jobs[*b].site.domain.as_str())
         });
-        recrawl_pass(jobs, &queue, config, store, &mut stats, None);
+        recrawl_pass(jobs, &queue, config, store, &mut stats, None, None);
     }
     stats
 }
@@ -446,10 +545,12 @@ fn journal_visit(
 
 /// One worker's loop: claim jobs off the shared ticket until the queue
 /// drains. Returns the worker's private stats tally (merged by the
-/// supervisor at join); sites whose transient failures exhausted their
-/// in-place retries are parked on the shared `injector` for the
-/// end-of-campaign recrawl pass (their stats verdict is deferred to
-/// that pass).
+/// supervisor at join) plus, when `spans` is on, its span ring — one
+/// simulated-clock span per terminal visit, one event per in-place
+/// retry, recorded lock-free into worker-owned memory. Sites whose
+/// transient failures exhausted their in-place retries are parked on
+/// the shared `injector` for the end-of-campaign recrawl pass (their
+/// stats verdict is deferred to that pass).
 #[allow(clippy::too_many_arguments)]
 fn crawl_worker(
     jobs: &[CrawlJob<'_>],
@@ -462,8 +563,10 @@ fn crawl_worker(
     journal: Option<&JournalWriter>,
     worker_id: u64,
     workers: u64,
-) -> CrawlStats {
+    spans: bool,
+) -> (CrawlStats, Option<SpanRing>) {
     let mut checker = ConnectivityChecker::with_outages(config.outages.clone());
+    let mut ring = spans.then(|| SpanRing::new(SPAN_RING_CAP));
     let mut stats = CrawlStats::new();
     // Staggered start: spread workers evenly across one visit's
     // wall-clock span. The old `wall_ms = worker_id` start (offsets of
@@ -522,6 +625,14 @@ fn crawl_worker(
                         FLAG_FINAL,
                         attempt,
                     );
+                    visit_span(
+                        ring.as_mut(),
+                        worker_id,
+                        job_start_ms,
+                        wall_ms,
+                        &record.domain,
+                        "crashed",
+                    );
                     break;
                 }
                 AttemptEnd::Outcome(PageLoadOutcome::Loaded { at_ms }, domain, events) => {
@@ -542,12 +653,29 @@ fn crawl_worker(
                         FLAG_FINAL,
                         attempt,
                     );
+                    visit_span(
+                        ring.as_mut(),
+                        worker_id,
+                        job_start_ms,
+                        wall_ms,
+                        &record.domain,
+                        "success",
+                    );
                     break;
                 }
                 AttemptEnd::Outcome(PageLoadOutcome::Failed(err), domain, events) => {
                     let transient = is_transient(err);
                     if transient && attempt + 1 < config.retry.max_attempts {
                         stats.retries += 1;
+                        if let Some(ring) = ring.as_mut() {
+                            ring.event(EventRecord {
+                                name: "retry",
+                                worker: worker_id as u32,
+                                at_ms: wall_ms,
+                                target: domain.clone(),
+                                detail: err.name().to_string(),
+                            });
+                        }
                         wall_ms += config.retry.backoff_ms(config.seed, &domain, attempt + 1);
                         attempt += 1;
                         continue;
@@ -571,6 +699,14 @@ fn crawl_worker(
                         if parked { 0 } else { FLAG_FINAL },
                         attempt,
                     );
+                    visit_span(
+                        ring.as_mut(),
+                        worker_id,
+                        job_start_ms,
+                        wall_ms,
+                        &record.domain,
+                        if parked { "parked" } else { "error" },
+                    );
                     if parked {
                         // Verdict deferred: the recrawl pass decides
                         // whether this becomes a Table 1 error. The
@@ -591,14 +727,38 @@ fn crawl_worker(
     // (the chunked scheduler) this *is* the schedule. `run_crawl`
     // overrides the merged value with its deterministic greedy replay.
     stats.makespan_ms = wall_ms;
-    stats
+    (stats, ring)
+}
+
+/// Record one terminal visit span into a worker's ring (if tracing).
+fn visit_span(
+    ring: Option<&mut SpanRing>,
+    worker_id: u64,
+    start_ms: u64,
+    end_ms: u64,
+    target: &str,
+    status: &'static str,
+) {
+    if let Some(ring) = ring {
+        ring.span(SpanRecord {
+            name: "visit",
+            worker: worker_id as u32,
+            start_ms,
+            end_ms,
+            target: target.to_string(),
+            status,
+        });
+    }
 }
 
 /// The end-of-campaign recrawl: transiently-failing sites get one
 /// final visit before their errors are allowed into Table 1.
 /// Single-threaded, in domain order, with a fresh world and a wall
 /// clock restarted at zero — all independent of the original worker
-/// layout, so results stay stable across worker counts.
+/// layout, so results stay stable across worker counts. Recrawl spans
+/// report as worker `u32::MAX` (the pass is the supervisor's, not any
+/// pool worker's).
+#[allow(clippy::too_many_arguments)]
 fn recrawl_pass(
     jobs: &[CrawlJob<'_>],
     queue: &[usize],
@@ -606,6 +766,7 @@ fn recrawl_pass(
     store: &TelemetryStore,
     stats: &mut CrawlStats,
     journal: Option<&JournalWriter>,
+    mut ring: Option<&mut SpanRing>,
 ) {
     let sites: Vec<WebSite> = queue.iter().map(|&i| jobs[i].site.clone()).collect();
     let mut world = World::build(&sites, config.os, config.seed);
@@ -622,16 +783,19 @@ fn recrawl_pass(
         let before = stats.clone();
         stats.recrawled += 1;
         wait_online(&mut checker, &mut wall_ms, stats);
-        let record = match attempt_visit(&mut world, config, job.site, attempt) {
+        let (record, status) = match attempt_visit(&mut world, config, job.site, attempt) {
             AttemptEnd::Crashed(events) => {
                 stats.record_crash();
-                make_record(
-                    config,
-                    job,
-                    job.site.domain.as_str().to_string(),
-                    LoadOutcome::Crashed,
-                    0,
-                    events,
+                (
+                    make_record(
+                        config,
+                        job,
+                        job.site.domain.as_str().to_string(),
+                        LoadOutcome::Crashed,
+                        0,
+                        events,
+                    ),
+                    "crashed",
                 )
             }
             AttemptEnd::Outcome(PageLoadOutcome::Loaded { at_ms }, domain, events) => {
@@ -639,12 +803,18 @@ fn recrawl_pass(
                 stats.recovered += 1;
                 // Overwrites the pass-one failure record: the store is
                 // last-write-wins per (crawl, domain, os).
-                make_record(config, job, domain, LoadOutcome::Success, at_ms, events)
+                (
+                    make_record(config, job, domain, LoadOutcome::Success, at_ms, events),
+                    "recovered",
+                )
             }
             AttemptEnd::Outcome(PageLoadOutcome::Failed(err), domain, events) => {
                 stats.record_failure(err);
                 stats.gave_up += 1;
-                make_record(config, job, domain, LoadOutcome::Error(err), 0, events)
+                (
+                    make_record(config, job, domain, LoadOutcome::Error(err), 0, events),
+                    "gave_up",
+                )
             }
         };
         append_record(store, stats, config, &record, attempt);
@@ -662,6 +832,16 @@ fn recrawl_pass(
             FLAG_FINAL | FLAG_RECRAWL,
             attempt,
         );
+        if let Some(ring) = ring.as_deref_mut() {
+            ring.span(SpanRecord {
+                name: "recrawl",
+                worker: u32::MAX,
+                start_ms: wall_ms,
+                end_ms: wall_ms + VISIT_WALL_MS,
+                target: record.domain.clone(),
+                status,
+            });
+        }
         wall_ms += VISIT_WALL_MS;
     }
     // The recrawl is a serial coda after the parallel phase: it

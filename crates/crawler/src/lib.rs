@@ -17,14 +17,17 @@
 #![warn(missing_docs)]
 
 pub mod crawl;
+pub mod observe;
 pub mod queue;
 pub mod resume;
 pub mod stats;
 pub mod vantage;
 
 pub use crawl::{
-    run_crawl, run_crawl_chunked, run_crawl_journaled, run_crawl_resumed, CrawlConfig, CrawlJob,
+    run_crawl, run_crawl_chunked, run_crawl_journaled, run_crawl_observed, run_crawl_resumed,
+    run_crawl_resumed_observed, CrawlConfig, CrawlJob,
 };
+pub use observe::{campaign_labels, set_stats_gauges, stats_sink, stats_sink_delta};
 pub use resume::{split_campaigns, CampaignReplay, ResumePlan};
 pub use stats::CrawlStats;
 pub use vantage::{CrawlVantage, NetworkVantage};

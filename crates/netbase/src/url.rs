@@ -518,7 +518,10 @@ mod tests {
         let text = "ws://API.localhost:6463/app?v=1#top";
         let v = UrlView::parse(text).unwrap();
         // The path/query/fragment point into the input buffer.
-        assert_eq!(v.path().as_ptr(), text["ws://API.localhost:6463".len()..].as_ptr());
+        assert_eq!(
+            v.path().as_ptr(),
+            text["ws://API.localhost:6463".len()..].as_ptr()
+        );
         assert_eq!(v.query(), Some("v=1"));
         assert_eq!(v.fragment(), Some("top"));
         assert!(v.is_local());

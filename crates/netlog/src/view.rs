@@ -483,9 +483,26 @@ mod tests {
         let events = vec![
             mk(2, SourceType::UrlRequest, 30, url_start("https://b.com/")),
             mk(1, SourceType::UrlRequest, 10, url_start("https://a.com/")),
-            mk(2, SourceType::UrlRequest, 35, EventParams::ResponseHeaders { status: 200 }),
-            mk(1, SourceType::UrlRequest, 20, EventParams::Failed { net_error: -105 }),
-            mk(3, SourceType::WebSocket, 5, EventParams::WebSocket { url: "ws://localhost:6463/?v=1".into() }),
+            mk(
+                2,
+                SourceType::UrlRequest,
+                35,
+                EventParams::ResponseHeaders { status: 200 },
+            ),
+            mk(
+                1,
+                SourceType::UrlRequest,
+                20,
+                EventParams::Failed { net_error: -105 },
+            ),
+            mk(
+                3,
+                SourceType::WebSocket,
+                5,
+                EventParams::WebSocket {
+                    url: "ws://localhost:6463/?v=1".into(),
+                },
+            ),
         ];
         assert_equivalent(&events);
     }
@@ -495,9 +512,24 @@ mod tests {
         // Two same-time events in one flow: the stable time sort keeps
         // their original order, and so must the view's full-key sort.
         let events = vec![
-            mk(1, SourceType::UrlRequest, 10, url_start("https://first.com/")),
-            mk(1, SourceType::UrlRequest, 10, url_start("https://second.com/")),
-            mk(1, SourceType::UrlRequest, 10, EventParams::ResponseHeaders { status: 204 }),
+            mk(
+                1,
+                SourceType::UrlRequest,
+                10,
+                url_start("https://first.com/"),
+            ),
+            mk(
+                1,
+                SourceType::UrlRequest,
+                10,
+                url_start("https://second.com/"),
+            ),
+            mk(
+                1,
+                SourceType::UrlRequest,
+                10,
+                EventParams::ResponseHeaders { status: 204 },
+            ),
         ];
         assert_equivalent(&events);
         let view = FlowSetView::from_events(events.iter().map(NetLogEvent::view));
@@ -507,9 +539,26 @@ mod tests {
     #[test]
     fn out_of_order_times_are_sorted_within_flow() {
         let events = vec![
-            mk(1, SourceType::UrlRequest, 50, EventParams::ResponseHeaders { status: 301 }),
-            mk(1, SourceType::UrlRequest, 10, url_start("http://x.example/")),
-            mk(1, SourceType::UrlRequest, 60, EventParams::Redirect { location: "http://127.0.0.1/".into() }),
+            mk(
+                1,
+                SourceType::UrlRequest,
+                50,
+                EventParams::ResponseHeaders { status: 301 },
+            ),
+            mk(
+                1,
+                SourceType::UrlRequest,
+                10,
+                url_start("http://x.example/"),
+            ),
+            mk(
+                1,
+                SourceType::UrlRequest,
+                60,
+                EventParams::Redirect {
+                    location: "http://127.0.0.1/".into(),
+                },
+            ),
         ];
         assert_equivalent(&events);
     }

@@ -27,11 +27,11 @@ pub mod persist;
 pub mod record;
 pub mod store;
 
+pub use codec::{decode_view, VisitView};
 pub use journal::{
     fsck, replay, CheckpointFrame, FsckOptions, FsckReport, JournalError, JournalMeta,
     JournalStats, JournalWriter, KillMode, KillSpec, ReplayReport, ReplayedVisit, VisitDelta,
 };
-pub use codec::{decode_view, VisitView};
 pub use persist::{load, load_any, save, LoadReport, PersistError, SaveReport};
 pub use record::{CrawlId, LoadOutcome, VisitRecord};
 pub use store::TelemetryStore;

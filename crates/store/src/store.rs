@@ -563,9 +563,7 @@ mod tests {
                 assert_eq!(via_view, decoded, "shard {shard} os {os:?}");
             }
         }
-        assert!(store
-            .shard_raw_on(&CrawlId::top2021(), 0, None)
-            .is_empty());
+        assert!(store.shard_raw_on(&CrawlId::top2021(), 0, None).is_empty());
     }
 
     #[test]

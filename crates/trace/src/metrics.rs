@@ -1,0 +1,580 @@
+//! The metrics registry: counters, gauges, and fixed-bucket histograms
+//! addressed by `&'static str` names plus low-cardinality labels, with
+//! lock-free per-worker [`WorkerSink`]s merged at join.
+//!
+//! Determinism contract: every value that reaches the Prometheus export
+//! is an integer (counters, raw histogram observations) or a
+//! deterministic `f64` gauge, accumulated in structures whose merge is
+//! associative and commutative (`u64`/`u128` sums, element-wise bucket
+//! adds). Series render in `BTreeMap` order — metric name, then label
+//! set — so the exported text is a pure function of the recorded
+//! multiset of samples, never of worker count, claim order, or merge
+//! order. Scaled values (histogram bounds and sums) are formatted by
+//! exact decimal shifting, not floating-point arithmetic.
+
+use std::collections::BTreeMap;
+
+/// A sorted, deduplicated label set. Sorting at construction makes the
+/// render order (and therefore the exported text) independent of the
+/// order call sites happen to list their labels in.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Labels(Vec<(&'static str, String)>);
+
+impl Labels {
+    /// The empty label set.
+    pub fn empty() -> Labels {
+        Labels(Vec::new())
+    }
+
+    /// Build from `(key, value)` pairs. Keys must be unique.
+    pub fn new(pairs: &[(&'static str, &str)]) -> Labels {
+        let mut v: Vec<(&'static str, String)> =
+            pairs.iter().map(|&(k, val)| (k, val.to_string())).collect();
+        v.sort_by(|a, b| a.0.cmp(b.0));
+        for pair in v.windows(2) {
+            assert_ne!(pair[0].0, pair[1].0, "duplicate label key {:?}", pair[0].0);
+        }
+        Labels(v)
+    }
+
+    /// The pairs, sorted by key.
+    pub fn pairs(&self) -> &[(&'static str, String)] {
+        &self.0
+    }
+
+    /// Render as `{k="v",…}` with an optional extra pair appended in
+    /// sorted position (used for the histogram `le` label); empty sets
+    /// render as nothing unless an extra pair is given.
+    fn render(&self, extra: Option<(&str, &str)>) -> String {
+        if self.0.is_empty() && extra.is_none() {
+            return String::new();
+        }
+        let mut parts: Vec<String> = self
+            .0
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+            .collect();
+        if let Some((k, v)) = extra {
+            parts.push(format!("{k}=\"{}\"", escape_label_value(v)));
+            parts.sort();
+        }
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Prometheus label-value escaping: backslash, double-quote, newline.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Format `raw * 10^scale_exp` as an exact decimal string. Integer
+/// arithmetic only: `format_scaled(1_234, -6)` is `"0.001234"`,
+/// trailing zeros trimmed, so the text is byte-stable across platforms.
+pub fn format_scaled(raw: u128, scale_exp: i32) -> String {
+    if scale_exp >= 0 {
+        let mut s = raw.to_string();
+        if raw != 0 {
+            s.extend(std::iter::repeat_n('0', scale_exp as usize));
+        }
+        return s;
+    }
+    let digits = (-scale_exp) as u32;
+    let div = 10u128.pow(digits);
+    let int = raw / div;
+    let frac = raw % div;
+    if frac == 0 {
+        return int.to_string();
+    }
+    let mut frac_s = format!("{frac:0width$}", width = digits as usize);
+    while frac_s.ends_with('0') {
+        frac_s.pop();
+    }
+    format!("{int}.{frac_s}")
+}
+
+/// A histogram's shape: fixed raw-unit bucket bounds plus the decimal
+/// exponent that converts raw observations to the exported unit (e.g.
+/// microsecond observations with `scale_exp = -6` export as seconds).
+#[derive(Debug)]
+pub struct HistogramSpec {
+    /// Metric name (without the `_bucket`/`_sum`/`_count` suffixes).
+    pub name: &'static str,
+    /// `# HELP` text.
+    pub help: &'static str,
+    /// Strictly increasing upper bounds, in raw units. An implicit
+    /// `+Inf` bucket is always appended.
+    pub buckets: &'static [u64],
+    /// Export value = raw × 10^scale_exp.
+    pub scale_exp: i32,
+}
+
+/// Accumulated histogram state: per-bucket counts (last slot is +Inf),
+/// the raw-unit sum, and the observation count. Merging is element-wise
+/// addition, hence associative and commutative.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistData {
+    counts: Vec<u64>,
+    sum: u128,
+    total: u64,
+}
+
+impl HistData {
+    fn new(spec: &HistogramSpec) -> HistData {
+        HistData {
+            counts: vec![0; spec.buckets.len() + 1],
+            sum: 0,
+            total: 0,
+        }
+    }
+
+    fn observe(&mut self, spec: &HistogramSpec, raw: u64) {
+        let slot = spec
+            .buckets
+            .iter()
+            .position(|&b| raw <= b)
+            .unwrap_or(spec.buckets.len());
+        self.counts[slot] += 1;
+        self.sum += raw as u128;
+        self.total += 1;
+    }
+
+    fn merge(&mut self, other: &HistData) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "histogram merge across different bucket shapes"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.total += other.total;
+    }
+
+    /// Observation count.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Handle to a counter registered in a [`WorkerSink`] — incrementing
+/// through it is a vector-index add, no lookup or allocation.
+#[derive(Debug, Clone, Copy)]
+pub struct CounterId(usize);
+
+/// Handle to a histogram registered in a [`WorkerSink`].
+#[derive(Debug, Clone, Copy)]
+pub struct HistogramId(usize);
+
+/// A per-worker metrics buffer. Workers own one exclusively (no locks,
+/// no atomics) and the supervisor merges them at join; because every
+/// stored value is a sum, the merged result is invariant under merge
+/// order and worker count.
+#[derive(Debug, Default)]
+pub struct WorkerSink {
+    counters: Vec<(&'static str, Labels, u64)>,
+    histograms: Vec<(&'static HistogramSpec, Labels, HistData)>,
+}
+
+impl WorkerSink {
+    /// An empty sink.
+    pub fn new() -> WorkerSink {
+        WorkerSink::default()
+    }
+
+    /// Register (or find) a counter series; the returned handle makes
+    /// subsequent increments allocation-free.
+    pub fn counter(&mut self, name: &'static str, labels: Labels) -> CounterId {
+        if let Some(i) = self
+            .counters
+            .iter()
+            .position(|(n, l, _)| *n == name && *l == labels)
+        {
+            return CounterId(i);
+        }
+        self.counters.push((name, labels, 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Add `v` to a registered counter.
+    pub fn add(&mut self, id: CounterId, v: u64) {
+        self.counters[id.0].2 += v;
+    }
+
+    /// Add 1 to a registered counter.
+    pub fn inc(&mut self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Register (or find) a histogram series.
+    pub fn histogram(&mut self, spec: &'static HistogramSpec, labels: Labels) -> HistogramId {
+        if let Some(i) = self
+            .histograms
+            .iter()
+            .position(|(s, l, _)| s.name == spec.name && *l == labels)
+        {
+            return HistogramId(i);
+        }
+        self.histograms.push((spec, labels, HistData::new(spec)));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Record one raw-unit observation.
+    pub fn observe(&mut self, id: HistogramId, raw: u64) {
+        let (spec, _, data) = &mut self.histograms[id.0];
+        data.observe(spec, raw);
+    }
+
+    /// Fold another sink into this one (sink-level pre-merge; the
+    /// registry merge accepts either granularity).
+    pub fn merge(&mut self, other: &WorkerSink) {
+        for (name, labels, v) in &other.counters {
+            let id = self.counter(name, labels.clone());
+            self.add(id, *v);
+        }
+        for (spec, labels, data) in &other.histograms {
+            let id = self.histogram(spec, labels.clone());
+            self.histograms[id.0].2.merge(data);
+        }
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Desc {
+    help: &'static str,
+    kind: Kind,
+    spec: Option<&'static HistogramSpec>,
+}
+
+/// The supervisor-side registry. Single-threaded by design — wrap in a
+/// `Mutex` (as [`crate::Trace`] does) for shared access; the hot path
+/// never touches it because workers record into [`WorkerSink`]s.
+#[derive(Debug, Default)]
+pub struct Registry {
+    descs: BTreeMap<&'static str, Desc>,
+    counters: BTreeMap<&'static str, BTreeMap<Labels, u64>>,
+    gauges: BTreeMap<&'static str, BTreeMap<Labels, f64>>,
+    histograms: BTreeMap<&'static str, BTreeMap<Labels, HistData>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn describe(&mut self, name: &'static str, help: &'static str, kind: Kind) {
+        let desc = self.descs.entry(name).or_insert(Desc {
+            help,
+            kind,
+            spec: None,
+        });
+        assert_eq!(
+            desc.kind, kind,
+            "metric {name:?} re-registered as another kind"
+        );
+    }
+
+    /// Declare a counter's help text.
+    pub fn describe_counter(&mut self, name: &'static str, help: &'static str) {
+        self.describe(name, help, Kind::Counter);
+    }
+
+    /// Declare a gauge's help text.
+    pub fn describe_gauge(&mut self, name: &'static str, help: &'static str) {
+        self.describe(name, help, Kind::Gauge);
+    }
+
+    /// Declare a histogram (name, help, buckets, unit scale).
+    pub fn describe_histogram(&mut self, spec: &'static HistogramSpec) {
+        self.describe(spec.name, spec.help, Kind::Histogram);
+        self.descs.get_mut(spec.name).expect("just described").spec = Some(spec);
+    }
+
+    /// Add `v` to a counter series (creating it at 0 first).
+    pub fn inc_counter(&mut self, name: &'static str, labels: Labels, v: u64) {
+        self.describe(name, "", Kind::Counter);
+        *self
+            .counters
+            .entry(name)
+            .or_default()
+            .entry(labels)
+            .or_insert(0) += v;
+    }
+
+    /// Materialise a counter series at its current value (0 if new), so
+    /// exports always contain it even when nothing incremented it.
+    pub fn touch_counter(&mut self, name: &'static str, labels: Labels) {
+        self.inc_counter(name, labels, 0);
+    }
+
+    /// Set a gauge series to an absolute value. Gauges are
+    /// supervisor-owned: they carry no merge semantics, so they are set
+    /// once from already-deterministic totals, never from workers.
+    pub fn set_gauge(&mut self, name: &'static str, labels: Labels, v: f64) {
+        self.describe(name, "", Kind::Gauge);
+        self.gauges.entry(name).or_default().insert(labels, v);
+    }
+
+    /// Record one raw observation directly on the registry.
+    pub fn observe(&mut self, spec: &'static HistogramSpec, labels: Labels, raw: u64) {
+        self.describe_histogram(spec);
+        self.histograms
+            .entry(spec.name)
+            .or_default()
+            .entry(labels)
+            .or_insert_with(|| HistData::new(spec))
+            .observe(spec, raw);
+    }
+
+    /// Materialise a histogram series with zero observations.
+    pub fn touch_histogram(&mut self, spec: &'static HistogramSpec, labels: Labels) {
+        self.describe_histogram(spec);
+        self.histograms
+            .entry(spec.name)
+            .or_default()
+            .entry(labels)
+            .or_insert_with(|| HistData::new(spec));
+    }
+
+    /// Fold a worker sink into the registry. Order-independent: all
+    /// underlying values are sums.
+    pub fn merge_sink(&mut self, sink: &WorkerSink) {
+        for (name, labels, v) in &sink.counters {
+            self.inc_counter(name, labels.clone(), *v);
+        }
+        for (spec, labels, data) in &sink.histograms {
+            self.describe_histogram(spec);
+            self.histograms
+                .entry(spec.name)
+                .or_default()
+                .entry(labels.clone())
+                .or_insert_with(|| HistData::new(spec))
+                .merge(data);
+        }
+    }
+
+    /// Read a counter series back (testing / cross-run diffing).
+    pub fn counter_value(&self, name: &str, labels: &Labels) -> Option<u64> {
+        self.counters.get(name)?.get(labels).copied()
+    }
+
+    /// Render the whole registry in Prometheus text exposition format.
+    /// Output is sorted by metric name then label set, so two
+    /// registries holding the same samples render byte-identically.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, desc) in &self.descs {
+            if !desc.help.is_empty() {
+                out.push_str(&format!("# HELP {name} {}\n", desc.help));
+            }
+            out.push_str(&format!("# TYPE {name} {}\n", desc.kind.as_str()));
+            match desc.kind {
+                Kind::Counter => {
+                    for (labels, v) in self.counters.get(name).into_iter().flatten() {
+                        out.push_str(&format!("{name}{} {v}\n", labels.render(None)));
+                    }
+                }
+                Kind::Gauge => {
+                    for (labels, v) in self.gauges.get(name).into_iter().flatten() {
+                        out.push_str(&format!("{name}{} {v}\n", labels.render(None)));
+                    }
+                }
+                Kind::Histogram => {
+                    let spec = desc.spec.expect("histogram desc always carries its spec");
+                    for (labels, data) in self.histograms.get(name).into_iter().flatten() {
+                        let mut cumulative = 0u64;
+                        for (slot, &bound) in spec.buckets.iter().enumerate() {
+                            cumulative += data.counts[slot];
+                            let le = format_scaled(bound as u128, spec.scale_exp);
+                            out.push_str(&format!(
+                                "{name}_bucket{} {cumulative}\n",
+                                labels.render(Some(("le", &le)))
+                            ));
+                        }
+                        cumulative += data.counts[spec.buckets.len()];
+                        out.push_str(&format!(
+                            "{name}_bucket{} {cumulative}\n",
+                            labels.render(Some(("le", "+Inf")))
+                        ));
+                        out.push_str(&format!(
+                            "{name}_sum{} {}\n",
+                            labels.render(None),
+                            format_scaled(data.sum, spec.scale_exp)
+                        ));
+                        out.push_str(&format!(
+                            "{name}_count{} {}\n",
+                            labels.render(None),
+                            data.total
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static TEST_HIST: HistogramSpec = HistogramSpec {
+        name: "test_seconds",
+        help: "test histogram",
+        buckets: &[1_000, 10_000, 100_000],
+        scale_exp: -6,
+    };
+
+    #[test]
+    fn labels_sort_and_render_deterministically() {
+        let a = Labels::new(&[("os", "Linux"), ("crawl", "T1")]);
+        let b = Labels::new(&[("crawl", "T1"), ("os", "Linux")]);
+        assert_eq!(a, b);
+        assert_eq!(a.render(None), "{crawl=\"T1\",os=\"Linux\"}");
+        assert_eq!(Labels::empty().render(None), "");
+    }
+
+    #[test]
+    fn label_values_escape_quotes_backslashes_newlines() {
+        let l = Labels::new(&[("k", "a\"b\\c\nd")]);
+        assert_eq!(l.render(None), "{k=\"a\\\"b\\\\c\\nd\"}");
+    }
+
+    #[test]
+    fn format_scaled_shifts_exactly() {
+        assert_eq!(format_scaled(0, -6), "0");
+        assert_eq!(format_scaled(1, -6), "0.000001");
+        assert_eq!(format_scaled(1_234, -6), "0.001234");
+        assert_eq!(format_scaled(21_000_000, -6), "21");
+        assert_eq!(format_scaled(21_500_000, -6), "21.5");
+        assert_eq!(format_scaled(7, 0), "7");
+        assert_eq!(format_scaled(7, 3), "7000");
+    }
+
+    #[test]
+    fn counter_gauge_render_in_name_then_label_order() {
+        let mut reg = Registry::new();
+        reg.describe_counter("b_total", "second");
+        reg.describe_counter("a_total", "first");
+        reg.inc_counter("b_total", Labels::new(&[("os", "Mac")]), 2);
+        reg.inc_counter("b_total", Labels::new(&[("os", "Linux")]), 5);
+        reg.inc_counter("a_total", Labels::empty(), 1);
+        reg.set_gauge("z_ratio", Labels::empty(), 0.5);
+        let text = reg.render_prometheus();
+        let a = text.find("a_total 1").expect("a series");
+        let b_linux = text.find("b_total{os=\"Linux\"} 5").expect("linux series");
+        let b_mac = text.find("b_total{os=\"Mac\"} 2").expect("mac series");
+        let z = text.find("z_ratio 0.5").expect("gauge");
+        assert!(a < b_linux && b_linux < b_mac && b_mac < z);
+        assert!(text.contains("# HELP a_total first\n# TYPE a_total counter\n"));
+    }
+
+    #[test]
+    fn touch_counter_materialises_zero_series() {
+        let mut reg = Registry::new();
+        reg.describe_counter("idle_total", "never incremented");
+        reg.touch_counter("idle_total", Labels::empty());
+        assert!(reg.render_prometheus().contains("idle_total 0\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_inf() {
+        let mut reg = Registry::new();
+        for raw in [500, 1_000, 5_000, 50_000, 1_000_000] {
+            reg.observe(&TEST_HIST, Labels::empty(), raw);
+        }
+        let text = reg.render_prometheus();
+        assert!(text.contains("test_seconds_bucket{le=\"0.001\"} 2\n"));
+        assert!(text.contains("test_seconds_bucket{le=\"0.01\"} 3\n"));
+        assert!(text.contains("test_seconds_bucket{le=\"0.1\"} 4\n"));
+        assert!(text.contains("test_seconds_bucket{le=\"+Inf\"} 5\n"));
+        assert!(text.contains("test_seconds_sum 1.0565\n"));
+        assert!(text.contains("test_seconds_count 5\n"));
+        assert!(text.contains("# TYPE test_seconds histogram\n"));
+    }
+
+    #[test]
+    fn histogram_le_sorts_with_other_labels() {
+        let mut reg = Registry::new();
+        reg.observe(&TEST_HIST, Labels::new(&[("stage", "decode")]), 10);
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("test_seconds_bucket{le=\"0.001\",stage=\"decode\"} 1\n"),
+            "le merges into sorted label position: {text}"
+        );
+    }
+
+    #[test]
+    fn sink_handles_are_stable_and_reused() {
+        let mut sink = WorkerSink::new();
+        let a = sink.counter("x_total", Labels::empty());
+        let b = sink.counter("x_total", Labels::empty());
+        assert_eq!(a.0, b.0);
+        sink.inc(a);
+        sink.add(b, 4);
+        let mut reg = Registry::new();
+        reg.describe_counter("x_total", "x");
+        reg.merge_sink(&sink);
+        assert_eq!(reg.counter_value("x_total", &Labels::empty()), Some(5));
+    }
+
+    #[test]
+    fn registry_merge_equals_sink_premerge() {
+        let mut s1 = WorkerSink::new();
+        let c1 = s1.counter("v_total", Labels::new(&[("os", "Linux")]));
+        s1.add(c1, 3);
+        let h1 = s1.histogram(&TEST_HIST, Labels::empty());
+        s1.observe(h1, 700);
+        let mut s2 = WorkerSink::new();
+        let h2 = s2.histogram(&TEST_HIST, Labels::empty());
+        s2.observe(h2, 70_000);
+        let c2 = s2.counter("v_total", Labels::new(&[("os", "Linux")]));
+        s2.add(c2, 4);
+
+        let mut direct = Registry::new();
+        direct.describe_counter("v_total", "visits");
+        direct.merge_sink(&s1);
+        direct.merge_sink(&s2);
+
+        let mut premerged = WorkerSink::new();
+        premerged.merge(&s2);
+        premerged.merge(&s1);
+        let mut via_sink = Registry::new();
+        via_sink.describe_counter("v_total", "visits");
+        via_sink.merge_sink(&premerged);
+
+        assert_eq!(direct.render_prometheus(), via_sink.render_prometheus());
+    }
+}

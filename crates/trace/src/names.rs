@@ -1,0 +1,198 @@
+//! The metric-name schema: every series the pipeline exports, declared
+//! in one place so producers and the CI checker agree on spelling.
+//!
+//! Naming rules (see DESIGN.md §13):
+//! - counters end in `_total`; gauges and histograms name their unit
+//!   (`_seconds`, `_ratio`) or are bare nouns;
+//! - label keys come from the closed set {`crawl`, `os`, `error`,
+//!   `stage`, `locality`} — all low-cardinality (≤ 11 values each);
+//! - only schedule-invariant values may be exported: anything derived
+//!   from claim order or per-worker wall clocks (makespan,
+//!   connectivity stalls) stays out of the registry so the exposition
+//!   text is byte-identical across worker counts and kill/resume.
+
+use crate::metrics::{HistogramSpec, Labels, Registry};
+
+/// Sites whose crawl reached a terminal verdict. Labels: crawl, os.
+pub const VISITS_TOTAL: &str = "visits_total";
+/// Visits whose final attempt loaded cleanly. Labels: crawl, os.
+pub const SUCCESS_TOTAL: &str = "success_total";
+/// In-place retry attempts after transient failures. Labels: crawl, os.
+pub const RETRIES_TOTAL: &str = "retries_total";
+/// Sites queued for the end-of-campaign recrawl pass. Labels: crawl, os.
+pub const RECRAWLED_TOTAL: &str = "recrawled_total";
+/// Sites that succeeded only on the recrawl pass. Labels: crawl, os.
+pub const RECOVERED_TOTAL: &str = "recovered_total";
+/// Sites abandoned after exhausting every attempt. Labels: crawl, os.
+pub const GAVE_UP_TOTAL: &str = "gave_up_total";
+/// Browser panics quarantined by the supervisor. Labels: crawl, os.
+pub const CRASHED_TOTAL: &str = "crashed_total";
+/// Store appends retried after injected failures. Labels: crawl, os.
+pub const STORE_RETRIES_TOTAL: &str = "store_retries_total";
+/// Final-attempt failures by Chrome net_error. Labels: crawl, os, error.
+pub const FAILURES_TOTAL: &str = "failures_total";
+
+/// Journal frames appended (all kinds). No labels.
+pub const JOURNAL_FRAMES_TOTAL: &str = "journal_frames_total";
+/// Visit frames appended to the journal. No labels.
+pub const JOURNAL_VISITS_TOTAL: &str = "journal_visits_total";
+/// Checkpoint frames appended to the journal. No labels.
+pub const JOURNAL_CHECKPOINTS_TOTAL: &str = "journal_checkpoints_total";
+/// Bytes appended to the journal. No labels.
+pub const JOURNAL_BYTES_TOTAL: &str = "journal_bytes_total";
+/// fsync calls issued by the journal writer. No labels.
+pub const JOURNAL_FSYNCS_TOTAL: &str = "journal_fsyncs_total";
+
+/// Local-network observations found by analysis. Labels: crawl.
+pub const LOCAL_OBSERVATIONS_TOTAL: &str = "local_observations_total";
+
+/// Distinct sites with local traffic. Labels: crawl, locality.
+pub const LOCAL_SITES: &str = "local_sites";
+/// Telemetry records analyzed per campaign. Labels: crawl.
+pub const STORE_RECORDS: &str = "store_records";
+/// successful / attempted for the campaign. Labels: crawl, os.
+pub const CRAWL_SUCCESS_RATIO: &str = "crawl_success_ratio";
+/// Records written by `persist::save`. No labels.
+pub const SAVE_RECORDS: &str = "save_records";
+/// Bytes written by `persist::save`. No labels.
+pub const SAVE_BYTES: &str = "save_bytes";
+/// fsyncs issued by `persist::save`. No labels.
+pub const SAVE_FSYNCS: &str = "save_fsyncs";
+
+/// Simulated seconds per analysis stage, recorded in microseconds
+/// under the deterministic per-element cost model (see DESIGN.md §13)
+/// so the distribution is identical across worker counts.
+/// Labels: crawl, stage.
+pub static ANALYSIS_STAGE_SECONDS: HistogramSpec = HistogramSpec {
+    name: "analysis_stage_seconds",
+    help: "Simulated seconds spent per analysis stage (deterministic cost model)",
+    buckets: &[
+        100,        // 100 µs
+        1_000,      // 1 ms
+        10_000,     // 10 ms
+        100_000,    // 100 ms
+        1_000_000,  // 1 s
+        10_000_000, // 10 s
+        60_000_000, // 1 min
+    ],
+    scale_exp: -6,
+};
+
+/// The crawl-layer counters every campaign exports, in declaration
+/// order (render order is alphabetical regardless).
+pub const CRAWL_COUNTERS: [&str; 8] = [
+    VISITS_TOTAL,
+    SUCCESS_TOTAL,
+    RETRIES_TOTAL,
+    RECRAWLED_TOTAL,
+    RECOVERED_TOTAL,
+    GAVE_UP_TOTAL,
+    CRASHED_TOTAL,
+    STORE_RETRIES_TOTAL,
+];
+
+/// Declare help text for every schema metric and materialise the
+/// always-present zero-valued series (the journal counters exist even
+/// in un-journaled runs, so dashboards and the CI checker can rely on
+/// them unconditionally).
+pub fn describe_defaults(reg: &mut Registry) {
+    reg.describe_counter(VISITS_TOTAL, "Sites whose crawl reached a terminal verdict");
+    reg.describe_counter(SUCCESS_TOTAL, "Visits whose final attempt loaded cleanly");
+    reg.describe_counter(
+        RETRIES_TOTAL,
+        "In-place retry attempts after transient failures",
+    );
+    reg.describe_counter(
+        RECRAWLED_TOTAL,
+        "Sites queued for the end-of-campaign recrawl pass",
+    );
+    reg.describe_counter(
+        RECOVERED_TOTAL,
+        "Sites that succeeded only on the recrawl pass",
+    );
+    reg.describe_counter(
+        GAVE_UP_TOTAL,
+        "Sites abandoned after exhausting every attempt",
+    );
+    reg.describe_counter(
+        CRASHED_TOTAL,
+        "Browser panics quarantined by the supervisor",
+    );
+    reg.describe_counter(
+        STORE_RETRIES_TOTAL,
+        "Store appends retried after injected failures",
+    );
+    reg.describe_counter(FAILURES_TOTAL, "Final-attempt failures by Chrome net_error");
+    reg.describe_counter(JOURNAL_FRAMES_TOTAL, "Journal frames appended (all kinds)");
+    reg.describe_counter(JOURNAL_VISITS_TOTAL, "Visit frames appended to the journal");
+    reg.describe_counter(
+        JOURNAL_CHECKPOINTS_TOTAL,
+        "Checkpoint frames appended to the journal",
+    );
+    reg.describe_counter(JOURNAL_BYTES_TOTAL, "Bytes appended to the journal");
+    reg.describe_counter(
+        JOURNAL_FSYNCS_TOTAL,
+        "fsync calls issued by the journal writer",
+    );
+    reg.describe_counter(
+        LOCAL_OBSERVATIONS_TOTAL,
+        "Local-network observations found by analysis",
+    );
+    reg.describe_gauge(
+        LOCAL_SITES,
+        "Distinct sites with local traffic, by locality",
+    );
+    reg.describe_gauge(STORE_RECORDS, "Telemetry records analyzed per campaign");
+    reg.describe_gauge(CRAWL_SUCCESS_RATIO, "successful visits / attempted visits");
+    reg.describe_gauge(SAVE_RECORDS, "Records written by the store snapshot");
+    reg.describe_gauge(SAVE_BYTES, "Bytes written by the store snapshot");
+    reg.describe_gauge(SAVE_FSYNCS, "fsyncs issued by the store snapshot");
+    reg.describe_histogram(&ANALYSIS_STAGE_SECONDS);
+    for name in [
+        JOURNAL_FRAMES_TOTAL,
+        JOURNAL_VISITS_TOTAL,
+        JOURNAL_CHECKPOINTS_TOTAL,
+        JOURNAL_BYTES_TOTAL,
+        JOURNAL_FSYNCS_TOTAL,
+    ] {
+        reg.touch_counter(name, Labels::empty());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_pre_create_journal_series_at_zero() {
+        let mut reg = Registry::new();
+        describe_defaults(&mut reg);
+        let text = reg.render_prometheus();
+        for name in [
+            "journal_frames_total 0",
+            "journal_visits_total 0",
+            "journal_checkpoints_total 0",
+            "journal_bytes_total 0",
+            "journal_fsyncs_total 0",
+        ] {
+            assert!(text.contains(name), "missing {name:?} in:\n{text}");
+        }
+        assert!(text.contains("# TYPE analysis_stage_seconds histogram"));
+    }
+
+    #[test]
+    fn describe_defaults_is_idempotent() {
+        let mut reg = Registry::new();
+        describe_defaults(&mut reg);
+        let once = reg.render_prometheus();
+        describe_defaults(&mut reg);
+        assert_eq!(once, reg.render_prometheus());
+    }
+
+    #[test]
+    fn counter_names_follow_the_total_convention() {
+        for name in CRAWL_COUNTERS {
+            assert!(name.ends_with("_total"), "{name} must end in _total");
+        }
+    }
+}

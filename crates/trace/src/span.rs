@@ -1,0 +1,257 @@
+//! Structured spans and events on the simulated clock.
+//!
+//! Workers record into a bounded [`SpanRing`] they own exclusively —
+//! no locks in the visit loop, and a campaign that emits more spans
+//! than the ring holds drops the *oldest* ones and counts the loss
+//! instead of growing without bound. Timestamps are simulated-clock
+//! milliseconds (the same `wall_ms` the crawl supervisor schedules on);
+//! `Instant::now()` never appears in a sim path, so a trace replays
+//! identically for a given seed.
+//!
+//! The exporter renders JSONL: one meta line (counts + drops), then
+//! spans sorted by `(start_ms, end_ms, name, target, status, worker)`,
+//! then events — a deterministic order for a fixed schedule, chosen so
+//! diffs between two runs of the same configuration are meaningful.
+
+use std::collections::VecDeque;
+
+/// A completed span: a named interval on the simulated clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span kind, e.g. `"visit"` or `"recrawl"`.
+    pub name: &'static str,
+    /// Recording worker index.
+    pub worker: u32,
+    /// Simulated start, milliseconds.
+    pub start_ms: u64,
+    /// Simulated end, milliseconds.
+    pub end_ms: u64,
+    /// What the span worked on (domain, shard id, …).
+    pub target: String,
+    /// Terminal status, e.g. `"success"`, `"error"`, `"crashed"`.
+    pub status: &'static str,
+}
+
+/// A point event on the simulated clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Event kind, e.g. `"retry"` or `"checkpoint"`.
+    pub name: &'static str,
+    /// Recording worker index.
+    pub worker: u32,
+    /// Simulated timestamp, milliseconds.
+    pub at_ms: u64,
+    /// What the event concerns.
+    pub target: String,
+    /// Free-form detail (error name, attempt number, …).
+    pub detail: String,
+}
+
+/// A bounded per-worker buffer: keeps the most recent `cap` spans and
+/// `cap` events, counting what it sheds.
+#[derive(Debug)]
+pub struct SpanRing {
+    cap: usize,
+    spans: VecDeque<SpanRecord>,
+    events: VecDeque<EventRecord>,
+    dropped: u64,
+}
+
+impl SpanRing {
+    /// A ring holding at most `cap` spans and `cap` events.
+    pub fn new(cap: usize) -> SpanRing {
+        SpanRing {
+            cap: cap.max(1),
+            spans: VecDeque::new(),
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Record a completed span, shedding the oldest if full.
+    pub fn span(&mut self, record: SpanRecord) {
+        if self.spans.len() == self.cap {
+            self.spans.pop_front();
+            self.dropped += 1;
+        }
+        self.spans.push_back(record);
+    }
+
+    /// Record a point event, shedding the oldest if full.
+    pub fn event(&mut self, record: EventRecord) {
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(record);
+    }
+
+    /// Spans currently held.
+    pub fn span_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Records shed so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// The supervisor-side trace store: rings absorbed at join, exported
+/// as JSONL.
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    spans: Vec<SpanRecord>,
+    events: Vec<EventRecord>,
+    dropped: u64,
+}
+
+impl TraceLog {
+    /// An empty log.
+    pub fn new() -> TraceLog {
+        TraceLog::default()
+    }
+
+    /// Fold a worker's ring into the log.
+    pub fn absorb(&mut self, ring: SpanRing) {
+        self.spans.extend(ring.spans);
+        self.events.extend(ring.events);
+        self.dropped += ring.dropped;
+    }
+
+    /// Spans held.
+    pub fn span_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Events held.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Render as JSONL: meta line, sorted spans, sorted events.
+    pub fn to_jsonl(&self) -> String {
+        let mut spans: Vec<&SpanRecord> = self.spans.iter().collect();
+        spans.sort_by(|a, b| {
+            (a.start_ms, a.end_ms, a.name, &a.target, a.status, a.worker)
+                .cmp(&(b.start_ms, b.end_ms, b.name, &b.target, b.status, b.worker))
+        });
+        let mut events: Vec<&EventRecord> = self.events.iter().collect();
+        events.sort_by(|a, b| {
+            (a.at_ms, a.name, &a.target, &a.detail, a.worker)
+                .cmp(&(b.at_ms, b.name, &b.target, &b.detail, b.worker))
+        });
+        let mut out = format!(
+            "{{\"type\":\"meta\",\"spans\":{},\"events\":{},\"dropped\":{}}}\n",
+            spans.len(),
+            events.len(),
+            self.dropped
+        );
+        for s in spans {
+            out.push_str(&format!(
+                "{{\"type\":\"span\",\"name\":\"{}\",\"worker\":{},\"start_ms\":{},\
+                 \"end_ms\":{},\"target\":\"{}\",\"status\":\"{}\"}}\n",
+                escape_json(s.name),
+                s.worker,
+                s.start_ms,
+                s.end_ms,
+                escape_json(&s.target),
+                escape_json(s.status),
+            ));
+        }
+        for e in events {
+            out.push_str(&format!(
+                "{{\"type\":\"event\",\"name\":\"{}\",\"worker\":{},\"at_ms\":{},\
+                 \"target\":\"{}\",\"detail\":\"{}\"}}\n",
+                escape_json(e.name),
+                e.worker,
+                e.at_ms,
+                escape_json(&e.target),
+                escape_json(&e.detail),
+            ));
+        }
+        out
+    }
+}
+
+/// Minimal JSON string escaping (targets are domains and error names,
+/// but be safe about quotes, backslashes, and control characters).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn visit(worker: u32, start_ms: u64, target: &str) -> SpanRecord {
+        SpanRecord {
+            name: "visit",
+            worker,
+            start_ms,
+            end_ms: start_ms + 21_000,
+            target: target.to_string(),
+            status: "success",
+        }
+    }
+
+    #[test]
+    fn ring_sheds_oldest_and_counts_drops() {
+        let mut ring = SpanRing::new(2);
+        ring.span(visit(0, 0, "a.example"));
+        ring.span(visit(0, 1, "b.example"));
+        ring.span(visit(0, 2, "c.example"));
+        assert_eq!(ring.span_count(), 2);
+        assert_eq!(ring.dropped(), 1);
+        let mut log = TraceLog::new();
+        log.absorb(ring);
+        let jsonl = log.to_jsonl();
+        assert!(!jsonl.contains("a.example"), "oldest span shed");
+        assert!(jsonl.contains("\"dropped\":1"));
+    }
+
+    #[test]
+    fn export_is_sorted_not_insertion_ordered() {
+        let mut log = TraceLog::new();
+        let mut r1 = SpanRing::new(8);
+        r1.span(visit(1, 500, "late.example"));
+        let mut r0 = SpanRing::new(8);
+        r0.span(visit(0, 100, "early.example"));
+        log.absorb(r1);
+        log.absorb(r0);
+        let jsonl = log.to_jsonl();
+        let early = jsonl.find("early.example").expect("early span present");
+        let late = jsonl.find("late.example").expect("late span present");
+        assert!(early < late, "spans sort by start time, not absorb order");
+        assert!(jsonl.starts_with("{\"type\":\"meta\",\"spans\":2,"));
+    }
+
+    #[test]
+    fn events_render_after_spans_with_escaping() {
+        let mut log = TraceLog::new();
+        let mut ring = SpanRing::new(4);
+        ring.event(EventRecord {
+            name: "retry",
+            worker: 3,
+            at_ms: 42,
+            target: "x.example".to_string(),
+            detail: "ERR_CONNECTION_RESET \"raw\"\n".to_string(),
+        });
+        log.absorb(ring);
+        let jsonl = log.to_jsonl();
+        assert!(jsonl.contains("\\\"raw\\\"\\n"));
+        assert!(jsonl.contains("\"at_ms\":42"));
+    }
+}

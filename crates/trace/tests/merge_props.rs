@@ -1,0 +1,114 @@
+//! Property tests for the registry merge: folding per-worker sinks
+//! into a registry is associative and commutative, so the exported
+//! Prometheus text is a pure function of the recorded samples — never
+//! of merge order, pre-merge grouping, or worker count.
+
+use kt_trace::{names, Labels, Registry, WorkerSink};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::TestRng;
+
+const SINKS: usize = 5;
+
+/// One recorded sample: which sink saw it, which series it lands in,
+/// and the value.
+type Op = (usize, usize, u64);
+
+const COUNTER_NAMES: [&str; 3] = [
+    names::VISITS_TOTAL,
+    names::RETRIES_TOTAL,
+    names::LOCAL_OBSERVATIONS_TOTAL,
+];
+const LABEL_SETS: [&[(&str, &str)]; 3] = [
+    &[("crawl", "T1"), ("os", "Linux")],
+    &[("crawl", "T2"), ("os", "Mac")],
+    &[],
+];
+
+/// Build the per-worker sinks a crawl would produce from a flat list
+/// of samples. Even sample indices hit counters, odd ones hit the
+/// analysis-stage histogram, so every run exercises both merge paths.
+fn build_sinks(ops: &[Op]) -> Vec<WorkerSink> {
+    let mut sinks: Vec<WorkerSink> = (0..SINKS).map(|_| WorkerSink::new()).collect();
+    for (i, &(sink, series, value)) in ops.iter().enumerate() {
+        let sink = &mut sinks[sink % SINKS];
+        let labels = Labels::new(LABEL_SETS[series % LABEL_SETS.len()]);
+        if i % 2 == 0 {
+            let id = sink.counter(COUNTER_NAMES[series % COUNTER_NAMES.len()], labels);
+            sink.add(id, value);
+        } else {
+            let id = sink.histogram(&names::ANALYSIS_STAGE_SECONDS, labels);
+            sink.observe(id, value * 997); // spread across buckets
+        }
+    }
+    sinks
+}
+
+fn export(registry: &Registry) -> String {
+    registry.render_prometheus()
+}
+
+/// Fisher–Yates with the deterministic test RNG.
+fn shuffled(n: usize, rng: &mut TestRng) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        order.swap(i, rng.below(i as u64 + 1) as usize);
+    }
+    order
+}
+
+proptest! {
+    #[test]
+    fn shuffled_merge_order_yields_identical_export(
+        ops in vec((0usize..SINKS, 0usize..3, 1u64..100_000), 0..60),
+        shuffle_seed in 0u64..u64::MAX,
+    ) {
+        let sinks = build_sinks(&ops);
+
+        let mut in_order = Registry::new();
+        names::describe_defaults(&mut in_order);
+        for sink in &sinks {
+            in_order.merge_sink(sink);
+        }
+
+        let mut rng = TestRng::from_label(&format!("shuffle-{shuffle_seed}"));
+        let mut shuffled_reg = Registry::new();
+        names::describe_defaults(&mut shuffled_reg);
+        for i in shuffled(sinks.len(), &mut rng) {
+            shuffled_reg.merge_sink(&sinks[i]);
+        }
+
+        prop_assert_eq!(export(&in_order), export(&shuffled_reg));
+    }
+
+    #[test]
+    fn pre_merging_sinks_is_associative(
+        ops in vec((0usize..SINKS, 0usize..3, 1u64..100_000), 0..60),
+        split in 1usize..SINKS,
+    ) {
+        let sinks = build_sinks(&ops);
+
+        // ((s0 ⊕ … ⊕ s_split-1) ⊕ (s_split ⊕ … )) via sink-level merge…
+        let mut left = WorkerSink::new();
+        for sink in &sinks[..split] {
+            left.merge(sink);
+        }
+        let mut right = WorkerSink::new();
+        for sink in &sinks[split..] {
+            right.merge(sink);
+        }
+        let mut grouped = Registry::new();
+        names::describe_defaults(&mut grouped);
+        grouped.merge_sink(&left);
+        grouped.merge_sink(&right);
+
+        // …must equal folding each sink into the registry directly.
+        let mut flat = Registry::new();
+        names::describe_defaults(&mut flat);
+        for sink in &sinks {
+            flat.merge_sink(sink);
+        }
+
+        prop_assert_eq!(export(&grouped), export(&flat));
+    }
+}
