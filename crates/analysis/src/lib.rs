@@ -24,6 +24,10 @@
 //!   simulated visitor machines;
 //! * [`intern`] — the per-crawl domain interner backing the clone-free
 //!   aggregation keys;
+//! * [`online`] — mergeable incremental partials for the resident
+//!   campaign service: absorb visit records as they stream in, merge
+//!   in any order, assemble mid-flight — byte-identical to the batch
+//!   driver;
 //! * [`par`] — the parallel analysis driver: stream the store shard
 //!   by shard across threads, decode each record once, fan it out to
 //!   every classifier, and merge deterministically.
@@ -38,6 +42,7 @@ pub mod dev_error;
 pub mod entropy;
 pub mod intern;
 pub mod longitudinal;
+pub mod online;
 pub mod par;
 pub mod report;
 pub mod rings;
@@ -54,6 +59,7 @@ pub use dev_error::{classify_dev_error, DevErrorKind};
 pub use entropy::{scan_entropy, EntropyReport, PortFingerprint};
 pub use intern::{DomainInterner, Symbol};
 pub use longitudinal::{transitions, Transition, TransitionMatrix};
+pub use online::{OnlinePartial, UpdatePass};
 pub use par::{analyze_crawl_par, analyze_crawl_traced, CrawlAnalysis, OutcomeTally};
 pub use rings::PortRings;
 pub use venn::OsVenn;

@@ -66,19 +66,22 @@ pub struct CrawlAnalysis {
 
 /// Everything one decoded record contributes, computed where the
 /// record was decoded so nothing downstream touches events again.
-struct RecordYield {
-    malicious_category: Option<u8>,
-    os: Os,
-    success: bool,
-    observations: Vec<crate::detect::LocalObservation>,
+/// Shared with the online-aggregation path ([`crate::online`]), whose
+/// partials hold the same yields keyed by owned domain strings.
+#[derive(Debug, Clone)]
+pub(crate) struct RecordYield {
+    pub(crate) malicious_category: Option<u8>,
+    pub(crate) os: Os,
+    pub(crate) success: bool,
+    pub(crate) observations: Vec<crate::detect::LocalObservation>,
     /// Per adoption scenario (in [`AdoptionScenario::ALL`] order):
     /// does any observation's PNA verdict permit the request?
-    any_permitted: [bool; 3],
+    pub(crate) any_permitted: [bool; 3],
 }
 
 /// The store's OS column order (W/L/M — [`Os::ALL`]), which is also
 /// how bulk reads sort records within a domain.
-fn os_slot(os: Os) -> u8 {
+pub(crate) fn os_slot(os: Os) -> u8 {
     match os {
         Os::Windows => 0,
         Os::Linux => 1,
@@ -86,7 +89,7 @@ fn os_slot(os: Os) -> u8 {
     }
 }
 
-fn fan_out(view: &VisitView<'_>) -> RecordYield {
+pub(crate) fn fan_out(view: &VisitView<'_>) -> RecordYield {
     let (observations, page_url) = detect_local_with_page_view(view);
     let page = page_env(page_url.as_ref());
     let mut any_permitted = [false; 3];
@@ -278,7 +281,10 @@ pub fn analyze_crawl_traced(
 /// aggregates. Entries arrive sorted by resolved key, so a site's OS
 /// rows are adjacent and every aggregate below is a pure function of
 /// the record *set*.
-fn assemble(entries: Vec<((Symbol, u8), RecordYield)>, interner: &DomainInterner) -> CrawlAnalysis {
+pub(crate) fn assemble(
+    entries: Vec<((Symbol, u8), RecordYield)>,
+    interner: &DomainInterner,
+) -> CrawlAnalysis {
     let visits = entries.len();
     // Outcome tally and per-scenario defense verdicts (borrow pass).
     // `permitted` merges a domain's OS rows by run — no keying needed.
@@ -365,7 +371,7 @@ fn assemble(entries: Vec<((Symbol, u8), RecordYield)>, interner: &DomainInterner
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::defense::evaluate;
     use crate::detect::{aggregate_sites, detect_local};
@@ -407,7 +413,7 @@ mod tests {
     /// dev-error fetches, LAN probes, quiet sites, failures, and a
     /// malicious crawl with category codes — enough that every
     /// aggregate in `CrawlAnalysis` is non-trivial.
-    fn populated_store() -> (TelemetryStore, CrawlId) {
+    pub(crate) fn populated_store() -> (TelemetryStore, CrawlId) {
         let store = TelemetryStore::new();
         let crawl = CrawlId::top2020();
         for i in 0..40 {

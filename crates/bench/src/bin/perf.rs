@@ -32,6 +32,11 @@
 //! `stealing_vs_chunked_at_max_workers` speedup is the chunked
 //! makespan over the stealing makespan at 8 workers.
 //!
+//! A service-mode section runs the same simulation through the
+//! resident [`CampaignService`] scheduler — a multi-campaign fleet
+//! over the bounded update queue — and reports events/sec plus the
+//! p99 campaign completion time on the simulated clock.
+//!
 //! Results land in `BENCH_pipeline.json`. Every stage also records a
 //! `relative` score — elements/sec multiplied by the run's calibration
 //! time (a fixed single-worker crawl) — which cancels raw machine
@@ -54,6 +59,10 @@ use knock_talk::analysis::{detect_local_view, detect_local_with_page_owned};
 use knock_talk::crawler::{run_crawl, run_crawl_chunked, CrawlConfig, CrawlJob};
 use knock_talk::faults::{Fault, FaultPlan, RetryPolicy};
 use knock_talk::netbase::{DomainName, Os};
+use knock_talk::service::{
+    CampaignService, CampaignSpec, CampaignStatus, OverflowPolicy, ServiceConfig, ServiceJob,
+    TenantQuota,
+};
 use knock_talk::store::codec::decode;
 use knock_talk::store::{decode_view, CrawlId, TelemetryStore};
 use knock_talk::trace::{count_allocs, CountingAllocator, StageProfiler};
@@ -427,6 +436,122 @@ fn bench_scaling(
     })
 }
 
+/// Service-mode benchmark: a multi-tenant fleet of campaigns through
+/// the resident [`CampaignService`] scheduler instead of one batch
+/// `run_crawl`. Reports two numbers the batch stages cannot: visit
+/// *events per second* through the bounded update queue (real clock,
+/// machine-normalized the same way as the other stages), and the p99
+/// campaign completion time on the *simulated* clock — the tail a
+/// tenant would actually wait, and a deterministic function of the
+/// seed, so regressions in scheduler fairness show up as exact-value
+/// changes, not noise.
+fn bench_service(
+    campaigns: usize,
+    sites_per_campaign: usize,
+    seed: u64,
+    plan: &FaultPlan,
+    calib: f64,
+) -> serde_json::Value {
+    let fleet_sites: Vec<Vec<WebSite>> = (0..campaigns)
+        .map(|c| {
+            (0..sites_per_campaign)
+                .map(|i| {
+                    WebSite::plain(
+                        DomainName::parse(&format!("svc{c}-site{i}.example")).expect("valid"),
+                        Some(i as u32 + 1),
+                        LIGHT_RESOURCES,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let build = || {
+        let mut config = ServiceConfig::new(seed);
+        config.workers = MAX_WORKERS;
+        config.faults = plan.clone();
+        let mut service = CampaignService::new(config);
+        service.register_tenant("bench", TenantQuota::unbounded(), OverflowPolicy::Block);
+        let handles: Vec<_> = fleet_sites
+            .iter()
+            .enumerate()
+            .map(|(c, sites)| {
+                let spec = CampaignSpec {
+                    crawl: CrawlId(format!("svc-bench-{c}")),
+                    os: Os::ALL[c % Os::ALL.len()],
+                    jobs: sites
+                        .iter()
+                        .map(|site| ServiceJob {
+                            site: site.clone(),
+                            malicious_category: None,
+                        })
+                        .collect(),
+                    deadline_ms: None,
+                    nominal_workers: MAX_WORKERS,
+                };
+                service.submit("bench", spec).expect("fleet admitted")
+            })
+            .collect();
+        (service, handles)
+    };
+
+    // Best of three, like every other stage.
+    let ((mut service, mut handles), mut secs) = time(|| {
+        let (mut service, handles) = build();
+        service.run();
+        (service, handles)
+    });
+    for _ in 0..2 {
+        let (rerun, rerun_secs) = time(|| {
+            let (mut service, handles) = build();
+            service.run();
+            (service, handles)
+        });
+        if rerun_secs < secs {
+            ((service, handles), secs) = (rerun, rerun_secs);
+        }
+    }
+
+    let accounting = service.accounting();
+    assert_eq!(accounting.len(), 1);
+    assert!(accounting[0].reconciles(), "bench fleet must reconcile");
+    assert_eq!(accounting[0].updates_shed, 0, "Block policy never sheds");
+    let events = accounting[0].updates as usize;
+    let mut completion_ms: Vec<u64> = handles
+        .iter()
+        .map(|&h| {
+            assert_eq!(service.status(h), Some(CampaignStatus::Completed));
+            service.campaign_stats(h).expect("stats").makespan_ms
+        })
+        .collect();
+    completion_ms.sort_unstable();
+    let p99_index = ((completion_ms.len() - 1) as f64 * 0.99).ceil() as usize;
+    let p99_completion_ms = completion_ms[p99_index];
+    let eps = events as f64 / secs;
+
+    eprintln!(
+        "  campaigns={campaigns}x{sites_per_campaign}: {events} events in {secs:.3}s \
+         ({eps:.0}/s), p99 completion {:.0} sim-s",
+        p99_completion_ms as f64 / 1e3
+    );
+    let mut entry = stage_json(events, secs, calib);
+    if let serde_json::Value::Object(map) = &mut entry {
+        map.insert("campaigns".to_string(), serde_json::json!(campaigns));
+        map.insert(
+            "sites_per_campaign".to_string(),
+            serde_json::json!(sites_per_campaign),
+        );
+        map.insert(
+            "p99_completion_ms".to_string(),
+            serde_json::json!(p99_completion_ms),
+        );
+        map.insert(
+            "queue_blocks".to_string(),
+            serde_json::json!(accounting[0].queue_blocks),
+        );
+    }
+    entry
+}
+
 /// Compare each stage's machine-normalized throughput against the
 /// baseline file; collect every stage that regressed more than 2×.
 fn check_regressions(
@@ -470,6 +595,33 @@ fn check_regressions(
                     b / c.max(1e-9)
                 ));
             }
+        }
+    }
+    // Service mode: machine-normalized events/sec regresses like any
+    // other stage; the p99 completion tail is on the simulated clock,
+    // so a >2x change means the scheduler itself got less fair, not
+    // that the host was busy. Skip silently against pre-service
+    // baselines.
+    let field = |entry: &serde_json::Value, key: &str| -> Option<f64> {
+        entry.get("service")?.get(key)?.as_f64()
+    };
+    if let (Some(b), Some(c)) = (field(baseline, "relative"), field(current, "relative")) {
+        if c <= 0.0 || b / c > 2.0 {
+            failures.push(format!(
+                "service events/sec: relative {b:.2} -> {c:.2} ({:.2}x slower)",
+                b / c.max(1e-9)
+            ));
+        }
+    }
+    if let (Some(b), Some(c)) = (
+        field(baseline, "p99_completion_ms"),
+        field(current, "p99_completion_ms"),
+    ) {
+        if b > 0.0 && c / b > 2.0 {
+            failures.push(format!(
+                "service p99 campaign completion: {b:.0}ms -> {c:.0}ms ({:.2}x slower, simulated)",
+                c / b
+            ));
         }
     }
     Ok(failures)
@@ -601,6 +753,17 @@ fn main() {
         bench_scaling(scaling_n, &worker_counts, opts.seed, &plan)
     });
     profiler.annotate_elements(scaling_n as u64);
+
+    // Same fleet shape in smoke and full mode: the run is cheap (the
+    // fleet is light sites on the simulated clock) and keeping the
+    // shape fixed makes the p99 completion check compare
+    // like-for-like — it is deterministic at a given seed.
+    let (svc_campaigns, svc_sites) = (24, 16);
+    eprintln!("service fleet ({svc_campaigns} campaigns x {svc_sites} sites):");
+    let service = profiler.run("service", || {
+        bench_service(svc_campaigns, svc_sites, opts.seed, &plan, calib)
+    });
+    profiler.annotate_elements((svc_campaigns * svc_sites) as u64);
     eprintln!("stage breakdown:\n{}", profiler.render_table());
 
     let report = serde_json::json!({
@@ -610,6 +773,7 @@ fn main() {
         "calibration_secs": calib,
         "populations": populations,
         "scaling": scaling,
+        "service": service,
     });
 
     if let Some(baseline_path) = &opts.check {

@@ -29,6 +29,10 @@ pub fn help() {
            knocktalk analyze  <store.ktstore|journal.ktj>\n\
            knocktalk classify <netlog.json> [--loaded-at MS] [--domain NAME]\n\
            knocktalk entropy  [--machines N] [--seed N]\n\
+           knocktalk serve    [--tenants N] [--campaigns N] [--sites N] [--seed N]\n\
+                              [--workers N] [--queue-capacity N] [--policy block|shed]\n\
+                              [--max-campaigns N] [--max-visits N] [--deadline-ms N]\n\
+                              [--storm yes] [--check invariants,tables] [--metrics-out FILE]\n\
            knocktalk health   [--scale quick|standard|paper] [--seed N]\n\
            knocktalk profile  [--scale quick|standard|paper] [--seed N] [--workers N]\n\
            knocktalk help\n\
@@ -55,6 +59,10 @@ pub fn help() {
                      and report local activity\n\
            classify  analyse a Chrome NetLog JSON capture for local traffic\n\
            entropy   measure the fingerprinting entropy of the observed scans\n\
+           serve     run a synthetic multi-tenant fleet through the resident campaign\n\
+                     service (admission control, bounded queues, deadline budgets);\n\
+                     --storm yes arms a deterministic fault storm, --check fails the\n\
+                     exit code unless degradation was deterministic and accounted\n\
            health    run the study and print the crawl health report\n\
                      (retries, recrawls, recoveries, quarantines per campaign/OS)\n\
            profile   run the study under the stage profiler and print per-stage\n\
@@ -493,6 +501,272 @@ pub fn profile(opts: &Options) -> Result<(), String> {
     );
     print!("{}", profiler.render_table());
     Ok(())
+}
+
+/// `knocktalk serve`: run a synthetic multi-tenant fleet through the
+/// resident campaign service and report how it degraded.
+///
+/// The fleet is entirely deterministic: `--tenants` tenants each
+/// submit `--campaigns` campaigns of `--sites` sites, with optional
+/// per-tenant quotas creating admission pressure and `--storm yes`
+/// arming every service and crawl fault class at once (including
+/// [`knock_talk::faults::Fault::TenantBurst`], which deterministically
+/// picks tenant submission slots to double-submit). `--check
+/// invariants` re-runs the identical fleet single-threaded and fails
+/// unless the shed set, accounting, and metrics come out byte-equal;
+/// `--check tables` replays every completed campaign through the batch
+/// pipeline and fails unless the service's online-aggregated tables
+/// match. `--check invariants,tables` does both.
+pub fn serve(opts: &Options) -> Result<(), String> {
+    use knock_talk::analysis::analyze_crawl_par;
+    use knock_talk::crawler::{run_crawl, CrawlConfig, CrawlJob};
+    use knock_talk::faults::{Fault, FaultPlan};
+    use knock_talk::service::{
+        CampaignHandle, CampaignService, CampaignSpec, CampaignStatus, OverflowPolicy,
+        ServiceConfig, ServiceJob, TenantQuota,
+    };
+    use knock_talk::store::TelemetryStore;
+    use knock_talk::webgen::{PopulationConfig, WebPopulation, WebSite};
+
+    let seed = opts.get_u64("seed", 0x00C0_FFEE)?;
+    let tenants = opts.get_u64("tenants", 3)?.max(1) as usize;
+    let campaigns = opts.get_u64("campaigns", 3)?.max(1) as usize;
+    let sites_per = opts.get_u64("sites", 6)?.max(1) as usize;
+    let workers = opts.get_u64("workers", 4)?.max(1) as usize;
+    let queue_capacity = opts.get_u64("queue-capacity", 2)?.max(1) as usize;
+    let deadline_ms = opts.get_u64("deadline-ms", 0)?;
+    let max_campaigns = opts.get_u64("max-campaigns", 0)? as usize;
+    let max_visits = opts.get_u64("max-visits", 0)? as usize;
+    let policy = match opts.get("policy").unwrap_or("shed") {
+        "block" => OverflowPolicy::Block,
+        "shed" => OverflowPolicy::Shed,
+        other => return Err(format!("unknown --policy {other:?} (block|shed)")),
+    };
+    let storm = matches!(
+        opts.get("storm").unwrap_or("no"),
+        "yes" | "on" | "true" | "1"
+    );
+    let quota = TenantQuota {
+        max_campaigns: if max_campaigns == 0 {
+            usize::MAX
+        } else {
+            max_campaigns
+        },
+        max_inflight_visits: if max_visits == 0 {
+            usize::MAX
+        } else {
+            max_visits
+        },
+    };
+    let mut faults = FaultPlan::none(seed);
+    if storm {
+        faults = faults
+            .with_rate(Fault::QueueOverflow, 0.35)
+            .with_rate(Fault::SlowConsumer, 0.35)
+            .with_rate(Fault::TenantBurst, 0.50)
+            .with_rate(Fault::DnsFlap, 0.25)
+            .with_rate(Fault::ConnectionReset, 0.20)
+            .with_rate(Fault::WorkerPanic, 0.15);
+    }
+
+    let population = WebPopulation::generate(PopulationConfig::test_scale(seed));
+    let pool = &population.sites2020;
+    let slice = |index: usize| -> Vec<WebSite> {
+        let start = (index * sites_per) % pool.len().saturating_sub(sites_per).max(1);
+        pool[start..(start + sites_per).min(pool.len())].to_vec()
+    };
+    let spec_for = |tenant: usize, campaign: usize, burst: bool| -> CampaignSpec {
+        let suffix = if burst { "-burst" } else { "" };
+        CampaignSpec {
+            crawl: CrawlId(format!("t{tenant}-c{campaign}{suffix}")),
+            os: Os::ALL[(tenant + campaign) % Os::ALL.len()],
+            jobs: slice(
+                tenant * campaigns + campaign + if burst { tenants * campaigns } else { 0 },
+            )
+            .into_iter()
+            .map(|site| ServiceJob {
+                site,
+                malicious_category: None,
+            })
+            .collect(),
+            deadline_ms: (deadline_ms > 0).then_some(deadline_ms),
+            nominal_workers: workers,
+        }
+    };
+    // The whole fleet, parameterised on executor width so `--check
+    // invariants` can replay it single-threaded and byte-compare.
+    let run_fleet = |executors: usize| -> (CampaignService, Vec<(String, CampaignHandle)>) {
+        let mut config = ServiceConfig::new(seed);
+        config.workers = executors;
+        config.queue_capacity = queue_capacity;
+        config.drain_ms_per_update = 60_000;
+        config.slow_consumer_stall_ms = 120_000;
+        config.faults = faults.clone();
+        let mut service = CampaignService::new(config);
+        for t in 0..tenants {
+            service.register_tenant(&format!("tenant-{t}"), quota, policy);
+        }
+        let mut handles = Vec::new();
+        for t in 0..tenants {
+            let tenant = format!("tenant-{t}");
+            for c in 0..campaigns {
+                let spec = spec_for(t, c, false);
+                let name = spec.crawl.as_str().to_string();
+                if let Ok(handle) = service.submit(&tenant, spec) {
+                    handles.push((name, handle));
+                }
+                // A bursting tenant double-submits this slot — keyed
+                // on (tenant identity, slot), not on timing.
+                if faults.injects(Fault::TenantBurst, &tenant, c as u32) {
+                    let spec = spec_for(t, c, true);
+                    let name = spec.crawl.as_str().to_string();
+                    if let Ok(handle) = service.submit(&tenant, spec) {
+                        handles.push((name, handle));
+                    }
+                }
+            }
+        }
+        service.run();
+        (service, handles)
+    };
+    let fingerprint = |service: &CampaignService, handles: &[(String, CampaignHandle)]| -> String {
+        let trace = Trace::new();
+        service.record_metrics(&trace);
+        let statuses: Vec<String> = handles
+            .iter()
+            .map(|(name, h)| {
+                format!(
+                    "{name}:{:?}/{}",
+                    service.status(*h).expect("known handle"),
+                    service.campaign_updates_shed(*h)
+                )
+            })
+            .collect();
+        format!(
+            "{statuses:?}\n{:?}\n{}",
+            service.accounting(),
+            trace.export_prometheus()
+        )
+    };
+
+    let (service, handles) = run_fleet(workers);
+    println!(
+        "fleet: {tenants} tenants x {campaigns} campaigns x {sites_per} sites, \
+         {workers} executors, queue {queue_capacity}, policy {policy:?}, storm {storm}"
+    );
+    let mut violations = Vec::new();
+    for acc in service.accounting() {
+        let rejected: u64 = acc.rejected.values().sum();
+        println!(
+            "  {:<10} admitted {:>3}  completed {:>3}  deadline-shed {:>2}  drained {:>2}  \
+             rejected {:>2}  updates {:>4} (-{} shed)  blocks {:>3}  depth<= {}",
+            acc.tenant,
+            acc.admitted,
+            acc.completed,
+            acc.shed,
+            acc.drained,
+            rejected,
+            acc.updates,
+            acc.updates_shed,
+            acc.queue_blocks,
+            acc.queue_high_water
+        );
+        if !acc.reconciles() {
+            violations.push(format!(
+                "{}: admitted {} != completed {} + shed {} + drained {} + in-flight {}",
+                acc.tenant, acc.admitted, acc.completed, acc.shed, acc.drained, acc.in_flight
+            ));
+        }
+        if acc.in_flight != 0 {
+            violations.push(format!(
+                "{}: {} campaigns never drained",
+                acc.tenant, acc.in_flight
+            ));
+        }
+    }
+
+    if let Some(path) = opts.get("metrics-out") {
+        let trace = Trace::new();
+        service.record_metrics(&trace);
+        std::fs::write(path, trace.export_prometheus())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("metrics written to {path}");
+    }
+
+    let checks: Vec<&str> = opts
+        .get("check")
+        .map(|c| c.split(',').collect())
+        .unwrap_or_default();
+    for check in &checks {
+        match *check {
+            "invariants" => {
+                let baseline = fingerprint(&service, &handles);
+                let replay_workers = if workers == 1 { 2 } else { 1 };
+                let (replayed, replayed_handles) = run_fleet(replay_workers);
+                if fingerprint(&replayed, &replayed_handles) != baseline {
+                    violations.push(format!(
+                        "shed set / accounting / metrics differ between {workers} and \
+                         {replay_workers} executors"
+                    ));
+                } else {
+                    println!(
+                        "check invariants: ok ({workers} vs {replay_workers} executors byte-equal)"
+                    );
+                }
+            }
+            "tables" => {
+                let mut compared = 0usize;
+                for t in 0..tenants {
+                    for c in 0..campaigns {
+                        let spec = spec_for(t, c, false);
+                        let Some(handle) = handles
+                            .iter()
+                            .find(|(name, _)| name == spec.crawl.as_str())
+                            .map(|(_, h)| *h)
+                        else {
+                            continue;
+                        };
+                        if service.status(handle) != Some(CampaignStatus::Completed) {
+                            continue;
+                        }
+                        let sites: Vec<WebSite> =
+                            spec.jobs.iter().map(|j| j.site.clone()).collect();
+                        let jobs: Vec<CrawlJob<'_>> = sites
+                            .iter()
+                            .map(|site| CrawlJob {
+                                site,
+                                malicious_category: None,
+                            })
+                            .collect();
+                        let mut cfg = CrawlConfig::paper(spec.crawl.clone(), spec.os, seed);
+                        cfg.workers = spec.nominal_workers;
+                        cfg.faults = faults.clone();
+                        let batch_store = TelemetryStore::new();
+                        run_crawl(&jobs, &cfg, &batch_store);
+                        let batch = analyze_crawl_par(&batch_store, &spec.crawl, workers);
+                        if service.final_analysis(handle).as_ref() != Some(&batch) {
+                            violations.push(format!(
+                                "{} tables differ from the batch pipeline",
+                                spec.crawl.as_str()
+                            ));
+                        }
+                        compared += 1;
+                    }
+                }
+                println!("check tables: {compared} completed campaigns vs batch pipeline");
+            }
+            other => return Err(format!("unknown --check {other:?} (invariants|tables)")),
+        }
+    }
+    if violations.is_empty() {
+        println!("service degraded cleanly: all tenants reconcile");
+        Ok(())
+    } else {
+        for v in &violations {
+            eprintln!("violation: {v}");
+        }
+        Err(format!("{} invariant violation(s)", violations.len()))
+    }
 }
 
 /// `knocktalk entropy`.

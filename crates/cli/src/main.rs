@@ -10,6 +10,10 @@
 //! knocktalk analyze  <store.ktstore|journal.ktj>
 //! knocktalk classify <netlog.json> [--loaded-at MS]
 //! knocktalk entropy  [--machines N] [--seed N]
+//! knocktalk serve    [--tenants N] [--campaigns N] [--sites N] [--seed N] [--workers N]
+//!                    [--queue-capacity N] [--policy block|shed] [--max-campaigns N]
+//!                    [--max-visits N] [--deadline-ms N] [--storm yes]
+//!                    [--check invariants,tables] [--metrics-out FILE]
 //! knocktalk health   [--scale quick|standard|paper] [--seed N]
 //! knocktalk profile  [--scale quick|standard|paper] [--seed N] [--workers N]
 //! knocktalk help
@@ -58,6 +62,7 @@ fn main() -> ExitCode {
         "analyze" => commands::analyze(&opts),
         "classify" => commands::classify(&opts),
         "entropy" => commands::entropy(&opts),
+        "serve" => commands::serve(&opts),
         "health" => commands::health(&opts),
         "profile" => commands::profile(&opts),
         "help" | "--help" | "-h" => {

@@ -39,6 +39,7 @@ pub use kt_crawler as crawler;
 pub use kt_faults as faults;
 pub use kt_netbase as netbase;
 pub use kt_netlog as netlog;
+pub use kt_service as service;
 pub use kt_simnet as simnet;
 pub use kt_store as store;
 pub use kt_trace as trace;

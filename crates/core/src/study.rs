@@ -208,6 +208,76 @@ impl Study {
         Study::run_journaled(config, None)
     }
 
+    /// [`Study::run`] through the resident campaign service: all eight
+    /// `(crawl, OS)` campaigns are submitted to one
+    /// [`kt_service::CampaignService`] as a single unbounded tenant
+    /// and multiplexed over the service scheduler, with tables built
+    /// by the online incremental aggregator instead of the end-of-run
+    /// batch analyzer. Produces a `Study` whose stats, store, and
+    /// analyses are identical to [`Study::run`] — the equivalence the
+    /// service tests pin.
+    pub fn run_service(config: StudyConfig) -> Study {
+        use kt_service::{CampaignService, CampaignSpec, OverflowPolicy, ServiceJob, TenantQuota};
+
+        let population = WebPopulation::generate(config.population);
+        let mut svc_config = kt_service::ServiceConfig::new(config.population.seed);
+        svc_config.workers = config.workers.max(1);
+        let mut service = CampaignService::new(svc_config);
+        service.register_tenant("paper", TenantQuota::unbounded(), OverflowPolicy::Block);
+
+        let mut handles = Vec::new();
+        for (crawl, oses) in campaigns() {
+            let jobs = campaign_jobs(&population, &crawl);
+            for os in oses {
+                let spec = CampaignSpec {
+                    crawl: crawl.clone(),
+                    os,
+                    jobs: jobs
+                        .iter()
+                        .map(|job| ServiceJob {
+                            site: job.site.clone(),
+                            malicious_category: job.malicious_category,
+                        })
+                        .collect(),
+                    deadline_ms: None,
+                    nominal_workers: config.workers,
+                };
+                let handle = service.submit("paper", spec).expect("unbounded tenant");
+                handles.push((crawl.as_str().to_string(), os, handle));
+            }
+        }
+        service.run();
+
+        let mut stats = BTreeMap::new();
+        for (crawl, os, handle) in &handles {
+            stats.insert(
+                (crawl.clone(), *os),
+                service.campaign_stats(*handle).expect("admitted campaign"),
+            );
+        }
+        // One crawl's analysis is the merge of its per-OS campaign
+        // partials — the online path all the way to the tables.
+        let analyses = campaigns()
+            .into_iter()
+            .map(|(crawl, _)| {
+                let mut merged = kt_analysis::OnlinePartial::new();
+                for (name, _, handle) in &handles {
+                    if name == crawl.as_str() {
+                        merged.merge(service.partial(*handle).expect("completed campaign"));
+                    }
+                }
+                (crawl.as_str().to_string(), merged.assemble())
+            })
+            .collect();
+        Study {
+            config,
+            population,
+            store: service.into_store(),
+            stats,
+            analyses,
+        }
+    }
+
     /// [`Study::run`] reporting metrics, spans, and events into a
     /// [`Trace`].
     pub fn run_observed(config: StudyConfig, trace: Option<&Trace>) -> Study {
@@ -597,6 +667,36 @@ mod tests {
             assert_eq!(resumed, base, "local observations differ after resume");
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn service_study_matches_batch_study() {
+        let config = StudyConfig::quick(7);
+        let batch = Study::run(config);
+        let service = Study::run_service(config);
+        assert_eq!(service.stats, batch.stats, "per-campaign stats match");
+        assert_eq!(service.store.len(), batch.store.len());
+        for (crawl, _) in campaigns() {
+            assert_eq!(
+                service.store.crawl_records(&crawl),
+                batch.store.crawl_records(&crawl),
+                "store records for {} match byte for byte",
+                crawl.as_str()
+            );
+            assert_eq!(
+                service.analyses[crawl.as_str()],
+                batch.analyses[crawl.as_str()],
+                "online-aggregated analysis for {} matches the batch analyzer",
+                crawl.as_str()
+            );
+        }
+        for id in ["T1", "T2", "T5"] {
+            assert_eq!(
+                service.experiment(id),
+                batch.experiment(id),
+                "table {id} renders identically through the service"
+            );
+        }
     }
 
     #[test]

@@ -101,8 +101,10 @@ impl CrawlConfig {
 }
 
 /// Wall-clock cost of one visit: the 20 s window plus startup/teardown
-/// overhead for the fresh incognito instance.
-const VISIT_WALL_MS: u64 = 21_000;
+/// overhead for the fresh incognito instance. Public so the campaign
+/// service's deadline budgets and schedule replays price visits in the
+/// same units as the pool.
+pub const VISIT_WALL_MS: u64 = 21_000;
 
 /// Per-worker span ring capacity: big enough for every visit of a
 /// quick-scale campaign's share, bounded so a pathological retry storm
@@ -410,12 +412,20 @@ pub fn run_crawl_chunked(
 /// when its busiest worker is. This is exactly the claim order a real
 /// pool follows when visit wall time is real time.
 fn greedy_makespan(costs: &[AtomicU64], workers: u64) -> u64 {
+    let costs: Vec<u64> = costs.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+    simulated_makespan(&costs, workers)
+}
+
+/// [`greedy_makespan`] over a plain cost slice — the same greedy
+/// earliest-free-worker replay, exposed so the campaign service can
+/// price a campaign's schedule from its own per-job cost vector.
+pub fn simulated_makespan(costs: &[u64], workers: u64) -> u64 {
     let mut clocks: BinaryHeap<Reverse<u64>> = (0..workers)
         .map(|w| Reverse(w * VISIT_WALL_MS / workers.max(1)))
         .collect();
     for cost in costs {
         let Reverse(clock) = clocks.pop().expect("at least one worker");
-        clocks.push(Reverse(clock + cost.load(Ordering::Relaxed)));
+        clocks.push(Reverse(clock + cost));
     }
     clocks.into_iter().map(|Reverse(t)| t).max().unwrap_or(0)
 }
@@ -543,6 +553,190 @@ fn journal_visit(
     }
 }
 
+/// One pool job's terminal outcome, for callers that need the record
+/// itself: the resident campaign service streams it into online
+/// aggregation; the batch pool drops it (the store already holds it).
+#[derive(Debug)]
+pub struct PoolJobEnd {
+    /// The terminal visit record (already appended to the store and,
+    /// when journaling, framed in the journal).
+    pub record: VisitRecord,
+    /// The job's whole simulated cost: visits, backoffs, outage waits.
+    pub cost_ms: u64,
+    /// True when the site was parked for the end-of-campaign recrawl
+    /// pass (its stats verdict is deferred to that pass).
+    pub parked: bool,
+    /// Span status label: "success", "crashed", "error", or "parked".
+    pub status: &'static str,
+}
+
+/// Run one site through the supervised attempt loop — the unit of work
+/// a pool worker claims. Builds the per-site [`World`], runs the
+/// connectivity pre-check before every attempt, retries transient
+/// failures in place with deterministic backoff, appends the terminal
+/// record to the store, frames it in the journal, and records spans
+/// into `ring`. Mutates the caller's `stats` and `wall_ms` exactly as
+/// the pool worker's loop always has; extracting it changes nothing
+/// observable (the worker-invariance and journal tests pin this).
+///
+/// The campaign service calls this directly — one job per campaign per
+/// scheduling round — so multiplexed campaigns reuse the identical
+/// visit machinery and their results stay byte-identical to a batch
+/// run of the same campaign.
+#[allow(clippy::too_many_arguments)]
+pub fn run_pool_job(
+    job: &CrawlJob<'_>,
+    config: &CrawlConfig,
+    store: &TelemetryStore,
+    journal: Option<&JournalWriter>,
+    checker: &mut ConnectivityChecker,
+    stats: &mut CrawlStats,
+    wall_ms: &mut u64,
+    worker_id: u64,
+    mut ring: Option<&mut SpanRing>,
+) -> PoolJobEnd {
+    let job_start_ms = *wall_ms;
+    // Snapshot for the journal's per-visit stats delta: everything
+    // this job adds to the tally lands between here and its terminal
+    // arm.
+    let before = stats.clone();
+    // A per-site world — its own DNS cache and latency stream, like a
+    // dedicated VM — built once per job and reused across that job's
+    // retries. Site fates are installed from (domain, seed) alone, so
+    // a single-site world observes exactly what a whole-population
+    // world would.
+    let mut world = World::build(std::slice::from_ref(job.site), config.os, config.seed);
+    let mut attempt: u32 = 0;
+    loop {
+        wait_online(checker, wall_ms, stats);
+        let end = attempt_visit(&mut world, config, job.site, attempt);
+        *wall_ms += VISIT_WALL_MS;
+        match end {
+            AttemptEnd::Crashed(events) => {
+                // Quarantine immediately: a crash is a measurement
+                // artifact, not a website failure — no retries.
+                stats.record_crash();
+                let record = make_record(
+                    config,
+                    job,
+                    job.site.domain.as_str().to_string(),
+                    LoadOutcome::Crashed,
+                    0,
+                    events,
+                );
+                append_record(store, stats, config, &record, attempt);
+                journal_visit(
+                    journal,
+                    config,
+                    stats,
+                    &before,
+                    &record,
+                    *wall_ms - job_start_ms,
+                    FLAG_FINAL,
+                    attempt,
+                );
+                visit_span(
+                    ring.as_deref_mut(),
+                    worker_id,
+                    job_start_ms,
+                    *wall_ms,
+                    &record.domain,
+                    "crashed",
+                );
+                return PoolJobEnd {
+                    record,
+                    cost_ms: *wall_ms - job_start_ms,
+                    parked: false,
+                    status: "crashed",
+                };
+            }
+            AttemptEnd::Outcome(PageLoadOutcome::Loaded { at_ms }, domain, events) => {
+                stats.record_success();
+                if attempt > 0 {
+                    stats.recovered += 1;
+                }
+                let record = make_record(config, job, domain, LoadOutcome::Success, at_ms, events);
+                append_record(store, stats, config, &record, attempt);
+                journal_visit(
+                    journal,
+                    config,
+                    stats,
+                    &before,
+                    &record,
+                    *wall_ms - job_start_ms,
+                    FLAG_FINAL,
+                    attempt,
+                );
+                visit_span(
+                    ring.as_deref_mut(),
+                    worker_id,
+                    job_start_ms,
+                    *wall_ms,
+                    &record.domain,
+                    "success",
+                );
+                return PoolJobEnd {
+                    record,
+                    cost_ms: *wall_ms - job_start_ms,
+                    parked: false,
+                    status: "success",
+                };
+            }
+            AttemptEnd::Outcome(PageLoadOutcome::Failed(err), domain, events) => {
+                let transient = is_transient(err);
+                if transient && attempt + 1 < config.retry.max_attempts {
+                    stats.retries += 1;
+                    if let Some(ring) = ring.as_deref_mut() {
+                        ring.event(EventRecord {
+                            name: "retry",
+                            worker: worker_id as u32,
+                            at_ms: *wall_ms,
+                            target: domain.clone(),
+                            detail: err.name().to_string(),
+                        });
+                    }
+                    *wall_ms += config.retry.backoff_ms(config.seed, &domain, attempt + 1);
+                    attempt += 1;
+                    continue;
+                }
+                let record = make_record(config, job, domain, LoadOutcome::Error(err), 0, events);
+                append_record(store, stats, config, &record, attempt);
+                let parked = transient && config.retry.recrawl;
+                if !parked {
+                    stats.record_failure(err);
+                }
+                // A parked site's frame is non-final (flags 0):
+                // resume sends it straight to the recrawl queue.
+                journal_visit(
+                    journal,
+                    config,
+                    stats,
+                    &before,
+                    &record,
+                    *wall_ms - job_start_ms,
+                    if parked { 0 } else { FLAG_FINAL },
+                    attempt,
+                );
+                let status = if parked { "parked" } else { "error" };
+                visit_span(
+                    ring.as_deref_mut(),
+                    worker_id,
+                    job_start_ms,
+                    *wall_ms,
+                    &record.domain,
+                    status,
+                );
+                return PoolJobEnd {
+                    record,
+                    cost_ms: *wall_ms - job_start_ms,
+                    parked,
+                    status,
+                };
+            }
+        }
+    }
+}
+
 /// One worker's loop: claim jobs off the shared ticket until the queue
 /// drains. Returns the worker's private stats tally (merged by the
 /// supervisor at join) plus, when `spans` is on, its span ring — one
@@ -585,142 +779,26 @@ fn crawl_worker(
         }
         let i = order[t];
         let job = &jobs[i];
-        let job_start_ms = wall_ms;
-        // Snapshot for the journal's per-visit stats delta: everything
-        // this job adds to the tally lands between here and its
-        // terminal arm.
-        let before = stats.clone();
-        // A per-site world — its own DNS cache and latency stream,
-        // like a dedicated VM — built once per job and reused across
-        // that job's retries. Site fates are installed from (domain,
-        // seed) alone, so a single-site world observes exactly what a
-        // whole-population world would.
-        let mut world = World::build(std::slice::from_ref(job.site), config.os, config.seed);
-        let mut attempt: u32 = 0;
-        loop {
-            wait_online(&mut checker, &mut wall_ms, &mut stats);
-            let end = attempt_visit(&mut world, config, job.site, attempt);
-            wall_ms += VISIT_WALL_MS;
-            match end {
-                AttemptEnd::Crashed(events) => {
-                    // Quarantine immediately: a crash is a measurement
-                    // artifact, not a website failure — no retries.
-                    stats.record_crash();
-                    let record = make_record(
-                        config,
-                        job,
-                        job.site.domain.as_str().to_string(),
-                        LoadOutcome::Crashed,
-                        0,
-                        events,
-                    );
-                    append_record(store, &mut stats, config, &record, attempt);
-                    journal_visit(
-                        journal,
-                        config,
-                        &stats,
-                        &before,
-                        &record,
-                        wall_ms - job_start_ms,
-                        FLAG_FINAL,
-                        attempt,
-                    );
-                    visit_span(
-                        ring.as_mut(),
-                        worker_id,
-                        job_start_ms,
-                        wall_ms,
-                        &record.domain,
-                        "crashed",
-                    );
-                    break;
-                }
-                AttemptEnd::Outcome(PageLoadOutcome::Loaded { at_ms }, domain, events) => {
-                    stats.record_success();
-                    if attempt > 0 {
-                        stats.recovered += 1;
-                    }
-                    let record =
-                        make_record(config, job, domain, LoadOutcome::Success, at_ms, events);
-                    append_record(store, &mut stats, config, &record, attempt);
-                    journal_visit(
-                        journal,
-                        config,
-                        &stats,
-                        &before,
-                        &record,
-                        wall_ms - job_start_ms,
-                        FLAG_FINAL,
-                        attempt,
-                    );
-                    visit_span(
-                        ring.as_mut(),
-                        worker_id,
-                        job_start_ms,
-                        wall_ms,
-                        &record.domain,
-                        "success",
-                    );
-                    break;
-                }
-                AttemptEnd::Outcome(PageLoadOutcome::Failed(err), domain, events) => {
-                    let transient = is_transient(err);
-                    if transient && attempt + 1 < config.retry.max_attempts {
-                        stats.retries += 1;
-                        if let Some(ring) = ring.as_mut() {
-                            ring.event(EventRecord {
-                                name: "retry",
-                                worker: worker_id as u32,
-                                at_ms: wall_ms,
-                                target: domain.clone(),
-                                detail: err.name().to_string(),
-                            });
-                        }
-                        wall_ms += config.retry.backoff_ms(config.seed, &domain, attempt + 1);
-                        attempt += 1;
-                        continue;
-                    }
-                    let record =
-                        make_record(config, job, domain, LoadOutcome::Error(err), 0, events);
-                    append_record(store, &mut stats, config, &record, attempt);
-                    let parked = transient && config.retry.recrawl;
-                    if !parked {
-                        stats.record_failure(err);
-                    }
-                    // A parked site's frame is non-final (flags 0):
-                    // resume sends it straight to the recrawl queue.
-                    journal_visit(
-                        journal,
-                        config,
-                        &stats,
-                        &before,
-                        &record,
-                        wall_ms - job_start_ms,
-                        if parked { 0 } else { FLAG_FINAL },
-                        attempt,
-                    );
-                    visit_span(
-                        ring.as_mut(),
-                        worker_id,
-                        job_start_ms,
-                        wall_ms,
-                        &record.domain,
-                        if parked { "parked" } else { "error" },
-                    );
-                    if parked {
-                        // Verdict deferred: the recrawl pass decides
-                        // whether this becomes a Table 1 error. The
-                        // failure record above stands until (unless)
-                        // that pass overwrites it.
-                        injector.push(i);
-                    }
-                    break;
-                }
-            }
+        let end = run_pool_job(
+            job,
+            config,
+            store,
+            journal,
+            &mut checker,
+            &mut stats,
+            &mut wall_ms,
+            worker_id,
+            ring.as_mut(),
+        );
+        if end.parked {
+            // Verdict deferred: the recrawl pass decides whether this
+            // becomes a Table 1 error. The failure record already in
+            // the store stands until (unless) that pass overwrites it.
+            injector.push(i);
         }
         // The job's simulated cost — visits, backoffs, outage waits —
         // feeds the supervisor's deterministic schedule replay.
-        costs[i].store(wall_ms - job_start_ms, Ordering::Relaxed);
+        costs[i].store(end.cost_ms, Ordering::Relaxed);
     }
     // The worker's contribution to the simulated campaign duration is
     // where its wall clock ended up; under a static chunk assignment
@@ -751,6 +829,93 @@ fn visit_span(
     }
 }
 
+/// One site's final recrawl visit — the unit of work the
+/// end-of-campaign pass (and the campaign service's recrawl phase)
+/// performs. The visit is attempt number `max_attempts`: the first
+/// fresh fault/backoff draw past the in-place attempts. The caller
+/// owns the pass-wide [`World`] (the recrawl builds one world over its
+/// whole queue, unlike the pool's per-site worlds) and the restarted
+/// wall clock. Returns the terminal record for streaming consumers;
+/// the store and journal already hold it.
+#[allow(clippy::too_many_arguments)]
+pub fn run_recrawl_job(
+    job: &CrawlJob<'_>,
+    config: &CrawlConfig,
+    store: &TelemetryStore,
+    journal: Option<&JournalWriter>,
+    world: &mut World,
+    checker: &mut ConnectivityChecker,
+    stats: &mut CrawlStats,
+    wall_ms: &mut u64,
+    ring: Option<&mut SpanRing>,
+) -> VisitRecord {
+    let attempt = config.retry.max_attempts;
+    let before = stats.clone();
+    stats.recrawled += 1;
+    wait_online(checker, wall_ms, stats);
+    let (record, status) = match attempt_visit(world, config, job.site, attempt) {
+        AttemptEnd::Crashed(events) => {
+            stats.record_crash();
+            (
+                make_record(
+                    config,
+                    job,
+                    job.site.domain.as_str().to_string(),
+                    LoadOutcome::Crashed,
+                    0,
+                    events,
+                ),
+                "crashed",
+            )
+        }
+        AttemptEnd::Outcome(PageLoadOutcome::Loaded { at_ms }, domain, events) => {
+            stats.record_success();
+            stats.recovered += 1;
+            // Overwrites the pass-one failure record: the store is
+            // last-write-wins per (crawl, domain, os).
+            (
+                make_record(config, job, domain, LoadOutcome::Success, at_ms, events),
+                "recovered",
+            )
+        }
+        AttemptEnd::Outcome(PageLoadOutcome::Failed(err), domain, events) => {
+            stats.record_failure(err);
+            stats.gave_up += 1;
+            (
+                make_record(config, job, domain, LoadOutcome::Error(err), 0, events),
+                "gave_up",
+            )
+        }
+    };
+    append_record(store, stats, config, &record, attempt);
+    // Each recrawl visit costs exactly one wall slot (the pass is
+    // serial and outage waits are schedule-, not site-, owned), so
+    // the journaled cost is the constant — resume adds one slot
+    // back per surviving recrawl frame.
+    journal_visit(
+        journal,
+        config,
+        stats,
+        &before,
+        &record,
+        VISIT_WALL_MS,
+        FLAG_FINAL | FLAG_RECRAWL,
+        attempt,
+    );
+    if let Some(ring) = ring {
+        ring.span(SpanRecord {
+            name: "recrawl",
+            worker: u32::MAX,
+            start_ms: *wall_ms,
+            end_ms: *wall_ms + VISIT_WALL_MS,
+            target: record.domain.clone(),
+            status,
+        });
+    }
+    *wall_ms += VISIT_WALL_MS;
+    record
+}
+
 /// The end-of-campaign recrawl: transiently-failing sites get one
 /// final visit before their errors are allowed into Table 1.
 /// Single-threaded, in domain order, with a fresh world and a wall
@@ -774,75 +939,22 @@ fn recrawl_pass(
     let mut wall_ms: u64 = 0;
     // The recrawl visit is attempt number `max_attempts`: the first
     // fresh fault/backoff draw past the in-place attempts.
-    let attempt = config.retry.max_attempts;
     for &index in queue {
         if journal.is_some_and(|j| j.killed()) {
             break;
         }
         let job = &jobs[index];
-        let before = stats.clone();
-        stats.recrawled += 1;
-        wait_online(&mut checker, &mut wall_ms, stats);
-        let (record, status) = match attempt_visit(&mut world, config, job.site, attempt) {
-            AttemptEnd::Crashed(events) => {
-                stats.record_crash();
-                (
-                    make_record(
-                        config,
-                        job,
-                        job.site.domain.as_str().to_string(),
-                        LoadOutcome::Crashed,
-                        0,
-                        events,
-                    ),
-                    "crashed",
-                )
-            }
-            AttemptEnd::Outcome(PageLoadOutcome::Loaded { at_ms }, domain, events) => {
-                stats.record_success();
-                stats.recovered += 1;
-                // Overwrites the pass-one failure record: the store is
-                // last-write-wins per (crawl, domain, os).
-                (
-                    make_record(config, job, domain, LoadOutcome::Success, at_ms, events),
-                    "recovered",
-                )
-            }
-            AttemptEnd::Outcome(PageLoadOutcome::Failed(err), domain, events) => {
-                stats.record_failure(err);
-                stats.gave_up += 1;
-                (
-                    make_record(config, job, domain, LoadOutcome::Error(err), 0, events),
-                    "gave_up",
-                )
-            }
-        };
-        append_record(store, stats, config, &record, attempt);
-        // Each recrawl visit costs exactly one wall slot (the pass is
-        // serial and outage waits are schedule-, not site-, owned), so
-        // the journaled cost is the constant — resume adds one slot
-        // back per surviving recrawl frame.
-        journal_visit(
-            journal,
+        run_recrawl_job(
+            job,
             config,
+            store,
+            journal,
+            &mut world,
+            &mut checker,
             stats,
-            &before,
-            &record,
-            VISIT_WALL_MS,
-            FLAG_FINAL | FLAG_RECRAWL,
-            attempt,
+            &mut wall_ms,
+            ring.as_deref_mut(),
         );
-        if let Some(ring) = ring.as_deref_mut() {
-            ring.span(SpanRecord {
-                name: "recrawl",
-                worker: u32::MAX,
-                start_ms: wall_ms,
-                end_ms: wall_ms + VISIT_WALL_MS,
-                target: record.domain.clone(),
-                status,
-            });
-        }
-        wall_ms += VISIT_WALL_MS;
     }
     // The recrawl is a serial coda after the parallel phase: it
     // extends the campaign rather than overlapping it.

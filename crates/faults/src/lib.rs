@@ -11,7 +11,11 @@
 //!   store-append failure, or a worker panic. Decisions are keyed by
 //!   site identity (like all `simnet` randomness), so they are stable
 //!   across runs, worker counts, and crawl order — and each retry
-//!   *redraws*, because the attempt number is part of the key;
+//!   *redraws*, because the attempt number is part of the key. The
+//!   service path draws from the same plan: queue overflows, slow
+//!   consumer stalls, and tenant bursts ([`Fault::SERVICE`]) key on
+//!   update/tenant identity so a resident campaign service degrades
+//!   identically whatever the worker count;
 //! * [`retry`] — the supervisor's [`RetryPolicy`]: which net errors
 //!   count as transient, how many in-place retries a visit gets,
 //!   exponential backoff with deterministic jitter, and whether

@@ -32,17 +32,43 @@ pub enum Fault {
     /// it exists so crash-consistency tests can place a deterministic
     /// kill at a chosen visit and assert that `resume` recovers.
     ProcessKill,
+    /// Service path: the campaign service's bounded result queue
+    /// reports full for this update's arrival, forcing the tenant's
+    /// overflow policy (block or shed) even when the modeled depth is
+    /// below capacity. Keyed by the update's domain and pass so the
+    /// forced overflows land identically whatever the worker count.
+    QueueOverflow,
+    /// Service path: the online-aggregation consumer stalls while
+    /// draining this update (GC pause, page fault, noisy neighbour),
+    /// inflating the modeled queue depth behind it.
+    SlowConsumer,
+    /// Service path: a tenant's scheduler misfires and submits a burst
+    /// of extra campaigns at once. Drawn by workload drivers (identity
+    /// = tenant, attempt = submission slot) to decide which slots
+    /// burst; admission control absorbs the burst deterministically.
+    TenantBurst,
 }
 
 impl Fault {
     /// Every fault class, in a fixed order.
-    pub const ALL: [Fault; 6] = [
+    pub const ALL: [Fault; 9] = [
         Fault::DnsFlap,
         Fault::ConnectionReset,
         Fault::TruncatedCapture,
         Fault::StoreAppendFailure,
         Fault::WorkerPanic,
         Fault::ProcessKill,
+        Fault::QueueOverflow,
+        Fault::SlowConsumer,
+        Fault::TenantBurst,
+    ];
+
+    /// The service-path fault classes (the campaign service's own
+    /// failure modes, as opposed to per-visit crawl faults).
+    pub const SERVICE: [Fault; 3] = [
+        Fault::QueueOverflow,
+        Fault::SlowConsumer,
+        Fault::TenantBurst,
     ];
 
     /// Stable label (part of the RNG key — never reword).
@@ -54,6 +80,9 @@ impl Fault {
             Fault::StoreAppendFailure => "store-append",
             Fault::WorkerPanic => "worker-panic",
             Fault::ProcessKill => "process-kill",
+            Fault::QueueOverflow => "queue-overflow",
+            Fault::SlowConsumer => "slow-consumer",
+            Fault::TenantBurst => "tenant-burst",
         }
     }
 
@@ -65,6 +94,9 @@ impl Fault {
             Fault::StoreAppendFailure => 3,
             Fault::WorkerPanic => 4,
             Fault::ProcessKill => 5,
+            Fault::QueueOverflow => 6,
+            Fault::SlowConsumer => 7,
+            Fault::TenantBurst => 8,
         }
     }
 }
@@ -74,11 +106,11 @@ impl Fault {
 pub struct FaultPlan {
     seed: u64,
     /// Independent Bernoulli rate per fault class.
-    rates: [f64; 6],
+    rates: [f64; 9],
     /// Deterministic override: inject the fault on the first N
     /// attempts of *every* site, regardless of rate. Lets tests pin
     /// down exact retry/recrawl trajectories.
-    first_attempts: [u32; 6],
+    first_attempts: [u32; 9],
 }
 
 impl FaultPlan {
@@ -86,8 +118,8 @@ impl FaultPlan {
     pub fn none(seed: u64) -> FaultPlan {
         FaultPlan {
             seed,
-            rates: [0.0; 6],
-            first_attempts: [0; 6],
+            rates: [0.0; 9],
+            first_attempts: [0; 9],
         }
     }
 
@@ -256,6 +288,30 @@ mod tests {
         assert!(pinned.injects(Fault::ProcessKill, d, 0));
         assert!(!pinned.injects(Fault::ProcessKill, d, 1));
         assert!(!FaultPlan::none(11).injects(Fault::ProcessKill, d, 0));
+    }
+
+    #[test]
+    fn service_faults_are_keyed_like_every_other_fault() {
+        // The service-path injectors (queue overflow, slow consumer,
+        // tenant burst) must obey the same contract as crawl faults:
+        // deterministic per (seed, identity, attempt), pinnable via
+        // first_attempts, and absent from clean plans — that is what
+        // makes service runs worker-count-invariant.
+        for fault in Fault::SERVICE {
+            let plan = FaultPlan::none(17).with_rate(fault, 0.5);
+            assert_eq!(
+                plan.injects(fault, "tenant-a", 0),
+                plan.injects(fault, "tenant-a", 0)
+            );
+            let hits = (0..1000)
+                .filter(|i| plan.injects(fault, &format!("t{i}"), 0))
+                .count();
+            assert!((350..650).contains(&hits), "{}: {hits}", fault.label());
+            let pinned = FaultPlan::none(17).with_first_attempts(fault, 1);
+            assert!(pinned.injects(fault, "tenant-a", 0));
+            assert!(!pinned.injects(fault, "tenant-a", 1));
+            assert!(!FaultPlan::none(17).injects(fault, "tenant-a", 0));
+        }
     }
 
     #[test]

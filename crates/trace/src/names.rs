@@ -5,7 +5,9 @@
 //! - counters end in `_total`; gauges and histograms name their unit
 //!   (`_seconds`, `_ratio`) or are bare nouns;
 //! - label keys come from the closed set {`crawl`, `os`, `error`,
-//!   `stage`, `locality`} — all low-cardinality (≤ 11 values each);
+//!   `stage`, `locality`, `tenant`, `reason`} — all low-cardinality
+//!   (≤ 11 values each; `tenant` is bounded by the service's admission
+//!   table, `reason` by the `AdmissionError` variants);
 //! - only schedule-invariant values may be exported: anything derived
 //!   from claim order or per-worker wall clocks (makespan,
 //!   connectivity stalls) stays out of the registry so the exposition
@@ -45,6 +47,29 @@ pub const JOURNAL_FSYNCS_TOTAL: &str = "journal_fsyncs_total";
 
 /// Local-network observations found by analysis. Labels: crawl.
 pub const LOCAL_OBSERVATIONS_TOTAL: &str = "local_observations_total";
+
+/// Campaigns accepted by service admission control. Labels: tenant.
+pub const SERVICE_ADMITTED_TOTAL: &str = "service_admitted_total";
+/// Campaigns rejected at admission. Labels: tenant, reason.
+pub const SERVICE_REJECTED_TOTAL: &str = "service_rejected_total";
+/// Admitted campaigns that ran to completion. Labels: tenant.
+pub const SERVICE_COMPLETED_TOTAL: &str = "service_completed_total";
+/// Admitted campaigns cancelled by deadline budget. Labels: tenant.
+pub const SERVICE_SHED_TOTAL: &str = "service_shed_total";
+/// Admitted campaigns still in flight when the service drained.
+/// Labels: tenant.
+pub const SERVICE_DRAINED_TOTAL: &str = "service_drained_total";
+/// Visit-result updates enqueued toward online aggregation.
+/// Labels: tenant.
+pub const SERVICE_UPDATES_TOTAL: &str = "service_updates_total";
+/// Updates shed by the bounded queue's overflow policy. Labels: tenant.
+pub const SERVICE_UPDATES_SHED_TOTAL: &str = "service_updates_shed_total";
+/// Producer stalls absorbed by the Block overflow policy.
+/// Labels: tenant.
+pub const SERVICE_QUEUE_BLOCKS_TOTAL: &str = "service_queue_blocks_total";
+/// Modeled high-water depth of the bounded result queue (deterministic
+/// single-server queue model, not the physical channel). Labels: tenant.
+pub const SERVICE_QUEUE_DEPTH: &str = "service_queue_depth";
 
 /// Distinct sites with local traffic. Labels: crawl, locality.
 pub const LOCAL_SITES: &str = "local_sites";
@@ -138,6 +163,39 @@ pub fn describe_defaults(reg: &mut Registry) {
         LOCAL_OBSERVATIONS_TOTAL,
         "Local-network observations found by analysis",
     );
+    reg.describe_counter(
+        SERVICE_ADMITTED_TOTAL,
+        "Campaigns accepted by service admission control",
+    );
+    reg.describe_counter(SERVICE_REJECTED_TOTAL, "Campaigns rejected at admission");
+    reg.describe_counter(
+        SERVICE_COMPLETED_TOTAL,
+        "Admitted campaigns that ran to completion",
+    );
+    reg.describe_counter(
+        SERVICE_SHED_TOTAL,
+        "Admitted campaigns cancelled by deadline budget",
+    );
+    reg.describe_counter(
+        SERVICE_DRAINED_TOTAL,
+        "Admitted campaigns still in flight when the service drained",
+    );
+    reg.describe_counter(
+        SERVICE_UPDATES_TOTAL,
+        "Visit-result updates enqueued toward online aggregation",
+    );
+    reg.describe_counter(
+        SERVICE_UPDATES_SHED_TOTAL,
+        "Updates shed by the bounded queue's overflow policy",
+    );
+    reg.describe_counter(
+        SERVICE_QUEUE_BLOCKS_TOTAL,
+        "Producer stalls absorbed by the Block overflow policy",
+    );
+    reg.describe_gauge(
+        SERVICE_QUEUE_DEPTH,
+        "Modeled high-water depth of the bounded result queue",
+    );
     reg.describe_gauge(
         LOCAL_SITES,
         "Distinct sites with local traffic, by locality",
@@ -154,10 +212,29 @@ pub fn describe_defaults(reg: &mut Registry) {
         JOURNAL_CHECKPOINTS_TOTAL,
         JOURNAL_BYTES_TOTAL,
         JOURNAL_FSYNCS_TOTAL,
+        SERVICE_ADMITTED_TOTAL,
+        SERVICE_REJECTED_TOTAL,
+        SERVICE_COMPLETED_TOTAL,
+        SERVICE_SHED_TOTAL,
+        SERVICE_DRAINED_TOTAL,
+        SERVICE_UPDATES_TOTAL,
+        SERVICE_UPDATES_SHED_TOTAL,
+        SERVICE_QUEUE_BLOCKS_TOTAL,
     ] {
         reg.touch_counter(name, Labels::empty());
     }
+    reg.set_gauge(SERVICE_QUEUE_DEPTH, Labels::empty(), 0.0);
 }
+
+/// The per-tenant campaign accounting counters, in the order the
+/// shed-reconciliation invariant reads them: admitted = completed +
+/// shed + drained (+ still-running, zero once the service has drained).
+pub const SERVICE_CAMPAIGN_COUNTERS: [&str; 4] = [
+    SERVICE_ADMITTED_TOTAL,
+    SERVICE_COMPLETED_TOTAL,
+    SERVICE_SHED_TOTAL,
+    SERVICE_DRAINED_TOTAL,
+];
 
 #[cfg(test)]
 mod tests {
@@ -174,6 +251,15 @@ mod tests {
             "journal_checkpoints_total 0",
             "journal_bytes_total 0",
             "journal_fsyncs_total 0",
+            "service_admitted_total 0",
+            "service_rejected_total 0",
+            "service_completed_total 0",
+            "service_shed_total 0",
+            "service_drained_total 0",
+            "service_updates_total 0",
+            "service_updates_shed_total 0",
+            "service_queue_blocks_total 0",
+            "service_queue_depth 0",
         ] {
             assert!(text.contains(name), "missing {name:?} in:\n{text}");
         }
@@ -192,6 +278,9 @@ mod tests {
     #[test]
     fn counter_names_follow_the_total_convention() {
         for name in CRAWL_COUNTERS {
+            assert!(name.ends_with("_total"), "{name} must end in _total");
+        }
+        for name in SERVICE_CAMPAIGN_COUNTERS {
             assert!(name.ends_with("_total"), "{name} must end in _total");
         }
     }
