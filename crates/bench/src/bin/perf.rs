@@ -14,7 +14,7 @@
 //! any benchmark.
 //!
 //! Measures each pipeline stage at three population sizes, plus a
-//! worker-scaling curve (1/2/4/8) comparing the work-stealing
+//! worker-scaling curve (1/2/4/8/16/32) comparing the work-stealing
 //! scheduler ([`run_crawl`]) against the static-chunk ablation
 //! baseline ([`run_crawl_chunked`]) on a *skewed* population: one
 //! eighth of the sites are "heavy" — big pages (240 public resources
@@ -52,6 +52,17 @@
 //! heap bytes/event for each. `--alloc-ceiling <f64>` turns the view
 //! path's allocations/event into a CI gate: exit 1 if any population
 //! exceeds the checked-in ceiling.
+//!
+//! Two raw-speed-floor stages round out the sweep. *flat_memory*
+//! crawls a bulk population (10× the largest sweep size) into a store
+//! that spills sealed segments to mmap-backed files, then scans it all
+//! back zero-copy while the counting allocator watches peak heap —
+//! `--mem-ceiling` gates the peak-heap/store-bytes ratio. *journal*
+//! streams visit frames through the group-commit writer and its
+//! unbatched ablation, byte-compares the files, and reports frames per
+//! fsync (`--fsync-floor` gates it) and frames per batched write.
+//! `--eps-floor` gates the machine-normalized zero-copy decode
+//! throughput from the population sweep.
 
 use std::time::Instant;
 
@@ -59,13 +70,19 @@ use knock_talk::analysis::{detect_local_view, detect_local_with_page_owned};
 use knock_talk::crawler::{run_crawl, run_crawl_chunked, CrawlConfig, CrawlJob};
 use knock_talk::faults::{Fault, FaultPlan, RetryPolicy};
 use knock_talk::netbase::{DomainName, Os};
+use knock_talk::netlog::{EventParams, EventPhase, EventType, NetLogEvent, SourceRef, SourceType};
 use knock_talk::service::{
     CampaignService, CampaignSpec, CampaignStatus, OverflowPolicy, ServiceConfig, ServiceJob,
     TenantQuota,
 };
 use knock_talk::store::codec::decode;
-use knock_talk::store::{decode_view, CrawlId, TelemetryStore};
-use knock_talk::trace::{count_allocs, CountingAllocator, StageProfiler};
+use knock_talk::store::journal::{JournalConfig, JournalWriter, VisitDelta, FLAG_FINAL};
+use knock_talk::store::{
+    decode_view, CrawlId, LoadOutcome, SpillConfig, TelemetryStore, VisitRecord,
+};
+use knock_talk::trace::{
+    count_allocs, live_bytes, peak_bytes, reset_peak_bytes, CountingAllocator, StageProfiler,
+};
 use knock_talk::webgen::WebSite;
 
 // The shared counting allocator from kt-trace: feeds the decode+detect
@@ -93,6 +110,9 @@ struct Options {
     check_prom: Option<String>,
     require: Vec<String>,
     alloc_ceiling: Option<f64>,
+    eps_floor: Option<f64>,
+    mem_ceiling: Option<f64>,
+    fsync_floor: Option<f64>,
     out: String,
     seed: u64,
 }
@@ -104,6 +124,9 @@ fn parse_args() -> Result<Options, String> {
         check_prom: None,
         require: Vec::new(),
         alloc_ceiling: None,
+        eps_floor: None,
+        mem_ceiling: None,
+        fsync_floor: None,
         out: "BENCH_pipeline.json".to_string(),
         seed: 0xBE7C,
     };
@@ -126,6 +149,27 @@ fn parse_args() -> Result<Options, String> {
                     args.next()
                         .and_then(|s| s.parse().ok())
                         .ok_or("--alloc-ceiling needs a number (allocs/event)")?,
+                );
+            }
+            "--eps-floor" => {
+                opts.eps_floor = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--eps-floor needs a number (machine-normalized relative eps)")?,
+                );
+            }
+            "--mem-ceiling" => {
+                opts.mem_ceiling = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--mem-ceiling needs a ratio (peak heap / store bytes)")?,
+                );
+            }
+            "--fsync-floor" => {
+                opts.fsync_floor = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--fsync-floor needs a number (journal frames per fsync)")?,
                 );
             }
             "--out" => opts.out = args.next().ok_or("--out needs a path")?,
@@ -552,6 +596,199 @@ fn bench_service(
     entry
 }
 
+/// The flat-memory stage: crawl a bulk population (10× the largest
+/// population-sweep size) into a store that spills sealed segments to
+/// mmap-backed files, then scan every record back through the
+/// zero-copy decode path while watching the counting allocator's
+/// live/peak gauges. The numbers this produces are the raw-speed-floor
+/// memory gates: after `seal_all` the segment data must live in the
+/// page cache, not the heap, so `resident_segment_bytes` collapses to
+/// ~0 and the scan's peak heap delta stays a small fraction of the
+/// store's logical size — however large the campaign grows.
+fn bench_flat_memory(n: usize, seed: u64, calib: f64) -> serde_json::Value {
+    let sites: Vec<WebSite> = (0..n)
+        .map(|i| {
+            WebSite::plain(
+                DomainName::parse(&format!("bulk{i}.example")).expect("valid bench domain"),
+                Some(i as u32 + 1),
+                LIGHT_RESOURCES,
+            )
+        })
+        .collect();
+    let plan = FaultPlan::none(seed);
+    let config = bench_config(seed, MAX_WORKERS, &plan);
+    let dir = std::env::temp_dir().join(format!("kt-perf-spill-{}", std::process::id()));
+    // Small segments so the spill path runs many times even in smoke
+    // mode; the read side is slices of one mapping per segment either
+    // way.
+    let spill = SpillConfig::mmap(&dir).with_segment_target(128 << 10);
+    let store = TelemetryStore::with_spill(spill).expect("spill store");
+    let (stats, crawl_secs) = time(|| run_crawl(&jobs(&sites), &config, &store));
+    assert_eq!(stats.attempted, n, "every bulk site visited once");
+    store.seal_all();
+    let store_bytes = store.byte_size();
+    let resident = store.resident_segment_bytes();
+    let spilled = store.spilled_segments();
+    assert!(spilled > 0, "bulk population must exercise the spill path");
+
+    let crawl = CrawlId("perf".to_string());
+    let scan = || -> usize {
+        (0..store.shard_count())
+            .flat_map(|shard| store.shard_raw_on(&crawl, shard, None))
+            .map(|raw| decode_view(&raw).expect("store bytes decode").events.len())
+            .sum()
+    };
+    // Peak-heap accounting for the scan alone: pin the watermark to the
+    // current live level, run the scan, and read how far it rose.
+    let live0 = live_bytes();
+    reset_peak_bytes();
+    let (events, mut scan_secs) = time(scan);
+    let peak_delta = peak_bytes().saturating_sub(live0);
+    for _ in 0..2 {
+        scan_secs = scan_secs.min(time(scan).1);
+    }
+    // Both the leftover resident segment bytes and the scan's transient
+    // peak count against the flat-memory budget.
+    let heap_over_store = (resident as u64 + peak_delta) as f64 / store_bytes.max(1) as f64;
+
+    eprintln!(
+        "  n={n}: crawl {crawl_secs:.2}s, {spilled} segments spilled ({:.1} MB on disk), \
+         resident {resident} B; scan {events} events in {scan_secs:.3}s, \
+         peak heap delta {:.2} MB ({:.4} of store)",
+        store_bytes as f64 / 1e6,
+        peak_delta as f64 / 1e6,
+        heap_over_store
+    );
+    let mut scan_stage = stage_json(events, scan_secs, calib);
+    if let serde_json::Value::Object(map) = &mut scan_stage {
+        map.insert(
+            "peak_heap_delta_bytes".to_string(),
+            serde_json::json!(peak_delta),
+        );
+    }
+    let entry = serde_json::json!({
+        "sites": n,
+        "crawl_secs": crawl_secs,
+        "store_bytes": store_bytes,
+        "spilled_segments": spilled,
+        "resident_segment_bytes": resident,
+        "heap_over_store_ratio": heap_over_store,
+        "scan": scan_stage,
+    });
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+    entry
+}
+
+/// The group-commit journal stage: stream synthetic visit frames
+/// through a grouped writer and an unbatched one (`group_max_frames =
+/// 1`, the pre-group-commit behavior), byte-compare the files to prove
+/// batching never changes what lands on disk, and report throughput
+/// plus the two amortization ratios — frames per fsync (the flush
+/// cadence) and frames per group commit (the write-syscall batching).
+fn bench_journal(frames: usize, seed: u64, calib: f64) -> serde_json::Value {
+    let records: Vec<VisitRecord> = (0..frames)
+        .map(|i| VisitRecord {
+            crawl: CrawlId("perf-journal".to_string()),
+            domain: format!("journal-site{i}.example"),
+            rank: Some(i as u32 + 1),
+            malicious_category: None,
+            os: Os::ALL[i % Os::ALL.len()],
+            outcome: LoadOutcome::Success,
+            loaded_at_ms: 400 + (i as u64 % 700),
+            events: vec![
+                NetLogEvent {
+                    time: 12,
+                    event_type: EventType::UrlRequestStartJob,
+                    source: SourceRef {
+                        id: 1,
+                        kind: SourceType::UrlRequest,
+                    },
+                    phase: EventPhase::Begin,
+                    params: EventParams::UrlRequestStart {
+                        url: format!("https://journal-site{i}.example/"),
+                        method: "GET".to_string(),
+                        initiator: None,
+                        load_flags: 0,
+                    },
+                },
+                NetLogEvent {
+                    time: 90 + (i as u64 % 40),
+                    event_type: EventType::FailedRequest,
+                    source: SourceRef {
+                        id: 1,
+                        kind: SourceType::UrlRequest,
+                    },
+                    phase: EventPhase::None,
+                    params: EventParams::Failed { net_error: -102 },
+                },
+            ],
+        })
+        .collect();
+    let delta = VisitDelta {
+        cost_ms: 21_000,
+        attempted: 1,
+        successful: 1,
+        ..VisitDelta::default()
+    };
+    let dir = std::env::temp_dir().join(format!("kt-perf-journal-{}-{seed}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("journal bench dir");
+    let run = |config: JournalConfig, path: &std::path::Path| {
+        let writer = JournalWriter::create_with(path, config).expect("bench journal");
+        let (_, secs) = time(|| {
+            for record in &records {
+                writer.append_visit(record, &delta, FLAG_FINAL, false);
+            }
+            writer.sync();
+        });
+        (writer.stats(), secs)
+    };
+    let grouped_path = dir.join("grouped.ktj");
+    let unbatched_path = dir.join("unbatched.ktj");
+    let (stats, mut grouped_secs) = run(JournalConfig::default(), &grouped_path);
+    let (unbatched_stats, mut unbatched_secs) = run(JournalConfig::unbatched(), &unbatched_path);
+    assert_eq!(
+        std::fs::read(&grouped_path).expect("grouped journal"),
+        std::fs::read(&unbatched_path).expect("unbatched journal"),
+        "group commit must not change on-disk bytes"
+    );
+    assert_eq!(stats.visits, frames as u64);
+    // Best of three, like every other stage.
+    for _ in 0..2 {
+        grouped_secs = grouped_secs.min(run(JournalConfig::default(), &grouped_path).1);
+        unbatched_secs = unbatched_secs.min(run(JournalConfig::unbatched(), &unbatched_path).1);
+    }
+    let frames_per_fsync = stats.frames_per_fsync();
+    let frames_per_group = stats.frames as f64 / stats.group_commits.max(1) as f64;
+    eprintln!(
+        "  {frames} frames: grouped {:.0}/s ({:.1} frames/fsync, {:.1} frames/write), \
+         unbatched {:.0}/s ({:.1} frames/fsync) — {:.2}x",
+        frames as f64 / grouped_secs,
+        frames_per_fsync,
+        frames_per_group,
+        frames as f64 / unbatched_secs,
+        unbatched_stats.frames_per_fsync(),
+        unbatched_secs / grouped_secs
+    );
+    let mut grouped = stage_json(frames, grouped_secs, calib);
+    if let serde_json::Value::Object(map) = &mut grouped {
+        map.insert(
+            "frames_per_group_commit".to_string(),
+            serde_json::json!(frames_per_group),
+        );
+    }
+    let entry = serde_json::json!({
+        "frames": frames,
+        "grouped": grouped,
+        "unbatched": stage_json(frames, unbatched_secs, calib),
+        "speedup": unbatched_secs / grouped_secs,
+        "frames_per_fsync": frames_per_fsync,
+        "fsyncs": stats.fsyncs,
+    });
+    std::fs::remove_dir_all(&dir).ok();
+    entry
+}
+
 /// Compare each stage's machine-normalized throughput against the
 /// baseline file; collect every stage that regressed more than 2×.
 fn check_regressions(
@@ -622,6 +859,29 @@ fn check_regressions(
                 "service p99 campaign completion: {b:.0}ms -> {c:.0}ms ({:.2}x slower, simulated)",
                 c / b
             ));
+        }
+    }
+    // Raw-speed-floor stages: the mmap'd-store scan and the grouped
+    // journal writer regress on their machine-normalized throughput
+    // like any other stage. Skip silently against older baselines.
+    let path = |entry: &serde_json::Value, keys: &[&str]| -> Option<f64> {
+        let mut v = entry;
+        for key in keys {
+            v = v.get(key)?;
+        }
+        v.as_f64()
+    };
+    for (label, keys) in [
+        ("flat-memory scan", &["flat_memory", "scan", "relative"]),
+        ("journal grouped", &["journal", "grouped", "relative"]),
+    ] {
+        if let (Some(b), Some(c)) = (path(baseline, keys), path(current, keys)) {
+            if c <= 0.0 || b / c > 2.0 {
+                failures.push(format!(
+                    "{label}: relative {b:.2} -> {c:.2} ({:.2}x slower)",
+                    b / c.max(1e-9)
+                ));
+            }
         }
     }
     Ok(failures)
@@ -720,12 +980,26 @@ fn main() {
         check_prom(path, &opts.require);
     }
     let plan = FaultPlan::none(opts.seed).with_rate(Fault::ConnectionReset, FAULT_RATE);
-    let (population_sizes, scaling_n, worker_counts): (Vec<usize>, usize, Vec<usize>) =
-        if opts.smoke {
-            (vec![64], 64, vec![1, MAX_WORKERS])
-        } else {
-            (vec![64, 160, 320], 256, vec![1, 2, 4, MAX_WORKERS])
-        };
+    // The scaling sweep runs past the population-shaping MAX_WORKERS
+    // into many-core territory: 16 and 32 workers verify the stealing
+    // scheduler keeps scaling where static chunking flattens out.
+    let (population_sizes, scaling_n, worker_counts, bulk_n, journal_frames): (
+        Vec<usize>,
+        usize,
+        Vec<usize>,
+        usize,
+        usize,
+    ) = if opts.smoke {
+        (vec![64], 64, vec![1, MAX_WORKERS, 16, 32], 640, 4_000)
+    } else {
+        (
+            vec![64, 160, 320],
+            256,
+            vec![1, 2, 4, MAX_WORKERS, 16, 32],
+            3_200,
+            20_000,
+        )
+    };
 
     // The top-level phases run under the kt-trace stage profiler so the
     // bench binary prints the same stage/alloc breakdown `knocktalk
@@ -764,16 +1038,28 @@ fn main() {
         bench_service(svc_campaigns, svc_sites, opts.seed, &plan, calib)
     });
     profiler.annotate_elements((svc_campaigns * svc_sites) as u64);
+
+    eprintln!("flat-memory bulk store (n={bulk_n}, mmap spill):");
+    let flat_memory = profiler.run("flat_memory", || {
+        bench_flat_memory(bulk_n, opts.seed, calib)
+    });
+    profiler.annotate_elements(bulk_n as u64);
+
+    eprintln!("journal group commit ({journal_frames} frames):");
+    let journal = profiler.run("journal", || bench_journal(journal_frames, opts.seed, calib));
+    profiler.annotate_elements(journal_frames as u64);
     eprintln!("stage breakdown:\n{}", profiler.render_table());
 
     let report = serde_json::json!({
-        "schema": 1,
+        "schema": 2,
         "mode": if opts.smoke { "smoke" } else { "full" },
         "seed": opts.seed,
         "calibration_secs": calib,
         "populations": populations,
         "scaling": scaling,
         "service": service,
+        "flat_memory": flat_memory,
+        "journal": journal,
     });
 
     if let Some(baseline_path) = &opts.check {
@@ -826,6 +1112,47 @@ fn main() {
         eprintln!("check: decode_detect_view allocs/event {worst:.3} within ceiling {ceiling}");
     }
 
+    if let Some(floor) = opts.eps_floor {
+        // Machine-normalized (relative) decode throughput, worst
+        // population: raw eps would gate on CI host speed instead.
+        let worst = report["populations"]
+            .as_array()
+            .into_iter()
+            .flatten()
+            .filter_map(|p| p["stages"]["decode_detect_view"]["relative"].as_f64())
+            .fold(f64::MAX, f64::min);
+        if worst < floor {
+            eprintln!(
+                "check: FAILED — decode_detect_view relative eps {worst:.2} under floor {floor}"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("check: decode_detect_view relative eps {worst:.2} above floor {floor}");
+    }
+
+    if let Some(ceiling) = opts.mem_ceiling {
+        let ratio = report["flat_memory"]["heap_over_store_ratio"]
+            .as_f64()
+            .unwrap_or(f64::MAX);
+        if ratio > ceiling {
+            eprintln!(
+                "check: FAILED — flat-memory scan used {ratio:.4} of the store's bytes as \
+                 heap, ceiling is {ceiling}"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("check: flat-memory heap/store ratio {ratio:.4} within ceiling {ceiling}");
+    }
+
+    if let Some(floor) = opts.fsync_floor {
+        let fpf = report["journal"]["frames_per_fsync"].as_f64().unwrap_or(0.0);
+        if fpf < floor {
+            eprintln!("check: FAILED — journal wrote {fpf:.1} frames/fsync, floor is {floor}");
+            std::process::exit(1);
+        }
+        eprintln!("check: journal frames/fsync {fpf:.1} above floor {floor}");
+    }
+
     let out = if opts.check.is_some() && opts.out == "BENCH_pipeline.json" {
         // Don't clobber the checked-in baseline from a check run.
         "BENCH_pipeline.current.json".to_string()
@@ -839,5 +1166,6 @@ fn main() {
     let speedup = report["scaling"]["stealing_vs_chunked_at_max_workers"]
         .as_f64()
         .unwrap_or(0.0);
-    println!("wrote {out}; stealing vs chunked at {MAX_WORKERS} workers: {speedup:.2}x");
+    let top_workers = worker_counts.last().copied().unwrap_or(MAX_WORKERS);
+    println!("wrote {out}; stealing vs chunked at {top_workers} workers: {speedup:.2}x");
 }

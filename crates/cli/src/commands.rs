@@ -7,7 +7,8 @@ use knock_talk::netbase::services::{BIGIP_PORTS, THREATMETRIX_PORTS};
 use knock_talk::netbase::Os;
 use knock_talk::netlog::Capture;
 use knock_talk::store::{
-    CrawlId, FsckOptions, JournalWriter, KillMode, KillSpec, LoadOutcome, VisitRecord,
+    CrawlId, FsckOptions, JournalConfig, JournalWriter, KillMode, KillSpec, LoadOutcome,
+    VisitRecord,
 };
 use knock_talk::trace::Trace;
 use knock_talk::{Study, StudyConfig};
@@ -22,8 +23,10 @@ pub fn help() {
          USAGE:\n\
            knocktalk repro    [--scale quick|standard|paper] [--seed N] [--id T5]\n\
                               [--journal FILE] [--kill-frames N] [--kill-mode mid-frame|post-frame]\n\
+                              [--flush-every BYTES] [--group-frames N]\n\
            knocktalk crawl    [--os windows|linux|mac] [--scale ...] [--seed N] [--save FILE]\n\
                               [--journal FILE] [--kill-frames N] [--kill-mode mid-frame|post-frame]\n\
+                              [--flush-every BYTES] [--group-frames N]\n\
            knocktalk resume   <study.ktj> [--id T5]\n\
            knocktalk fsck     <journal.ktj> [--repair yes]\n\
            knocktalk analyze  <store.ktstore|journal.ktj>\n\
@@ -33,12 +36,15 @@ pub fn help() {
                               [--workers N] [--queue-capacity N] [--policy block|shed]\n\
                               [--max-campaigns N] [--max-visits N] [--deadline-ms N]\n\
                               [--storm yes] [--check invariants,tables] [--metrics-out FILE]\n\
+                              [--journal-dir DIR] [--flush-every BYTES] [--group-frames N]\n\
            knocktalk health   [--scale quick|standard|paper] [--seed N]\n\
            knocktalk profile  [--scale quick|standard|paper] [--seed N] [--workers N]\n\
            knocktalk help\n\
          \n\
          repro, crawl, and resume also accept:\n\
            --workers N        override the worker-thread count\n\
+           --flush-every B    bytes of visit payload between journal FLUSH fsyncs\n\
+           --group-frames N   journal frames per group-commit write (1 = unbatched)\n\
            --metrics-out FILE write the campaign's metrics registry in Prometheus\n\
                               text exposition format (worker-count-invariant)\n\
            --trace-out FILE   write the span/event trace (simulated clock) as JSONL\n\
@@ -112,16 +118,45 @@ fn write_trace_outputs(opts: &Options, trace: Option<&Trace>) -> Result<(), Stri
     Ok(())
 }
 
+/// Build a [`JournalConfig`] from `--flush-every` (bytes of visit
+/// payload between FLUSH-marker fsyncs) and `--group-frames` (buffered
+/// frames per batched write; 1 disables group commit). Defaults leave
+/// the writer's stock cadence untouched.
+fn journal_config_from_opts(opts: &Options) -> Result<JournalConfig, String> {
+    let mut config = JournalConfig::default();
+    if let Some(bytes) = opts.get("flush-every") {
+        let bytes: u64 = bytes
+            .parse()
+            .map_err(|_| format!("flag --flush-every expects bytes, got {bytes:?}"))?;
+        if bytes == 0 {
+            return Err("--flush-every must be positive".to_string());
+        }
+        config.flush_every_bytes = bytes;
+    }
+    if let Some(frames) = opts.get("group-frames") {
+        let frames: u64 = frames
+            .parse()
+            .map_err(|_| format!("flag --group-frames expects an integer, got {frames:?}"))?;
+        if frames == 0 {
+            return Err("--group-frames must be positive (1 disables batching)".to_string());
+        }
+        config.group_max_frames = frames;
+    }
+    Ok(config)
+}
+
 /// Build a journal writer from `--journal`, arming `--kill-frames` /
 /// `--kill-mode` when given. `Ok(None)` when no journal was requested.
 fn journal_from_opts(opts: &Options) -> Result<Option<JournalWriter>, String> {
+    let config = journal_config_from_opts(opts)?;
     let Some(path) = opts.get("journal") else {
         if opts.get("kill-frames").is_some() || opts.get("kill-mode").is_some() {
             return Err("--kill-frames/--kill-mode need --journal".to_string());
         }
         return Ok(None);
     };
-    let journal = JournalWriter::create(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+    let journal = JournalWriter::create_with(std::path::Path::new(path), config)
+        .map_err(|e| e.to_string())?;
     if let Some(at) = opts.get("kill-frames") {
         let at_frame: u64 = at
             .parse()
@@ -546,6 +581,8 @@ pub fn serve(opts: &Options) -> Result<(), String> {
         opts.get("storm").unwrap_or("no"),
         "yes" | "on" | "true" | "1"
     );
+    let journal_dir = opts.get("journal-dir").map(std::path::PathBuf::from);
+    let journal_config = journal_config_from_opts(opts)?;
     let quota = TenantQuota {
         max_campaigns: if max_campaigns == 0 {
             usize::MAX
@@ -602,6 +639,8 @@ pub fn serve(opts: &Options) -> Result<(), String> {
         config.drain_ms_per_update = 60_000;
         config.slow_consumer_stall_ms = 120_000;
         config.faults = faults.clone();
+        config.journal_dir = journal_dir.clone();
+        config.journal_config = journal_config;
         let mut service = CampaignService::new(config);
         for t in 0..tenants {
             service.register_tenant(&format!("tenant-{t}"), quota, policy);

@@ -136,7 +136,18 @@ pub fn record_journal_stats(trace: &Trace, stats: &JournalStats) {
         stats.checkpoints,
     );
     trace.inc_counter(names::JOURNAL_BYTES_TOTAL, none.clone(), stats.bytes);
-    trace.inc_counter(names::JOURNAL_FSYNCS_TOTAL, none, stats.fsyncs);
+    trace.inc_counter(names::JOURNAL_FSYNCS_TOTAL, none.clone(), stats.fsyncs);
+    trace.inc_counter(
+        names::JOURNAL_GROUP_COMMITS_TOTAL,
+        none.clone(),
+        stats.group_commits,
+    );
+    trace.inc_counter(
+        names::JOURNAL_GROUPED_FRAMES_TOTAL,
+        none.clone(),
+        stats.grouped_frames,
+    );
+    trace.set_gauge(names::JOURNAL_FRAMES_PER_FSYNC, none, stats.frames_per_fsync());
 }
 
 /// Run a full study under a [`StageProfiler`]: population generation,

@@ -371,11 +371,26 @@ pub fn decode(mut buf: Bytes) -> Result<VisitRecord, CodecError> {
 /// Borrowed cursor over an encoded record: the read-side mirror of the
 /// `Bytes`-based helpers above, but every string it yields is a slice
 /// of the input rather than a fresh `String`.
+///
+/// Strings come out of [`Cursor::get_str_raw`] as *unvalidated* byte
+/// spans; every span is also pushed onto `spans` so a single batched
+/// UTF-8 pass can validate them all at once after the structural scan
+/// (see [`decode_view`]). Keeping validation out of the field-by-field
+/// hot loop lets `std::str::from_utf8` run slice-at-once per string in
+/// one tight loop instead of interleaving with tag dispatch.
 struct Cursor<'a> {
     buf: &'a [u8],
+    spans: Vec<&'a [u8]>,
 }
 
 impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor {
+            buf,
+            spans: Vec::new(),
+        }
+    }
+
     fn remaining(&self) -> usize {
         self.buf.len()
     }
@@ -415,55 +430,168 @@ impl<'a> Cursor<'a> {
         }
     }
 
+    /// Validating string read: the byte-at-a-time reference that the
+    /// batched path is property-pinned against.
+    #[cfg(test)]
     fn get_str(&mut self) -> Result<&'a str, CodecError> {
+        let raw = self.get_str_raw()?;
+        self.spans.pop();
+        std::str::from_utf8(raw).map_err(|_| CodecError::BadUtf8)
+    }
+
+    /// Length-prefixed string span, structural checks only. UTF-8
+    /// validation is deferred to the batched pass over `spans`.
+    fn get_str_raw(&mut self) -> Result<&'a [u8], CodecError> {
         let len = self.get_varint()? as usize;
         if self.remaining() < len {
             return Err(CodecError::Truncated);
         }
         let (head, rest) = self.buf.split_at(len);
         self.buf = rest;
-        std::str::from_utf8(head).map_err(|_| CodecError::BadUtf8)
+        self.spans.push(head);
+        Ok(head)
+    }
+
+    /// The batched UTF-8 pass: validate every span collected so far in
+    /// one loop. Spans are in stream order, but the specific failing
+    /// span does not matter — [`CodecError::BadUtf8`] carries no
+    /// position, which is what makes deferring validation legal.
+    fn validate_spans(&self) -> Result<(), CodecError> {
+        for span in &self.spans {
+            if std::str::from_utf8(span).is_err() {
+                return Err(CodecError::BadUtf8);
+            }
+        }
+        Ok(())
     }
 }
 
-fn get_params_view<'a>(c: &mut Cursor<'a>) -> Result<ParamsView<'a>, CodecError> {
+/// `from_utf8_unchecked` with the codec's justification attached.
+///
+/// # Safety
+///
+/// `b` must be a span that already passed [`Cursor::validate_spans`].
+unsafe fn utf8_unchecked(b: &[u8]) -> &str {
+    std::str::from_utf8_unchecked(b)
+}
+
+/// Structural mirror of [`ParamsView`] with unvalidated string spans.
+enum RawParams<'a> {
+    None,
+    UrlRequestStart {
+        url: &'a [u8],
+        method: &'a [u8],
+        initiator: Option<&'a [u8]>,
+        load_flags: u32,
+    },
+    Redirect {
+        location: &'a [u8],
+    },
+    DnsJob {
+        host: &'a [u8],
+    },
+    Connect {
+        address: &'a [u8],
+    },
+    Ssl {
+        host: &'a [u8],
+    },
+    ResponseHeaders {
+        status: u16,
+    },
+    WebSocket {
+        url: &'a [u8],
+    },
+    WebSocketFrame {
+        length: u64,
+    },
+    Failed {
+        net_error: i32,
+    },
+}
+
+impl<'a> RawParams<'a> {
+    /// Convert to the `&str`-typed view.
+    ///
+    /// # Safety
+    ///
+    /// Every span in `self` must have passed UTF-8 validation (they
+    /// all live in the cursor's `spans` list, so one successful
+    /// [`Cursor::validate_spans`] covers them).
+    unsafe fn into_view(self) -> ParamsView<'a> {
+        let s = |b: &'a [u8]| -> &'a str {
+            // SAFETY: forwarded from this fn's contract.
+            unsafe { utf8_unchecked(b) }
+        };
+        match self {
+            RawParams::None => ParamsView::None,
+            RawParams::UrlRequestStart {
+                url,
+                method,
+                initiator,
+                load_flags,
+            } => ParamsView::UrlRequestStart {
+                url: s(url),
+                method: s(method),
+                initiator: initiator.map(s),
+                load_flags,
+            },
+            RawParams::Redirect { location } => ParamsView::Redirect { location: s(location) },
+            RawParams::DnsJob { host } => ParamsView::DnsJob { host: s(host) },
+            RawParams::Connect { address } => ParamsView::Connect { address: s(address) },
+            RawParams::Ssl { host } => ParamsView::Ssl { host: s(host) },
+            RawParams::ResponseHeaders { status } => ParamsView::ResponseHeaders { status },
+            RawParams::WebSocket { url } => ParamsView::WebSocket { url: s(url) },
+            RawParams::WebSocketFrame { length } => ParamsView::WebSocketFrame { length },
+            RawParams::Failed { net_error } => ParamsView::Failed { net_error },
+        }
+    }
+}
+
+fn get_params_raw<'a>(c: &mut Cursor<'a>) -> Result<RawParams<'a>, CodecError> {
     if !c.has_remaining() {
         return Err(CodecError::Truncated);
     }
     match c.get_u8() {
-        0 => Ok(ParamsView::None),
+        0 => Ok(RawParams::None),
         1 => {
-            let url = c.get_str()?;
-            let method = c.get_str()?;
+            let url = c.get_str_raw()?;
+            let method = c.get_str_raw()?;
             let initiator = if c.has_remaining() && c.get_u8() == 1 {
-                Some(c.get_str()?)
+                Some(c.get_str_raw()?)
             } else {
                 None
             };
             let load_flags = c.get_varint()? as u32;
-            Ok(ParamsView::UrlRequestStart {
+            Ok(RawParams::UrlRequestStart {
                 url,
                 method,
                 initiator,
                 load_flags,
             })
         }
-        2 => Ok(ParamsView::Redirect {
-            location: c.get_str()?,
+        2 => Ok(RawParams::Redirect {
+            location: c.get_str_raw()?,
         }),
-        3 => Ok(ParamsView::DnsJob { host: c.get_str()? }),
-        4 => Ok(ParamsView::Connect {
-            address: c.get_str()?,
+        3 => Ok(RawParams::DnsJob {
+            host: c.get_str_raw()?,
         }),
-        5 => Ok(ParamsView::Ssl { host: c.get_str()? }),
-        6 => Ok(ParamsView::ResponseHeaders {
+        4 => Ok(RawParams::Connect {
+            address: c.get_str_raw()?,
+        }),
+        5 => Ok(RawParams::Ssl {
+            host: c.get_str_raw()?,
+        }),
+        6 => Ok(RawParams::ResponseHeaders {
             status: c.get_varint()? as u16,
         }),
-        7 => Ok(ParamsView::WebSocket { url: c.get_str()? }),
-        8 => Ok(ParamsView::WebSocketFrame {
+        7 => Ok(RawParams::WebSocket {
+            url: c.get_str_raw()?,
+        }),
+        8 => Ok(RawParams::WebSocketFrame {
             length: c.get_varint()?,
         }),
-        9 => Ok(ParamsView::Failed {
+        9 => Ok(RawParams::Failed {
             net_error: unzigzag(c.get_varint()?) as i32,
         }),
         v => Err(CodecError::BadTag("params", v as u64)),
@@ -529,13 +657,31 @@ impl VisitRecord {
     }
 }
 
-/// Decode one record without copying its strings: the borrowed mirror
-/// of [`decode`]. Accepts and rejects exactly the same inputs with the
-/// same error values (the property suite holds the two decoders to
-/// byte-for-byte agreement); on success the view's one allocation is
-/// the events vector.
-pub fn decode_view(buf: &[u8]) -> Result<VisitView<'_>, CodecError> {
-    let mut c = Cursor { buf };
+/// [`VisitView`] with unvalidated string spans: the output of the
+/// structural pass, before the batched UTF-8 pass has run.
+struct RawVisit<'a> {
+    crawl: &'a [u8],
+    domain: &'a [u8],
+    rank: Option<u32>,
+    malicious_category: Option<u8>,
+    os: Os,
+    outcome: LoadOutcome,
+    loaded_at_ms: u64,
+    events: Vec<RawEvent<'a>>,
+}
+
+struct RawEvent<'a> {
+    time: u64,
+    event_type: EventType,
+    source: SourceRef,
+    phase: EventPhase,
+    params: RawParams<'a>,
+}
+
+/// Structural pass of [`decode_view`]: frame layout, tags, and lengths
+/// only. String bytes are captured as spans (both in the returned raw
+/// record and on the cursor's span list) without being validated.
+fn decode_structure<'a>(c: &mut Cursor<'a>) -> Result<RawVisit<'a>, CodecError> {
     if c.remaining() < 3 {
         return Err(CodecError::Truncated);
     }
@@ -546,8 +692,8 @@ pub fn decode_view(buf: &[u8]) -> Result<VisitView<'_>, CodecError> {
     if version != VERSION {
         return Err(CodecError::BadVersion(version));
     }
-    let crawl = c.get_str()?;
-    let domain = c.get_str()?;
+    let crawl = c.get_str_raw()?;
+    let domain = c.get_str_raw()?;
     let rank = if c.has_remaining() && c.get_u8() == 1 {
         Some(c.get_varint()? as u32)
     } else {
@@ -600,8 +746,8 @@ pub fn decode_view(buf: &[u8]) -> Result<VisitView<'_>, CodecError> {
         let ph = c.get_u8();
         let phase =
             EventPhase::from_code(ph as u32).ok_or(CodecError::BadTag("phase", ph as u64))?;
-        let params = get_params_view(&mut c)?;
-        events.push(EventView {
+        let params = get_params_raw(c)?;
+        events.push(RawEvent {
             time,
             event_type,
             source: SourceRef { id, kind },
@@ -609,7 +755,7 @@ pub fn decode_view(buf: &[u8]) -> Result<VisitView<'_>, CodecError> {
             params,
         });
     }
-    Ok(VisitView {
+    Ok(RawVisit {
         crawl,
         domain,
         rank,
@@ -617,6 +763,58 @@ pub fn decode_view(buf: &[u8]) -> Result<VisitView<'_>, CodecError> {
         os,
         outcome,
         loaded_at_ms,
+        events,
+    })
+}
+
+/// Decode one record without copying its strings: the borrowed mirror
+/// of [`decode`]. Accepts and rejects exactly the same inputs with the
+/// same error values (the property suite holds the two decoders to
+/// byte-for-byte agreement); on success the view's one allocation is
+/// the events vector.
+///
+/// Validation is batched: one structural pass checks layout, tags, and
+/// lengths while collecting string spans, then a single UTF-8 pass
+/// validates every span slice-at-once. Error parity with the
+/// field-by-field [`decode`] holds because structure never depends on
+/// string *contents*: when the structural pass fails, any invalid span
+/// it collected first sits earlier in the stream, so the reference
+/// decoder would have reported [`CodecError::BadUtf8`] before reaching
+/// the structural fault — hence spans are checked first on both exits.
+pub fn decode_view(buf: &[u8]) -> Result<VisitView<'_>, CodecError> {
+    let mut c = Cursor::new(buf);
+    let raw = match decode_structure(&mut c) {
+        Ok(raw) => raw,
+        Err(structural) => {
+            // Spans collected before the structural fault precede it in
+            // stream order: a bad one means the byte-at-a-time decoder
+            // failed with BadUtf8 first.
+            c.validate_spans()?;
+            return Err(structural);
+        }
+    };
+    c.validate_spans()?;
+    // SAFETY: every span in `raw` is on the cursor's span list and the
+    // batched pass above validated them all.
+    let events = raw
+        .events
+        .into_iter()
+        .map(|e| EventView {
+            time: e.time,
+            event_type: e.event_type,
+            source: e.source,
+            phase: e.phase,
+            params: unsafe { e.params.into_view() },
+        })
+        .collect();
+    Ok(VisitView {
+        crawl: unsafe { utf8_unchecked(raw.crawl) },
+        domain: unsafe { utf8_unchecked(raw.domain) },
+        rank: raw.rank,
+        malicious_category: raw.malicious_category,
+        os: raw.os,
+        outcome: raw.outcome,
+        loaded_at_ms: raw.loaded_at_ms,
         events,
     })
 }
@@ -771,6 +969,103 @@ mod tests {
                 (a, b) => panic!("decoders disagree at cut {cut}: owned={a:?} view={b:?}"),
             }
         }
+    }
+
+    #[test]
+    fn owned_get_str_matches_cursor_get_str() {
+        // The single-copy `get_str` (Bytes path) and the borrowed
+        // `Cursor::get_str` must accept/reject identically: same
+        // string on success, same error otherwise.
+        let mut cases: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![0],          // empty string
+            vec![5],          // truncated: promises 5 bytes, has none
+            vec![0x80],       // unterminated varint
+            vec![0xff, 0xff], // unterminated varint
+        ];
+        for payload in [
+            b"hello".to_vec(),
+            b"wss://localhost:3389/".to_vec(),
+            vec![0xff, 0xfe, 0xfd],        // invalid UTF-8
+            vec![0xe2, 0x82],              // truncated multibyte char
+            "héllo wörld".as_bytes().to_vec(),
+        ] {
+            let mut case = Vec::new();
+            let mut len = BytesMut::new();
+            put_varint(&mut len, payload.len() as u64);
+            case.extend_from_slice(len.freeze().as_ref());
+            case.extend_from_slice(&payload);
+            cases.push(case.clone());
+            // And a trailing-garbage variant: both readers must stop
+            // at the declared length.
+            case.extend_from_slice(b"tail");
+            cases.push(case);
+        }
+        for case in cases {
+            let owned = get_str(&mut Bytes::from(case.clone()));
+            let mut cursor = Cursor::new(&case);
+            let view = cursor.get_str();
+            match (owned, view) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "case {case:?}"),
+                (Err(a), Err(b)) => assert_eq!(a, b, "case {case:?}"),
+                (a, b) => panic!("string readers disagree on {case:?}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn batched_validation_reports_utf8_before_later_structural_errors() {
+        // Corrupt the domain string to invalid UTF-8 *and* truncate the
+        // record afterwards: the byte-at-a-time decoder hits the UTF-8
+        // error first, so the batched decoder must report BadUtf8 too,
+        // not the later Truncated.
+        let rec = sample();
+        let mut data = encode(&rec).to_vec();
+        let domain_at = data
+            .windows(rec.domain.len())
+            .position(|w| w == rec.domain.as_bytes())
+            .unwrap();
+        data[domain_at] = 0xff;
+        data.truncate(data.len() - 1);
+        assert_eq!(decode(Bytes::from(data.clone())), Err(CodecError::BadUtf8));
+        assert_eq!(decode_view(&data), Err(CodecError::BadUtf8));
+    }
+
+    #[test]
+    fn batched_validation_covers_params_strings() {
+        let rec = sample();
+        let mut data = encode(&rec).to_vec();
+        let url_at = data
+            .windows(21)
+            .position(|w| w == b"wss://localhost:3389/")
+            .unwrap();
+        data[url_at + 3] = 0xc0; // lone continuation lead byte
+        assert_eq!(decode(Bytes::from(data.clone())), Err(CodecError::BadUtf8));
+        assert_eq!(decode_view(&data), Err(CodecError::BadUtf8));
+    }
+
+    #[test]
+    fn structural_errors_win_when_all_earlier_strings_are_valid() {
+        // Corrupt the outcome tag (after both header strings, before
+        // any event): both decoders must report the tag error, proving
+        // the batched pass doesn't over-report BadUtf8.
+        let rec = sample();
+        let encoded = encode(&rec).to_vec();
+        // outcome byte = magic(2) + ver(1) + crawl + domain + rank + cat + os
+        let mut at = 3;
+        for s in [rec.crawl.as_str().len(), rec.domain.len()] {
+            at += 1 + s; // 1-byte varint lengths for the short sample strings
+        }
+        at += 2; // rank present flag + 1-byte varint (104)
+        at += 1; // malicious_category absent flag
+        at += 1; // os
+        let mut data = encoded.clone();
+        data[at] = 77;
+        assert_eq!(
+            decode(Bytes::from(data.clone())),
+            Err(CodecError::BadTag("outcome", 77))
+        );
+        assert_eq!(decode_view(&data), Err(CodecError::BadTag("outcome", 77)));
     }
 
     #[test]

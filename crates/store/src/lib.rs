@@ -17,7 +17,11 @@
 //!   file, with truncation recovery and corrupt-record skipping;
 //! * [`journal`] — the `KTSTORE2` write-ahead log: per-visit CRC32
 //!   frames, campaign checkpoints, deterministic crash-point
-//!   injection, replay/resume, and the `fsck` store doctor.
+//!   injection, replay/resume, and the `fsck` store doctor, with
+//!   group-commit frame batching behind [`journal::JournalConfig`];
+//! * [`segment`] — memory-mapped sealed segments: spill a sealed
+//!   segment to disk and serve it back through the zero-copy `Bytes`
+//!   API via `mmap` (with an explicit resident fallback).
 
 #![warn(missing_docs)]
 
@@ -25,13 +29,16 @@ pub mod codec;
 pub mod journal;
 pub mod persist;
 pub mod record;
+pub mod segment;
 pub mod store;
 
 pub use codec::{decode_view, VisitView};
 pub use journal::{
-    fsck, replay, CheckpointFrame, FsckOptions, FsckReport, JournalError, JournalMeta,
-    JournalStats, JournalWriter, KillMode, KillSpec, ReplayReport, ReplayedVisit, VisitDelta,
+    fsck, replay, CheckpointFrame, FsckOptions, FsckReport, JournalConfig, JournalError,
+    JournalMeta, JournalStats, JournalWriter, KillMode, KillSpec, ReplayReport, ReplayedVisit,
+    VisitDelta,
 };
 pub use persist::{load, load_any, save, LoadReport, PersistError, SaveReport};
 pub use record::{CrawlId, LoadOutcome, VisitRecord};
+pub use segment::{SegmentMode, SpillConfig};
 pub use store::TelemetryStore;

@@ -35,6 +35,7 @@ use std::sync::RwLock;
 
 use crate::codec::{decode, encode, CodecError};
 use crate::record::{CrawlId, VisitRecord};
+use crate::segment::{ShardSpill, SpillConfig};
 
 /// Number of lock-striped shards. A small power of two: enough that an
 /// 8-worker crawl pool rarely collides, small enough that per-shard
@@ -46,8 +47,10 @@ const N_OS: usize = 3;
 
 /// Start a new segment once the active one reaches this size. The
 /// target is per shard, so the whole store seals around
-/// `SHARD_COUNT * SEGMENT_TARGET` bytes of buffered appends.
-const SEGMENT_TARGET: usize = 512 << 10;
+/// `SHARD_COUNT * SEGMENT_TARGET` bytes of buffered appends — which,
+/// with spilling enabled, is also the store's whole steady-state heap
+/// footprint for segment data.
+pub const SEGMENT_TARGET: usize = 512 << 10;
 
 /// The paper's OS column order doubles as the slot index.
 fn os_slot(os: Os) -> usize {
@@ -72,7 +75,9 @@ struct Loc {
 #[derive(Default, Debug)]
 struct ShardInner {
     /// Immutable, shareable segments — reads slice these without
-    /// copying.
+    /// copying. With spilling enabled these are mmap-backed (or
+    /// resident-fallback) views of segment files instead of heap
+    /// buffers.
     sealed: Vec<Bytes>,
     /// The in-flight segment; sealed when full or when a bulk reader
     /// needs a stable view.
@@ -81,15 +86,45 @@ struct ShardInner {
     index: HashMap<u32, BTreeMap<String, [Option<Loc>; N_OS]>>,
     /// Number of `Some` slots in `index`.
     visits: usize,
+    /// When set, sealed buffers are written to segment files and
+    /// served back through [`crate::segment`] instead of staying on
+    /// the heap.
+    spill: Option<ShardSpill>,
+    /// Sealed segments successfully spilled to disk.
+    spilled: usize,
+    /// Bytes of sealed segments still on the heap (spill disabled, or
+    /// a spill write that failed and degraded to resident).
+    sealed_heap_bytes: usize,
+    /// Per-shard seal threshold override (`None` = [`SEGMENT_TARGET`]).
+    target: Option<usize>,
 }
 
 impl ShardInner {
-    /// Seal the active buffer into an immutable shared segment.
+    /// Seal the active buffer into an immutable shared segment —
+    /// spilled to a segment file when the shard has a spill target,
+    /// kept on the heap otherwise (or when the spill write fails:
+    /// spilling is a memory optimization, never load-bearing).
     fn seal(&mut self) {
-        if !self.active.is_empty() {
-            self.sealed
-                .push(Bytes::from(std::mem::take(&mut self.active)));
+        if self.active.is_empty() {
+            return;
         }
+        let buf = std::mem::take(&mut self.active);
+        let segment = match &self.spill {
+            Some(spill) => {
+                let (bytes, spilled) = spill.spill(self.sealed.len(), buf);
+                if spilled {
+                    self.spilled += 1;
+                } else {
+                    self.sealed_heap_bytes += bytes.len();
+                }
+                bytes
+            }
+            None => {
+                self.sealed_heap_bytes += buf.len();
+                Bytes::from(buf)
+            }
+        };
+        self.sealed.push(segment);
     }
 
     /// The bytes of one located record. Sealed segments are sliced
@@ -171,6 +206,59 @@ impl TelemetryStore {
         TelemetryStore::default()
     }
 
+    /// An empty store that spills sealed segments to files under
+    /// `config.dir`, reading them back in `config.mode` — the
+    /// larger-than-RAM path: the heap only ever holds each shard's
+    /// active buffer, so resident set stays flat however big the
+    /// campaign grows. Creates the directory; fails only if it cannot.
+    pub fn with_spill(config: SpillConfig) -> std::io::Result<TelemetryStore> {
+        std::fs::create_dir_all(&config.dir)?;
+        let store = TelemetryStore::default();
+        for (i, shard) in store.shards.iter().enumerate() {
+            let mut inner = shard.inner.write().expect("store lock poisoned");
+            inner.spill = Some(ShardSpill {
+                dir: config.dir.clone(),
+                shard: i,
+                mode: config.mode,
+            });
+            inner.target = config.segment_target;
+        }
+        Ok(store)
+    }
+
+    /// Seal every shard's active buffer (spilling it when spill is
+    /// configured). Bulk readers do this lazily per shard; benches and
+    /// the flat-memory gate call it explicitly to force the whole
+    /// store out of the heap at a known point.
+    pub fn seal_all(&self) {
+        for shard in &self.shards {
+            shard.inner.write().expect("store lock poisoned").seal();
+        }
+    }
+
+    /// Sealed segments that were successfully spilled to disk.
+    pub fn spilled_segments(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.inner.read().expect("store lock poisoned").spilled)
+            .sum()
+    }
+
+    /// Heap bytes currently held in active (unsealed) buffers — with
+    /// spilling enabled this is the store's whole heap footprint for
+    /// segment data, and it is bounded by
+    /// `SHARD_COUNT * SEGMENT_TARGET` however many records stream
+    /// through.
+    pub fn resident_segment_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let inner = s.inner.read().expect("store lock poisoned");
+                inner.sealed_heap_bytes + inner.active.len()
+            })
+            .sum()
+    }
+
     /// Intern a crawl id, assigning a dense `u32` on first sight.
     fn intern(&self, crawl: &CrawlId) -> u32 {
         if let Some(&id) = self
@@ -212,7 +300,7 @@ impl TelemetryStore {
         let shard = &self.shards[shard_of(crawl, &record.domain, record.os)];
         let mut guard = shard.inner.write().expect("store lock poisoned");
         let inner = &mut *guard;
-        if inner.active.len() >= SEGMENT_TARGET {
+        if inner.active.len() >= inner.target.unwrap_or(SEGMENT_TARGET) {
             inner.seal();
         }
         let loc = Loc {
@@ -711,5 +799,104 @@ mod tests {
             "at least one shard rolled its segment over"
         );
         assert_eq!(store.len(), 40_000);
+    }
+
+    fn spill_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("kt-store-spill-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn spilled_store_reads_back_identically() {
+        use crate::segment::SpillConfig;
+        let dir = spill_dir("identical");
+        let plain = TelemetryStore::new();
+        let spilled =
+            TelemetryStore::with_spill(SpillConfig::mmap(&dir).with_segment_target(2_048)).unwrap();
+        for i in 0..500 {
+            let r = rec(CrawlId::top2020(), &format!("s{i:04}.example"), Os::Linux);
+            plain.append(&r);
+            spilled.append(&r);
+        }
+        spilled.seal_all();
+        assert!(
+            spilled.spilled_segments() > 0,
+            "a 2 KiB target spills a 500-record store"
+        );
+        assert_eq!(
+            spilled.crawl_records(&CrawlId::top2020()),
+            plain.crawl_records(&CrawlId::top2020()),
+            "mmap-backed reads equal heap reads"
+        );
+        for i in (0..500).step_by(37) {
+            assert_eq!(
+                spilled.get(&CrawlId::top2020(), &format!("s{i:04}.example"), Os::Linux),
+                plain.get(&CrawlId::top2020(), &format!("s{i:04}.example"), Os::Linux),
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spilling_keeps_the_heap_footprint_flat() {
+        use crate::segment::SpillConfig;
+        let dir = spill_dir("flat");
+        let target = 4_096usize;
+        let store =
+            TelemetryStore::with_spill(SpillConfig::mmap(&dir).with_segment_target(target))
+                .unwrap();
+        let long = "x".repeat(120);
+        for i in 0..2_000 {
+            store.append(&rec(
+                CrawlId::top2020(),
+                &format!("{long}{i}.example"),
+                Os::Linux,
+            ));
+        }
+        store.seal_all();
+        assert!(
+            store.byte_size() > target * SHARD_COUNT,
+            "well past the whole store's buffered-segment budget"
+        );
+        assert_eq!(
+            store.resident_segment_bytes(),
+            0,
+            "after seal_all every segment lives on disk, not the heap"
+        );
+        assert_eq!(store.len(), 2_000, "nothing lost to spilling");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spill_modes_are_read_equivalent() {
+        use crate::segment::{SegmentMode, SpillConfig};
+        let dir_m = spill_dir("mode-mmap");
+        let dir_r = spill_dir("mode-resident");
+        let mmap_store =
+            TelemetryStore::with_spill(SpillConfig::mmap(&dir_m).with_segment_target(1_024))
+                .unwrap();
+        let resident_store = TelemetryStore::with_spill(
+            SpillConfig::resident(&dir_r).with_segment_target(1_024),
+        )
+        .unwrap();
+        assert_eq!(
+            SpillConfig::resident(&dir_r).mode,
+            SegmentMode::Resident,
+            "constructor picks the explicit fallback mode"
+        );
+        for i in 0..300 {
+            let os = Os::ALL[i % 3];
+            let r = rec(CrawlId::top2020(), &format!("eq{i:03}.example"), os);
+            mmap_store.append(&r);
+            resident_store.append(&r);
+        }
+        assert_eq!(
+            mmap_store.crawl_records(&CrawlId::top2020()),
+            resident_store.crawl_records(&CrawlId::top2020()),
+        );
+        std::fs::remove_dir_all(&dir_m).ok();
+        std::fs::remove_dir_all(&dir_r).ok();
     }
 }

@@ -7,7 +7,8 @@ use kt_netbase::Os;
 use kt_netlog::{EventParams, EventPhase, EventType, NetError, NetLogEvent, SourceRef, SourceType};
 use kt_store::codec::{decode, decode_view, encode};
 use kt_store::journal::{self, FrameBody, JournalWriter, VisitDelta, FLAG_FINAL, JOURNAL_MAGIC};
-use kt_store::{CrawlId, LoadOutcome, VisitRecord};
+use kt_store::segment::load_segment;
+use kt_store::{CrawlId, LoadOutcome, SegmentMode, VisitRecord};
 use proptest::prelude::*;
 
 fn arb_params() -> impl Strategy<Value = (EventType, EventParams)> {
@@ -455,6 +456,63 @@ fn a_flip_at_every_offset_never_forges_or_mutates_a_record() {
         assert!(
             !report.corrupt_spans.is_empty() || report.truncated_tail,
             "flip at {off} left no damage marker"
+        );
+    }
+}
+
+proptest! {
+    /// A sealed segment must read back byte-identically whether it is
+    /// memory-mapped or loaded resident: the whole buffer, arbitrary
+    /// zero-copy sub-slices, and record decode all agree, and the mmap
+    /// keeps serving after the file is unlinked.
+    #[test]
+    fn mmap_and_resident_segment_reads_are_equivalent(
+        payload in proptest::collection::vec(any::<u8>(), 0..4096),
+        cuts in proptest::collection::vec((any::<u16>(), any::<u16>()), 0..8),
+    ) {
+        let path = std::env::temp_dir().join(format!(
+            "kt-segment-props-{}-{:x}.seg",
+            std::process::id(),
+            payload.len()
+        ));
+        std::fs::write(&path, &payload).unwrap();
+        let mapped = load_segment(&path, SegmentMode::Mmap).unwrap();
+        let resident = load_segment(&path, SegmentMode::Resident).unwrap();
+        let _ = std::fs::remove_file(&path);
+        prop_assert_eq!(mapped.as_ref(), &payload[..]);
+        prop_assert_eq!(resident.as_ref(), &payload[..]);
+        prop_assert_eq!(mapped.len(), resident.len());
+        for (a, b) in cuts {
+            let lo = (a as usize).min(payload.len());
+            let hi = (b as usize).min(payload.len());
+            let (lo, hi) = (lo.min(hi), lo.max(hi));
+            let m = mapped.slice(lo..hi);
+            let r = resident.slice(lo..hi);
+            prop_assert_eq!(m.as_ref(), r.as_ref(), "slice {}..{}", lo, hi);
+        }
+    }
+
+    /// An encoded record spilled to a segment file decodes to the same
+    /// view through both read paths.
+    #[test]
+    fn segment_mode_does_not_change_decoded_records(record in arb_record()) {
+        let encoded = encode(&record);
+        let path = std::env::temp_dir().join(format!(
+            "kt-segment-props-rec-{}-{:x}.seg",
+            std::process::id(),
+            encoded.len()
+        ));
+        std::fs::write(&path, encoded.as_ref()).unwrap();
+        let mapped = load_segment(&path, SegmentMode::Mmap).unwrap();
+        let resident = load_segment(&path, SegmentMode::Resident).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let via_map = decode(mapped.clone()).unwrap();
+        let via_resident = decode(resident.clone()).unwrap();
+        prop_assert_eq!(&via_map, &record);
+        prop_assert_eq!(&via_resident, &record);
+        prop_assert_eq!(
+            decode_view(mapped.as_ref()).unwrap(),
+            decode_view(resident.as_ref()).unwrap()
         );
     }
 }

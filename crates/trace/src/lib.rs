@@ -28,7 +28,10 @@ pub mod span;
 pub use metrics::{
     format_scaled, CounterId, HistData, HistogramId, HistogramSpec, Labels, Registry, WorkerSink,
 };
-pub use profile::{alloc_counts, count_allocs, CountingAllocator, StageProfiler, StageRecord};
+pub use profile::{
+    alloc_counts, count_allocs, live_bytes, peak_bytes, reset_peak_bytes, CountingAllocator,
+    StageProfiler, StageRecord,
+};
 pub use span::{EventRecord, SpanRecord, SpanRing, TraceLog};
 
 use std::sync::Mutex;

@@ -44,6 +44,15 @@ pub const JOURNAL_CHECKPOINTS_TOTAL: &str = "journal_checkpoints_total";
 pub const JOURNAL_BYTES_TOTAL: &str = "journal_bytes_total";
 /// fsync calls issued by the journal writer. No labels.
 pub const JOURNAL_FSYNCS_TOTAL: &str = "journal_fsyncs_total";
+/// Batched group-commit writes that drained the journal's frame
+/// buffer. No labels.
+pub const JOURNAL_GROUP_COMMITS_TOTAL: &str = "journal_group_commits_total";
+/// Frames whose write syscall was amortized by a group of more than
+/// one. No labels.
+pub const JOURNAL_GROUPED_FRAMES_TOTAL: &str = "journal_grouped_frames_total";
+/// Frames appended per fsync (the group-commit amortization). No
+/// labels.
+pub const JOURNAL_FRAMES_PER_FSYNC: &str = "journal_frames_per_fsync";
 
 /// Local-network observations found by analysis. Labels: crawl.
 pub const LOCAL_OBSERVATIONS_TOTAL: &str = "local_observations_total";
@@ -160,6 +169,18 @@ pub fn describe_defaults(reg: &mut Registry) {
         "fsync calls issued by the journal writer",
     );
     reg.describe_counter(
+        JOURNAL_GROUP_COMMITS_TOTAL,
+        "Batched group-commit writes draining the journal frame buffer",
+    );
+    reg.describe_counter(
+        JOURNAL_GROUPED_FRAMES_TOTAL,
+        "Frames whose write syscall was amortized by a group commit",
+    );
+    reg.describe_gauge(
+        JOURNAL_FRAMES_PER_FSYNC,
+        "Frames appended per fsync (group-commit amortization)",
+    );
+    reg.describe_counter(
         LOCAL_OBSERVATIONS_TOTAL,
         "Local-network observations found by analysis",
     );
@@ -212,6 +233,8 @@ pub fn describe_defaults(reg: &mut Registry) {
         JOURNAL_CHECKPOINTS_TOTAL,
         JOURNAL_BYTES_TOTAL,
         JOURNAL_FSYNCS_TOTAL,
+        JOURNAL_GROUP_COMMITS_TOTAL,
+        JOURNAL_GROUPED_FRAMES_TOTAL,
         SERVICE_ADMITTED_TOTAL,
         SERVICE_REJECTED_TOTAL,
         SERVICE_COMPLETED_TOTAL,

@@ -14,6 +14,25 @@ use std::time::Instant;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Bump the live-bytes gauge and ratchet the peak watermark.
+fn count_live(delta: usize) {
+    let live = LIVE_BYTES.fetch_add(delta as u64, Ordering::Relaxed) + delta as u64;
+    // `fetch_max` keeps the watermark monotone under racing threads; a
+    // momentarily stale `live` only ever *under*-reports the peak by
+    // bytes another thread freed in the same instant.
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+}
+
+fn uncount_live(delta: usize) {
+    // Saturating: a binary can install the allocator after some early
+    // allocations, whose frees would otherwise underflow the gauge.
+    let _ = LIVE_BYTES.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |live| {
+        Some(live.saturating_sub(delta as u64))
+    });
+}
 
 /// A pass-through [`System`] allocator that counts every allocation.
 /// Install it per-binary:
@@ -23,32 +42,39 @@ static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
 /// static GLOBAL: kt_trace::CountingAllocator = kt_trace::CountingAllocator;
 /// ```
 ///
-/// Reallocs and zeroed allocations count too; frees are not tracked
-/// (the metric is allocator traffic, not live heap). Binaries that
-/// don't install it still link and run — [`alloc_counts`] just stays
-/// at zero.
+/// Reallocs and zeroed allocations count too. Frees don't reduce the
+/// cumulative traffic counters, but they do reduce the live-bytes
+/// gauge behind [`live_bytes`]/[`peak_bytes`] — that pair is the
+/// flat-memory instrument: peak resident heap, not total churn.
+/// Binaries that don't install it still link and run —
+/// [`alloc_counts`] just stays at zero.
 pub struct CountingAllocator;
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        count_live(layout.size());
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        uncount_live(layout.size());
         unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        uncount_live(layout.size());
+        count_live(new_size);
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        count_live(layout.size());
         unsafe { System.alloc_zeroed(layout) }
     }
 }
@@ -60,6 +86,25 @@ pub fn alloc_counts() -> (u64, u64) {
         ALLOCS.load(Ordering::Relaxed),
         ALLOC_BYTES.load(Ordering::Relaxed),
     )
+}
+
+/// Currently-live heap bytes (allocated minus freed) — zero unless
+/// [`CountingAllocator`] is installed.
+pub fn live_bytes() -> u64 {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+/// High-water mark of [`live_bytes`] since process start. This is the
+/// number the flat-memory gates compare against a ceiling: mmap-backed
+/// segments never appear in it, resident ones do.
+pub fn peak_bytes() -> u64 {
+    PEAK_BYTES.load(Ordering::Relaxed)
+}
+
+/// Reset the peak watermark to the current live level, so a bench can
+/// measure the peak of one phase in isolation.
+pub fn reset_peak_bytes() {
+    PEAK_BYTES.store(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
 }
 
 /// Run `f`, returning its result plus the (allocations, heap bytes)
@@ -240,6 +285,26 @@ mod tests {
         assert!(lines.iter().any(|l| l.starts_with("alpha")));
         assert!(lines.iter().any(|l| l.starts_with("beta")));
         assert!(lines.last().expect("rows").starts_with("total"));
+    }
+
+    #[test]
+    fn live_and_peak_gauges_are_consistent() {
+        // Unit tests run without the counting allocator installed, so
+        // only this test touches the gauges (keep it that way — the
+        // statics are process-global). Exercise the accounting
+        // directly: a live bump must ratchet the watermark, a free
+        // must not lower it, and over-freeing saturates at zero.
+        reset_peak_bytes();
+        assert_eq!(peak_bytes(), live_bytes());
+        count_live(4096);
+        assert!(peak_bytes() >= live_bytes());
+        let peak = peak_bytes();
+        uncount_live(4096);
+        assert_eq!(peak_bytes(), peak, "frees never lower the watermark");
+        assert!(live_bytes() <= peak);
+        uncount_live(usize::MAX);
+        assert_eq!(live_bytes(), 0, "over-free saturates instead of wrapping");
+        reset_peak_bytes();
     }
 
     #[test]

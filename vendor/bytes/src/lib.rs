@@ -5,17 +5,37 @@
 //! real crate for that subset: multi-byte integers are big-endian, reads
 //! past the end panic (callers guard with `has_remaining`/`remaining`),
 //! and `Bytes` is a cheap-to-clone shared view with a read cursor.
+//!
+//! Like the real crate, `Bytes` can wrap any stable owner of a byte
+//! region via [`Bytes::from_owner`] — the owner is kept alive behind an
+//! `Arc` while any view exists. This is what lets a memory-mapped
+//! segment file serve the same zero-copy read API as a heap buffer.
 
 use std::ops::Range;
 use std::sync::Arc;
 
+/// Anything that can keep a byte region alive. The blanket impl means
+/// any `Send + Sync` value qualifies; the region it hands out must stay
+/// valid and immobile for as long as the owner is alive (true for
+/// `Vec`'s heap buffer and for an `mmap` region held until `munmap`).
+trait Owner: Send + Sync {}
+impl<T: Send + Sync> Owner for T {}
+
 /// An immutable, shareable byte buffer with an internal read cursor.
-#[derive(Debug, Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    /// Start of the full underlying region (not of the view).
+    ptr: *const u8,
+    /// Keeps the region alive; never moved once constructed, so `ptr`
+    /// stays valid for the `Arc`'s whole lifetime.
+    owner: Arc<dyn Owner>,
     start: usize,
     end: usize,
 }
+
+// SAFETY: the raw pointer is derived from (and outlived by) the
+// `Send + Sync` owner; all access is read-only.
+unsafe impl Send for Bytes {}
+unsafe impl Sync for Bytes {}
 
 impl Bytes {
     /// An empty buffer.
@@ -26,6 +46,24 @@ impl Bytes {
     /// Copy a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
         Bytes::from(data.to_vec())
+    }
+
+    /// Wrap an owner of a stable byte region without copying. The view
+    /// covers `owner.as_ref()` in full; the owner is dropped when the
+    /// last clone of the returned `Bytes` (and its slices) goes away.
+    pub fn from_owner<T>(owner: T) -> Bytes
+    where
+        T: AsRef<[u8]> + Send + Sync + 'static,
+    {
+        let owner = Arc::new(owner);
+        let region: &[u8] = (*owner).as_ref();
+        let (ptr, end) = (region.as_ptr(), region.len());
+        Bytes {
+            ptr,
+            owner,
+            start: 0,
+            end,
+        }
     }
 
     /// Unread bytes remaining.
@@ -45,7 +83,8 @@ impl Bytes {
             "slice out of bounds"
         );
         Bytes {
-            data: Arc::clone(&self.data),
+            ptr: self.ptr,
+            owner: Arc::clone(&self.owner),
             start: self.start + range.start,
             end: self.start + range.end,
         }
@@ -57,18 +96,42 @@ impl Bytes {
     }
 
     fn as_slice(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        // SAFETY: `start..end` never exceeds the owner's region, and the
+        // owner (alive behind `self.owner`) keeps it valid and immobile.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(self.start), self.end - self.start) }
+    }
+}
+
+impl Clone for Bytes {
+    fn clone(&self) -> Bytes {
+        Bytes {
+            ptr: self.ptr,
+            owner: Arc::clone(&self.owner),
+            start: self.start,
+            end: self.end,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bytes")
+            .field("start", &self.start)
+            .field("end", &self.end)
+            .field("data", &self.as_slice())
+            .finish()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        let end = v.len();
-        Bytes {
-            data: v.into(),
-            start: 0,
-            end,
-        }
+        Bytes::from_owner(v)
     }
 }
 
@@ -146,7 +209,7 @@ impl Buf for Bytes {
 
     fn get_u8(&mut self) -> u8 {
         assert!(self.has_remaining(), "get_u8 past end of buffer");
-        let b = self.data[self.start];
+        let b = self.as_slice()[0];
         self.start += 1;
         b
     }
@@ -286,5 +349,22 @@ mod tests {
     fn reading_past_end_panics() {
         let mut b = Bytes::new();
         let _ = b.get_u8();
+    }
+
+    #[test]
+    fn from_owner_shares_the_owner_region_without_copying() {
+        struct Region(Box<[u8]>);
+        impl AsRef<[u8]> for Region {
+            fn as_ref(&self) -> &[u8] {
+                &self.0
+            }
+        }
+        let region = Region(vec![10, 20, 30, 40].into_boxed_slice());
+        let addr = region.as_ref().as_ptr() as usize;
+        let b = Bytes::from_owner(region);
+        assert_eq!(b.as_ref().as_ptr() as usize, addr, "no copy");
+        let s = b.slice(1..3);
+        drop(b);
+        assert_eq!(s.to_vec(), vec![20, 30], "slice keeps the owner alive");
     }
 }
