@@ -36,6 +36,7 @@
 
 pub mod cdf;
 pub mod classify;
+pub mod crossval;
 pub mod defense;
 pub mod detect;
 pub mod dev_error;
@@ -50,6 +51,10 @@ pub mod venn;
 
 pub use cdf::Ecdf;
 pub use classify::{classify_site, ReasonClass};
+pub use crossval::{
+    crossval_population, record_agreement_metrics, run_cross_validation, AgreementCell,
+    AgreementMatrix, CrossCase, CrossValidation, PASSIVE_WINDOW_MS,
+};
 pub use defense::{AdoptionScenario, DefenseImpact};
 pub use detect::{
     detect_local, detect_local_view, detect_local_with_page_owned, LocalObservation,

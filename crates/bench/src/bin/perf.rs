@@ -789,6 +789,59 @@ fn bench_journal(frames: usize, seed: u64, calib: f64) -> serde_json::Value {
     entry
 }
 
+/// The active-scan stage: a full dual-stack sweep (TCP + UDP, v4 + v6,
+/// loopback + LAN) plus two knock sequences under a seeded 20% fault
+/// storm. Reports knocks/sec on the real clock (machine-normalized
+/// like every other stage) and asserts the scanner's core guarantee
+/// inline: the report at MAX_WORKERS renders byte-identical to the
+/// single-worker run.
+fn bench_port_scan(seed: u64, calib: f64) -> serde_json::Value {
+    use knock_talk::scanner::{run_scan, PortState, ScanConfig};
+    use knock_talk::simnet::{HostEnv, SimNet};
+
+    let mut cfg = ScanConfig::new(seed);
+    cfg.udp = true;
+    cfg.ipv6 = true;
+    cfg.sequences = vec![vec![6463, 6464, 6465], vec![80, 443, 8080]];
+    cfg.faults = FaultPlan::none(seed)
+        .with_rate(Fault::ProbeDrop, 0.2)
+        .with_rate(Fault::ProbeDelay, 0.2)
+        .with_rate(Fault::ConnectionReset, 0.2);
+    let env = HostEnv::sampled(Os::Linux, seed);
+    let net = SimNet::new(seed);
+
+    cfg.workers = 1;
+    let (serial_report, _) = time(|| run_scan(&env, &net, &cfg));
+    cfg.workers = MAX_WORKERS;
+    let (report, mut secs) = time(|| run_scan(&env, &net, &cfg));
+    assert_eq!(
+        report.render(),
+        serial_report.render(),
+        "scan must be worker-count-invariant"
+    );
+    // Best of three, like every other stage.
+    for _ in 0..2 {
+        secs = secs.min(time(|| run_scan(&env, &net, &cfg)).1);
+    }
+    let knocks = report.knocks() as usize;
+    eprintln!(
+        "  {} targets, {knocks} knocks in {secs:.3}s ({:.0} knocks/s), \
+         open={} filtered={} skipped={} unprobed={}",
+        report.targets_total,
+        knocks as f64 / secs,
+        report.open().count(),
+        report.count(PortState::Filtered),
+        report.skipped.len(),
+        report.unprobed.len()
+    );
+    serde_json::json!({
+        "targets": report.targets_total,
+        "open_ports": report.open().count(),
+        "breaker_trips": report.breaker_trips,
+        "scan": stage_json(knocks, secs, calib),
+    })
+}
+
 /// Compare each stage's machine-normalized throughput against the
 /// baseline file; collect every stage that regressed more than 2×.
 fn check_regressions(
@@ -874,6 +927,7 @@ fn check_regressions(
     for (label, keys) in [
         ("flat-memory scan", &["flat_memory", "scan", "relative"]),
         ("journal grouped", &["journal", "grouped", "relative"]),
+        ("port scan", &["port_scan", "scan", "relative"]),
     ] {
         if let (Some(b), Some(c)) = (path(baseline, keys), path(current, keys)) {
             if c <= 0.0 || b / c > 2.0 {
@@ -1046,8 +1100,14 @@ fn main() {
     profiler.annotate_elements(bulk_n as u64);
 
     eprintln!("journal group commit ({journal_frames} frames):");
-    let journal = profiler.run("journal", || bench_journal(journal_frames, opts.seed, calib));
+    let journal = profiler.run("journal", || {
+        bench_journal(journal_frames, opts.seed, calib)
+    });
     profiler.annotate_elements(journal_frames as u64);
+
+    eprintln!("active port scan (dual-stack sweep + sequences, 20% faults):");
+    let port_scan = profiler.run("port_scan", || bench_port_scan(opts.seed, calib));
+    profiler.annotate_elements(port_scan["targets"].as_u64().unwrap_or(0));
     eprintln!("stage breakdown:\n{}", profiler.render_table());
 
     let report = serde_json::json!({
@@ -1060,6 +1120,7 @@ fn main() {
         "service": service,
         "flat_memory": flat_memory,
         "journal": journal,
+        "port_scan": port_scan,
     });
 
     if let Some(baseline_path) = &opts.check {
@@ -1145,7 +1206,9 @@ fn main() {
     }
 
     if let Some(floor) = opts.fsync_floor {
-        let fpf = report["journal"]["frames_per_fsync"].as_f64().unwrap_or(0.0);
+        let fpf = report["journal"]["frames_per_fsync"]
+            .as_f64()
+            .unwrap_or(0.0);
         if fpf < floor {
             eprintln!("check: FAILED — journal wrote {fpf:.1} frames/fsync, floor is {floor}");
             std::process::exit(1);

@@ -412,9 +412,11 @@ impl<'w> Browser<'w> {
                 );
                 match result {
                     Ok(ip) => Ok((ip, end)),
-                    Err(DnsError::NxDomain) | Err(DnsError::ServFail) => {
-                        Err(NetError::NameNotResolved)
-                    }
+                    // A malformed zone record is unresolvable from the
+                    // browser's point of view, exactly like NXDOMAIN.
+                    Err(DnsError::NxDomain)
+                    | Err(DnsError::ServFail)
+                    | Err(DnsError::MalformedRecord) => Err(NetError::NameNotResolved),
                     Err(DnsError::Timeout) => Err(NetError::TimedOut),
                 }
             }

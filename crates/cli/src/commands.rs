@@ -32,6 +32,12 @@ pub fn help() {
            knocktalk analyze  <store.ktstore|journal.ktj>\n\
            knocktalk classify <netlog.json> [--loaded-at MS] [--domain NAME]\n\
            knocktalk entropy  [--machines N] [--seed N]\n\
+           knocktalk scan     [--os windows|linux|mac] [--seed N] [--ports P,P,...]\n\
+                              [--sequence P,P,P] [--payload HEX] [--udp yes] [--ipv6 yes]\n\
+                              [--lan no] [--concurrency N] [--timeout-ms N] [--retries N]\n\
+                              [--breaker-threshold N] [--breaker-cooldown-ms N]\n\
+                              [--deadline-ms N] [--fault-rate R] [--agreement yes]\n\
+                              [--sites N] [--metrics-out FILE]\n\
            knocktalk serve    [--tenants N] [--campaigns N] [--sites N] [--seed N]\n\
                               [--workers N] [--queue-capacity N] [--policy block|shed]\n\
                               [--max-campaigns N] [--max-visits N] [--deadline-ms N]\n\
@@ -65,6 +71,14 @@ pub fn help() {
                      and report local activity\n\
            classify  analyse a Chrome NetLog JSON capture for local traffic\n\
            entropy   measure the fingerprinting entropy of the observed scans\n\
+           scan      actively knock loopback (and LAN) ports on a simulated machine:\n\
+                     TCP plus optional UDP and IPv6 sweeps, ordered knock sequences,\n\
+                     shared retry/backoff policy, per-host circuit breakers, and a\n\
+                     total deadline budget that degrades to an explicit unprobed set;\n\
+                     results are byte-identical for any --concurrency; --fault-rate R\n\
+                     arms a seeded fault storm; --agreement yes cross-validates the\n\
+                     active scan against the passive 20 s capture window and prints\n\
+                     the per-class agreement matrix\n\
            serve     run a synthetic multi-tenant fleet through the resident campaign\n\
                      service (admission control, bounded queues, deadline budgets);\n\
                      --storm yes arms a deterministic fault storm, --check fails the\n\
@@ -806,6 +820,110 @@ pub fn serve(opts: &Options) -> Result<(), String> {
         }
         Err(format!("{} invariant violation(s)", violations.len()))
     }
+}
+
+/// Parse a comma-separated port list.
+fn parse_port_list(list: &str) -> Result<Vec<u16>, String> {
+    let ports: Vec<u16> = list
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(|p| {
+            p.parse::<u16>()
+                .map_err(|_| format!("bad port {p:?} (expect 1-65535)"))
+        })
+        .collect::<Result<_, _>>()?;
+    if ports.is_empty() {
+        return Err("empty port list".to_string());
+    }
+    Ok(ports)
+}
+
+/// A `--flag yes|no` switch with a default.
+fn parse_switch(opts: &Options, key: &str, default: bool) -> Result<bool, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some("yes") => Ok(true),
+        Some("no") => Ok(false),
+        Some(other) => Err(format!("flag --{key} expects yes|no, got {other:?}")),
+    }
+}
+
+/// `knocktalk scan`.
+pub fn scan(opts: &Options) -> Result<(), String> {
+    use knock_talk::analysis::{
+        crossval_population, record_agreement_metrics, run_cross_validation,
+    };
+    use knock_talk::faults::{Fault, FaultPlan};
+    use knock_talk::scanner::{record_scan_metrics, run_scan, Payload, ScanConfig};
+    use knock_talk::simnet::{HostEnv, SimNet};
+    use knock_talk::trace::metrics::Registry;
+    use knock_talk::trace::names::describe_defaults;
+
+    let seed = opts.get_u64("seed", 0x5CA9)?;
+    let os = parse_os(opts.get("os").unwrap_or("windows"))?;
+
+    let mut cfg = ScanConfig::new(seed);
+    if let Some(list) = opts.get("ports") {
+        cfg.ports = parse_port_list(list).map_err(|e| format!("flag --ports: {e}"))?;
+    }
+    if let Some(list) = opts.get("sequence") {
+        cfg.sequences
+            .push(parse_port_list(list).map_err(|e| format!("flag --sequence: {e}"))?);
+    }
+    if let Some(hex) = opts.get("payload") {
+        cfg.payload = Some(Payload::from_hex(hex).map_err(|e| format!("flag --payload: {e}"))?);
+    }
+    cfg.udp = parse_switch(opts, "udp", false)?;
+    cfg.ipv6 = parse_switch(opts, "ipv6", false)?;
+    cfg.lan = parse_switch(opts, "lan", true)?;
+    cfg.workers = opts.get_u64("concurrency", cfg.workers as u64)?.max(1) as usize;
+    cfg.timeout_ms = opts.get_u64("timeout-ms", cfg.timeout_ms)?.max(1);
+    let default_retries = u64::from(cfg.retry.max_attempts.saturating_sub(1));
+    cfg.retry.max_attempts = opts.get_u64("retries", default_retries)? as u32 + 1;
+    cfg.breaker.threshold =
+        opts.get_u64("breaker-threshold", u64::from(cfg.breaker.threshold))? as u32;
+    cfg.breaker.cooldown_ms = opts.get_u64("breaker-cooldown-ms", cfg.breaker.cooldown_ms)?;
+    cfg.deadline_ms = opts.get_u64("deadline-ms", cfg.deadline_ms)?.max(1);
+    if let Some(rate) = opts.get("fault-rate") {
+        let rate: f64 = rate
+            .parse()
+            .ok()
+            .filter(|r| (0.0..=1.0).contains(r))
+            .ok_or_else(|| format!("flag --fault-rate expects a number in [0, 1], got {rate:?}"))?;
+        cfg.faults = FaultPlan::none(seed)
+            .with_rate(Fault::ProbeDrop, rate)
+            .with_rate(Fault::ProbeDelay, rate)
+            .with_rate(Fault::ConnectionReset, rate)
+            .with_rate(Fault::DnsFlap, rate)
+            .with_rate(Fault::TruncatedCapture, rate);
+    }
+
+    let env = HostEnv::sampled(os, seed ^ os.letter() as u64);
+    let net = SimNet::new(seed);
+    let mut reg = Registry::new();
+    describe_defaults(&mut reg);
+
+    if parse_switch(opts, "agreement", false)? {
+        let sites = opts.get_u64("sites", 24)?.max(1) as usize;
+        let population = crossval_population(seed, sites);
+        let cv = run_cross_validation(&env, &net, &population, &cfg);
+        print!("{}", cv.scan.render());
+        print!("{}", cv.render());
+        record_scan_metrics(&cv.scan, &mut reg);
+        record_agreement_metrics(&cv, &mut reg);
+    } else {
+        let report = run_scan(&env, &net, &cfg);
+        print!("{}", report.render());
+        record_scan_metrics(&report, &mut reg);
+    }
+
+    if let Some(path) = opts.get("metrics-out") {
+        std::fs::write(path, reg.render_prometheus())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("metrics written to {path}");
+    }
+    Ok(())
 }
 
 /// `knocktalk entropy`.

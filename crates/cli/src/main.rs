@@ -10,6 +10,11 @@
 //! knocktalk analyze  <store.ktstore|journal.ktj>
 //! knocktalk classify <netlog.json> [--loaded-at MS]
 //! knocktalk entropy  [--machines N] [--seed N]
+//! knocktalk scan     [--os windows|linux|mac] [--seed N] [--ports P,P,...]
+//!                    [--sequence P,P,P] [--udp yes] [--ipv6 yes] [--concurrency N]
+//!                    [--timeout-ms N] [--retries N] [--breaker-threshold N]
+//!                    [--deadline-ms N] [--fault-rate R] [--agreement yes]
+//!                    [--metrics-out FILE]
 //! knocktalk serve    [--tenants N] [--campaigns N] [--sites N] [--seed N] [--workers N]
 //!                    [--queue-capacity N] [--policy block|shed] [--max-campaigns N]
 //!                    [--max-visits N] [--deadline-ms N] [--storm yes]
@@ -62,6 +67,7 @@ fn main() -> ExitCode {
         "analyze" => commands::analyze(&opts),
         "classify" => commands::classify(&opts),
         "entropy" => commands::entropy(&opts),
+        "scan" => commands::scan(&opts),
         "serve" => commands::serve(&opts),
         "health" => commands::health(&opts),
         "profile" => commands::profile(&opts),

@@ -24,7 +24,8 @@
 //! (populations), `kt-browser` (the instrumented browser),
 //! `kt-faults` (deterministic fault injection + retry policy),
 //! `kt-crawler` (supervised orchestration), `kt-store` (telemetry
-//! store) and `kt-analysis` (detection, classification, reports).
+//! store), `kt-scanner` (active local-network probing) and
+//! `kt-analysis` (detection, classification, reports).
 
 #![warn(missing_docs)]
 
@@ -39,6 +40,7 @@ pub use kt_crawler as crawler;
 pub use kt_faults as faults;
 pub use kt_netbase as netbase;
 pub use kt_netlog as netlog;
+pub use kt_scanner as scanner;
 pub use kt_service as service;
 pub use kt_simnet as simnet;
 pub use kt_store as store;

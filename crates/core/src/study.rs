@@ -147,7 +147,11 @@ pub fn record_journal_stats(trace: &Trace, stats: &JournalStats) {
         none.clone(),
         stats.grouped_frames,
     );
-    trace.set_gauge(names::JOURNAL_FRAMES_PER_FSYNC, none, stats.frames_per_fsync());
+    trace.set_gauge(
+        names::JOURNAL_FRAMES_PER_FSYNC,
+        none,
+        stats.frames_per_fsync(),
+    );
 }
 
 /// Run a full study under a [`StageProfiler`]: population generation,

@@ -15,11 +15,18 @@
 //!   service path draws from the same plan: queue overflows, slow
 //!   consumer stalls, and tenant bursts ([`Fault::SERVICE`]) key on
 //!   update/tenant identity so a resident campaign service degrades
-//!   identically whatever the worker count;
-//! * [`retry`] — the supervisor's [`RetryPolicy`]: which net errors
-//!   count as transient, how many in-place retries a visit gets,
+//!   identically whatever the worker count. The active scanner draws
+//!   from the same plan too: probe drops and probe delays
+//!   ([`Fault::PROBE`]) key on the knock target's identity so a scan
+//!   degrades identically whatever the probe worker count;
+//! * [`retry`] — the one [`RetryPolicy`] shared by the crawl
+//!   supervisor and the active scanner: which net errors count as
+//!   transient, how many in-place retries an operation gets,
 //!   exponential backoff with deterministic jitter, and whether
-//!   still-failing sites join the end-of-campaign recrawl queue;
+//!   still-failing sites join the end-of-campaign recrawl queue.
+//!   Centralising the backoff math here is what lets a property test
+//!   pin that crawl and scan draw identical schedules for identical
+//!   `(seed, key, attempt)`;
 //! * [`SalvagedVisit`] — the panic payload an instrumented browser
 //!   throws when a visit crashes, carrying the parseable capture
 //!   prefix so the supervisor can quarantine the site without losing

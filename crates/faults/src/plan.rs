@@ -47,11 +47,21 @@ pub enum Fault {
     /// = tenant, attempt = submission slot) to decide which slots
     /// burst; admission control absorbs the burst deterministically.
     TenantBurst,
+    /// Scanner path: the knock packet (or its answer) is silently
+    /// dropped in flight, so the attempt times out no matter what is
+    /// listening. Keyed by the probe target's identity string so the
+    /// same knock drops identically whatever the probe worker count.
+    ProbeDrop,
+    /// Scanner path: the knock's round trip is inflated by a
+    /// deterministic delay (congestion, a rate limiter, a sleepy
+    /// device). The attempt still completes unless the delay pushes it
+    /// past the per-knock timeout.
+    ProbeDelay,
 }
 
 impl Fault {
     /// Every fault class, in a fixed order.
-    pub const ALL: [Fault; 9] = [
+    pub const ALL: [Fault; 11] = [
         Fault::DnsFlap,
         Fault::ConnectionReset,
         Fault::TruncatedCapture,
@@ -61,7 +71,13 @@ impl Fault {
         Fault::QueueOverflow,
         Fault::SlowConsumer,
         Fault::TenantBurst,
+        Fault::ProbeDrop,
+        Fault::ProbeDelay,
     ];
+
+    /// The scanner-path fault classes (active-probe failure modes, as
+    /// opposed to per-visit crawl faults).
+    pub const PROBE: [Fault; 2] = [Fault::ProbeDrop, Fault::ProbeDelay];
 
     /// The service-path fault classes (the campaign service's own
     /// failure modes, as opposed to per-visit crawl faults).
@@ -83,6 +99,8 @@ impl Fault {
             Fault::QueueOverflow => "queue-overflow",
             Fault::SlowConsumer => "slow-consumer",
             Fault::TenantBurst => "tenant-burst",
+            Fault::ProbeDrop => "probe-drop",
+            Fault::ProbeDelay => "probe-delay",
         }
     }
 
@@ -97,6 +115,8 @@ impl Fault {
             Fault::QueueOverflow => 6,
             Fault::SlowConsumer => 7,
             Fault::TenantBurst => 8,
+            Fault::ProbeDrop => 9,
+            Fault::ProbeDelay => 10,
         }
     }
 }
@@ -106,11 +126,11 @@ impl Fault {
 pub struct FaultPlan {
     seed: u64,
     /// Independent Bernoulli rate per fault class.
-    rates: [f64; 9],
+    rates: [f64; 11],
     /// Deterministic override: inject the fault on the first N
     /// attempts of *every* site, regardless of rate. Lets tests pin
     /// down exact retry/recrawl trajectories.
-    first_attempts: [u32; 9],
+    first_attempts: [u32; 11],
 }
 
 impl FaultPlan {
@@ -118,8 +138,8 @@ impl FaultPlan {
     pub fn none(seed: u64) -> FaultPlan {
         FaultPlan {
             seed,
-            rates: [0.0; 9],
-            first_attempts: [0; 9],
+            rates: [0.0; 11],
+            first_attempts: [0; 11],
         }
     }
 
@@ -311,6 +331,40 @@ mod tests {
             assert!(pinned.injects(fault, "tenant-a", 0));
             assert!(!pinned.injects(fault, "tenant-a", 1));
             assert!(!FaultPlan::none(17).injects(fault, "tenant-a", 0));
+        }
+    }
+
+    #[test]
+    fn probe_faults_are_keyed_like_every_other_fault() {
+        // The scanner-path injectors (probe drop, probe delay) obey
+        // the same contract as crawl faults: deterministic per (seed,
+        // target identity, attempt), pinnable via first_attempts, and
+        // absent from clean plans — which is what makes scan reports
+        // worker-count-invariant.
+        for fault in Fault::PROBE {
+            let plan = FaultPlan::none(23).with_rate(fault, 0.5);
+            assert_eq!(
+                plan.injects(fault, "tcp/127.0.0.1:3389", 0),
+                plan.injects(fault, "tcp/127.0.0.1:3389", 0)
+            );
+            let hits = (0..1000)
+                .filter(|p| plan.injects(fault, &format!("tcp/127.0.0.1:{p}"), 0))
+                .count();
+            assert!((350..650).contains(&hits), "{}: {hits}", fault.label());
+            let pinned = FaultPlan::none(23).with_first_attempts(fault, 1);
+            assert!(pinned.injects(fault, "udp/192.168.0.1:80", 0));
+            assert!(!pinned.injects(fault, "udp/192.168.0.1:80", 1));
+            assert!(!FaultPlan::none(23).injects(fault, "udp/192.168.0.1:80", 0));
+        }
+    }
+
+    #[test]
+    fn all_faults_have_distinct_labels_and_indices() {
+        let labels: std::collections::BTreeSet<&str> =
+            Fault::ALL.iter().map(|f| f.label()).collect();
+        assert_eq!(labels.len(), Fault::ALL.len());
+        for (i, fault) in Fault::ALL.iter().enumerate() {
+            assert_eq!(fault.index(), i, "{}", fault.label());
         }
     }
 

@@ -1,0 +1,83 @@
+//! Property tests for the shared retry policy: the backoff schedule
+//! is a pure function of `(seed, key, attempt)` — the crawl supervisor
+//! and the active scanner hold *different instances* of the same
+//! [`RetryPolicy`] values, and they must draw byte-identical schedules,
+//! or retry timing would depend on which subsystem asks.
+
+use kt_faults::RetryPolicy;
+use proptest::prelude::*;
+
+fn arb_policy() -> impl Strategy<Value = RetryPolicy> {
+    (1u32..6, 1u64..20_000, 0u64..120_000, any::<bool>()).prop_map(
+        |(max_attempts, base, extra, recrawl)| RetryPolicy {
+            max_attempts,
+            base_backoff_ms: base,
+            max_backoff_ms: base + extra,
+            recrawl,
+        },
+    )
+}
+
+proptest! {
+    /// Two independently-constructed policies with the same parameters
+    /// (one "crawl-side", one "scan-side") produce identical backoff
+    /// schedules for identical (seed, key, attempt) — the satellite
+    /// guarantee that deduplicating the backoff math into kt-faults
+    /// actually buys determinism across consumers.
+    #[test]
+    fn backoff_schedules_are_identical_across_policy_instances(
+        policy in arb_policy(),
+        seed in any::<u64>(),
+        key in "[a-z0-9./:-]{1,40}",
+        attempt in 1u32..12,
+    ) {
+        let crawl_side = policy.clone();
+        let scan_side = RetryPolicy {
+            max_attempts: policy.max_attempts,
+            base_backoff_ms: policy.base_backoff_ms,
+            max_backoff_ms: policy.max_backoff_ms,
+            recrawl: policy.recrawl,
+        };
+        prop_assert_eq!(
+            crawl_side.backoff_ms(seed, &key, attempt),
+            scan_side.backoff_ms(seed, &key, attempt)
+        );
+        // And the function is stable across repeated draws.
+        prop_assert_eq!(
+            crawl_side.backoff_ms(seed, &key, attempt),
+            crawl_side.backoff_ms(seed, &key, attempt)
+        );
+    }
+
+    /// The schedule is bounded: never below the exponential floor for
+    /// the attempt, never past the clamp plus the jitter span.
+    #[test]
+    fn backoff_is_bounded_by_clamp_plus_jitter(
+        policy in arb_policy(),
+        seed in any::<u64>(),
+        key in "[a-z0-9./:-]{1,40}",
+        attempt in 1u32..12,
+    ) {
+        let b = policy.backoff_ms(seed, &key, attempt);
+        let exp = policy
+            .base_backoff_ms
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(16))
+            .min(policy.max_backoff_ms);
+        let jitter_span = (policy.base_backoff_ms / 2).max(1);
+        prop_assert!(b >= exp, "{b} < floor {exp}");
+        prop_assert!(b < exp + jitter_span, "{b} >= ceiling {}", exp + jitter_span);
+    }
+
+    /// Different keys de-synchronise: over a spread of keys at a fixed
+    /// attempt, at least two distinct waits appear whenever the jitter
+    /// span is non-trivial (no thundering herd).
+    #[test]
+    fn jitter_spreads_keys(policy in arb_policy(), seed in any::<u64>()) {
+        if policy.base_backoff_ms >= 8 {
+            let distinct: std::collections::BTreeSet<u64> = (0..64)
+                .map(|i| policy.backoff_ms(seed, &format!("key{i}"), 1))
+                .collect();
+            prop_assert!(distinct.len() > 1, "all 64 keys drew the same wait");
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests pinning the scanner's determinism guarantees:
+//! worker-count invariance (report, metrics export, unprobed set) and
+//! graceful deadline degradation under arbitrary fault intensity.
+
+use kt_faults::{Fault, FaultPlan};
+use kt_scanner::{record_scan_metrics, run_scan, PortState, ScanConfig};
+use kt_simnet::{HostEnv, Os, SimNet};
+use kt_trace::metrics::Registry;
+use kt_trace::names::describe_defaults;
+use proptest::prelude::*;
+
+fn os_from(idx: u8) -> Os {
+    Os::ALL[idx as usize % Os::ALL.len()]
+}
+
+fn config(seed: u64, rate: f64, deadline_ms: u64, workers: usize) -> ScanConfig {
+    let mut cfg = ScanConfig::new(seed);
+    cfg.workers = workers;
+    cfg.udp = true;
+    cfg.ipv6 = true;
+    cfg.deadline_ms = deadline_ms;
+    cfg.sequences = vec![vec![6463, 6464, 6465], vec![80, 443, 8080]];
+    cfg.faults = FaultPlan::none(seed)
+        .with_rate(Fault::ProbeDrop, rate)
+        .with_rate(Fault::ProbeDelay, rate)
+        .with_rate(Fault::ConnectionReset, rate)
+        .with_rate(Fault::DnsFlap, rate)
+        .with_rate(Fault::TruncatedCapture, rate);
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The acceptance bar: for any seed, OS, fault intensity, and
+    /// budget, the report rendering AND the metrics export are
+    /// byte-identical across 1/2/4/8 probe workers.
+    #[test]
+    fn scan_is_byte_identical_across_worker_counts(
+        seed in any::<u64>(),
+        os_idx in 0u8..3,
+        rate in 0.0f64..0.5,
+        deadline_ms in 1_000u64..600_000,
+    ) {
+        let env = HostEnv::sampled(os_from(os_idx), seed);
+        let net = SimNet::new(seed);
+        let mut outputs = Vec::new();
+        for workers in [1usize, 2, 4, 8] {
+            let cfg = config(seed, rate, deadline_ms, workers);
+            let report = run_scan(&env, &net, &cfg);
+            let mut reg = Registry::new();
+            describe_defaults(&mut reg);
+            record_scan_metrics(&report, &mut reg);
+            outputs.push((report.render(), reg.render_prometheus()));
+        }
+        for pair in outputs.windows(2) {
+            prop_assert_eq!(&pair[0].0, &pair[1].0, "report render differs");
+            prop_assert_eq!(&pair[0].1, &pair[1].1, "metrics export differs");
+        }
+    }
+
+    /// Graceful degradation: any budget, any fault intensity — the
+    /// scan terminates, never panics, and accounts for every target
+    /// exactly once across results / breaker-skips / unprobed.
+    #[test]
+    fn scan_degrades_gracefully_never_hangs(
+        seed in any::<u64>(),
+        os_idx in 0u8..3,
+        rate in 0.0f64..1.0,
+        deadline_ms in 1u64..100_000,
+    ) {
+        let env = HostEnv::sampled(os_from(os_idx), seed);
+        let net = SimNet::new(seed);
+        let cfg = config(seed, rate, deadline_ms, 4);
+        let report = run_scan(&env, &net, &cfg);
+        prop_assert_eq!(
+            report.results.len() + report.skipped.len() + report.unprobed.len(),
+            report.targets_total
+        );
+        // A clean, ample scan probes everything; a starved one says so
+        // explicitly instead of silently shrinking coverage.
+        if report.unprobed.is_empty() && report.skipped.is_empty() {
+            prop_assert_eq!(report.results.len(), report.targets_total);
+        }
+        // States partition the probed set.
+        let by_state = report.count(PortState::Open)
+            + report.count(PortState::Closed)
+            + report.count(PortState::Filtered);
+        prop_assert_eq!(by_state, report.results.len());
+    }
+}

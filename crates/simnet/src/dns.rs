@@ -37,6 +37,22 @@ pub enum DnsError {
     ServFail,
     /// Query timeout.
     Timeout,
+    /// The record's address data does not parse as an IP address — a
+    /// corrupt zone entry. Surfaced as a typed error at zone-load time
+    /// instead of a panic inside the resolver.
+    MalformedRecord,
+}
+
+impl DnsRecord {
+    /// Parse an A/AAAA record from its textual address data. Returns
+    /// [`DnsError::MalformedRecord`] instead of panicking when the
+    /// data is not a valid IPv4 or IPv6 address.
+    pub fn parse_a(data: &str) -> Result<DnsRecord, DnsError> {
+        data.trim()
+            .parse::<IpAddr>()
+            .map(DnsRecord::A)
+            .map_err(|_| DnsError::MalformedRecord)
+    }
 }
 
 /// One cache entry.
@@ -77,6 +93,16 @@ impl DnsResolver {
     /// Names are normalised to lower-case.
     pub fn insert(&mut self, name: &str, record: DnsRecord) {
         self.zone.insert(name.to_ascii_lowercase(), record);
+    }
+
+    /// Register an address record from textual data (the shape zone
+    /// files and capture replays arrive in). Malformed address data is
+    /// a typed [`DnsError::MalformedRecord`], never a panic, and the
+    /// zone is left unchanged on error.
+    pub fn insert_a(&mut self, name: &str, data: &str) -> Result<(), DnsError> {
+        let record = DnsRecord::parse_a(data)?;
+        self.insert(name, record);
+        Ok(())
     }
 
     /// Number of registered names.
@@ -133,10 +159,44 @@ impl DnsResolver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::net::Ipv4Addr;
 
+    /// Record data goes through the typed parse path — a malformed
+    /// literal here is a test failure with a message, not a panic deep
+    /// inside an `unwrap` on address data.
     fn ip(s: &str) -> IpAddr {
-        IpAddr::V4(s.parse::<Ipv4Addr>().unwrap())
+        match DnsRecord::parse_a(s) {
+            Ok(DnsRecord::A(addr)) => addr,
+            other => panic!("test record {s:?} did not parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_record_data_is_a_typed_error_not_a_panic() {
+        for bad in ["", "not-an-ip", "999.1.2.3", "1.2.3", "1.2.3.4.5", "[::1"] {
+            assert_eq!(
+                DnsRecord::parse_a(bad),
+                Err(DnsError::MalformedRecord),
+                "{bad:?} must be rejected as malformed"
+            );
+        }
+        let mut r = DnsResolver::new();
+        assert_eq!(
+            r.insert_a("corrupt.example", "999.999.999.999"),
+            Err(DnsError::MalformedRecord)
+        );
+        // The zone is untouched by the failed insert: the name still
+        // answers NXDOMAIN, not a stale or half-written record.
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.resolve("corrupt.example", 0), Err(DnsError::NxDomain));
+    }
+
+    #[test]
+    fn insert_a_accepts_v4_and_v6_data() {
+        let mut r = DnsResolver::new();
+        r.insert_a("four.example", "93.184.216.34").unwrap();
+        r.insert_a("six.example", "::1").unwrap();
+        assert_eq!(r.resolve("four.example", 0), Ok(ip("93.184.216.34")));
+        assert_eq!(r.resolve("six.example", 0), Ok(ip("::1")));
     }
 
     #[test]

@@ -237,6 +237,27 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_add_listener_replaces_not_duplicates() {
+        // Registering the same port twice is last-write-wins: one
+        // listener remains and it answers with the later endpoint —
+        // the scanner must never observe two services on one port.
+        let mut env = HostEnv::bare(Os::Linux);
+        env.add_listener(3000, "dev server (ws)", Endpoint::ws());
+        env.add_listener(
+            3000,
+            "dev server (http)",
+            Endpoint::http(HttpResponse::ok(64)),
+        );
+        assert_eq!(env.listeners().count(), 1);
+        let listener = env.listeners().next().unwrap();
+        assert_eq!(listener.name, "dev server (http)");
+        assert!(matches!(
+            env.localhost_endpoint(3000).behavior,
+            ServerBehavior::Http(_)
+        ));
+    }
+
+    #[test]
     fn sampled_env_is_deterministic() {
         let a = HostEnv::sampled(Os::Windows, 42);
         let b = HostEnv::sampled(Os::Windows, 42);

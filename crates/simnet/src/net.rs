@@ -270,6 +270,34 @@ mod tests {
     }
 
     #[test]
+    fn ipv6_loopback_resolves_to_host_env_on_every_os_profile() {
+        // `[::1]` must reach the same listener table as `127.0.0.1` on
+        // all three OS profiles — the dual-stack knock path the
+        // scanner's `--ipv6` mode exercises.
+        use std::net::Ipv6Addr;
+        let net = SimNet::new(5);
+        let v6 = IpAddr::V6(Ipv6Addr::LOCALHOST);
+        let v4 = IpAddr::V4(Ipv4Addr::LOCALHOST);
+        for os in Os::ALL {
+            let mut env = HostEnv::bare(os);
+            env.add_listener(6463, "Discord RPC", Endpoint::ws());
+            assert!(
+                net.connect(&env, v6, 6463, None).is_established(),
+                "{os:?}: listener must answer on [::1]"
+            );
+            // The two loopback literals agree port-by-port: a probe of
+            // an unlistened port refuses on both stacks.
+            match (
+                net.connect(&env, v6, 4444, None),
+                net.connect(&env, v4, 4444, None),
+            ) {
+                (ConnectOutcome::Refused { .. }, ConnectOutcome::Refused { .. }) => {}
+                other => panic!("{os:?}: expected dual-stack refusal, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn lan_dispatches_to_host_env() {
         let net = SimNet::new(1);
         let mut env = HostEnv::bare(Os::Linux);

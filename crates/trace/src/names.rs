@@ -57,6 +57,35 @@ pub const JOURNAL_FRAMES_PER_FSYNC: &str = "journal_frames_per_fsync";
 /// Local-network observations found by analysis. Labels: crawl.
 pub const LOCAL_OBSERVATIONS_TOTAL: &str = "local_observations_total";
 
+/// Knock attempts sent by the active scanner, retries included. No
+/// labels.
+pub const SCAN_KNOCKS_TOTAL: &str = "scan_knocks_total";
+/// Knock retries after transient probe failures. No labels.
+pub const SCAN_RETRIES_TOTAL: &str = "scan_retries_total";
+/// Knock attempts that hit the per-knock timeout. No labels.
+pub const SCAN_TIMEOUTS_TOTAL: &str = "scan_timeouts_total";
+/// Per-host circuit-breaker trips during a scan. No labels.
+pub const SCAN_BREAKER_TRIPS_TOTAL: &str = "scan_breaker_trips_total";
+/// Knocks skipped because the target host's breaker was open. No
+/// labels.
+pub const SCAN_BREAKER_SKIPS_TOTAL: &str = "scan_breaker_skips_total";
+/// Targets left unprobed when the scan's deadline budget ran out. No
+/// labels.
+pub const SCAN_UNPROBED_TOTAL: &str = "scan_unprobed_total";
+/// Ports the active scanner confirmed open. No labels.
+pub const SCAN_OPEN_PORTS: &str = "scan_open_ports";
+/// Cross-validation cells where passive detection and the active scan
+/// agree a behaviour is present. Labels: reason.
+pub const SCAN_AGREEMENT_BOTH_TOTAL: &str = "scan_agreement_both_total";
+/// Cells where only the 20-second passive window saw the behaviour.
+/// Labels: reason.
+pub const SCAN_AGREEMENT_PASSIVE_ONLY_TOTAL: &str = "scan_agreement_passive_only_total";
+/// Cells where only the active scan saw the behaviour (passive false
+/// negatives, typically late-firing scripts). Labels: reason.
+pub const SCAN_AGREEMENT_ACTIVE_ONLY_TOTAL: &str = "scan_agreement_active_only_total";
+/// Cells where neither side saw the behaviour. Labels: reason.
+pub const SCAN_AGREEMENT_NEITHER_TOTAL: &str = "scan_agreement_neither_total";
+
 /// Campaigns accepted by service admission control. Labels: tenant.
 pub const SERVICE_ADMITTED_TOTAL: &str = "service_admitted_total";
 /// Campaigns rejected at admission. Labels: tenant, reason.
@@ -111,6 +140,40 @@ pub static ANALYSIS_STAGE_SECONDS: HistogramSpec = HistogramSpec {
     ],
     scale_exp: -6,
 };
+
+/// Simulated seconds per knock (attempt latency under the latency
+/// model, fault delays included), recorded in milliseconds so the
+/// distribution is identical across probe-worker counts.
+/// No labels.
+pub static SCAN_KNOCK_SECONDS: HistogramSpec = HistogramSpec {
+    name: "scan_knock_seconds",
+    help: "Simulated seconds per knock attempt (deterministic latency model)",
+    buckets: &[
+        1,      // 1 ms (loopback RST)
+        5,      // 5 ms
+        20,     // 20 ms
+        100,    // 100 ms
+        500,    // 500 ms
+        1_000,  // 1 s (typical per-knock timeout)
+        5_000,  // 5 s
+        30_000, // 30 s (fabric connect timeout)
+    ],
+    scale_exp: -3,
+};
+
+/// The scanner counters every scan exports, in declaration order.
+pub const SCAN_COUNTERS: [&str; 10] = [
+    SCAN_KNOCKS_TOTAL,
+    SCAN_RETRIES_TOTAL,
+    SCAN_TIMEOUTS_TOTAL,
+    SCAN_BREAKER_TRIPS_TOTAL,
+    SCAN_BREAKER_SKIPS_TOTAL,
+    SCAN_UNPROBED_TOTAL,
+    SCAN_AGREEMENT_BOTH_TOTAL,
+    SCAN_AGREEMENT_PASSIVE_ONLY_TOTAL,
+    SCAN_AGREEMENT_ACTIVE_ONLY_TOTAL,
+    SCAN_AGREEMENT_NEITHER_TOTAL,
+];
 
 /// The crawl-layer counters every campaign exports, in declaration
 /// order (render order is alphabetical regardless).
@@ -185,6 +248,47 @@ pub fn describe_defaults(reg: &mut Registry) {
         "Local-network observations found by analysis",
     );
     reg.describe_counter(
+        SCAN_KNOCKS_TOTAL,
+        "Knock attempts sent by the active scanner, retries included",
+    );
+    reg.describe_counter(
+        SCAN_RETRIES_TOTAL,
+        "Knock retries after transient probe failures",
+    );
+    reg.describe_counter(
+        SCAN_TIMEOUTS_TOTAL,
+        "Knock attempts that hit the per-knock timeout",
+    );
+    reg.describe_counter(
+        SCAN_BREAKER_TRIPS_TOTAL,
+        "Per-host circuit-breaker trips during a scan",
+    );
+    reg.describe_counter(
+        SCAN_BREAKER_SKIPS_TOTAL,
+        "Knocks skipped because the target host's breaker was open",
+    );
+    reg.describe_counter(
+        SCAN_UNPROBED_TOTAL,
+        "Targets left unprobed when the scan deadline budget ran out",
+    );
+    reg.describe_gauge(SCAN_OPEN_PORTS, "Ports the active scanner confirmed open");
+    reg.describe_counter(
+        SCAN_AGREEMENT_BOTH_TOTAL,
+        "Cross-validation cells where passive and active detection agree",
+    );
+    reg.describe_counter(
+        SCAN_AGREEMENT_PASSIVE_ONLY_TOTAL,
+        "Cells only the 20-second passive window detected",
+    );
+    reg.describe_counter(
+        SCAN_AGREEMENT_ACTIVE_ONLY_TOTAL,
+        "Cells only the active scan detected (passive false negatives)",
+    );
+    reg.describe_counter(
+        SCAN_AGREEMENT_NEITHER_TOTAL,
+        "Cells where neither detection side fired",
+    );
+    reg.describe_counter(
         SERVICE_ADMITTED_TOTAL,
         "Campaigns accepted by service admission control",
     );
@@ -227,6 +331,12 @@ pub fn describe_defaults(reg: &mut Registry) {
     reg.describe_gauge(SAVE_BYTES, "Bytes written by the store snapshot");
     reg.describe_gauge(SAVE_FSYNCS, "fsyncs issued by the store snapshot");
     reg.describe_histogram(&ANALYSIS_STAGE_SECONDS);
+    reg.describe_histogram(&SCAN_KNOCK_SECONDS);
+    reg.touch_histogram(&SCAN_KNOCK_SECONDS, Labels::empty());
+    for name in SCAN_COUNTERS {
+        reg.touch_counter(name, Labels::empty());
+    }
+    reg.set_gauge(SCAN_OPEN_PORTS, Labels::empty(), 0.0);
     for name in [
         JOURNAL_FRAMES_TOTAL,
         JOURNAL_VISITS_TOTAL,
@@ -283,10 +393,26 @@ mod tests {
             "service_updates_shed_total 0",
             "service_queue_blocks_total 0",
             "service_queue_depth 0",
+            "scan_knocks_total 0",
+            "scan_retries_total 0",
+            "scan_timeouts_total 0",
+            "scan_breaker_trips_total 0",
+            "scan_breaker_skips_total 0",
+            "scan_unprobed_total 0",
+            "scan_open_ports 0",
+            "scan_agreement_both_total 0",
+            "scan_agreement_passive_only_total 0",
+            "scan_agreement_active_only_total 0",
+            "scan_agreement_neither_total 0",
         ] {
             assert!(text.contains(name), "missing {name:?} in:\n{text}");
         }
         assert!(text.contains("# TYPE analysis_stage_seconds histogram"));
+        assert!(text.contains("# TYPE scan_knock_seconds histogram"));
+        assert!(
+            text.contains("scan_knock_seconds_count 0"),
+            "scan knock histogram must exist at zero observations"
+        );
     }
 
     #[test]
@@ -304,6 +430,9 @@ mod tests {
             assert!(name.ends_with("_total"), "{name} must end in _total");
         }
         for name in SERVICE_CAMPAIGN_COUNTERS {
+            assert!(name.ends_with("_total"), "{name} must end in _total");
+        }
+        for name in SCAN_COUNTERS {
             assert!(name.ends_with("_total"), "{name} must end in _total");
         }
     }

@@ -206,9 +206,9 @@ fn kill_sweep_with_aggressive_group_commit_matches_unbatched() {
                     .get(&("top2020".to_string(), "Windows".to_string()))
                     .map(|c| c.plan(&jobs))
                     .unwrap_or_else(|| ResumePlan::fresh(jobs.len()));
-                let journal = JournalWriter::open_append_with(&grouped_path, grouped_config).unwrap();
-                let stats =
-                    run_crawl_resumed(&jobs, &plan, &config, &report.store, Some(&journal));
+                let journal =
+                    JournalWriter::open_append_with(&grouped_path, grouped_config).unwrap();
+                let stats = run_crawl_resumed(&jobs, &plan, &config, &report.store, Some(&journal));
                 journal.sync();
                 assert_eq!(
                     campaign_tables(&report.store, &stats),
