@@ -18,6 +18,10 @@
 //! * [`report`] — renderers that regenerate every table of the paper;
 //! * [`dev_error`] — the Appendix-B sub-classification of developer
 //!   errors;
+//! * [`diff`] — the streaming longitudinal diff over N
+//!   content-addressed snapshots: behaviour-class churn, adoption
+//!   curves, and local-traffic population flows, shard-parallel and
+//!   worker-count invariant;
 //! * [`defense`] — replay telemetry under the WICG Private Network
 //!   Access proposal (§5.3) across adoption scenarios;
 //! * [`entropy`] — the §5.2 fingerprinting-entropy measurement over
@@ -40,6 +44,7 @@ pub mod crossval;
 pub mod defense;
 pub mod detect;
 pub mod dev_error;
+pub mod diff;
 pub mod entropy;
 pub mod intern;
 pub mod longitudinal;
@@ -61,6 +66,7 @@ pub use detect::{
     SiteLocalActivity,
 };
 pub use dev_error::{classify_dev_error, DevErrorKind};
+pub use diff::{diff_snapshots, diff_snapshots_traced, AdoptionRow, FlowRow, SnapshotDiff};
 pub use entropy::{scan_entropy, EntropyReport, PortFingerprint};
 pub use intern::{DomainInterner, Symbol};
 pub use longitudinal::{transitions, Transition, TransitionMatrix};

@@ -84,6 +84,7 @@ use knock_talk::trace::{
     count_allocs, live_bytes, peak_bytes, reset_peak_bytes, CountingAllocator, StageProfiler,
 };
 use knock_talk::webgen::WebSite;
+use knock_talk::{SnapshotStudy, SnapshotStudyConfig};
 
 // The shared counting allocator from kt-trace: feeds the decode+detect
 // allocs/event columns (via `count_allocs`) and the stage profiler's
@@ -113,6 +114,8 @@ struct Options {
     eps_floor: Option<f64>,
     mem_ceiling: Option<f64>,
     fsync_floor: Option<f64>,
+    dedup_floor: Option<f64>,
+    incremental_floor: Option<f64>,
     out: String,
     seed: u64,
 }
@@ -127,6 +130,8 @@ fn parse_args() -> Result<Options, String> {
         eps_floor: None,
         mem_ceiling: None,
         fsync_floor: None,
+        dedup_floor: None,
+        incremental_floor: None,
         out: "BENCH_pipeline.json".to_string(),
         seed: 0xBE7C,
     };
@@ -171,6 +176,19 @@ fn parse_args() -> Result<Options, String> {
                         .and_then(|s| s.parse().ok())
                         .ok_or("--fsync-floor needs a number (journal frames per fsync)")?,
                 );
+            }
+            "--dedup-floor" => {
+                opts.dedup_floor = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--dedup-floor needs a ratio (logical / stored bytes)")?,
+                );
+            }
+            "--incremental-floor" => {
+                opts.incremental_floor =
+                    Some(args.next().and_then(|s| s.parse().ok()).ok_or(
+                        "--incremental-floor needs a ratio (full-recrawl / executed visits)",
+                    )?);
             }
             "--out" => opts.out = args.next().ok_or("--out needs a path")?,
             "--seed" => {
@@ -842,103 +860,101 @@ fn bench_port_scan(seed: u64, calib: f64) -> serde_json::Value {
     })
 }
 
-/// Compare each stage's machine-normalized throughput against the
-/// baseline file; collect every stage that regressed more than 2×.
-fn check_regressions(
-    current: &serde_json::Value,
-    baseline: &serde_json::Value,
-) -> Result<Vec<String>, String> {
-    let rel = |entry: &serde_json::Value, stage: &str| -> Option<f64> {
-        entry.get("stages")?.get(stage)?.get("relative")?.as_f64()
-    };
-    let baseline_pops = baseline
-        .get("populations")
-        .and_then(|p| p.as_array())
-        .ok_or("baseline has no populations array")?;
-    let current_pops = current
-        .get("populations")
-        .and_then(|p| p.as_array())
-        .ok_or("current run has no populations array")?;
-    let mut failures = Vec::new();
-    for cur in current_pops {
-        let sites = cur.get("sites").and_then(|s| s.as_u64());
-        let Some(base) = baseline_pops
-            .iter()
-            .find(|b| b.get("sites").and_then(|s| s.as_u64()) == sites)
-        else {
-            continue; // no baseline at this size — nothing to compare
-        };
-        for stage in [
-            "crawl",
-            "scan",
-            "analyze",
-            "decode_detect_owned",
-            "decode_detect_view",
-        ] {
-            let (Some(b), Some(c)) = (rel(base, stage), rel(cur, stage)) else {
-                continue;
-            };
-            if c <= 0.0 || b / c > 2.0 {
-                failures.push(format!(
-                    "{stage} @ {} sites: relative {b:.2} -> {c:.2} ({:.2}x slower)",
-                    sites.unwrap_or(0),
-                    b / c.max(1e-9)
-                ));
-            }
-        }
+/// The longitudinal snapshot stages. One incremental 12-snapshot
+/// ~20%-churn series through the full engine: rolling list, per-step
+/// incremental plans (recrawl only changed + newly-listed sites, link
+/// the rest by content reference), content-addressed ingest. Reports
+/// two stage entries: `snapshot_store` — executed visits/sec through
+/// the engine, plus the two economy ratios the floors gate
+/// (`full_over_executed`, how much visit work linking saved over a
+/// full per-snapshot recrawl; `dedup_ratio`, logical bytes over stored
+/// bytes in the chunk store) — and `snapshot_diff`, manifest rows/sec
+/// through the shard-parallel streaming diff, asserted byte-identical
+/// between 1 and MAX_WORKERS workers inline.
+fn bench_snapshot(smoke: bool, seed: u64, calib: f64) -> (serde_json::Value, serde_json::Value) {
+    let mut config = SnapshotStudyConfig::bench(seed);
+    if smoke {
+        // Same series shape (12 snapshots, 20% churn) so the gated
+        // ratios are comparable; fewer sites per snapshot.
+        config.series.size = 120;
     }
-    // Service mode: machine-normalized events/sec regresses like any
-    // other stage; the p99 completion tail is on the simulated clock,
-    // so a >2x change means the scheduler itself got less fair, not
-    // that the host was busy. Skip silently against pre-service
-    // baselines.
-    let field = |entry: &serde_json::Value, key: &str| -> Option<f64> {
-        entry.get("service")?.get(key)?.as_f64()
-    };
-    if let (Some(b), Some(c)) = (field(baseline, "relative"), field(current, "relative")) {
-        if c <= 0.0 || b / c > 2.0 {
-            failures.push(format!(
-                "service events/sec: relative {b:.2} -> {c:.2} ({:.2}x slower)",
-                b / c.max(1e-9)
-            ));
-        }
+    let (study, run_secs) = time(|| SnapshotStudy::run(config.clone()).expect("snapshot study"));
+    let work = study.work;
+    assert!(work.executed_visits > 0, "snapshot series must do work");
+    let full_over_executed = work.full_visits as f64 / work.executed_visits as f64;
+    let dedup_ratio = study.snapshots.dedup_ratio();
+
+    let serial = study.diff(1, None).render();
+    let (diff, mut diff_secs) = time(|| study.diff(MAX_WORKERS, None));
+    assert_eq!(
+        diff.render(),
+        serial,
+        "snapshot diff must be worker-count-invariant"
+    );
+    // Best of three, like every other stage.
+    for _ in 0..2 {
+        diff_secs = diff_secs.min(time(|| study.diff(MAX_WORKERS, None)).1);
     }
-    if let (Some(b), Some(c)) = (
-        field(baseline, "p99_completion_ms"),
-        field(current, "p99_completion_ms"),
-    ) {
-        if b > 0.0 && c / b > 2.0 {
-            failures.push(format!(
-                "service p99 campaign completion: {b:.0}ms -> {c:.0}ms ({:.2}x slower, simulated)",
-                c / b
-            ));
-        }
+
+    eprintln!(
+        "  {} snapshots x {} sites: {} visits in {run_secs:.2}s ({:.0}/s) — \
+         {:.2}x fewer than full recrawl, {:.2}x dedup ({} chunks, {} linked rows)",
+        config.series.snapshots,
+        config.series.size,
+        work.executed_visits,
+        work.executed_visits as f64 / run_secs,
+        full_over_executed,
+        dedup_ratio,
+        study.snapshots.chunk_count(),
+        work.linked_rows,
+    );
+    eprintln!(
+        "  diff: {} manifest rows in {diff_secs:.3}s ({:.0}/s), worker-count-invariant",
+        diff.rows_walked,
+        diff.rows_walked as f64 / diff_secs
+    );
+
+    let mut store_entry = stage_json(work.executed_visits as usize, run_secs, calib);
+    if let serde_json::Value::Object(map) = &mut store_entry {
+        map.insert(
+            "snapshots".to_string(),
+            serde_json::json!(config.series.snapshots),
+        );
+        map.insert("sites".to_string(), serde_json::json!(config.series.size));
+        map.insert(
+            "full_visits".to_string(),
+            serde_json::json!(work.full_visits),
+        );
+        map.insert(
+            "linked_rows".to_string(),
+            serde_json::json!(work.linked_rows),
+        );
+        map.insert(
+            "chunks".to_string(),
+            serde_json::json!(study.snapshots.chunk_count()),
+        );
+        map.insert(
+            "stored_bytes".to_string(),
+            serde_json::json!(study.snapshots.stored_bytes()),
+        );
+        map.insert(
+            "logical_bytes".to_string(),
+            serde_json::json!(study.snapshots.logical_bytes()),
+        );
+        map.insert(
+            "full_over_executed".to_string(),
+            serde_json::json!(full_over_executed),
+        );
+        map.insert("dedup_ratio".to_string(), serde_json::json!(dedup_ratio));
     }
-    // Raw-speed-floor stages: the mmap'd-store scan and the grouped
-    // journal writer regress on their machine-normalized throughput
-    // like any other stage. Skip silently against older baselines.
-    let path = |entry: &serde_json::Value, keys: &[&str]| -> Option<f64> {
-        let mut v = entry;
-        for key in keys {
-            v = v.get(key)?;
-        }
-        v.as_f64()
-    };
-    for (label, keys) in [
-        ("flat-memory scan", &["flat_memory", "scan", "relative"]),
-        ("journal grouped", &["journal", "grouped", "relative"]),
-        ("port scan", &["port_scan", "scan", "relative"]),
-    ] {
-        if let (Some(b), Some(c)) = (path(baseline, keys), path(current, keys)) {
-            if c <= 0.0 || b / c > 2.0 {
-                failures.push(format!(
-                    "{label}: relative {b:.2} -> {c:.2} ({:.2}x slower)",
-                    b / c.max(1e-9)
-                ));
-            }
-        }
+    let mut diff_entry = stage_json(diff.rows_walked as usize, diff_secs, calib);
+    if let serde_json::Value::Object(map) = &mut diff_entry {
+        map.insert(
+            "snapshots".to_string(),
+            serde_json::json!(diff.labels.len()),
+        );
     }
-    Ok(failures)
+    (store_entry, diff_entry)
 }
 
 /// Pretty-print a JSON value (the vendored serde_json shim only
@@ -1108,6 +1124,11 @@ fn main() {
     eprintln!("active port scan (dual-stack sweep + sequences, 20% faults):");
     let port_scan = profiler.run("port_scan", || bench_port_scan(opts.seed, calib));
     profiler.annotate_elements(port_scan["targets"].as_u64().unwrap_or(0));
+
+    eprintln!("longitudinal snapshot engine (12-snapshot incremental series):");
+    let (snapshot_store, snapshot_diff) =
+        profiler.run("snapshot", || bench_snapshot(opts.smoke, opts.seed, calib));
+    profiler.annotate_elements(snapshot_store["elements"].as_u64().unwrap_or(0));
     eprintln!("stage breakdown:\n{}", profiler.render_table());
 
     let report = serde_json::json!({
@@ -1121,6 +1142,8 @@ fn main() {
         "flat_memory": flat_memory,
         "journal": journal,
         "port_scan": port_scan,
+        "snapshot_store": snapshot_store,
+        "snapshot_diff": snapshot_diff,
     });
 
     if let Some(baseline_path) = &opts.check {
@@ -1138,7 +1161,7 @@ fn main() {
                 std::process::exit(2);
             }
         };
-        match check_regressions(&report, &baseline) {
+        match kt_bench::checks::check_regressions(&report, &baseline) {
             Ok(failures) if failures.is_empty() => {
                 eprintln!("check: no stage regressed more than 2x vs {baseline_path}");
             }
@@ -1203,6 +1226,34 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("check: flat-memory heap/store ratio {ratio:.4} within ceiling {ceiling}");
+    }
+
+    if let Some(floor) = opts.dedup_floor {
+        let ratio = report["snapshot_store"]["dedup_ratio"]
+            .as_f64()
+            .unwrap_or(0.0);
+        if ratio < floor {
+            eprintln!(
+                "check: FAILED — snapshot store deduplicated {ratio:.2}x \
+                 (logical/stored bytes), floor is {floor}"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("check: snapshot dedup ratio {ratio:.2}x above floor {floor}");
+    }
+
+    if let Some(floor) = opts.incremental_floor {
+        let ratio = report["snapshot_store"]["full_over_executed"]
+            .as_f64()
+            .unwrap_or(0.0);
+        if ratio < floor {
+            eprintln!(
+                "check: FAILED — incremental recrawl saved only {ratio:.2}x \
+                 (full/executed visits), floor is {floor}"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("check: incremental visit savings {ratio:.2}x above floor {floor}");
     }
 
     if let Some(floor) = opts.fsync_floor {

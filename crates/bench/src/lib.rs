@@ -10,6 +10,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checks;
 pub mod prom;
 
 use std::sync::OnceLock;

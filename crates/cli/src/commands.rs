@@ -8,10 +8,10 @@ use knock_talk::netbase::Os;
 use knock_talk::netlog::Capture;
 use knock_talk::store::{
     CrawlId, FsckOptions, JournalConfig, JournalWriter, KillMode, KillSpec, LoadOutcome,
-    VisitRecord,
+    SegmentMode, SnapshotStore, SpillConfig, VisitRecord,
 };
 use knock_talk::trace::Trace;
-use knock_talk::{Study, StudyConfig};
+use knock_talk::{SnapshotStudy, SnapshotStudyConfig, Study, StudyConfig};
 
 use crate::args::Options;
 
@@ -43,6 +43,15 @@ pub fn help() {
                               [--max-campaigns N] [--max-visits N] [--deadline-ms N]\n\
                               [--storm yes] [--check invariants,tables] [--metrics-out FILE]\n\
                               [--journal-dir DIR] [--flush-every BYTES] [--group-frames N]\n\
+           knocktalk snapshot crawl [--snapshots N] [--size N] [--churn R] [--relist R]\n\
+                              [--content-churn R] [--seed N] [--workers N] [--full yes]\n\
+                              [--store DIR] [--spill DIR] [--journal FILE] [--resume yes]\n\
+                              [--kill-frames N] [--kill-mode mid-frame|post-frame]\n\
+                              [--metrics-out FILE]\n\
+           knocktalk snapshot diff --store DIR [--mode mmap|resident] [--workers N]\n\
+                              [--snapshots L1,L2,...] [--out FILE] [--metrics-out FILE]\n\
+           knocktalk snapshot gc --store DIR [--keep N]\n\
+           knocktalk snapshot fsck --store DIR\n\
            knocktalk health   [--scale quick|standard|paper] [--seed N]\n\
            knocktalk profile  [--scale quick|standard|paper] [--seed N] [--workers N]\n\
            knocktalk help\n\
@@ -83,6 +92,21 @@ pub fn help() {
                      service (admission control, bounded queues, deadline budgets);\n\
                      --storm yes arms a deterministic fault storm, --check fails the\n\
                      exit code unless degradation was deterministic and accounted\n\
+           snapshot  the longitudinal engine. `crawl` runs an N-snapshot series over a\n\
+                     churning top list: snapshot 0 is crawled in full, later snapshots\n\
+                     recrawl only changed or newly-listed sites and link unchanged rows\n\
+                     by content reference (--full yes forces full recrawls). --store DIR\n\
+                     persists the content-addressed dedup store: sealed chunks-NNNN.ktc\n\
+                     segment files (KTSNAP1 frames: hash, length, canonical record\n\
+                     bytes) plus a refcounted MANIFEST.json mapping each snapshot's\n\
+                     (domain, os) rows to chunk hashes — identical content across\n\
+                     snapshots is stored once. `diff` streams N manifests shard-parallel\n\
+                     (zero-copy mmap by default) and prints adoption curves, behaviour\n\
+                     churn matrices, and population flows, byte-identical for any\n\
+                     --workers. `gc` drops all but the newest --keep snapshots, sweeps\n\
+                     unreferenced chunks, and rewrites the store compacted. `fsck`\n\
+                     re-hashes every chunk and reconciles refcounts; a damaged store\n\
+                     fails the exit code\n\
            health    run the study and print the crawl health report\n\
                      (retries, recrawls, recoveries, quarantines per campaign/OS)\n\
            profile   run the study under the stage profiler and print per-stage\n\
@@ -946,4 +970,204 @@ pub fn entropy(opts: &Options) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Parse a fractional flag in `[0, 1]`, with a default.
+fn get_fraction(opts: &Options, key: &str, default: f64) -> Result<f64, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse::<f64>()
+            .ok()
+            .filter(|f| (0.0..=1.0).contains(f))
+            .ok_or_else(|| format!("flag --{key} expects a fraction in [0, 1], got {v:?}")),
+    }
+}
+
+fn snapshot_study_config(opts: &Options) -> Result<SnapshotStudyConfig, String> {
+    let seed = opts.get_u64("seed", 0x00C0_FFEE)?;
+    let mut config = SnapshotStudyConfig::quick(seed);
+    config.series.size = opts.get_u64("size", config.series.size as u64)? as usize;
+    config.series.snapshots = opts.get_u64("snapshots", config.series.snapshots as u64)? as usize;
+    config.series.churn = get_fraction(opts, "churn", config.series.churn)?;
+    config.series.relist_fraction = get_fraction(opts, "relist", config.series.relist_fraction)?;
+    config.content_churn = get_fraction(opts, "content-churn", config.content_churn)?;
+    config.workers = opts.get_u64("workers", config.workers as u64)?.max(1) as usize;
+    config.incremental = !parse_switch(opts, "full", false)?;
+    if config.series.size == 0 || config.series.snapshots == 0 {
+        return Err("--size and --snapshots must be positive".to_string());
+    }
+    if let Some(dir) = opts.get("spill") {
+        config.spill = Some(SpillConfig::mmap(std::path::Path::new(dir)));
+    }
+    Ok(config)
+}
+
+/// `knocktalk snapshot` — dispatch on the subcommand positional.
+pub fn snapshot(opts: &Options) -> Result<(), String> {
+    match opts.positional().first().map(String::as_str) {
+        Some("crawl") => snapshot_crawl(opts),
+        Some("diff") => snapshot_diff(opts),
+        Some("gc") => snapshot_gc(opts),
+        Some("fsck") => snapshot_fsck_cmd(opts),
+        Some(other) => Err(format!(
+            "unknown snapshot subcommand {other:?}; expected crawl | diff | gc | fsck"
+        )),
+        None => Err("snapshot needs a subcommand: crawl | diff | gc | fsck".to_string()),
+    }
+}
+
+/// `knocktalk snapshot crawl`.
+fn snapshot_crawl(opts: &Options) -> Result<(), String> {
+    let config = snapshot_study_config(opts)?;
+    let trace = trace_from_opts(opts);
+    let study = if parse_switch(opts, "resume", false)? {
+        let path = opts
+            .get("journal")
+            .ok_or("--resume yes needs --journal FILE")?;
+        SnapshotStudy::resume(std::path::Path::new(path), config, trace.as_ref())
+            .map_err(|e| e.to_string())?
+    } else {
+        let journal = journal_from_opts(opts)?;
+        let study = SnapshotStudy::run_journaled_observed(config, journal.as_ref(), trace.as_ref())
+            .map_err(|e| e.to_string())?;
+        if let Some(j) = &journal {
+            if report_if_killed(j) {
+                write_trace_outputs(opts, trace.as_ref())?;
+                return Ok(());
+            }
+        }
+        study
+    };
+    println!(
+        "longitudinal series: {} snapshots x {} sites ({}% churn)",
+        study.series.len(),
+        study.config.series.size,
+        (study.config.series.churn * 100.0).round()
+    );
+    println!(
+        "  visit work: {} executed / {} full-recrawl ({:.1}% incremental fraction)",
+        study.work.executed_visits,
+        study.work.full_visits,
+        study.work.incremental_fraction() * 100.0
+    );
+    println!(
+        "  store: {} chunks, {} linked rows, {} stored bytes vs {} logical ({:.2}x dedup)",
+        study.snapshots.chunk_count(),
+        study.work.linked_rows,
+        study.snapshots.stored_bytes(),
+        study.snapshots.logical_bytes(),
+        study.snapshots.dedup_ratio()
+    );
+    if let Some(dir) = opts.get("store") {
+        let report = study
+            .snapshots
+            .save(std::path::Path::new(dir))
+            .map_err(|e| format!("saving snapshot store to {dir}: {e}"))?;
+        println!(
+            "  saved: {} segment file(s), {} chunk(s), {} manifest row(s) -> {dir}",
+            report.segments, report.chunks, report.manifest_entries
+        );
+    }
+    write_trace_outputs(opts, trace.as_ref())
+}
+
+/// Open an on-disk snapshot store for `snapshot diff|gc`.
+fn open_snapshot_store(opts: &Options) -> Result<(String, SnapshotStore), String> {
+    let dir = opts
+        .get("store")
+        .ok_or("--store DIR is required")?
+        .to_string();
+    let mode = match opts.get("mode").unwrap_or("mmap") {
+        "mmap" => SegmentMode::Mmap,
+        "resident" => SegmentMode::Resident,
+        other => {
+            return Err(format!(
+                "unknown --mode {other:?}; expected mmap | resident"
+            ))
+        }
+    };
+    let store = SnapshotStore::open(std::path::Path::new(&dir), mode)
+        .map_err(|e| format!("opening snapshot store {dir}: {e}"))?;
+    Ok((dir, store))
+}
+
+/// `knocktalk snapshot diff`.
+fn snapshot_diff(opts: &Options) -> Result<(), String> {
+    let (_, store) = open_snapshot_store(opts)?;
+    let workers = opts.get_u64("workers", 4)?.max(1) as usize;
+    let labels: Vec<String> = match opts.get("snapshots") {
+        Some(list) => list.split(',').map(str::to_string).collect(),
+        None => store.labels().iter().map(|l| l.to_string()).collect(),
+    };
+    for label in &labels {
+        if store.manifest(label).is_none() {
+            return Err(format!("snapshot {label:?} not in store"));
+        }
+    }
+    let trace = trace_from_opts(opts);
+    let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+    let diff = knock_talk::analysis::diff_snapshots_traced(&store, &refs, workers, trace.as_ref());
+    let rendered = diff.render();
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("diff tables written to {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    write_trace_outputs(opts, trace.as_ref())
+}
+
+/// `knocktalk snapshot gc`.
+fn snapshot_gc(opts: &Options) -> Result<(), String> {
+    let (dir, mut store) = open_snapshot_store(opts)?;
+    let keep = opts.get_u64("keep", u64::MAX)? as usize;
+    if keep == 0 {
+        return Err("--keep must be at least 1".to_string());
+    }
+    let labels: Vec<String> = store.labels().iter().map(|l| l.to_string()).collect();
+    let drop_count = labels.len().saturating_sub(keep);
+    for label in &labels[..drop_count] {
+        store.remove_snapshot(label);
+        println!("dropped snapshot {label}");
+    }
+    let report = store.gc();
+    println!(
+        "gc: {} chunk(s) reclaimed, {} byte(s); {} snapshot(s) remain",
+        report.chunks_dropped,
+        report.bytes_reclaimed,
+        store.snapshot_count()
+    );
+    store
+        .save(std::path::Path::new(&dir))
+        .map_err(|e| format!("rewriting snapshot store {dir}: {e}"))?;
+    println!("store rewritten compacted -> {dir}");
+    Ok(())
+}
+
+/// `knocktalk snapshot fsck`.
+fn snapshot_fsck_cmd(opts: &Options) -> Result<(), String> {
+    let dir = opts.get("store").ok_or("--store DIR is required")?;
+    let report = knock_talk::store::snapshot_fsck(std::path::Path::new(dir))
+        .map_err(|e| format!("fsck of snapshot store {dir}: {e}"))?;
+    println!(
+        "{dir}: {} segment(s), {} chunk(s), {} manifest row(s)",
+        report.segments, report.chunks, report.manifest_entries
+    );
+    if report.clean() {
+        println!(
+            "  clean: every chunk re-hashes, refcounts reconcile, no dangling or duplicate references"
+        );
+        return Ok(());
+    }
+    println!(
+        "  damage: {} dangling ref(s), {} duplicate chunk(s), {} hash mismatch(es)",
+        report.dangling_refs, report.duplicate_chunks, report.hash_mismatches
+    );
+    println!(
+        "  refcounts: {} mismatch(es), {} orphan chunk(s), {} out-of-bounds entr(ies)",
+        report.refcount_mismatches, report.orphan_chunks, report.out_of_bounds
+    );
+    Err("snapshot store is not clean".to_string())
 }

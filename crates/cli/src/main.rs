@@ -19,6 +19,12 @@
 //!                    [--queue-capacity N] [--policy block|shed] [--max-campaigns N]
 //!                    [--max-visits N] [--deadline-ms N] [--storm yes]
 //!                    [--check invariants,tables] [--metrics-out FILE]
+//! knocktalk snapshot crawl [--snapshots N] [--size N] [--churn R] [--content-churn R]
+//!                    [--seed N] [--workers N] [--full yes] [--store DIR] [--spill DIR]
+//!                    [--journal FILE] [--resume yes] [--kill-frames N] [--metrics-out FILE]
+//! knocktalk snapshot diff --store DIR [--mode mmap|resident] [--workers N] [--out FILE]
+//! knocktalk snapshot gc   --store DIR [--keep N]
+//! knocktalk snapshot fsck --store DIR
 //! knocktalk health   [--scale quick|standard|paper] [--seed N]
 //! knocktalk profile  [--scale quick|standard|paper] [--seed N] [--workers N]
 //! knocktalk help
@@ -69,6 +75,7 @@ fn main() -> ExitCode {
         "entropy" => commands::entropy(&opts),
         "scan" => commands::scan(&opts),
         "serve" => commands::serve(&opts),
+        "snapshot" => commands::snapshot(&opts),
         "health" => commands::health(&opts),
         "profile" => commands::profile(&opts),
         "help" | "--help" | "-h" => {

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod crawl;
+pub mod incremental;
 pub mod observe;
 pub mod queue;
 pub mod resume;
@@ -28,6 +29,7 @@ pub use crawl::{
     run_crawl_resumed_observed, run_pool_job, run_recrawl_job, simulated_makespan, CrawlConfig,
     CrawlJob, PoolJobEnd, VISIT_WALL_MS,
 };
+pub use incremental::IncrementalPlan;
 pub use observe::{campaign_labels, set_stats_gauges, stats_sink, stats_sink_delta};
 pub use resume::{split_campaigns, CampaignReplay, ResumePlan};
 pub use stats::CrawlStats;

@@ -536,9 +536,13 @@ impl<'a> RawParams<'a> {
                 initiator: initiator.map(s),
                 load_flags,
             },
-            RawParams::Redirect { location } => ParamsView::Redirect { location: s(location) },
+            RawParams::Redirect { location } => ParamsView::Redirect {
+                location: s(location),
+            },
             RawParams::DnsJob { host } => ParamsView::DnsJob { host: s(host) },
-            RawParams::Connect { address } => ParamsView::Connect { address: s(address) },
+            RawParams::Connect { address } => ParamsView::Connect {
+                address: s(address),
+            },
             RawParams::Ssl { host } => ParamsView::Ssl { host: s(host) },
             RawParams::ResponseHeaders { status } => ParamsView::ResponseHeaders { status },
             RawParams::WebSocket { url } => ParamsView::WebSocket { url: s(url) },
@@ -986,8 +990,8 @@ mod tests {
         for payload in [
             b"hello".to_vec(),
             b"wss://localhost:3389/".to_vec(),
-            vec![0xff, 0xfe, 0xfd],        // invalid UTF-8
-            vec![0xe2, 0x82],              // truncated multibyte char
+            vec![0xff, 0xfe, 0xfd], // invalid UTF-8
+            vec![0xe2, 0x82],       // truncated multibyte char
             "héllo wörld".as_bytes().to_vec(),
         ] {
             let mut case = Vec::new();

@@ -1299,7 +1299,9 @@ mod tests {
         let mut state = 0x9E37_79B9_7F4A_7C15u64;
         let data: Vec<u8> = (0..257)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 33) as u8
             })
             .collect();

@@ -21,7 +21,11 @@
 //!   group-commit frame batching behind [`journal::JournalConfig`];
 //! * [`segment`] — memory-mapped sealed segments: spill a sealed
 //!   segment to disk and serve it back through the zero-copy `Bytes`
-//!   API via `mmap` (with an explicit resident fallback).
+//!   API via `mmap` (with an explicit resident fallback);
+//! * [`snapshot`] — the content-addressed [`SnapshotStore`] for
+//!   longitudinal series: identical visit records across snapshots are
+//!   stored once, manifests link unchanged sites by reference, and
+//!   [`snapshot_fsck`] audits the on-disk chunk layout.
 
 #![warn(missing_docs)]
 
@@ -30,6 +34,7 @@ pub mod journal;
 pub mod persist;
 pub mod record;
 pub mod segment;
+pub mod snapshot;
 pub mod store;
 
 pub use codec::{decode_view, VisitView};
@@ -41,4 +46,9 @@ pub use journal::{
 pub use persist::{load, load_any, save, LoadReport, PersistError, SaveReport};
 pub use record::{CrawlId, LoadOutcome, VisitRecord};
 pub use segment::{SegmentMode, SpillConfig};
+pub use snapshot::{
+    canonical_bytes, os_slot, shard_of, slot_os, snapshot_fsck, ContentHash, GcReport,
+    IngestOutcome, ManifestEntry, SnapshotFsckReport, SnapshotManifest, SnapshotSaveReport,
+    SnapshotStore, CANONICAL_CRAWL, SNAPSHOT_SHARDS,
+};
 pub use store::TelemetryStore;

@@ -246,7 +246,8 @@ impl ShardSpill {
     }
 
     fn segment_path(&self, seg: usize) -> PathBuf {
-        self.dir.join(format!("shard-{:02}-seg-{:04}.ktseg", self.shard, seg))
+        self.dir
+            .join(format!("shard-{:02}-seg-{:04}.ktseg", self.shard, seg))
     }
 }
 

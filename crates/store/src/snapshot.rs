@@ -1,0 +1,1128 @@
+//! The content-addressed longitudinal snapshot store.
+//!
+//! A longitudinal study crawls the "same" web many times; most visit
+//! records repeat byte-for-byte between snapshots (the site didn't
+//! change, the simulation is deterministic). Storing N snapshots as N
+//! full [`TelemetryStore`] dumps costs N× the bytes; the
+//! [`SnapshotStore`] instead keys every record by a 128-bit hash of
+//! its *canonicalised* encoding and stores each distinct chunk once:
+//!
+//! * **canonicalisation** — the codec buries the crawl id and the
+//!   Tranco rank inside the record bytes, and both legitimately differ
+//!   between snapshots of identical content. Before hashing, the
+//!   record is re-encoded with the fixed [`CANONICAL_CRAWL`] id and
+//!   `rank: None`; the per-snapshot manifest carries the snapshot
+//!   label and the rank instead (`to record bytes` what a column is to
+//!   a table key);
+//! * **manifests** — one per snapshot label, mapping `(domain, OS)` →
+//!   (content hash, rank). An *incremental* crawl links an unchanged
+//!   site's entry straight to the previous snapshot's chunk
+//!   ([`SnapshotStore::link_from`]) without re-encoding anything;
+//! * **refcounts** — each chunk counts its manifest references;
+//!   [`SnapshotStore::remove_snapshot`] decrements and
+//!   [`SnapshotStore::gc`] drops unreferenced chunks;
+//! * **persistence** — chunks pack into sealed segment files (magic
+//!   [`SNAPSHOT_SEGMENT_MAGIC`], frames of `[hash][len][bytes]`) that
+//!   reload through [`load_segment`]'s zero-copy mmap path, plus a
+//!   JSON manifest recording, per chunk, its `(segment, offset,
+//!   length)` location; [`snapshot_fsck`] is the store doctor for the
+//!   on-disk layout (dangling references, duplicated chunks, torn
+//!   segments, refcount drift).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::Path;
+
+use bytes::Bytes;
+use kt_netbase::Os;
+use serde::{Deserialize, Serialize};
+
+use crate::codec;
+use crate::record::{CrawlId, VisitRecord};
+use crate::segment::{load_segment, SegmentMode};
+
+/// The crawl id every chunk is encoded under, whatever snapshot the
+/// record came from. Snapshot identity lives in the manifest.
+pub const CANONICAL_CRAWL: &str = "snapshot";
+
+/// Magic prefix of a snapshot chunk segment file.
+pub const SNAPSHOT_SEGMENT_MAGIC: &[u8; 8] = b"KTSNAP1\n";
+
+/// Chunk bytes packed per segment file before sealing (matches the
+/// telemetry store's segment granularity).
+const SEGMENT_TARGET: usize = 512 << 10;
+
+/// Shards the streaming diff walks in parallel; pinned to the
+/// telemetry store's shard count so the two parallel drivers share
+/// their worker shape.
+pub const SNAPSHOT_SHARDS: usize = 16;
+
+/// The store's OS column order (W/L/M), shared with [`TelemetryStore`].
+///
+/// [`TelemetryStore`]: crate::store::TelemetryStore
+pub fn os_slot(os: Os) -> u8 {
+    match os {
+        Os::Windows => 0,
+        Os::Linux => 1,
+        Os::MacOs => 2,
+    }
+}
+
+/// Inverse of [`os_slot`].
+pub fn slot_os(slot: u8) -> Option<Os> {
+    match slot {
+        0 => Some(Os::Windows),
+        1 => Some(Os::Linux),
+        2 => Some(Os::MacOs),
+        _ => None,
+    }
+}
+
+/// The shard a domain's manifest entries belong to, for shard-parallel
+/// walks. A pure function of the domain string.
+pub fn shard_of(domain: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in domain.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    (h % SNAPSHOT_SHARDS as u64) as usize
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// 128-bit content address of one canonicalised record encoding.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ContentHash(pub [u8; 16]);
+
+impl ContentHash {
+    /// Hash a byte slice: two independent FNV-1a streams (the second
+    /// rotated so transpositions separate the halves), finalised
+    /// through splitmix for avalanche.
+    pub fn of(bytes: &[u8]) -> ContentHash {
+        let mut a: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut b: u64 = 0x6c62_272e_07bb_0142;
+        for &x in bytes {
+            a = (a ^ x as u64).wrapping_mul(0x0000_0100_0000_01B3);
+            b = (b ^ x as u64)
+                .wrapping_mul(0x0000_0100_0000_01B3)
+                .rotate_left(29);
+        }
+        a = mix(a ^ bytes.len() as u64);
+        b = mix(b ^ a);
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&a.to_be_bytes());
+        out[8..].copy_from_slice(&b.to_be_bytes());
+        ContentHash(out)
+    }
+
+    /// Lower-case hex form (32 chars).
+    pub fn to_hex(self) -> String {
+        let mut s = String::with_capacity(32);
+        for b in self.0 {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// Parse the hex form back.
+    pub fn from_hex(s: &str) -> Option<ContentHash> {
+        if s.len() != 32 {
+            return None;
+        }
+        let mut out = [0u8; 16];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = u8::from_str_radix(&s[i * 2..i * 2 + 2], 16).ok()?;
+        }
+        Some(ContentHash(out))
+    }
+}
+
+impl fmt::Debug for ContentHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ContentHash({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// Re-encode a record under the canonical crawl id with the rank
+/// stripped — the byte string that gets content-addressed. Records
+/// already in canonical form encode without the clone.
+pub fn canonical_bytes(record: &VisitRecord) -> Bytes {
+    if record.crawl.as_str() == CANONICAL_CRAWL && record.rank.is_none() {
+        return codec::encode(record);
+    }
+    let canonical = VisitRecord {
+        crawl: CrawlId(CANONICAL_CRAWL.to_string()),
+        rank: None,
+        ..record.clone()
+    };
+    codec::encode(&canonical)
+}
+
+/// One manifest row: where a `(domain, OS)` visit's bytes live, plus
+/// the snapshot-scoped metadata the canonicalisation stripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Content address of the canonicalised record bytes.
+    pub hash: ContentHash,
+    /// Tranco rank of the domain *in this snapshot*.
+    pub rank: Option<u32>,
+    /// Chunk length in bytes.
+    pub len: u32,
+}
+
+/// One snapshot's manifest: `(domain, OS slot)` → entry, ordered.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SnapshotManifest {
+    /// Rows keyed by `(domain, os_slot)` — the same order
+    /// `TelemetryStore::crawl_records` returns records in.
+    pub entries: BTreeMap<(String, u8), ManifestEntry>,
+}
+
+impl SnapshotManifest {
+    /// Distinct domains, in order.
+    pub fn domains(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for (domain, _) in self.entries.keys() {
+            if out.last().map(|d| *d != domain.as_str()).unwrap_or(true) {
+                out.push(domain.as_str());
+            }
+        }
+        out
+    }
+
+    /// The rank recorded for a domain (from any of its OS rows).
+    pub fn rank_of(&self, domain: &str) -> Option<u32> {
+        self.entries
+            .range((domain.to_string(), 0)..=(domain.to_string(), 2))
+            .find_map(|(_, e)| e.rank)
+    }
+}
+
+struct Chunk {
+    bytes: Bytes,
+    refs: u64,
+}
+
+/// Outcome of one [`SnapshotStore::ingest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestOutcome {
+    /// Content address the record landed under.
+    pub hash: ContentHash,
+    /// True when the chunk was new to the store (bytes written);
+    /// false when it deduplicated against an existing chunk.
+    pub fresh: bool,
+    /// Canonical encoding length.
+    pub len: u32,
+}
+
+/// What [`SnapshotStore::gc`] reclaimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcReport {
+    /// Chunks dropped (refcount zero).
+    pub chunks_dropped: usize,
+    /// Bytes those chunks held.
+    pub bytes_reclaimed: u64,
+}
+
+/// The content-addressed dedup store for N snapshots.
+#[derive(Default)]
+pub struct SnapshotStore {
+    chunks: BTreeMap<ContentHash, Chunk>,
+    manifests: BTreeMap<String, SnapshotManifest>,
+    /// Labels in ingest order (manifest map order is lexicographic).
+    order: Vec<String>,
+}
+
+impl SnapshotStore {
+    /// An empty store.
+    pub fn new() -> SnapshotStore {
+        SnapshotStore::default()
+    }
+
+    /// Ingest one visit record into snapshot `label`. The record is
+    /// canonicalised, content-addressed, and stored once per distinct
+    /// byte string; `rank` is the domain's rank in *this* snapshot
+    /// (manifest metadata, never hashed). Last write wins per
+    /// `(label, domain, OS)`, like the telemetry store.
+    pub fn ingest(
+        &mut self,
+        label: &str,
+        record: &VisitRecord,
+        rank: Option<u32>,
+    ) -> IngestOutcome {
+        let bytes = canonical_bytes(record);
+        let hash = ContentHash::of(&bytes);
+        let len = bytes.len() as u32;
+        let fresh = match self.chunks.get_mut(&hash) {
+            Some(chunk) => {
+                chunk.refs += 1;
+                false
+            }
+            None => {
+                self.chunks.insert(hash, Chunk { bytes, refs: 1 });
+                true
+            }
+        };
+        let entry = ManifestEntry { hash, rank, len };
+        let manifest = self.manifest_mut(label);
+        let key = (record.domain.clone(), os_slot(record.os));
+        if let Some(old) = manifest.entries.insert(key, entry) {
+            self.release(old.hash);
+        }
+        IngestOutcome { hash, fresh, len }
+    }
+
+    /// Link an unchanged site's visit: copy the `(domain, OS)` entry of
+    /// snapshot `from` into snapshot `to` by reference — no bytes move,
+    /// the chunk's refcount grows. `rank` is the domain's rank in the
+    /// *new* snapshot. Returns false (and does nothing) when `from`
+    /// has no such entry.
+    pub fn link_from(
+        &mut self,
+        from: &str,
+        to: &str,
+        domain: &str,
+        os: Os,
+        rank: Option<u32>,
+    ) -> bool {
+        let key = (domain.to_string(), os_slot(os));
+        let Some(entry) = self
+            .manifests
+            .get(from)
+            .and_then(|m| m.entries.get(&key))
+            .copied()
+        else {
+            return false;
+        };
+        match self.chunks.get_mut(&entry.hash) {
+            Some(chunk) => chunk.refs += 1,
+            None => return false,
+        }
+        let linked = ManifestEntry { rank, ..entry };
+        let manifest = self.manifest_mut(to);
+        if let Some(old) = manifest.entries.insert(key, linked) {
+            self.release(old.hash);
+        }
+        true
+    }
+
+    fn manifest_mut(&mut self, label: &str) -> &mut SnapshotManifest {
+        if !self.manifests.contains_key(label) {
+            self.manifests
+                .insert(label.to_string(), SnapshotManifest::default());
+            self.order.push(label.to_string());
+        }
+        self.manifests.get_mut(label).expect("just inserted")
+    }
+
+    fn release(&mut self, hash: ContentHash) {
+        if let Some(chunk) = self.chunks.get_mut(&hash) {
+            chunk.refs = chunk.refs.saturating_sub(1);
+        }
+    }
+
+    /// Snapshot labels in ingest order.
+    pub fn labels(&self) -> Vec<&str> {
+        self.order.iter().map(String::as_str).collect()
+    }
+
+    /// One snapshot's manifest.
+    pub fn manifest(&self, label: &str) -> Option<&SnapshotManifest> {
+        self.manifests.get(label)
+    }
+
+    /// The raw chunk bytes for `(label, domain, os)` — a zero-copy
+    /// slice handle into the store's (possibly mmap-backed) segments.
+    pub fn get(&self, label: &str, domain: &str, os: Os) -> Option<Bytes> {
+        let key = (domain.to_string(), os_slot(os));
+        let entry = self.manifests.get(label)?.entries.get(&key)?;
+        self.chunks.get(&entry.hash).map(|c| c.bytes.clone())
+    }
+
+    /// Chunk bytes by content address.
+    pub fn chunk(&self, hash: ContentHash) -> Option<Bytes> {
+        self.chunks.get(&hash).map(|c| c.bytes.clone())
+    }
+
+    /// Decode the record for `(label, domain, os)`, restoring the
+    /// snapshot-scoped fields the canonicalisation stripped: `crawl`
+    /// becomes the snapshot label, `rank` comes from the manifest.
+    pub fn record(&self, label: &str, domain: &str, os: Os) -> Option<VisitRecord> {
+        let key = (domain.to_string(), os_slot(os));
+        let entry = self.manifests.get(label)?.entries.get(&key)?;
+        let bytes = self.chunks.get(&entry.hash)?.bytes.clone();
+        let mut record = codec::decode(bytes).ok()?;
+        record.crawl = CrawlId(label.to_string());
+        record.rank = entry.rank;
+        Some(record)
+    }
+
+    /// Number of snapshots.
+    pub fn snapshot_count(&self) -> usize {
+        self.manifests.len()
+    }
+
+    /// Number of distinct chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Bytes actually stored (each distinct chunk once).
+    pub fn stored_bytes(&self) -> u64 {
+        self.chunks.values().map(|c| c.bytes.len() as u64).sum()
+    }
+
+    /// Bytes the snapshots would occupy stored flat (every manifest
+    /// row's chunk length, duplicates counted).
+    pub fn logical_bytes(&self) -> u64 {
+        self.manifests
+            .values()
+            .flat_map(|m| m.entries.values())
+            .map(|e| e.len as u64)
+            .sum()
+    }
+
+    /// Deduplication ratio: logical bytes over stored bytes (≥ 1).
+    pub fn dedup_ratio(&self) -> f64 {
+        let stored = self.stored_bytes();
+        if stored == 0 {
+            return 1.0;
+        }
+        self.logical_bytes() as f64 / stored as f64
+    }
+
+    /// Drop one snapshot's manifest, releasing its chunk references.
+    /// The bytes stay until [`SnapshotStore::gc`] runs. Returns false
+    /// when the label is unknown.
+    pub fn remove_snapshot(&mut self, label: &str) -> bool {
+        let Some(manifest) = self.manifests.remove(label) else {
+            return false;
+        };
+        self.order.retain(|l| l != label);
+        for entry in manifest.entries.values() {
+            let hash = entry.hash;
+            self.release(hash);
+        }
+        true
+    }
+
+    /// Drop every chunk whose refcount reached zero.
+    pub fn gc(&mut self) -> GcReport {
+        let mut report = GcReport::default();
+        self.chunks.retain(|_, chunk| {
+            if chunk.refs == 0 {
+                report.chunks_dropped += 1;
+                report.bytes_reclaimed += chunk.bytes.len() as u64;
+                false
+            } else {
+                true
+            }
+        });
+        report
+    }
+
+    /// Internal-consistency check of the live store: every manifest
+    /// entry must resolve to a chunk whose declared length matches,
+    /// and every chunk's refcount must equal its manifest reference
+    /// count. Returns human-readable violations (empty = consistent).
+    pub fn verify(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let mut counted: BTreeMap<ContentHash, u64> = BTreeMap::new();
+        for (label, manifest) in &self.manifests {
+            for ((domain, slot), entry) in &manifest.entries {
+                match self.chunks.get(&entry.hash) {
+                    None => violations.push(format!(
+                        "{label}/{domain}/os{slot}: dangling chunk reference {}",
+                        entry.hash
+                    )),
+                    Some(chunk) if chunk.bytes.len() as u32 != entry.len => {
+                        violations.push(format!("{label}/{domain}/os{slot}: length drift vs chunk"))
+                    }
+                    Some(_) => {}
+                }
+                *counted.entry(entry.hash).or_default() += 1;
+            }
+        }
+        for (hash, chunk) in &self.chunks {
+            let referenced = counted.get(hash).copied().unwrap_or(0);
+            if chunk.refs != referenced {
+                violations.push(format!(
+                    "chunk {hash}: refcount {} but {referenced} manifest reference(s)",
+                    chunk.refs
+                ));
+            }
+        }
+        violations
+    }
+
+    /// Write the store to `dir`: sealed chunk segments plus the JSON
+    /// manifest. Unreferenced chunks are not written (save compacts).
+    pub fn save(&self, dir: &Path) -> io::Result<SnapshotSaveReport> {
+        fs::create_dir_all(dir)?;
+        let mut report = SnapshotSaveReport::default();
+        let mut doc = ManifestDoc {
+            version: 1,
+            segments: Vec::new(),
+            chunks: Vec::new(),
+            snapshots: Vec::new(),
+        };
+        let mut seg_buf: Vec<u8> = SNAPSHOT_SEGMENT_MAGIC.to_vec();
+        let mut seg_index: u32 = 0;
+        let seal = |buf: &mut Vec<u8>, index: u32, doc: &mut ManifestDoc| -> io::Result<()> {
+            let name = format!("chunks-{index:04}.ktc");
+            let mut file = File::create(dir.join(&name))?;
+            file.write_all(buf)?;
+            file.sync_all()?;
+            doc.segments.push(SegmentDoc {
+                file: name,
+                bytes: buf.len() as u64,
+            });
+            buf.clear();
+            buf.extend_from_slice(SNAPSHOT_SEGMENT_MAGIC);
+            Ok(())
+        };
+        for (hash, chunk) in &self.chunks {
+            if chunk.refs == 0 {
+                continue;
+            }
+            if seg_buf.len() > SEGMENT_TARGET {
+                seal(&mut seg_buf, seg_index, &mut doc)?;
+                seg_index += 1;
+            }
+            let off = seg_buf.len() as u64;
+            seg_buf.extend_from_slice(&hash.0);
+            seg_buf.extend_from_slice(&(chunk.bytes.len() as u32).to_le_bytes());
+            seg_buf.extend_from_slice(&chunk.bytes);
+            doc.chunks.push(ChunkDoc {
+                hash: hash.to_hex(),
+                seg: seg_index,
+                off,
+                len: chunk.bytes.len() as u32,
+                refs: chunk.refs,
+            });
+            report.chunks += 1;
+            report.chunk_bytes += chunk.bytes.len() as u64;
+        }
+        if seg_buf.len() > SNAPSHOT_SEGMENT_MAGIC.len() || doc.segments.is_empty() {
+            seal(&mut seg_buf, seg_index, &mut doc)?;
+        }
+        for label in &self.order {
+            let manifest = &self.manifests[label];
+            doc.snapshots.push(SnapshotDoc {
+                label: label.clone(),
+                entries: manifest
+                    .entries
+                    .iter()
+                    .map(|((domain, slot), e)| EntryDoc {
+                        domain: domain.clone(),
+                        os: *slot,
+                        rank: e.rank,
+                        hash: e.hash.to_hex(),
+                    })
+                    .collect(),
+            });
+            report.manifest_entries += manifest.entries.len();
+        }
+        let json = serde_json::to_string(&doc)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut file = File::create(dir.join("MANIFEST.json"))?;
+        file.write_all(json.as_bytes())?;
+        file.sync_all()?;
+        report.segments = doc.segments.len();
+        Ok(report)
+    }
+
+    /// Load a store from `dir`. Segment files come back through
+    /// [`load_segment`] — `SegmentMode::Mmap` serves chunk reads as
+    /// zero-copy slices of the mapped file.
+    pub fn open(dir: &Path, mode: SegmentMode) -> io::Result<SnapshotStore> {
+        let doc = read_manifest_doc(dir)?;
+        let mut segments: Vec<Bytes> = Vec::with_capacity(doc.segments.len());
+        for seg in &doc.segments {
+            let bytes = load_segment(&dir.join(&seg.file), mode)?;
+            if bytes.len() < SNAPSHOT_SEGMENT_MAGIC.len()
+                || &bytes[..SNAPSHOT_SEGMENT_MAGIC.len()] != SNAPSHOT_SEGMENT_MAGIC
+            {
+                return Err(bad_data(format!("{}: bad segment magic", seg.file)));
+            }
+            segments.push(bytes);
+        }
+        let mut chunks = BTreeMap::new();
+        for c in &doc.chunks {
+            let hash = ContentHash::from_hex(&c.hash)
+                .ok_or_else(|| bad_data(format!("bad chunk hash {:?}", c.hash)))?;
+            let seg = segments
+                .get(c.seg as usize)
+                .ok_or_else(|| bad_data(format!("chunk {}: segment {} missing", c.hash, c.seg)))?;
+            let header = c.off as usize;
+            let start = header + 16 + 4;
+            let end = start + c.len as usize;
+            if end > seg.len() {
+                return Err(bad_data(format!("chunk {}: out of segment bounds", c.hash)));
+            }
+            if seg[header..header + 16] != hash.0 {
+                return Err(bad_data(format!("chunk {}: frame hash mismatch", c.hash)));
+            }
+            chunks.insert(
+                hash,
+                Chunk {
+                    bytes: seg.slice(start..end),
+                    refs: c.refs,
+                },
+            );
+        }
+        let mut store = SnapshotStore {
+            chunks,
+            manifests: BTreeMap::new(),
+            order: Vec::new(),
+        };
+        for snap in &doc.snapshots {
+            store.manifest_mut(&snap.label);
+            for e in &snap.entries {
+                let hash = ContentHash::from_hex(&e.hash)
+                    .ok_or_else(|| bad_data(format!("bad entry hash {:?}", e.hash)))?;
+                let len = store
+                    .chunks
+                    .get(&hash)
+                    .map(|c| c.bytes.len() as u32)
+                    .unwrap_or(0);
+                store
+                    .manifests
+                    .get_mut(&snap.label)
+                    .expect("manifest exists")
+                    .entries
+                    .insert(
+                        (e.domain.clone(), e.os),
+                        ManifestEntry {
+                            hash,
+                            rank: e.rank,
+                            len,
+                        },
+                    );
+            }
+        }
+        Ok(store)
+    }
+}
+
+fn bad_data(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn read_manifest_doc(dir: &Path) -> io::Result<ManifestDoc> {
+    let text = fs::read_to_string(dir.join("MANIFEST.json"))?;
+    serde_json::from_str(&text).map_err(|e| bad_data(format!("MANIFEST.json: {e}")))
+}
+
+/// What [`SnapshotStore::save`] wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SnapshotSaveReport {
+    /// Segment files written.
+    pub segments: usize,
+    /// Distinct chunks written.
+    pub chunks: usize,
+    /// Chunk payload bytes written.
+    pub chunk_bytes: u64,
+    /// Manifest rows written.
+    pub manifest_entries: usize,
+}
+
+/// The snapshot-store doctor's findings over an on-disk directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SnapshotFsckReport {
+    /// Segment files inspected.
+    pub segments: usize,
+    /// Chunks indexed by the manifest.
+    pub chunks: usize,
+    /// Manifest rows inspected.
+    pub manifest_entries: usize,
+    /// Manifest rows whose hash resolves to no indexed chunk.
+    pub dangling_refs: usize,
+    /// Content hashes indexed or stored more than once.
+    pub duplicate_chunks: usize,
+    /// Chunks whose stored bytes do not re-hash to their key.
+    pub hash_mismatches: usize,
+    /// Chunks whose declared refcount differs from the count of
+    /// manifest rows referencing them.
+    pub refcount_mismatches: usize,
+    /// Chunks no manifest row references (gc debt).
+    pub orphan_chunks: usize,
+    /// Index entries pointing outside their segment file.
+    pub out_of_bounds: usize,
+}
+
+impl SnapshotFsckReport {
+    /// True when the directory is fully consistent.
+    pub fn clean(&self) -> bool {
+        self.dangling_refs == 0
+            && self.duplicate_chunks == 0
+            && self.hash_mismatches == 0
+            && self.refcount_mismatches == 0
+            && self.orphan_chunks == 0
+            && self.out_of_bounds == 0
+    }
+}
+
+/// Check an on-disk snapshot store for dangling references, duplicated
+/// chunks, hash drift, refcount drift, orphans, and out-of-bounds
+/// index entries. Never panics on damage; unreadable manifests error.
+pub fn snapshot_fsck(dir: &Path) -> io::Result<SnapshotFsckReport> {
+    let doc = read_manifest_doc(dir)?;
+    let mut report = SnapshotFsckReport {
+        segments: doc.segments.len(),
+        chunks: doc.chunks.len(),
+        ..SnapshotFsckReport::default()
+    };
+    let mut segments: Vec<Option<Bytes>> = Vec::new();
+    for seg in &doc.segments {
+        let bytes = load_segment(&dir.join(&seg.file), SegmentMode::Resident).ok();
+        let ok = bytes
+            .as_ref()
+            .map(|b| b.len() >= SNAPSHOT_SEGMENT_MAGIC.len() && &b[..8] == SNAPSHOT_SEGMENT_MAGIC)
+            .unwrap_or(false);
+        segments.push(if ok { bytes } else { None });
+    }
+    let mut indexed: BTreeMap<ContentHash, (u64, u32)> = BTreeMap::new();
+    for c in &doc.chunks {
+        let Some(hash) = ContentHash::from_hex(&c.hash) else {
+            report.hash_mismatches += 1;
+            continue;
+        };
+        if indexed.contains_key(&hash) {
+            report.duplicate_chunks += 1;
+            continue;
+        }
+        indexed.insert(hash, (c.refs, c.len));
+        let Some(Some(seg)) = segments.get(c.seg as usize) else {
+            report.out_of_bounds += 1;
+            continue;
+        };
+        let header = c.off as usize;
+        let start = header + 16 + 4;
+        let end = start.saturating_add(c.len as usize);
+        if end > seg.len() || header + 20 > seg.len() {
+            report.out_of_bounds += 1;
+            continue;
+        }
+        if seg[header..header + 16] != hash.0 || ContentHash::of(&seg[start..end]) != hash {
+            report.hash_mismatches += 1;
+        }
+    }
+    // Frames present in segment bytes but not in the index would be
+    // duplicated storage: walk the frames and compare.
+    for seg in segments.iter().flatten() {
+        let mut at = SNAPSHOT_SEGMENT_MAGIC.len();
+        let mut seen_in_seg: BTreeMap<ContentHash, usize> = BTreeMap::new();
+        while at + 20 <= seg.len() {
+            let mut hash = [0u8; 16];
+            hash.copy_from_slice(&seg[at..at + 16]);
+            let len = u32::from_le_bytes([seg[at + 16], seg[at + 17], seg[at + 18], seg[at + 19]])
+                as usize;
+            if at + 20 + len > seg.len() {
+                break; // torn tail; the index check above already counted it
+            }
+            *seen_in_seg.entry(ContentHash(hash)).or_default() += 1;
+            at += 20 + len;
+        }
+        for (hash, count) in seen_in_seg {
+            if count > 1 {
+                report.duplicate_chunks += count - 1;
+            }
+            if !indexed.contains_key(&hash) {
+                report.orphan_chunks += 1;
+            }
+        }
+    }
+    let mut referenced: BTreeMap<ContentHash, u64> = BTreeMap::new();
+    for snap in &doc.snapshots {
+        for e in &snap.entries {
+            report.manifest_entries += 1;
+            match ContentHash::from_hex(&e.hash) {
+                Some(hash) if indexed.contains_key(&hash) => {
+                    *referenced.entry(hash).or_default() += 1;
+                }
+                _ => report.dangling_refs += 1,
+            }
+        }
+    }
+    for (hash, (declared_refs, _)) in &indexed {
+        let counted = referenced.get(hash).copied().unwrap_or(0);
+        if counted == 0 {
+            report.orphan_chunks += 1;
+        }
+        if *declared_refs != counted {
+            report.refcount_mismatches += 1;
+        }
+    }
+    Ok(report)
+}
+
+#[derive(Serialize, Deserialize)]
+struct ManifestDoc {
+    version: u32,
+    segments: Vec<SegmentDoc>,
+    chunks: Vec<ChunkDoc>,
+    snapshots: Vec<SnapshotDoc>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SegmentDoc {
+    file: String,
+    bytes: u64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct ChunkDoc {
+    hash: String,
+    seg: u32,
+    off: u64,
+    len: u32,
+    refs: u64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SnapshotDoc {
+    label: String,
+    entries: Vec<EntryDoc>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct EntryDoc {
+    domain: String,
+    os: u8,
+    rank: Option<u32>,
+    hash: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::LoadOutcome;
+    use kt_netlog::{EventParams, EventPhase, EventType, NetLogEvent, SourceRef, SourceType};
+
+    fn record(crawl: &str, domain: &str, os: Os, rank: Option<u32>, marker: u64) -> VisitRecord {
+        VisitRecord {
+            crawl: CrawlId(crawl.to_string()),
+            domain: domain.to_string(),
+            rank,
+            malicious_category: None,
+            os,
+            outcome: LoadOutcome::Success,
+            loaded_at_ms: 400,
+            events: vec![NetLogEvent {
+                time: marker,
+                event_type: EventType::UrlRequestStartJob,
+                source: SourceRef {
+                    id: 1,
+                    kind: SourceType::UrlRequest,
+                },
+                phase: EventPhase::Begin,
+                params: EventParams::UrlRequestStart {
+                    url: format!("https://{domain}/"),
+                    method: "GET".into(),
+                    initiator: None,
+                    load_flags: 0,
+                },
+            }],
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("kt-snapstore-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn identical_content_across_snapshots_stores_once() {
+        let mut store = SnapshotStore::new();
+        // Same site content in two snapshots: different crawl ids and
+        // ranks, identical events — one chunk, two manifest rows.
+        let a = store.ingest(
+            "snap00",
+            &record("snap00", "a.example", Os::Linux, Some(3), 7),
+            Some(3),
+        );
+        let b = store.ingest(
+            "snap01",
+            &record("snap01", "a.example", Os::Linux, Some(9), 7),
+            Some(9),
+        );
+        assert!(a.fresh);
+        assert!(!b.fresh);
+        assert_eq!(a.hash, b.hash);
+        assert_eq!(store.chunk_count(), 1);
+        assert_eq!(store.snapshot_count(), 2);
+        assert_eq!(store.logical_bytes(), 2 * store.stored_bytes());
+        assert!((store.dedup_ratio() - 2.0).abs() < 1e-9);
+        // The manifest keeps each snapshot's own rank.
+        assert_eq!(
+            store.record("snap00", "a.example", Os::Linux).unwrap().rank,
+            Some(3)
+        );
+        assert_eq!(
+            store.record("snap01", "a.example", Os::Linux).unwrap().rank,
+            Some(9)
+        );
+        assert!(store.verify().is_empty());
+    }
+
+    #[test]
+    fn changed_content_gets_its_own_chunk() {
+        let mut store = SnapshotStore::new();
+        store.ingest(
+            "snap00",
+            &record("snap00", "a.example", Os::Linux, None, 7),
+            None,
+        );
+        let b = store.ingest(
+            "snap01",
+            &record("snap01", "a.example", Os::Linux, None, 8),
+            None,
+        );
+        assert!(b.fresh, "different event bytes must not dedup");
+        assert_eq!(store.chunk_count(), 2);
+    }
+
+    #[test]
+    fn link_from_shares_the_chunk_by_reference() {
+        let mut store = SnapshotStore::new();
+        store.ingest(
+            "snap00",
+            &record("snap00", "a.example", Os::Windows, Some(1), 7),
+            Some(1),
+        );
+        assert!(store.link_from("snap00", "snap01", "a.example", Os::Windows, Some(4)));
+        assert!(!store.link_from("snap00", "snap01", "missing.example", Os::Windows, None));
+        assert_eq!(store.chunk_count(), 1);
+        let linked = store.record("snap01", "a.example", Os::Windows).unwrap();
+        assert_eq!(linked.rank, Some(4));
+        assert_eq!(linked.crawl.as_str(), "snap01");
+        assert_eq!(
+            linked.events,
+            store
+                .record("snap00", "a.example", Os::Windows)
+                .unwrap()
+                .events
+        );
+        assert!(store.verify().is_empty());
+    }
+
+    #[test]
+    fn remove_and_gc_reclaim_unshared_chunks_only() {
+        let mut store = SnapshotStore::new();
+        store.ingest(
+            "snap00",
+            &record("snap00", "shared.example", Os::Linux, None, 1),
+            None,
+        );
+        store.ingest(
+            "snap00",
+            &record("snap00", "only0.example", Os::Linux, None, 2),
+            None,
+        );
+        store.link_from("snap00", "snap01", "shared.example", Os::Linux, None);
+        store.ingest(
+            "snap01",
+            &record("snap01", "only1.example", Os::Linux, None, 3),
+            None,
+        );
+        assert_eq!(store.chunk_count(), 3);
+        assert!(store.remove_snapshot("snap00"));
+        let report = store.gc();
+        assert_eq!(report.chunks_dropped, 1, "only only0's chunk dies");
+        assert!(report.bytes_reclaimed > 0);
+        assert_eq!(store.chunk_count(), 2);
+        assert!(store.get("snap01", "shared.example", Os::Linux).is_some());
+        assert!(store.get("snap00", "shared.example", Os::Linux).is_none());
+        assert!(store.verify().is_empty());
+    }
+
+    #[test]
+    fn last_write_wins_per_snapshot_domain_os() {
+        let mut store = SnapshotStore::new();
+        store.ingest(
+            "snap00",
+            &record("snap00", "a.example", Os::Linux, None, 1),
+            None,
+        );
+        store.ingest(
+            "snap00",
+            &record("snap00", "a.example", Os::Linux, None, 2),
+            None,
+        );
+        assert_eq!(store.manifest("snap00").unwrap().entries.len(), 1);
+        let report = store.gc();
+        assert_eq!(report.chunks_dropped, 1, "the overwritten chunk is garbage");
+        assert!(store.verify().is_empty());
+    }
+
+    #[test]
+    fn save_open_roundtrip_under_both_segment_modes() {
+        let mut store = SnapshotStore::new();
+        for i in 0..30u64 {
+            let domain = format!("site{i:02}.example");
+            for os in [Os::Windows, Os::Linux, Os::MacOs] {
+                store.ingest(
+                    "snap00",
+                    &record("snap00", &domain, os, Some(i as u32 + 1), i % 7),
+                    Some(i as u32 + 1),
+                );
+                store.link_from("snap00", "snap01", &domain, os, Some(i as u32 + 2));
+            }
+        }
+        let dir = tmp("roundtrip");
+        let report = store.save(&dir).unwrap();
+        assert_eq!(report.manifest_entries, 180);
+        assert!(report.chunks > 0);
+        for mode in [SegmentMode::Mmap, SegmentMode::Resident] {
+            let loaded = SnapshotStore::open(&dir, mode).unwrap();
+            assert_eq!(loaded.labels(), vec!["snap00", "snap01"]);
+            assert_eq!(loaded.chunk_count(), store.chunk_count());
+            assert_eq!(loaded.stored_bytes(), store.stored_bytes());
+            assert_eq!(loaded.logical_bytes(), store.logical_bytes());
+            for i in [0u64, 13, 29] {
+                let domain = format!("site{i:02}.example");
+                assert_eq!(
+                    loaded.record("snap01", &domain, Os::Linux),
+                    store.record("snap01", &domain, Os::Linux),
+                    "mode {mode:?}"
+                );
+            }
+            assert!(loaded.verify().is_empty());
+        }
+        assert!(snapshot_fsck(&dir).unwrap().clean());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_compacts_garbage_chunks() {
+        let mut store = SnapshotStore::new();
+        store.ingest(
+            "snap00",
+            &record("snap00", "a.example", Os::Linux, None, 1),
+            None,
+        );
+        store.ingest(
+            "snap00",
+            &record("snap00", "b.example", Os::Linux, None, 2),
+            None,
+        );
+        store.remove_snapshot("snap00");
+        store.ingest(
+            "snap01",
+            &record("snap01", "a.example", Os::Linux, None, 1),
+            None,
+        );
+        let dir = tmp("compact");
+        let report = store.save(&dir).unwrap();
+        assert_eq!(report.chunks, 1, "zero-ref chunks are not written");
+        let loaded = SnapshotStore::open(&dir, SegmentMode::Resident).unwrap();
+        assert_eq!(loaded.chunk_count(), 1);
+        assert!(snapshot_fsck(&dir).unwrap().clean());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsck_finds_corruption_and_dangling_references() {
+        let mut store = SnapshotStore::new();
+        for i in 0..10u64 {
+            let domain = format!("site{i}.example");
+            store.ingest(
+                "snap00",
+                &record("snap00", &domain, Os::Linux, None, i),
+                None,
+            );
+        }
+        let dir = tmp("fsck-damage");
+        store.save(&dir).unwrap();
+        assert!(snapshot_fsck(&dir).unwrap().clean());
+
+        // Flip one payload byte: the chunk no longer re-hashes.
+        let seg_path = dir.join("chunks-0000.ktc");
+        let mut bytes = fs::read(&seg_path).unwrap();
+        let at = bytes.len() - 3;
+        bytes[at] ^= 0xFF;
+        fs::write(&seg_path, &bytes).unwrap();
+        let report = snapshot_fsck(&dir).unwrap();
+        assert!(!report.clean());
+        assert!(report.hash_mismatches >= 1, "{report:?}");
+
+        // Point a manifest row at a hash that does not exist.
+        let manifest_path = dir.join("MANIFEST.json");
+        let text = fs::read_to_string(&manifest_path).unwrap();
+        let bogus = "0".repeat(32);
+        let mut doc: ManifestDoc = serde_json::from_str(&text).unwrap();
+        doc.snapshots[0].entries[0].hash = bogus;
+        fs::write(&manifest_path, serde_json::to_string(&doc).unwrap()).unwrap();
+        let report = snapshot_fsck(&dir).unwrap();
+        assert!(report.dangling_refs >= 1, "{report:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsck_counts_refcount_drift_and_duplicates() {
+        let mut store = SnapshotStore::new();
+        store.ingest(
+            "snap00",
+            &record("snap00", "a.example", Os::Linux, None, 1),
+            None,
+        );
+        let dir = tmp("fsck-refs");
+        store.save(&dir).unwrap();
+        let manifest_path = dir.join("MANIFEST.json");
+        let mut doc: ManifestDoc =
+            serde_json::from_str(&fs::read_to_string(&manifest_path).unwrap()).unwrap();
+        // Inflate the declared refcount and duplicate the index row.
+        doc.chunks[0].refs = 7;
+        let dup = ChunkDoc {
+            hash: doc.chunks[0].hash.clone(),
+            seg: doc.chunks[0].seg,
+            off: doc.chunks[0].off,
+            len: doc.chunks[0].len,
+            refs: 1,
+        };
+        doc.chunks.push(dup);
+        fs::write(&manifest_path, serde_json::to_string(&doc).unwrap()).unwrap();
+        let report = snapshot_fsck(&dir).unwrap();
+        assert!(report.refcount_mismatches >= 1, "{report:?}");
+        assert!(report.duplicate_chunks >= 1, "{report:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn content_hash_separates_close_inputs() {
+        let a = ContentHash::of(b"abcdef");
+        let b = ContentHash::of(b"abcdeg");
+        let c = ContentHash::of(b"abcdef ");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, ContentHash::of(b"abcdef"));
+        assert_eq!(ContentHash::from_hex(&a.to_hex()), Some(a));
+        assert_eq!(ContentHash::from_hex("zz"), None);
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for d in ["a.example", "b.example", "weird-domain.example"] {
+            let s = shard_of(d);
+            assert!(s < SNAPSHOT_SHARDS);
+            assert_eq!(s, shard_of(d));
+        }
+    }
+}

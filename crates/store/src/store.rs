@@ -844,9 +844,8 @@ mod tests {
         use crate::segment::SpillConfig;
         let dir = spill_dir("flat");
         let target = 4_096usize;
-        let store =
-            TelemetryStore::with_spill(SpillConfig::mmap(&dir).with_segment_target(target))
-                .unwrap();
+        let store = TelemetryStore::with_spill(SpillConfig::mmap(&dir).with_segment_target(target))
+            .unwrap();
         let long = "x".repeat(120);
         for i in 0..2_000 {
             store.append(&rec(
@@ -877,10 +876,9 @@ mod tests {
         let mmap_store =
             TelemetryStore::with_spill(SpillConfig::mmap(&dir_m).with_segment_target(1_024))
                 .unwrap();
-        let resident_store = TelemetryStore::with_spill(
-            SpillConfig::resident(&dir_r).with_segment_target(1_024),
-        )
-        .unwrap();
+        let resident_store =
+            TelemetryStore::with_spill(SpillConfig::resident(&dir_r).with_segment_target(1_024))
+                .unwrap();
         assert_eq!(
             SpillConfig::resident(&dir_r).mode,
             SegmentMode::Resident,

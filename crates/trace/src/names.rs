@@ -86,6 +86,29 @@ pub const SCAN_AGREEMENT_ACTIVE_ONLY_TOTAL: &str = "scan_agreement_active_only_t
 /// Cells where neither side saw the behaviour. Labels: reason.
 pub const SCAN_AGREEMENT_NEITHER_TOTAL: &str = "scan_agreement_neither_total";
 
+/// Visits executed by the longitudinal snapshot engine (changed +
+/// fresh sites only; derived from the incremental plan, so the value
+/// is identical across worker counts and kill/resume). No labels.
+pub const SNAPSHOT_VISITS_TOTAL: &str = "snapshot_visits_total";
+/// Visits a full per-snapshot recrawl would have executed (every
+/// listed site, every crawled OS). No labels.
+pub const SNAPSHOT_FULL_VISITS_TOTAL: &str = "snapshot_full_visits_total";
+/// Manifest rows linked to the prior snapshot's chunks by reference
+/// instead of being crawled. No labels.
+pub const SNAPSHOT_LINKED_TOTAL: &str = "snapshot_linked_total";
+/// Chunks newly written to the content-addressed snapshot store
+/// (deduplicated ingests don't count). No labels.
+pub const SNAPSHOT_CHUNKS_TOTAL: &str = "snapshot_chunks_total";
+/// logical bytes / stored bytes of the snapshot store (≥ 1). No labels.
+pub const SNAPSHOT_DEDUP_RATIO: &str = "snapshot_dedup_ratio";
+/// Bytes the snapshot store actually holds (each chunk once). No labels.
+pub const SNAPSHOT_STORED_BYTES: &str = "snapshot_stored_bytes";
+/// Bytes the snapshots would occupy stored flat. No labels.
+pub const SNAPSHOT_LOGICAL_BYTES: &str = "snapshot_logical_bytes";
+/// executed visits / full-recrawl visits over the whole series (the
+/// incremental-crawl work fraction; lower is better). No labels.
+pub const SNAPSHOT_INCREMENTAL_FRACTION: &str = "snapshot_incremental_fraction";
+
 /// Campaigns accepted by service admission control. Labels: tenant.
 pub const SERVICE_ADMITTED_TOTAL: &str = "service_admitted_total";
 /// Campaigns rejected at admission. Labels: tenant, reason.
@@ -173,6 +196,14 @@ pub const SCAN_COUNTERS: [&str; 10] = [
     SCAN_AGREEMENT_PASSIVE_ONLY_TOTAL,
     SCAN_AGREEMENT_ACTIVE_ONLY_TOTAL,
     SCAN_AGREEMENT_NEITHER_TOTAL,
+];
+
+/// The longitudinal snapshot-engine counters, in declaration order.
+pub const SNAPSHOT_COUNTERS: [&str; 4] = [
+    SNAPSHOT_VISITS_TOTAL,
+    SNAPSHOT_FULL_VISITS_TOTAL,
+    SNAPSHOT_LINKED_TOTAL,
+    SNAPSHOT_CHUNKS_TOTAL,
 ];
 
 /// The crawl-layer counters every campaign exports, in declaration
@@ -289,6 +320,38 @@ pub fn describe_defaults(reg: &mut Registry) {
         "Cells where neither detection side fired",
     );
     reg.describe_counter(
+        SNAPSHOT_VISITS_TOTAL,
+        "Visits executed by the longitudinal snapshot engine",
+    );
+    reg.describe_counter(
+        SNAPSHOT_FULL_VISITS_TOTAL,
+        "Visits a full per-snapshot recrawl would have executed",
+    );
+    reg.describe_counter(
+        SNAPSHOT_LINKED_TOTAL,
+        "Manifest rows linked to prior-snapshot chunks by reference",
+    );
+    reg.describe_counter(
+        SNAPSHOT_CHUNKS_TOTAL,
+        "Chunks newly written to the content-addressed snapshot store",
+    );
+    reg.describe_gauge(
+        SNAPSHOT_DEDUP_RATIO,
+        "logical bytes / stored bytes of the snapshot store",
+    );
+    reg.describe_gauge(
+        SNAPSHOT_STORED_BYTES,
+        "Bytes the snapshot store actually holds",
+    );
+    reg.describe_gauge(
+        SNAPSHOT_LOGICAL_BYTES,
+        "Bytes the snapshots would occupy stored flat",
+    );
+    reg.describe_gauge(
+        SNAPSHOT_INCREMENTAL_FRACTION,
+        "executed visits / full-recrawl visits over the snapshot series",
+    );
+    reg.describe_counter(
         SERVICE_ADMITTED_TOTAL,
         "Campaigns accepted by service admission control",
     );
@@ -337,6 +400,13 @@ pub fn describe_defaults(reg: &mut Registry) {
         reg.touch_counter(name, Labels::empty());
     }
     reg.set_gauge(SCAN_OPEN_PORTS, Labels::empty(), 0.0);
+    for name in SNAPSHOT_COUNTERS {
+        reg.touch_counter(name, Labels::empty());
+    }
+    reg.set_gauge(SNAPSHOT_DEDUP_RATIO, Labels::empty(), 1.0);
+    reg.set_gauge(SNAPSHOT_STORED_BYTES, Labels::empty(), 0.0);
+    reg.set_gauge(SNAPSHOT_LOGICAL_BYTES, Labels::empty(), 0.0);
+    reg.set_gauge(SNAPSHOT_INCREMENTAL_FRACTION, Labels::empty(), 0.0);
     for name in [
         JOURNAL_FRAMES_TOTAL,
         JOURNAL_VISITS_TOTAL,
@@ -404,6 +474,14 @@ mod tests {
             "scan_agreement_passive_only_total 0",
             "scan_agreement_active_only_total 0",
             "scan_agreement_neither_total 0",
+            "snapshot_visits_total 0",
+            "snapshot_full_visits_total 0",
+            "snapshot_linked_total 0",
+            "snapshot_chunks_total 0",
+            "snapshot_dedup_ratio 1",
+            "snapshot_stored_bytes 0",
+            "snapshot_logical_bytes 0",
+            "snapshot_incremental_fraction 0",
         ] {
             assert!(text.contains(name), "missing {name:?} in:\n{text}");
         }
@@ -433,6 +511,9 @@ mod tests {
             assert!(name.ends_with("_total"), "{name} must end in _total");
         }
         for name in SCAN_COUNTERS {
+            assert!(name.ends_with("_total"), "{name} must end in _total");
+        }
+        for name in SNAPSHOT_COUNTERS {
             assert!(name.ends_with("_total"), "{name} must end in _total");
         }
     }

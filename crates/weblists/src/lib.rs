@@ -18,10 +18,12 @@
 
 pub mod blocklist;
 pub mod names;
+pub mod series;
 pub mod tranco;
 pub mod zipf;
 
 pub use blocklist::{Blocklist, BlocklistEntry, BlocklistSource, MaliciousCategory};
 pub use names::NameForge;
+pub use series::{SeriesConfig, SnapshotSeries};
 pub use tranco::{RankedDomain, TrancoSnapshot};
 pub use zipf::Zipf;
