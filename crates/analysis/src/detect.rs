@@ -9,7 +9,7 @@
 //! unique-local ranges.
 
 use crate::intern::DomainInterner;
-use kt_netbase::{Locality, Os, OsSet, Scheme, Url, UrlView};
+use kt_netbase::{Host, HostView, Locality, Os, OsSet, Scheme, Url, UrlView};
 use kt_netlog::{FlowSet, FlowSetView};
 use kt_store::{VisitRecord, VisitView};
 use serde::{Deserialize, Serialize};
@@ -45,6 +45,62 @@ pub struct LocalObservation {
     /// Delay after the landing page finished loading, ms
     /// (the Figures 5–7 quantity).
     pub delay_ms: u64,
+}
+
+/// Split an ICE candidate `host:port` (or `[v6]:port`) address into its
+/// host text and port without allocating. Returns `None` when the port
+/// is missing or malformed — real candidate lines always carry one.
+fn split_ice_address(address: &str) -> Option<(&str, u16)> {
+    let colon = if address.starts_with('[') {
+        let end = address.find(']')?;
+        if !address[end + 1..].starts_with(':') {
+            return None;
+        }
+        end + 1
+    } else {
+        address.rfind(':')?
+    };
+    let host = &address[..colon];
+    if host.is_empty() {
+        return None;
+    }
+    let port: u16 = address[colon + 1..].parse().ok()?;
+    Some((host, port))
+}
+
+/// Materialise a [`LocalObservation`] for one already-classified local
+/// ICE candidate. The candidate is surfaced as a `ws://` socket URL:
+/// WebRTC rendezvous is a socket channel, not an HTTP fetch, and this
+/// keeps the knock-request scheme statistics clean. Shared by the owned
+/// and view detection paths so their output stays byte-identical.
+#[allow(clippy::too_many_arguments)]
+fn ice_observation(
+    domain: String,
+    rank: Option<u32>,
+    malicious_category: Option<u8>,
+    os: Os,
+    address: &str,
+    port: u16,
+    locality: Locality,
+    time_ms: u64,
+    loaded_at_ms: u64,
+) -> Option<LocalObservation> {
+    let url = Url::parse(&format!("ws://{address}/")).ok()?;
+    Some(LocalObservation {
+        domain,
+        rank,
+        malicious_category,
+        os,
+        scheme: url.scheme(),
+        port,
+        path: url.path_and_query(),
+        locality,
+        websocket: true,
+        via_redirect: false,
+        time_ms,
+        delay_ms: time_ms.saturating_sub(loaded_at_ms),
+        url,
+    })
 }
 
 /// Extract all local observations from one visit record.
@@ -113,6 +169,32 @@ pub fn detect_local_with_page_owned(record: &VisitRecord) -> (Vec<LocalObservati
                 url,
             });
         }
+        // WebRTC ICE candidates: a second local-discovery channel. The
+        // candidate address is a bare `host:port`, not a URL — classify
+        // the host directly, then surface local ones as observations.
+        for (address, _candidate_type) in flow.ice_candidates() {
+            let Some((host_text, port)) = split_ice_address(address) else {
+                continue;
+            };
+            let Ok(host) = Host::parse(host_text) else {
+                continue;
+            };
+            let locality = Locality::of_host(&host);
+            if !locality.is_local() {
+                continue;
+            }
+            out.extend(ice_observation(
+                record.domain.clone(),
+                record.rank,
+                record.malicious_category,
+                record.os,
+                address,
+                port,
+                locality,
+                flow.start_time(),
+                record.loaded_at_ms,
+            ));
+        }
     }
     (out, page_url)
 }
@@ -160,6 +242,33 @@ pub fn detect_local_with_page_view(view: &VisitView<'_>) -> (Vec<LocalObservatio
                 delay_ms: flow.start_time().saturating_sub(view.loaded_at_ms),
                 url,
             });
+        }
+        // WebRTC ICE candidates, classified allocation-free: the host
+        // text is parsed as a borrowed [`HostView`] and judged by
+        // [`Locality::of_host_view`]; nothing is materialised unless
+        // the candidate actually classifies as local.
+        for (address, _candidate_type) in flow.ice_candidates() {
+            let Some((host_text, port)) = split_ice_address(address) else {
+                continue;
+            };
+            let Ok(host) = HostView::parse(host_text) else {
+                continue;
+            };
+            let locality = Locality::of_host_view(&host);
+            if !locality.is_local() {
+                continue;
+            }
+            out.extend(ice_observation(
+                view.domain.to_string(),
+                view.rank,
+                view.malicious_category,
+                view.os,
+                address,
+                port,
+                locality,
+                flow.start_time(),
+                view.loaded_at_ms,
+            ));
         }
     }
     (out, page_url)
@@ -321,6 +430,22 @@ mod tests {
         }]
     }
 
+    fn ice_candidate(id: u64, time: u64, address: &str) -> Vec<NetLogEvent> {
+        vec![NetLogEvent {
+            time,
+            event_type: EventType::IceCandidateGathered,
+            source: SourceRef {
+                id,
+                kind: SourceType::P2pSocket,
+            },
+            phase: EventPhase::None,
+            params: EventParams::IceCandidate {
+                address: address.into(),
+                candidate_type: "host".into(),
+            },
+        }]
+    }
+
     #[test]
     fn detects_loopback_and_lan_not_public() {
         let mut events = url_request(1, 500, "https://cdn.example/lib.js");
@@ -395,6 +520,28 @@ mod tests {
     }
 
     #[test]
+    fn ice_candidates_are_a_second_local_channel() {
+        // An mDNS-obfuscated candidate, a raw private-IP candidate, a
+        // public srflx candidate, and a malformed one (no port).
+        let mut events = ice_candidate(1, 4_400, "f0ae4f9a-2d4c-4a91.local:9000");
+        events.extend(ice_candidate(2, 4_500, "192.168.1.20:56100"));
+        events.extend(ice_candidate(3, 4_600, "203.0.113.9:56100"));
+        events.extend(ice_candidate(4, 4_700, "no-port.local"));
+        let record = record_with_events("rtc.example", Os::Linux, events);
+        let obs = detect_local(&record);
+        assert_eq!(obs.len(), 2);
+        // The .local name classifies Private (link-local resolution),
+        // same as the raw RFC 1918 address it stands in for.
+        assert!(obs[0].locality.is_private());
+        assert_eq!(obs[0].port, 9000);
+        assert!(obs[0].websocket);
+        assert!(!obs[0].via_redirect);
+        assert_eq!(obs[0].delay_ms, 4_000);
+        assert!(obs[1].locality.is_private());
+        assert_eq!(obs[1].port, 56100);
+    }
+
+    #[test]
     fn ipv6_loopback_detected() {
         let events = url_request(1, 1_000, "http://[::1]:9000/status");
         let record = record_with_events("v6.example", Os::Linux, events);
@@ -443,6 +590,10 @@ mod tests {
         events.extend(url_request(3, 6_000, "http://10.0.0.200/b.mp4"));
         events.extend(ws_request(4, 9_000, "wss://localhost:3389/"));
         events.extend(url_request(5, 1_000, "not a url at all"));
+        events.extend(ice_candidate(6, 4_400, "f0ae4f9a-2d4c-4a91.local:9000"));
+        events.extend(ice_candidate(7, 4_500, "[::1]:9001"));
+        events.extend(ice_candidate(8, 4_600, "203.0.113.9:56100"));
+        events.extend(ice_candidate(9, 4_700, "garbage"));
         events.push(NetLogEvent {
             time: 800,
             event_type: EventType::UrlRequestRedirected,

@@ -5,6 +5,10 @@
 //! produced — it would run unchanged over parsed captures from a real
 //! Chrome crawl.
 //!
+//! * [`bias`] — the measurement-bias sweep: crawl the sensor-planted
+//!   population once per crawler profile and compare observed against
+//!   planted-true local-activity rates (the bias the paper could not
+//!   measure, §3.4's limitation);
 //! * [`detect`] — find locally-destined requests in visit records
 //!   (RQ1): flow reconstruction, browser-traffic filtering, loopback /
 //!   RFC 1918 classification, redirect-target accounting;
@@ -38,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bias;
 pub mod cdf;
 pub mod classify;
 pub mod crossval;
@@ -54,6 +59,9 @@ pub mod report;
 pub mod rings;
 pub mod venn;
 
+pub use bias::{
+    record_bias_metrics, run_bias_sweep, ArchetypeCell, BiasConfig, BiasReport, ProfileBias,
+};
 pub use cdf::Ecdf;
 pub use classify::{classify_site, ReasonClass};
 pub use crossval::{

@@ -1038,6 +1038,47 @@ fn check_prom(path: &str, require: &[String]) -> ! {
     }
 }
 
+/// The measurement-bias sweep: one crawl per crawler profile over the
+/// sensor-planted population, each through the standard analysis. The
+/// element count is total visits (profiles × sites), so the relative
+/// throughput regresses if either the sensor gating in the browser or
+/// the bias accounting gets slower.
+fn bench_bias(seed: u64, calib: f64) -> serde_json::Value {
+    use knock_talk::analysis::{run_bias_sweep, BiasConfig};
+    let cfg = BiasConfig {
+        seed,
+        workers: MAX_WORKERS,
+    };
+    let (report, secs) = time(|| run_bias_sweep(&cfg));
+    let visits = report.population_sites as usize * report.rows.len();
+    let ratio = |row: Option<&knock_talk::analysis::ProfileBias>| {
+        row.map(|r| r.observed_ratio()).unwrap_or(0.0)
+    };
+    eprintln!(
+        "  {} profiles x {} sites in {:.2}s ({:.0} visits/s); \
+         observed ratio {:.3} (naive) -> {:.3} (human-replay)",
+        report.rows.len(),
+        report.population_sites,
+        secs,
+        visits as f64 / secs,
+        ratio(report.rows.first()),
+        ratio(report.rows.last()),
+    );
+    let mut stage = stage_json(visits, secs, calib);
+    if let serde_json::Value::Object(map) = &mut stage {
+        map.insert("profiles".to_string(), serde_json::json!(report.rows.len()));
+        map.insert(
+            "naive_observed_ratio".to_string(),
+            serde_json::json!(ratio(report.rows.first())),
+        );
+        map.insert(
+            "suppressed_naive".to_string(),
+            serde_json::json!(report.rows.first().map(|r| r.suppressed).unwrap_or(0)),
+        );
+    }
+    stage
+}
+
 fn main() {
     let opts = match parse_args() {
         Ok(opts) => opts,
@@ -1129,6 +1170,10 @@ fn main() {
     let (snapshot_store, snapshot_diff) =
         profiler.run("snapshot", || bench_snapshot(opts.smoke, opts.seed, calib));
     profiler.annotate_elements(snapshot_store["elements"].as_u64().unwrap_or(0));
+
+    eprintln!("measurement-bias sweep (one crawl per crawler profile):");
+    let bias_sweep = profiler.run("bias_sweep", || bench_bias(opts.seed, calib));
+    profiler.annotate_elements(bias_sweep["elements"].as_u64().unwrap_or(0));
     eprintln!("stage breakdown:\n{}", profiler.render_table());
 
     let report = serde_json::json!({
@@ -1144,6 +1189,7 @@ fn main() {
         "port_scan": port_scan,
         "snapshot_store": snapshot_store,
         "snapshot_diff": snapshot_diff,
+        "bias_sweep": bias_sweep,
     });
 
     if let Some(baseline_path) = &opts.check {

@@ -104,12 +104,13 @@ pub fn check_regressions(
         }
         v.as_f64()
     };
-    let top_level: [(&str, &[&str]); 5] = [
+    let top_level: [(&str, &[&str]); 6] = [
         ("flat-memory scan", &["flat_memory", "scan", "relative"]),
         ("journal grouped", &["journal", "grouped", "relative"]),
         ("port scan", &["port_scan", "scan", "relative"]),
         ("snapshot store", &["snapshot_store", "relative"]),
         ("snapshot diff", &["snapshot_diff", "relative"]),
+        ("bias sweep", &["bias_sweep", "relative"]),
     ];
     for (label, keys) in top_level {
         match (path(baseline, keys), path(current, keys)) {
@@ -153,6 +154,7 @@ mod tests {
             "port_scan": { "scan": { "relative": relative } },
             "snapshot_store": { "relative": relative },
             "snapshot_diff": { "relative": relative },
+            "bias_sweep": { "relative": relative },
         })
     }
 

@@ -1,6 +1,7 @@
 //! Browser configuration, mirroring the paper's crawl settings.
 
 use kt_netbase::Os;
+use kt_webgen::CrawlerProfile;
 use serde::{Deserialize, Serialize};
 
 /// Private Network Access enforcement mode (§5.3). `Off` reproduces
@@ -40,6 +41,10 @@ pub struct BrowserConfig {
     /// pages (login/checkout), which the paper's landing-page-only
     /// method cannot see (§3.3). Off for the paper's configuration.
     pub crawl_internal: bool,
+    /// How the crawler presents itself to anti-bot sensors. The
+    /// paper's instrumented Chrome is a stock headless automation
+    /// (`Naive`); the bias experiment sweeps the other profiles.
+    pub profile: CrawlerProfile,
 }
 
 impl BrowserConfig {
@@ -52,6 +57,7 @@ impl BrowserConfig {
             incognito: true,
             pna: PnaMode::Off,
             crawl_internal: false,
+            profile: CrawlerProfile::Naive,
         }
     }
 }
@@ -75,5 +81,10 @@ mod tests {
         assert_eq!(c.os, Os::Windows);
         assert_eq!(c.pna, PnaMode::Off, "Chrome v84 predates PNA");
         assert!(!c.crawl_internal, "the paper crawls landing pages only");
+        assert_eq!(
+            c.profile,
+            CrawlerProfile::Naive,
+            "the paper's crawler is stock headless automation"
+        );
     }
 }

@@ -26,5 +26,6 @@ pub mod visit;
 pub mod world;
 
 pub use config::{BrowserConfig, PnaMode};
+pub use kt_webgen::CrawlerProfile;
 pub use visit::{Browser, PageLoadOutcome, VisitResult};
 pub use world::World;

@@ -17,7 +17,7 @@ use kt_simnet::dns::DnsError;
 use kt_simnet::server::ServerBehavior;
 use kt_simnet::tls::CertVerdict;
 use kt_simnet::ConnectOutcome;
-use kt_webgen::{Channel, WebSite};
+use kt_webgen::{Channel, SensorGate, WebSite};
 
 use crate::config::{BrowserConfig, PnaMode};
 use crate::world::{World, CDN_HOSTS};
@@ -254,6 +254,13 @@ impl<'w> Browser<'w> {
         window: u64,
     ) {
         let initiator = format!("{}://{}", landing.scheme(), landing.host());
+        // The site's anti-bot sensor (if any) fingerprints this visit
+        // and decides what happens to the local behaviours below. No
+        // sensor means the page runs unmodified.
+        let gate = site
+            .sensor
+            .map(|s| s.gate(self.seed, self.config.profile, site.domain.as_str()))
+            .unwrap_or(SensorGate::Pass);
         // Ordinary public resources: half same-origin, half from the
         // shared CDNs, spread over the first ~12 s.
         struct Job {
@@ -282,14 +289,40 @@ impl<'w> Browser<'w> {
                 at: load_end + delay,
             });
         }
-        for planned in site.planned_requests(self.config.os) {
+        // Behaviour jobs run through the sensor gate: a Suppress or
+        // Challenge verdict drops them (the probing script is never
+        // served), a Delay verdict pushes them past the capture window.
+        // Public resources above are untouched — a challenged page
+        // still looks alive to the crawler.
+        let extra_delay_ms = match gate {
+            SensorGate::Delay(extra) => extra,
+            _ => 0,
+        };
+        let behaviors_run = !matches!(gate, SensorGate::Suppress | SensorGate::Challenge);
+        if behaviors_run {
+            for planned in site.planned_requests(self.config.os) {
+                jobs.push(Job {
+                    url: planned.url,
+                    channel: planned.channel,
+                    at: load_end + planned.delay_ms + extra_delay_ms,
+                });
+            }
+        }
+        if gate == SensorGate::Challenge {
+            // BIG-IP-ASM-style interstitial: the detected crawler is
+            // handed a same-origin challenge fetch instead of the page.
             jobs.push(Job {
-                url: planned.url,
-                channel: planned.channel,
-                at: load_end + planned.delay_ms,
+                url: Url::from_parts(
+                    landing.scheme(),
+                    landing.host().clone(),
+                    None,
+                    "/TSPD/08e8ab5bacab2000?type=7",
+                ),
+                channel: Channel::Fetch,
+                at: load_end + 250,
             });
         }
-        if self.config.crawl_internal {
+        if self.config.crawl_internal && behaviors_run {
             // Deep crawl: the crawler navigates to an internal page
             // (e.g. /login) shortly after the landing page settles and
             // stays inside the same observation window.
@@ -298,7 +331,7 @@ impl<'w> Browser<'w> {
                 jobs.push(Job {
                     url: planned.url,
                     channel: planned.channel,
-                    at: load_end + INTERNAL_NAV_MS + planned.delay_ms,
+                    at: load_end + INTERNAL_NAV_MS + planned.delay_ms + extra_delay_ms,
                 });
             }
         }
@@ -343,6 +376,67 @@ impl<'w> Browser<'w> {
                 }
             }
         }
+        if let SensorGate::Ice { mdns } = gate {
+            self.gather_ice_candidates(log, site, load_end, window, mdns);
+        }
+    }
+
+    /// A WebRTC rendezvous page gathering ICE candidates. Every visitor
+    /// sees the gathering; what differs is the *form* of the host
+    /// candidate — a detected crawler gets the mDNS-obfuscated `.local`
+    /// name, an undetected one the raw private address. The candidates
+    /// ride a P2P socket source, not a URL request, so they are a
+    /// second local-discovery channel entirely outside the HTTP path.
+    fn gather_ice_candidates(
+        &mut self,
+        log: &mut NetLogger,
+        site: &WebSite,
+        load_end: u64,
+        window: u64,
+        mdns: bool,
+    ) {
+        let domain = site.domain.as_str();
+        let h = hash(self.seed, &format!("ice:{domain}"));
+        let source = log.new_source(SourceType::P2pSocket);
+        let port = 49_152 + (h % 16_000) as u16;
+        let at = load_end + 800 + h % 1_200;
+        let address = if mdns {
+            format!(
+                "{:08x}-{:04x}-{:04x}.local:{port}",
+                h as u32,
+                (h >> 32) as u16,
+                (h >> 48) as u16
+            )
+        } else {
+            format!("192.168.{}.{}:{port}", (h >> 8) % 256, 1 + (h >> 16) % 254)
+        };
+        self.log_clamped(
+            log,
+            at,
+            source,
+            EventType::IceCandidateGathered,
+            EventPhase::None,
+            EventParams::IceCandidate {
+                address,
+                candidate_type: "host".to_string(),
+            },
+            window,
+        );
+        // The server-reflexive candidate: the visitor's public address
+        // as seen by the STUN server — never local, present so the
+        // detector has to discriminate by locality, not by event kind.
+        self.log_clamped(
+            log,
+            at + 60,
+            source,
+            EventType::IceCandidateGathered,
+            EventPhase::None,
+            EventParams::IceCandidate {
+                address: format!("203.0.113.{}:3478", 1 + (h >> 24) % 254),
+                candidate_type: "srflx".to_string(),
+            },
+            window,
+        );
     }
 
     /// True if the configured PNA mode blocks a request from the
@@ -1236,6 +1330,124 @@ mod tests {
             cut.capture.events[..],
             clean.capture.events[..cut.capture.events.len()]
         );
+    }
+
+    fn visit_profiled(site: &WebSite, profile: kt_webgen::CrawlerProfile) -> VisitResult {
+        let mut world = World::build(std::slice::from_ref(site), Os::Linux, 99);
+        let mut config = BrowserConfig::paper(Os::Linux);
+        config.profile = profile;
+        let mut browser = Browser::new(&mut world, config, 99);
+        browser.visit(site)
+    }
+
+    fn local_flow_count(result: &VisitResult) -> usize {
+        FlowSet::from_events(result.capture.events.clone())
+            .iter()
+            .filter_map(|f| f.url())
+            .filter_map(|u| Url::parse(u).ok())
+            .filter(Url::is_local)
+            .count()
+    }
+
+    fn probing_site(archetype: kt_webgen::SensorArchetype) -> WebSite {
+        let mut site = mk_site("sentry.example", true);
+        site.behaviors.push(PlantedBehavior {
+            behavior: Behavior::NativeApp(NativeApp::Faceit),
+            os_set: OsSet::ALL,
+            base_delay_ms: 2_000,
+        });
+        site.sensor = Some(kt_webgen::BotSensor { archetype });
+        site
+    }
+
+    #[test]
+    fn navigator_probe_suppresses_local_behavior_for_detected_crawlers() {
+        use kt_webgen::{CrawlerProfile, SensorArchetype};
+        let site = probing_site(SensorArchetype::NavigatorProbe);
+        // Naive is always detected: the probing script is never served.
+        let naive = visit_profiled(&site, CrawlerProfile::Naive);
+        assert!(naive.outcome.is_loaded(), "the page itself still loads");
+        assert_eq!(local_flow_count(&naive), 0, "local probe suppressed");
+        // Human replay is never detected: the probe runs.
+        let human = visit_profiled(&site, CrawlerProfile::HumanReplay);
+        assert!(local_flow_count(&human) > 0, "probe visible to a human");
+    }
+
+    #[test]
+    fn headless_trap_delays_behavior_past_the_window() {
+        use kt_webgen::{CrawlerProfile, SensorArchetype};
+        let site = probing_site(SensorArchetype::HeadlessTrap);
+        let naive = visit_profiled(&site, CrawlerProfile::Naive);
+        // Delayed past 20 s: never issued, and no event leaks past the
+        // window either.
+        assert_eq!(local_flow_count(&naive), 0);
+        assert!(naive.capture.events.iter().all(|e| e.time < 20_000));
+        let human = visit_profiled(&site, CrawlerProfile::HumanReplay);
+        assert!(local_flow_count(&human) > 0);
+    }
+
+    #[test]
+    fn bigip_challenge_swaps_the_page_for_an_interstitial() {
+        use kt_webgen::{CrawlerProfile, SensorArchetype};
+        let site = probing_site(SensorArchetype::BigIpChallenge);
+        let naive = visit_profiled(&site, CrawlerProfile::Naive);
+        assert_eq!(local_flow_count(&naive), 0, "real page never runs");
+        let flows = FlowSet::from_events(naive.capture.events);
+        assert!(
+            flows
+                .iter()
+                .filter_map(|f| f.url())
+                .any(|u| u.contains("/TSPD/")),
+            "challenge interstitial fetched"
+        );
+        let human = visit_profiled(&site, CrawlerProfile::HumanReplay);
+        assert!(local_flow_count(&human) > 0, "humans get the real page");
+    }
+
+    #[test]
+    fn webrtc_probe_gathers_ice_candidates_for_every_profile() {
+        use kt_webgen::{BotSensor, CrawlerProfile, SensorArchetype};
+        let mut site = mk_site("rtc.example", true);
+        site.sensor = Some(BotSensor {
+            archetype: SensorArchetype::WebRtcProbe,
+        });
+        let ice_addresses = |profile| {
+            let result = visit_profiled(&site, profile);
+            let flows = FlowSet::from_events(result.capture.events);
+            flows
+                .iter()
+                .flat_map(|f| {
+                    f.ice_candidates()
+                        .into_iter()
+                        .map(|(a, t)| (a.to_string(), t.to_string()))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        };
+        // Detected crawler: the host candidate is mDNS-obfuscated.
+        let naive = ice_addresses(CrawlerProfile::Naive);
+        assert_eq!(naive.len(), 2, "host + srflx candidates");
+        assert!(naive[0].0.contains(".local:"), "{:?}", naive[0]);
+        assert_eq!(naive[0].1, "host");
+        assert_eq!(naive[1].1, "srflx");
+        // Undetected visitor: the raw private address leaks.
+        let human = ice_addresses(CrawlerProfile::HumanReplay);
+        assert_eq!(human.len(), 2);
+        assert!(human[0].0.starts_with("192.168."), "{:?}", human[0]);
+    }
+
+    #[test]
+    fn unsensored_sites_ignore_the_profile_entirely() {
+        use kt_webgen::CrawlerProfile;
+        let mut site = mk_site("plain.example", true);
+        site.behaviors.push(PlantedBehavior {
+            behavior: Behavior::NativeApp(NativeApp::Discord),
+            os_set: OsSet::ALL,
+            base_delay_ms: 2_000,
+        });
+        let naive = visit_profiled(&site, CrawlerProfile::Naive);
+        let stealth = visit_profiled(&site, CrawlerProfile::Stealth);
+        assert_eq!(naive.capture.events, stealth.capture.events);
     }
 
     #[test]

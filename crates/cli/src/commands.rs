@@ -25,8 +25,10 @@ pub fn help() {
                               [--journal FILE] [--kill-frames N] [--kill-mode mid-frame|post-frame]\n\
                               [--flush-every BYTES] [--group-frames N]\n\
            knocktalk crawl    [--os windows|linux|mac] [--scale ...] [--seed N] [--save FILE]\n\
+                              [--profile naive|headless-patched|stealth|human-replay]\n\
                               [--journal FILE] [--kill-frames N] [--kill-mode mid-frame|post-frame]\n\
                               [--flush-every BYTES] [--group-frames N]\n\
+           knocktalk bias     [--seed N] [--workers N] [--out FILE] [--metrics-out FILE]\n\
            knocktalk resume   <study.ktj> [--id T5]\n\
            knocktalk fsck     <journal.ktj> [--repair yes]\n\
            knocktalk analyze  <store.ktstore|journal.ktj>\n\
@@ -70,7 +72,12 @@ pub fn help() {
                      crash can be resumed; --kill-frames N simulates `kill -9` while\n\
                      writing frame N (mid-frame tears it, post-frame dies just after)\n\
            crawl     run one campaign on one OS and print Table-1 statistics\n\
-                     (--journal/--kill-frames work here too; resume is study-level)\n\
+                     (--journal/--kill-frames work here too; resume is study-level);\n\
+                     --profile selects how the crawler presents to anti-bot sensors\n\
+           bias      crawl the sensor-planted population once per crawler profile and\n\
+                     print observed-vs-true local-activity rates with per-archetype\n\
+                     confusion cells — the measurement bias a detectable crawler\n\
+                     suffers; the table is byte-identical for any --workers\n\
            resume    replay a study journal, re-run only what the crash lost, and\n\
                      print the tables — byte-identical to a run that never crashed\n\
            fsck      store doctor: scan a journal for torn tails, bad CRCs, duplicate\n\
@@ -301,6 +308,12 @@ pub fn crawl(opts: &Options) -> Result<(), String> {
     let store = TelemetryStore::new();
     let mut crawl_config = CrawlConfig::paper(CrawlId::top2020(), os, config.population.seed);
     crawl_config.workers = config.workers;
+    if let Some(name) = opts.get("profile") {
+        crawl_config.profile =
+            knock_talk::webgen::CrawlerProfile::parse(name).ok_or_else(|| {
+                format!("unknown --profile {name:?} (naive|headless-patched|stealth|human-replay)")
+            })?;
+    }
     let journal = journal_from_opts(opts)?;
     let trace = trace_from_opts(opts);
     let stats = knock_talk::crawler::run_crawl_resumed_observed(
@@ -363,6 +376,35 @@ pub fn crawl(opts: &Options) -> Result<(), String> {
         );
     }
     write_trace_outputs(opts, trace.as_ref())?;
+    Ok(())
+}
+
+/// `knocktalk bias`: crawl the sensor-planted population once per
+/// crawler profile and print the observed-vs-true bias table.
+pub fn bias(opts: &Options) -> Result<(), String> {
+    use knock_talk::analysis::{record_bias_metrics, run_bias_sweep, BiasConfig};
+    use knock_talk::trace::metrics::Registry;
+    use knock_talk::trace::names::describe_defaults;
+
+    let seed = opts.get_u64("seed", 0x00C0_FFEE)?;
+    let workers = opts.get_u64("workers", 4)?.max(1) as usize;
+    let report = run_bias_sweep(&BiasConfig { seed, workers });
+    let rendered = report.render();
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("bias table written to {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    if let Some(path) = opts.get("metrics-out") {
+        let mut reg = Registry::new();
+        describe_defaults(&mut reg);
+        record_bias_metrics(&report, &mut reg);
+        std::fs::write(path, reg.render_prometheus())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("metrics written to {path}");
+    }
     Ok(())
 }
 

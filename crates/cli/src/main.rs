@@ -4,7 +4,9 @@
 //! knocktalk repro    [--scale quick|standard|paper] [--seed N] [--id T5]
 //!                    [--journal FILE] [--kill-frames N] [--kill-mode mid-frame|post-frame]
 //! knocktalk crawl    [--os windows|linux|mac] [--scale ...] [--seed N] [--save FILE]
+//!                    [--profile naive|headless-patched|stealth|human-replay]
 //!                    [--journal FILE] [--kill-frames N] [--kill-mode mid-frame|post-frame]
+//! knocktalk bias     [--seed N] [--workers N] [--out FILE] [--metrics-out FILE]
 //! knocktalk resume   <study.ktj> [--id T5]
 //! knocktalk fsck     <journal.ktj> [--repair yes]
 //! knocktalk analyze  <store.ktstore|journal.ktj>
@@ -68,6 +70,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "repro" => commands::repro(&opts),
         "crawl" => commands::crawl(&opts),
+        "bias" => commands::bias(&opts),
         "resume" => commands::resume(&opts),
         "fsck" => commands::fsck(&opts),
         "analyze" => commands::analyze(&opts),

@@ -55,6 +55,7 @@ impl StudyConfig {
                 seed,
                 top_size: 10_000,
                 malicious_size: 14_500,
+                sensors: false,
             },
             workers: 8,
         }
@@ -375,6 +376,7 @@ impl Study {
                 seed: meta.seed,
                 top_size: meta.top_size as usize,
                 malicious_size: meta.malicious_size as usize,
+                sensors: false,
             },
             workers: (meta.workers as usize).max(1),
         };

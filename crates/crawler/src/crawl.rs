@@ -30,7 +30,7 @@
 //! — latencies, fault decisions, backoff jitter — is keyed by site
 //! identity (and attempt number), not by visit order or thread.
 
-use kt_browser::{Browser, BrowserConfig, PageLoadOutcome, World};
+use kt_browser::{Browser, BrowserConfig, CrawlerProfile, PageLoadOutcome, World};
 use kt_faults::{is_transient, Fault, FaultPlan, RetryPolicy, SalvagedVisit};
 use kt_netbase::Os;
 use kt_netlog::NetLogEvent;
@@ -77,6 +77,9 @@ pub struct CrawlConfig {
     pub outages: Vec<Outage>,
     /// Deep-crawl mode: also visit internal pages (§3.3 extension).
     pub crawl_internal: bool,
+    /// How the crawler presents itself to anti-bot sensors (the bias
+    /// experiment's knob; the paper's crawler is `Naive`).
+    pub profile: CrawlerProfile,
     /// Fault-injection plan (clean in production crawls).
     pub faults: FaultPlan,
     /// Retry/backoff/recrawl policy for transient failures.
@@ -94,6 +97,7 @@ impl CrawlConfig {
             window_ms: 20_000,
             outages: Vec::new(),
             crawl_internal: false,
+            profile: CrawlerProfile::Naive,
             faults: FaultPlan::none(seed),
             retry: RetryPolicy::paper(),
         }
@@ -466,6 +470,7 @@ fn attempt_visit(
                 incognito: true,
                 pna: kt_browser::PnaMode::Off,
                 crawl_internal: config.crawl_internal,
+                profile: config.profile,
             },
             config.seed,
         );

@@ -63,6 +63,13 @@ impl DomainName {
         self.0 == "localhost" || self.0.ends_with(".localhost")
     }
 
+    /// True for any name under the RFC 6762 `.local` mDNS zone —
+    /// the obfuscated hostnames WebRTC ICE candidates carry instead of
+    /// raw private addresses. These resolve only on the local link.
+    pub fn is_mdns_local(&self) -> bool {
+        self.0 == "local" || self.0.ends_with(".local")
+    }
+
     /// The registrable suffix heuristic used throughout the analysis:
     /// the last two labels (`ebay.com` for `regstat.ebay.com`). A full
     /// public-suffix list is out of scope; the synthetic population
@@ -233,6 +240,16 @@ impl<'a> DomainView<'a> {
                 && self.0[self.0.len() - SUFFIX.len()..].eq_ignore_ascii_case(SUFFIX))
     }
 
+    /// True for any name under the RFC 6762 `.local` mDNS zone,
+    /// compared case-insensitively without copying — the borrowed
+    /// counterpart of [`DomainName::is_mdns_local`].
+    pub fn is_mdns_local(&self) -> bool {
+        const SUFFIX: &str = ".local";
+        self.0.eq_ignore_ascii_case("local")
+            || (self.0.len() > SUFFIX.len()
+                && self.0[self.0.len() - SUFFIX.len()..].eq_ignore_ascii_case(SUFFIX))
+    }
+
     /// Convert to the owned, lower-cased form (allocates).
     pub fn to_owned(self) -> DomainName {
         DomainName::parse(self.0).expect("DomainView is pre-validated")
@@ -335,6 +352,36 @@ mod tests {
     }
 
     #[test]
+    fn mdns_local_detection() {
+        assert!(DomainName::parse("printer.local").unwrap().is_mdns_local());
+        assert!(DomainName::parse("f0ae4f9a-2d4c.LOCAL")
+            .unwrap()
+            .is_mdns_local());
+        assert!(!DomainName::parse("local.example.com")
+            .unwrap()
+            .is_mdns_local());
+        assert!(!DomainName::parse("notlocal").unwrap().is_mdns_local());
+        assert!(!DomainName::parse("mylocal.com").unwrap().is_mdns_local());
+    }
+
+    #[test]
+    fn domain_view_mdns_local_matches_owned_without_allocating() {
+        for s in [
+            "printer.local",
+            "Printer.LOCAL",
+            "f0ae4f9a-2d4c-4a91.local.",
+            "local.example.com",
+            "notlocal",
+            "mylocal.com",
+            "localhost",
+        ] {
+            let owned = DomainName::parse(s).unwrap();
+            let view = DomainView::parse(s).unwrap();
+            assert_eq!(view.is_mdns_local(), owned.is_mdns_local(), "{s:?}");
+        }
+    }
+
+    #[test]
     fn registrable_suffix() {
         assert_eq!(
             DomainName::parse("regstat.betfair.com")
@@ -398,6 +445,10 @@ mod tests {
             "LOCALHOST",
             "api.localhost",
             "localhost.com",
+            "f0ae4f9a-2d4c-4a91.local",
+            "Printer.LOCAL",
+            "localhost.local",
+            "notlocal",
             "_dmarc.example.com",
             "127.0.0.1",
             "1.2.3.999",

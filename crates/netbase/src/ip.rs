@@ -128,9 +128,11 @@ impl Locality {
 
     /// Classify a parsed URL host. Domain names are local only if they
     /// are `localhost` or a `*.localhost` subdomain (per the IETF
-    /// let-localhost-be-localhost convention that Chrome follows);
-    /// every other name is treated as public at this syntactic layer —
-    /// resolution happens elsewhere.
+    /// let-localhost-be-localhost convention that Chrome follows) or an
+    /// RFC 6762 `*.local` mDNS name, which only resolves on the local
+    /// link — WebRTC ICE candidates use these to obfuscate private
+    /// addresses. Every other name is treated as public at this
+    /// syntactic layer — resolution happens elsewhere.
     pub fn of_host(host: &Host) -> Locality {
         match host {
             Host::Ipv4(a) => Locality::of_ipv4(*a),
@@ -138,6 +140,8 @@ impl Locality {
             Host::Domain(d) => {
                 if d.is_localhost() {
                     Locality::Loopback
+                } else if d.is_mdns_local() {
+                    Locality::Private
                 } else {
                     Locality::Public
                 }
@@ -153,6 +157,8 @@ impl Locality {
             HostView::Domain(d) => {
                 if d.is_localhost() {
                     Locality::Loopback
+                } else if d.is_mdns_local() {
+                    Locality::Private
                 } else {
                     Locality::Public
                 }
@@ -343,6 +349,30 @@ mod tests {
         ] {
             assert!(!l.is_local(), "{l:?}");
         }
+    }
+
+    #[test]
+    fn mdns_local_names_classify_private_in_both_paths() {
+        // Regression: ICE candidates carry mDNS-obfuscated `.local`
+        // hostnames instead of raw private addresses; they must
+        // classify as local (Private) through the borrowed path
+        // without allocating, and identically through the owned path.
+        for s in ["f0ae4f9a-2d4c-4a91.local", "Printer.LOCAL", "a.b.local"] {
+            let owned = Host::parse(s).unwrap();
+            let view = HostView::parse(s).unwrap();
+            assert_eq!(Locality::of_host(&owned), Locality::Private, "{s}");
+            assert_eq!(Locality::of_host_view(&view), Locality::Private, "{s}");
+            assert!(Locality::of_host_view(&view).is_local(), "{s}");
+        }
+        for s in ["local.example.com", "mylocal.com", "example.com"] {
+            let owned = Host::parse(s).unwrap();
+            let view = HostView::parse(s).unwrap();
+            assert_eq!(Locality::of_host(&owned), Locality::Public, "{s}");
+            assert_eq!(Locality::of_host_view(&view), Locality::Public, "{s}");
+        }
+        // `.localhost` still wins over the mDNS rule's suffix logic.
+        let lh = Host::parse("api.localhost").unwrap();
+        assert_eq!(Locality::of_host(&lh), Locality::Loopback);
     }
 
     #[test]

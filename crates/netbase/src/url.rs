@@ -480,6 +480,7 @@ mod tests {
             "wss://127.0.0.1:5939/",
             "http://localhost:12071/v1/init.json?api_port=3&query_id=7",
             "ws://localhost:6463/?v=1",
+            "http://f0ae4f9a-2d4c-4a91.local:9222/json",
             "HTTPS://ExAmple.COM:8443",
             "https://example.com?q=1",
             "http://[::1]:8080/status",

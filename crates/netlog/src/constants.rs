@@ -47,11 +47,16 @@ pub enum EventType {
     FailedRequest,
     /// Chrome-internal periodic work (e.g. connectivity probes).
     NetworkChangeNotifier,
+    /// A WebRTC ICE candidate was gathered (`address`,
+    /// `candidate_type` params). Host candidates carry either a raw
+    /// local address or an mDNS-obfuscated `*.local` name.
+    IceCandidateGathered,
 }
 
 impl EventType {
-    /// All modelled event types in constant-table order.
-    pub const ALL: [EventType; 16] = [
+    /// All modelled event types in constant-table order. New kinds are
+    /// appended at the tail: wire codes are positional.
+    pub const ALL: [EventType; 17] = [
         EventType::RequestAlive,
         EventType::UrlRequestStartJob,
         EventType::UrlRequestRedirected,
@@ -68,6 +73,7 @@ impl EventType {
         EventType::SocketClosed,
         EventType::FailedRequest,
         EventType::NetworkChangeNotifier,
+        EventType::IceCandidateGathered,
     ];
 
     /// Chrome-style constant name.
@@ -89,6 +95,7 @@ impl EventType {
             EventType::SocketClosed => "SOCKET_CLOSED",
             EventType::FailedRequest => "FAILED_REQUEST",
             EventType::NetworkChangeNotifier => "NETWORK_CHANGE_NOTIFIER",
+            EventType::IceCandidateGathered => "ICE_CANDIDATE_GATHERED",
         }
     }
 
@@ -124,17 +131,22 @@ pub enum SourceType {
     BrowserInternal,
     /// No associated source (global events).
     None,
+    /// A WebRTC peer-connection socket gathering ICE candidates.
+    /// Page-initiated, like `UrlRequest` and `WebSocket`.
+    P2pSocket,
 }
 
 impl SourceType {
-    /// All modelled source types in constant-table order.
-    pub const ALL: [SourceType; 6] = [
+    /// All modelled source types in constant-table order. New kinds
+    /// are appended at the tail: wire codes are positional.
+    pub const ALL: [SourceType; 7] = [
         SourceType::UrlRequest,
         SourceType::Socket,
         SourceType::HostResolverImplJob,
         SourceType::WebSocket,
         SourceType::BrowserInternal,
         SourceType::None,
+        SourceType::P2pSocket,
     ];
 
     /// Chrome-style constant name.
@@ -146,6 +158,7 @@ impl SourceType {
             SourceType::WebSocket => "WEBSOCKET",
             SourceType::BrowserInternal => "BROWSER_INTERNAL",
             SourceType::None => "NONE",
+            SourceType::P2pSocket => "P2P_SOCKET",
         }
     }
 
@@ -167,7 +180,10 @@ impl SourceType {
     pub fn is_page_traffic(self) -> bool {
         matches!(
             self,
-            SourceType::UrlRequest | SourceType::WebSocket | SourceType::Socket
+            SourceType::UrlRequest
+                | SourceType::WebSocket
+                | SourceType::Socket
+                | SourceType::P2pSocket
         )
     }
 }
@@ -399,8 +415,20 @@ mod tests {
     fn page_traffic_sources() {
         assert!(SourceType::UrlRequest.is_page_traffic());
         assert!(SourceType::WebSocket.is_page_traffic());
+        assert!(SourceType::P2pSocket.is_page_traffic());
         assert!(!SourceType::BrowserInternal.is_page_traffic());
         assert!(!SourceType::None.is_page_traffic());
+    }
+
+    #[test]
+    fn new_kinds_append_at_the_tail() {
+        // Wire codes are positional, so the pre-ICE codes must never
+        // shift: a capture written before the ICE kinds existed still
+        // decodes every event to the same type.
+        assert_eq!(EventType::NetworkChangeNotifier.code(), 15);
+        assert_eq!(EventType::IceCandidateGathered.code(), 16);
+        assert_eq!(SourceType::None.code(), 5);
+        assert_eq!(SourceType::P2pSocket.code(), 6);
     }
 
     #[test]

@@ -84,6 +84,15 @@ pub enum EventParams {
         /// Chrome numeric error code (e.g. -105).
         net_error: i32,
     },
+    /// `ICE_CANDIDATE_GATHERED`: a WebRTC ICE candidate surfaced to the
+    /// page. `address` is either a raw `ip:port` or an mDNS-obfuscated
+    /// `uuid.local:port` pair, per the candidate anonymisation policy.
+    IceCandidate {
+        /// `host:port` of the gathered candidate.
+        address: String,
+        /// Candidate type string (`host`, `srflx`, `relay`).
+        candidate_type: String,
+    },
 }
 
 impl EventParams {
@@ -111,6 +120,10 @@ impl EventParams {
             EventParams::WebSocket { url } => json!({ "url": url }),
             EventParams::WebSocketFrame { length } => json!({ "length": length }),
             EventParams::Failed { net_error } => json!({ "net_error": net_error }),
+            EventParams::IceCandidate {
+                address,
+                candidate_type,
+            } => json!({ "address": address, "candidate_type": candidate_type }),
         }
     }
 
@@ -157,6 +170,10 @@ impl EventParams {
             }
             EventType::FailedRequest => EventParams::Failed {
                 net_error: v.get("net_error").and_then(Value::as_i64).unwrap_or(0) as i32,
+            },
+            EventType::IceCandidateGathered => EventParams::IceCandidate {
+                address: s("address").unwrap_or_default(),
+                candidate_type: s("candidate_type").unwrap_or_else(|| "host".into()),
             },
             _ => EventParams::None,
         }
@@ -318,6 +335,13 @@ mod tests {
             (
                 EventType::FailedRequest,
                 EventParams::Failed { net_error: -105 },
+            ),
+            (
+                EventType::IceCandidateGathered,
+                EventParams::IceCandidate {
+                    address: "f0ae4f9a-2d4c-4a91.local:9000".into(),
+                    candidate_type: "host".into(),
+                },
             ),
         ];
         for (ty, params) in shapes {

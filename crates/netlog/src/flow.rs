@@ -78,6 +78,23 @@ impl Flow {
             .collect()
     }
 
+    /// Every gathered ICE candidate in order, as `(address,
+    /// candidate_type)` pairs. WebRTC surfaces local addresses (raw or
+    /// mDNS-obfuscated) through these without any HTTP request — a
+    /// second local-discovery channel beside the fetch/WebSocket knocks.
+    pub fn ice_candidates(&self) -> Vec<(&str, &str)> {
+        self.events
+            .iter()
+            .filter_map(|e| match &e.params {
+                EventParams::IceCandidate {
+                    address,
+                    candidate_type,
+                } => Some((address.as_str(), candidate_type.as_str())),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// True if this flow is a WebSocket channel.
     pub fn is_websocket(&self) -> bool {
         self.source.kind == SourceType::WebSocket

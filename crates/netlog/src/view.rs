@@ -78,6 +78,13 @@ pub enum ParamsView<'a> {
         /// Chrome numeric error code (e.g. -105).
         net_error: i32,
     },
+    /// `ICE_CANDIDATE_GATHERED`: a WebRTC ICE candidate.
+    IceCandidate {
+        /// `host:port` of the gathered candidate.
+        address: &'a str,
+        /// Candidate type string (`host`, `srflx`, `relay`).
+        candidate_type: &'a str,
+    },
 }
 
 impl<'a> ParamsView<'a> {
@@ -114,6 +121,13 @@ impl<'a> ParamsView<'a> {
             },
             ParamsView::WebSocketFrame { length } => EventParams::WebSocketFrame { length },
             ParamsView::Failed { net_error } => EventParams::Failed { net_error },
+            ParamsView::IceCandidate {
+                address,
+                candidate_type,
+            } => EventParams::IceCandidate {
+                address: address.to_string(),
+                candidate_type: candidate_type.to_string(),
+            },
         }
     }
 }
@@ -147,6 +161,13 @@ impl EventParams {
             }
             EventParams::Failed { net_error } => ParamsView::Failed {
                 net_error: *net_error,
+            },
+            EventParams::IceCandidate {
+                address,
+                candidate_type,
+            } => ParamsView::IceCandidate {
+                address,
+                candidate_type,
             },
         }
     }
@@ -253,6 +274,19 @@ impl<'s, 'a> FlowView<'s, 'a> {
     pub fn redirects(&self) -> impl Iterator<Item = &'a str> + use<'s, 'a> {
         self.events().filter_map(|e| match e.params {
             ParamsView::Redirect { location } => Some(location),
+            _ => None,
+        })
+    }
+
+    /// Every gathered ICE candidate in order, as `(address,
+    /// candidate_type)` pairs. Unlike the owned `ice_candidates`, no
+    /// `Vec` is built.
+    pub fn ice_candidates(&self) -> impl Iterator<Item = (&'a str, &'a str)> + use<'s, 'a> {
+        self.events().filter_map(|e| match e.params {
+            ParamsView::IceCandidate {
+                address,
+                candidate_type,
+            } => Some((address, candidate_type)),
             _ => None,
         })
     }
@@ -413,6 +447,7 @@ mod tests {
             EventParams::WebSocket { .. } => EventType::WebSocketSendRequestHeaders,
             EventParams::WebSocketFrame { .. } => EventType::WebSocketRecvFrame,
             EventParams::Failed { .. } => EventType::FailedRequest,
+            EventParams::IceCandidate { .. } => EventType::IceCandidateGathered,
             _ => EventType::RequestAlive,
         };
         NetLogEvent {
@@ -447,6 +482,7 @@ mod tests {
             assert_eq!(vf.end_time(), of.end_time());
             assert_eq!(vf.url(), of.url());
             assert_eq!(vf.redirects().collect::<Vec<_>>(), of.redirect_chain());
+            assert_eq!(vf.ice_candidates().collect::<Vec<_>>(), of.ice_candidates());
             assert_eq!(vf.is_websocket(), of.is_websocket());
             assert_eq!(vf.websocket_frames(), of.websocket_frames());
             assert_eq!(vf.outcome(), of.outcome());
@@ -561,6 +597,44 @@ mod tests {
             ),
         ];
         assert_equivalent(&events);
+    }
+
+    #[test]
+    fn ice_candidate_flows_group_and_iterate_identically() {
+        let events = vec![
+            mk(
+                4,
+                SourceType::P2pSocket,
+                12,
+                EventParams::IceCandidate {
+                    address: "f0ae4f9a-2d4c-4a91.local:9000".into(),
+                    candidate_type: "host".into(),
+                },
+            ),
+            mk(
+                4,
+                SourceType::P2pSocket,
+                14,
+                EventParams::IceCandidate {
+                    address: "192.168.1.20:56100".into(),
+                    candidate_type: "host".into(),
+                },
+            ),
+            mk(1, SourceType::UrlRequest, 10, url_start("https://a.com/")),
+        ];
+        assert_equivalent(&events);
+        let view = FlowSetView::from_events(events.iter().map(NetLogEvent::view));
+        let flow = view.get(4).unwrap();
+        assert_eq!(
+            flow.ice_candidates().collect::<Vec<_>>(),
+            vec![
+                ("f0ae4f9a-2d4c-4a91.local:9000", "host"),
+                ("192.168.1.20:56100", "host"),
+            ]
+        );
+        // P2P sockets are page traffic: they must survive the
+        // browser-internal filter like URL requests do.
+        assert_eq!(view.page_flows().count(), 2);
     }
 
     #[test]

@@ -187,6 +187,14 @@ fn put_params(buf: &mut BytesMut, params: &EventParams) {
             buf.put_u8(9);
             put_varint(buf, zigzag(*net_error as i64));
         }
+        EventParams::IceCandidate {
+            address,
+            candidate_type,
+        } => {
+            buf.put_u8(10);
+            put_str(buf, address);
+            put_str(buf, candidate_type);
+        }
     }
 }
 
@@ -233,6 +241,10 @@ fn get_params(buf: &mut Bytes) -> Result<EventParams, CodecError> {
         }),
         9 => Ok(EventParams::Failed {
             net_error: unzigzag(get_varint(buf)?) as i32,
+        }),
+        10 => Ok(EventParams::IceCandidate {
+            address: get_str(buf)?,
+            candidate_type: get_str(buf)?,
         }),
         v => Err(CodecError::BadTag("params", v as u64)),
     }
@@ -508,6 +520,10 @@ enum RawParams<'a> {
     Failed {
         net_error: i32,
     },
+    IceCandidate {
+        address: &'a [u8],
+        candidate_type: &'a [u8],
+    },
 }
 
 impl<'a> RawParams<'a> {
@@ -548,6 +564,13 @@ impl<'a> RawParams<'a> {
             RawParams::WebSocket { url } => ParamsView::WebSocket { url: s(url) },
             RawParams::WebSocketFrame { length } => ParamsView::WebSocketFrame { length },
             RawParams::Failed { net_error } => ParamsView::Failed { net_error },
+            RawParams::IceCandidate {
+                address,
+                candidate_type,
+            } => ParamsView::IceCandidate {
+                address: s(address),
+                candidate_type: s(candidate_type),
+            },
         }
     }
 }
@@ -597,6 +620,10 @@ fn get_params_raw<'a>(c: &mut Cursor<'a>) -> Result<RawParams<'a>, CodecError> {
         }),
         9 => Ok(RawParams::Failed {
             net_error: unzigzag(c.get_varint()?) as i32,
+        }),
+        10 => Ok(RawParams::IceCandidate {
+            address: c.get_str_raw()?,
+            candidate_type: c.get_str_raw()?,
         }),
         v => Err(CodecError::BadTag("params", v as u64)),
     }
@@ -873,6 +900,27 @@ mod tests {
         let encoded = encode(&rec);
         let decoded = decode(encoded).unwrap();
         assert_eq!(decoded, rec);
+    }
+
+    #[test]
+    fn round_trip_ice_candidate_params() {
+        let mut rec = sample();
+        rec.events.push(NetLogEvent {
+            time: 4_400,
+            event_type: EventType::IceCandidateGathered,
+            source: SourceRef {
+                id: 5,
+                kind: SourceType::P2pSocket,
+            },
+            phase: EventPhase::None,
+            params: EventParams::IceCandidate {
+                address: "f0ae4f9a-2d4c-4a91.local:9000".into(),
+                candidate_type: "host".into(),
+            },
+        });
+        let encoded = encode(&rec);
+        assert_eq!(decode(encoded.clone()).unwrap(), rec);
+        assert_eq!(decode_view(&encoded).unwrap().to_owned(), rec);
     }
 
     #[test]

@@ -5,9 +5,10 @@
 //! - counters end in `_total`; gauges and histograms name their unit
 //!   (`_seconds`, `_ratio`) or are bare nouns;
 //! - label keys come from the closed set {`crawl`, `os`, `error`,
-//!   `stage`, `locality`, `tenant`, `reason`} — all low-cardinality
-//!   (≤ 11 values each; `tenant` is bounded by the service's admission
-//!   table, `reason` by the `AdmissionError` variants);
+//!   `stage`, `locality`, `tenant`, `reason`, `profile`, `archetype`}
+//!   — all low-cardinality (≤ 11 values each; `tenant` is bounded by
+//!   the service's admission table, `reason` by the `AdmissionError`
+//!   variants, `profile` and `archetype` by the bias model's enums);
 //! - only schedule-invariant values may be exported: anything derived
 //!   from claim order or per-worker wall clocks (makespan,
 //!   connectivity stalls) stays out of the registry so the exposition
@@ -85,6 +86,24 @@ pub const SCAN_AGREEMENT_PASSIVE_ONLY_TOTAL: &str = "scan_agreement_passive_only
 pub const SCAN_AGREEMENT_ACTIVE_ONLY_TOTAL: &str = "scan_agreement_active_only_total";
 /// Cells where neither side saw the behaviour. Labels: reason.
 pub const SCAN_AGREEMENT_NEITHER_TOTAL: &str = "scan_agreement_neither_total";
+
+/// Ground-truth locally-active sites planted in the bias population
+/// (profile-invariant by construction; exported per profile so the
+/// checker can assert the invariance). Labels: profile.
+pub const BIAS_TRUE_SITES_TOTAL: &str = "bias_true_sites_total";
+/// Ground-truth sites the profile's crawl actually observed as locally
+/// active. Labels: profile.
+pub const BIAS_OBSERVED_SITES_TOTAL: &str = "bias_observed_sites_total";
+/// Ground-truth sites missing from the profile's crawl — behaviour the
+/// sensors suppressed, delayed past the window, or swapped away (plus
+/// the profile-invariant availability misses). Labels: profile.
+pub const BIAS_SUPPRESSED_SITES_TOTAL: &str = "bias_suppressed_sites_total";
+/// Sensored ground-truth sites invisible to the profile, split by the
+/// deployed sensor archetype. Labels: profile, archetype.
+pub const BIAS_HIDDEN_SITES_TOTAL: &str = "bias_hidden_sites_total";
+/// observed sites / true sites for the profile (the headline bias
+/// figure; 1.0 = unbiased). Labels: profile.
+pub const BIAS_OBSERVED_RATIO: &str = "bias_observed_ratio";
 
 /// Visits executed by the longitudinal snapshot engine (changed +
 /// fresh sites only; derived from the incremental plan, so the value
@@ -196,6 +215,15 @@ pub const SCAN_COUNTERS: [&str; 10] = [
     SCAN_AGREEMENT_PASSIVE_ONLY_TOTAL,
     SCAN_AGREEMENT_ACTIVE_ONLY_TOTAL,
     SCAN_AGREEMENT_NEITHER_TOTAL,
+];
+
+/// The measurement-bias counters every bias sweep exports, in
+/// declaration order.
+pub const BIAS_COUNTERS: [&str; 4] = [
+    BIAS_TRUE_SITES_TOTAL,
+    BIAS_OBSERVED_SITES_TOTAL,
+    BIAS_SUPPRESSED_SITES_TOTAL,
+    BIAS_HIDDEN_SITES_TOTAL,
 ];
 
 /// The longitudinal snapshot-engine counters, in declaration order.
@@ -320,6 +348,26 @@ pub fn describe_defaults(reg: &mut Registry) {
         "Cells where neither detection side fired",
     );
     reg.describe_counter(
+        BIAS_TRUE_SITES_TOTAL,
+        "Ground-truth locally-active sites planted in the bias population",
+    );
+    reg.describe_counter(
+        BIAS_OBSERVED_SITES_TOTAL,
+        "Ground-truth sites the profile's crawl observed as locally active",
+    );
+    reg.describe_counter(
+        BIAS_SUPPRESSED_SITES_TOTAL,
+        "Ground-truth sites missing from the profile's crawl",
+    );
+    reg.describe_counter(
+        BIAS_HIDDEN_SITES_TOTAL,
+        "Sensored ground-truth sites invisible to the profile, by archetype",
+    );
+    reg.describe_gauge(
+        BIAS_OBSERVED_RATIO,
+        "observed sites / true sites for the profile",
+    );
+    reg.describe_counter(
         SNAPSHOT_VISITS_TOTAL,
         "Visits executed by the longitudinal snapshot engine",
     );
@@ -400,6 +448,10 @@ pub fn describe_defaults(reg: &mut Registry) {
         reg.touch_counter(name, Labels::empty());
     }
     reg.set_gauge(SCAN_OPEN_PORTS, Labels::empty(), 0.0);
+    for name in BIAS_COUNTERS {
+        reg.touch_counter(name, Labels::empty());
+    }
+    reg.set_gauge(BIAS_OBSERVED_RATIO, Labels::empty(), 0.0);
     for name in SNAPSHOT_COUNTERS {
         reg.touch_counter(name, Labels::empty());
     }
@@ -474,6 +526,11 @@ mod tests {
             "scan_agreement_passive_only_total 0",
             "scan_agreement_active_only_total 0",
             "scan_agreement_neither_total 0",
+            "bias_true_sites_total 0",
+            "bias_observed_sites_total 0",
+            "bias_suppressed_sites_total 0",
+            "bias_hidden_sites_total 0",
+            "bias_observed_ratio 0",
             "snapshot_visits_total 0",
             "snapshot_full_visits_total 0",
             "snapshot_linked_total 0",
@@ -514,6 +571,9 @@ mod tests {
             assert!(name.ends_with("_total"), "{name} must end in _total");
         }
         for name in SNAPSHOT_COUNTERS {
+            assert!(name.ends_with("_total"), "{name} must end in _total");
+        }
+        for name in BIAS_COUNTERS {
             assert!(name.ends_with("_total"), "{name} must end in _total");
         }
     }

@@ -12,16 +12,20 @@
 //!   population, straight from the paper's tables;
 //! * [`population`] — assembly: Tranco snapshots + blocklists +
 //!   plantings → three crawlable site populations (top-2020,
-//!   top-2021, malicious).
+//!   top-2021, malicious);
+//! * [`sensor`] — anti-bot sensors ([`BotSensor`]) and crawler
+//!   profiles ([`CrawlerProfile`]): the measurement-bias model.
 
 #![warn(missing_docs)]
 
 pub mod behavior;
 pub mod plant;
 pub mod population;
+pub mod sensor;
 pub mod site;
 
 pub use behavior::{Behavior, Channel, DevError, NativeApp, PlannedRequest, UnknownKind};
 pub use plant::{DelayWindow, PlantSpec};
 pub use population::{PopulationConfig, WebPopulation};
+pub use sensor::{BotSensor, CrawlerProfile, SensorArchetype, SensorGate};
 pub use site::{Availability, PlantedBehavior, SiteCategory, WebSite};

@@ -27,7 +27,7 @@ use crate::plant::{self, PlantSpec, VENDOR_PLACEHOLDER};
 use crate::site::{Availability, PlantedBehavior, SiteCategory, WebSite};
 
 /// Deterministic helpers (same SplitMix64 family as kt-simnet).
-fn mix(mut x: u64) -> u64 {
+pub(crate) fn mix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -35,7 +35,7 @@ fn mix(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn hash_str(seed: u64, s: &str) -> u64 {
+pub(crate) fn hash_str(seed: u64, s: &str) -> u64 {
     let mut h = mix(seed ^ 0x6b74_7067);
     for chunk in s.as_bytes().chunks(8) {
         let mut lane = [0u8; 8];
@@ -45,7 +45,7 @@ fn hash_str(seed: u64, s: &str) -> u64 {
     mix(h ^ s.len() as u64)
 }
 
-fn unit(seed: u64, label: &str) -> f64 {
+pub(crate) fn unit(seed: u64, label: &str) -> f64 {
     (hash_str(seed, label) >> 11) as f64 / (1u64 << 53) as f64
 }
 
@@ -59,6 +59,12 @@ pub struct PopulationConfig {
     pub top_size: usize,
     /// Malicious population size (the paper: 144,925).
     pub malicious_size: usize,
+    /// Plant anti-bot sensors ([`crate::sensor::BotSensor`]) on the
+    /// 2020 population: a share of behaviour sites gets a gating
+    /// sensor, and a set of otherwise-quiet sites gets the WebRTC
+    /// probe. Off by default so the paper-replication counts are
+    /// untouched; the bias experiment turns it on.
+    pub sensors: bool,
 }
 
 impl PopulationConfig {
@@ -68,6 +74,7 @@ impl PopulationConfig {
             seed,
             top_size: 100_000,
             malicious_size: 144_925,
+            sensors: false,
         }
     }
 
@@ -78,6 +85,16 @@ impl PopulationConfig {
             seed,
             top_size: 2_000,
             malicious_size: 1_200,
+            sensors: false,
+        }
+    }
+
+    /// [`PopulationConfig::test_scale`] with sensor planting enabled —
+    /// the bias experiment's population.
+    pub fn bias_scale(seed: u64) -> PopulationConfig {
+        PopulationConfig {
+            sensors: true,
+            ..PopulationConfig::test_scale(seed)
         }
     }
 }
@@ -573,6 +590,41 @@ impl WebPopulation {
             debug_assert_eq!(placed, internal_specs.len(), "all internal specs placed");
         }
 
+        // ---- anti-bot sensor plantings (measurement-bias model) ---
+        // Gating sensors ride on behaviour sites; WebRTC probes land
+        // on otherwise-quiet sites, whose only local signal is then
+        // the gathered ICE candidates. Both are keyed purely on
+        // (seed, domain), so the planted ground truth is exact.
+        if config.sensors {
+            use crate::sensor::{BotSensor, SensorArchetype};
+            for site in sites2020.iter_mut().filter(|s| !s.behaviors.is_empty()) {
+                if BotSensor::deployed_on(seed, site.domain.as_str()) {
+                    site.sensor = Some(BotSensor::for_behavior_site(seed, site.domain.as_str()));
+                }
+            }
+            const WEBRTC_PROBES: usize = 24;
+            let mut placed = 0usize;
+            let mut idx = 0usize;
+            let stride = (sites2020.len() / (WEBRTC_PROBES + 1)).max(1);
+            while placed < WEBRTC_PROBES && idx < sites2020.len() {
+                let site = &mut sites2020[idx];
+                if site.behaviors.is_empty()
+                    && site.internal_behaviors.is_empty()
+                    && site.sensor.is_none()
+                    && Os::ALL.iter().all(|os| site.availability_on(*os).is_up())
+                {
+                    site.sensor = Some(BotSensor {
+                        archetype: SensorArchetype::WebRtcProbe,
+                    });
+                    placed += 1;
+                    idx += stride;
+                } else {
+                    idx += 1;
+                }
+            }
+            debug_assert_eq!(placed, WEBRTC_PROBES, "all WebRTC probes placed");
+        }
+
         WebPopulation {
             config,
             snapshot2020,
@@ -700,6 +752,7 @@ mod tests {
             seed: 7,
             top_size: 8_000,
             malicious_size: 600,
+            sensors: false,
         });
         let failed = p
             .sites2020
@@ -721,6 +774,50 @@ mod tests {
             .count() as f64
             / fails.len() as f64;
         assert!((0.84..0.93).contains(&dns), "DNS share {dns}");
+    }
+
+    #[test]
+    fn sensor_planting_is_opt_in_and_leaves_behaviours_untouched() {
+        use crate::sensor::SensorArchetype;
+        let plain = small();
+        assert!(plain.sites2020.iter().all(|s| s.sensor.is_none()));
+        let biased = WebPopulation::generate(PopulationConfig::bias_scale(42));
+        // Behaviour planting is byte-identical: sensors gate the
+        // *browser*, not the planted ground truth.
+        for (a, b) in plain.sites2020.iter().zip(biased.sites2020.iter()) {
+            assert_eq!(a.domain, b.domain);
+            assert_eq!(a.behaviors, b.behaviors);
+            assert_eq!(a.availability, b.availability);
+        }
+        // A healthy share of behaviour sites carries a gating sensor…
+        let gated = biased
+            .sites2020
+            .iter()
+            .filter(|s| !s.behaviors.is_empty() && s.sensor.is_some())
+            .count();
+        assert!((40..=100).contains(&gated), "gated {gated}");
+        // …and exactly 24 quiet sites carry the WebRTC probe.
+        let probes = biased
+            .sites2020
+            .iter()
+            .filter(|s| {
+                s.behaviors.is_empty()
+                    && matches!(
+                        s.sensor,
+                        Some(crate::sensor::BotSensor {
+                            archetype: SensorArchetype::WebRtcProbe
+                        })
+                    )
+            })
+            .count();
+        assert_eq!(probes, 24);
+        // Ground truth counts both behaviour sites and probe sites.
+        let truth = biased
+            .sites2020
+            .iter()
+            .filter(|s| s.has_local_ground_truth())
+            .count();
+        assert_eq!(truth, 116 + 24);
     }
 
     #[test]

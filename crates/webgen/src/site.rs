@@ -10,6 +10,7 @@ use kt_netbase::{DomainName, Os, OsSet};
 use serde::{Deserialize, Serialize};
 
 use crate::behavior::{Behavior, PlannedRequest};
+use crate::sensor::BotSensor;
 
 /// Rough site genre — drives which behaviours are plausible (the paper
 /// found ThreatMetrix on e-commerce, BIG-IP on government sites, …).
@@ -109,6 +110,11 @@ pub struct WebSite {
     /// found ThreatMetrix specifically on login pages. Deep-crawl mode
     /// (`BrowserConfig::crawl_internal`) executes these too.
     pub internal_behaviors: Vec<PlantedBehavior>,
+    /// Anti-bot sensor, if this site deploys one: its verdict on the
+    /// visiting crawler profile gates whether the behaviours above run
+    /// unmodified, suppressed, delayed, or swapped (the measurement-
+    /// bias model; only planted when `PopulationConfig::sensors`).
+    pub sensor: Option<BotSensor>,
 }
 
 impl WebSite {
@@ -127,6 +133,7 @@ impl WebSite {
             public_resources,
             behaviors: Vec::new(),
             internal_behaviors: Vec::new(),
+            sensor: None,
         }
     }
 
@@ -188,6 +195,20 @@ impl WebSite {
     /// The union of OSes on which this site is locally active.
     pub fn local_os_set(&self) -> OsSet {
         OsSet::from_fn(|os| self.is_locally_active_on(os))
+    }
+
+    /// Planted ground truth for the bias experiment: the site emits
+    /// *some* local-discovery signal for a perfectly-evasive visitor —
+    /// either planted request behaviours or a WebRTC probe sensor
+    /// (which surfaces local ICE candidates instead of requests).
+    pub fn has_local_ground_truth(&self) -> bool {
+        !self.behaviors.is_empty()
+            || matches!(
+                self.sensor,
+                Some(BotSensor {
+                    archetype: crate::sensor::SensorArchetype::WebRtcProbe,
+                })
+            )
     }
 }
 

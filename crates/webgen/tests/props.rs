@@ -14,6 +14,7 @@ proptest! {
             seed,
             top_size: 500,
             malicious_size: 300,
+            sensors: false,
         });
         // Sizes.
         prop_assert_eq!(pop.sites2020.len(), 500);
@@ -55,6 +56,7 @@ proptest! {
             seed,
             top_size: 400,
             malicious_size: 200,
+            sensors: false,
         });
         for site in pop.sites2020.iter().filter(|s| !s.behaviors.is_empty()).take(30) {
             for os in Os::ALL {

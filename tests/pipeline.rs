@@ -128,6 +128,7 @@ fn reruns_are_bit_identical() {
             seed: 99,
             top_size: 600,
             malicious_size: 300,
+            sensors: false,
         },
         workers: 2,
     });
@@ -136,6 +137,7 @@ fn reruns_are_bit_identical() {
             seed: 99,
             top_size: 600,
             malicious_size: 300,
+            sensors: false,
         },
         workers: 7,
     });
